@@ -1,0 +1,140 @@
+//! Micro-benchmarks of the substrate components: the event queue, the
+//! deterministic fan-out accumulator, hash-table build/probe, and chain
+//! batch execution. These guard the simulator's own overhead — §5.1 argues
+//! for full implementation over simulation precisely because "it will be
+//! very hard to assess the overheads due to context switching"; our engine
+//! must keep per-event costs negligible for that argument to carry.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use std::hint::black_box;
+
+use dqs_relop::{FanoutAccumulator, HashTableArena, OpSpec, PhysChain, RelId, Tuple};
+use dqs_sim::{EventQueue, SimDuration, SimParams, SimTime};
+
+fn bench_event_queue(c: &mut Criterion) {
+    let mut g = c.benchmark_group("event_queue");
+    g.throughput(Throughput::Elements(10_000));
+    g.bench_function("schedule_pop_10k", |b| {
+        b.iter_batched(
+            EventQueue::<u32>::new,
+            |mut q| {
+                for i in 0..10_000u32 {
+                    q.schedule(
+                        SimTime::from_nanos(((i as u64).wrapping_mul(2654435761)) % 1_000_000),
+                        i,
+                    );
+                }
+                while let Some(ev) = q.pop() {
+                    black_box(ev);
+                }
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    g.finish();
+}
+
+fn bench_fanout(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fanout");
+    g.throughput(Throughput::Elements(100_000));
+    g.bench_function("accumulate_100k", |b| {
+        b.iter(|| {
+            let mut acc = FanoutAccumulator::new(1.37);
+            let mut total = 0u64;
+            for _ in 0..100_000 {
+                total += acc.next();
+            }
+            black_box(total)
+        })
+    });
+    g.finish();
+}
+
+fn bench_hash_table(c: &mut Criterion) {
+    let params = SimParams::default();
+    let mut g = c.benchmark_group("hash_table");
+    g.throughput(Throughput::Elements(10_000));
+    g.bench_function("build_10k", |b| {
+        b.iter(|| {
+            let mut arena = HashTableArena::new();
+            let ht = arena.alloc();
+            let mut chain = PhysChain::compile(&[OpSpec::Build { table: ht }]);
+            let tuples: Vec<Tuple> = (0..10_000).map(|i| Tuple::new(i, RelId(0))).collect();
+            black_box(chain.run_batch(&tuples, &mut arena, &params))
+        })
+    });
+    g.bench_function("probe_10k_fanout2", |b| {
+        let mut arena = HashTableArena::new();
+        let ht = arena.alloc();
+        for i in 0..1_000 {
+            arena.get_mut(ht).insert(Tuple::new(i, RelId(0)));
+        }
+        arena.get_mut(ht).complete();
+        let tuples: Vec<Tuple> = (0..10_000).map(|i| Tuple::new(i, RelId(1))).collect();
+        b.iter(|| {
+            let mut chain = PhysChain::compile(&[OpSpec::Probe {
+                table: ht,
+                fanout: 2.0,
+            }]);
+            black_box(chain.run_batch(&tuples, &mut arena, &params))
+        })
+    });
+    g.finish();
+}
+
+fn bench_full_chain(c: &mut Criterion) {
+    let params = SimParams::default();
+    let mut g = c.benchmark_group("chain");
+    g.throughput(Throughput::Elements(128));
+    g.bench_function("batch_128_select_probe_build", |b| {
+        let mut arena = HashTableArena::new();
+        let probed = arena.alloc();
+        for i in 0..1_000 {
+            arena.get_mut(probed).insert(Tuple::new(i, RelId(0)));
+        }
+        arena.get_mut(probed).complete();
+        let built = arena.alloc();
+        let mut chain = PhysChain::compile(&[
+            OpSpec::Select { selectivity: 0.8 },
+            OpSpec::Probe {
+                table: probed,
+                fanout: 1.2,
+            },
+            OpSpec::Build { table: built },
+        ]);
+        let tuples: Vec<Tuple> = (0..128).map(|i| Tuple::new(i, RelId(1))).collect();
+        b.iter(|| black_box(chain.run_batch(&tuples, &mut arena, &params)));
+    });
+    g.finish();
+}
+
+fn bench_delay_models(c: &mut Criterion) {
+    use dqs_sim::SeedSplitter;
+    use dqs_source::DelayModel;
+    let mut g = c.benchmark_group("delay_model");
+    g.throughput(Throughput::Elements(100_000));
+    g.bench_function("uniform_100k_gaps", |b| {
+        let model = DelayModel::Uniform {
+            mean: SimDuration::from_micros(20),
+        };
+        b.iter(|| {
+            let mut rng = SeedSplitter::new(7).stream("bench");
+            let mut acc = SimDuration::ZERO;
+            for i in 0..100_000 {
+                acc += model.gap(i, &mut rng);
+            }
+            black_box(acc)
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_event_queue,
+    bench_fanout,
+    bench_hash_table,
+    bench_full_chain,
+    bench_delay_models
+);
+criterion_main!(benches);

@@ -1,0 +1,59 @@
+//! Figure-regeneration benchmarks: `cargo bench --bench figures` measures
+//! (and in doing so, re-executes) one representative point of every
+//! evaluation artifact, so a `cargo bench --workspace` run exercises the
+//! complete reproduction path. The full-resolution sweeps are produced by
+//! the `repro` binary (`cargo run --release -p dqs-bench --bin repro all`).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use dqs_bench::experiments::{self, slowdown_workload};
+use dqs_bench::{run_once, StrategyKind};
+use dqs_exec::Workload;
+use dqs_sim::SimDuration;
+use dqs_source::DelayModel;
+
+fn bench_figure6_point(c: &mut Criterion) {
+    let mut g = c.benchmark_group("figure6_point_a6s");
+    g.sample_size(10);
+    for strategy in StrategyKind::ALL {
+        g.bench_function(strategy.name(), |b| {
+            let w = slowdown_workload('A', 6.0);
+            b.iter(|| black_box(run_once(&w, strategy)));
+        });
+    }
+    g.finish();
+}
+
+fn bench_figure8_point(c: &mut Criterion) {
+    let mut g = c.benchmark_group("figure8_point_40us");
+    g.sample_size(10);
+    for strategy in [StrategyKind::Seq, StrategyKind::Dse] {
+        g.bench_function(strategy.name(), |b| {
+            let (base, _) = Workload::fig5();
+            let w = base.with_all_delays(DelayModel::Uniform {
+                mean: SimDuration::from_micros(40),
+            });
+            b.iter(|| black_box(run_once(&w, strategy)));
+        });
+    }
+    g.finish();
+}
+
+fn bench_static_artifacts(c: &mut Criterion) {
+    // Table 1 and Figure 5 are static renders; keep them covered too.
+    c.bench_function("table1_render", |b| {
+        b.iter(|| black_box(experiments::table1()))
+    });
+    c.bench_function("figure5_render", |b| {
+        b.iter(|| black_box(experiments::figure5()))
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_figure6_point,
+    bench_figure8_point,
+    bench_static_artifacts
+);
+criterion_main!(benches);

@@ -1,0 +1,76 @@
+//! End-to-end strategy benchmarks: the host-side cost of simulating one
+//! full query execution under each strategy, on a scaled-down Figure 5
+//! workload (cardinalities ÷ 10) so Criterion can take enough samples.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use dqs_bench::{run_once, StrategyKind};
+use dqs_exec::Workload;
+use dqs_plan::{Catalog, QepBuilder};
+use dqs_sim::SimDuration;
+use dqs_source::DelayModel;
+
+/// Figure-5-shaped plan at one tenth the cardinality.
+fn fig5_tenth() -> Workload {
+    let mut cat = Catalog::new();
+    let a = cat.add("A", 15_000);
+    let b = cat.add("B", 12_000);
+    let c = cat.add("C", 18_000);
+    let d = cat.add("D", 1_500);
+    let e = cat.add("E", 1_200);
+    let f = cat.add("F", 10_000);
+    let mut qb = QepBuilder::new();
+    let sa = qb.scan(a, 1.0);
+    let sb = qb.scan(b, 1.0);
+    let j1 = qb.hash_join(sa, sb, 1.0);
+    let sf = qb.scan(f, 1.0);
+    let j2 = qb.hash_join(j1, sf, 1.0);
+    let sd = qb.scan(d, 1.0);
+    let se = qb.scan(e, 1.0);
+    let j4 = qb.hash_join(sd, se, 1.0);
+    let sc = qb.scan(c, 1.0);
+    let j5 = qb.hash_join(j4, sc, 0.5);
+    let j6 = qb.hash_join(j2, j5, 1.0);
+    Workload::new(cat, qb.finish(j6).unwrap())
+}
+
+fn bench_strategies(c: &mut Criterion) {
+    let mut g = c.benchmark_group("run_fig5_tenth");
+    g.sample_size(20);
+    for strategy in StrategyKind::ALL {
+        g.bench_with_input(
+            BenchmarkId::from_parameter(strategy.name()),
+            &strategy,
+            |b, &s| {
+                let w = fig5_tenth();
+                b.iter(|| black_box(run_once(&w, s)));
+            },
+        );
+    }
+    g.finish();
+}
+
+fn bench_strategies_slowed(c: &mut Criterion) {
+    let mut g = c.benchmark_group("run_fig5_tenth_slowed");
+    g.sample_size(20);
+    for strategy in StrategyKind::ALL {
+        g.bench_with_input(
+            BenchmarkId::from_parameter(strategy.name()),
+            &strategy,
+            |b, &s| {
+                let w = fig5_tenth().with_delay(
+                    dqs_relop::RelId(0),
+                    DelayModel::Uniform {
+                        mean: SimDuration::from_micros(100),
+                    },
+                );
+                b.iter(|| black_box(run_once(&w, s)));
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_strategies, bench_strategies_slowed);
+criterion_main!(benches);

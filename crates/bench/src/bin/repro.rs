@@ -1,0 +1,124 @@
+//! Regenerate the paper's tables and figures.
+//!
+//! ```text
+//! repro <command>
+//!
+//!   table1          Table 1 simulation parameters
+//!   figure5         the experiment QEP and its pipeline chains
+//!   headline        SEQ/MA/DSE/LWB at w_min (sanity row)
+//!   figure6         slow down relation A (Figure 6)
+//!   figure7         slow down relation F (Figure 7)
+//!   figure6-all     slow down each relation in turn (§5.2)
+//!   figure8         raise w_min for all wrappers (Figure 8)
+//!   delay-taxonomy  initial / bursty / slow delays (§1.2) under all strategies
+//!   memory          shrinking memory budgets (§4.1/§4.2)
+//!   multi-query     N concurrent queries: throughput vs response (§6)
+//!   scrambling      query scrambling baseline + timeout sweep (§1.2)
+//!   ablate-bmt      benefit-materialization threshold sweep (A1)
+//!   ablate-batch    DQP batch-size sweep (A2)
+//!   ablate-queue    queue-capacity sweep (A3)
+//!   ablate-dse      DSE feature knock-outs (A6)
+//!   ablate-rate     RateChange threshold sweep
+//!   all             everything above, in order
+//! ```
+
+use dqs_bench::experiments as ex;
+
+/// Optional `--csv <path>` after the command writes machine-readable data
+/// for the plottable figures.
+fn csv_target() -> Option<String> {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == "--csv")
+        .and_then(|i| args.get(i + 1).cloned())
+}
+
+fn maybe_write_csv(csv: &Option<String>, data: String) {
+    if let Some(path) = csv {
+        std::fs::write(path, data).unwrap_or_else(|e| {
+            eprintln!("failed to write {path}: {e}");
+            std::process::exit(1);
+        });
+        eprintln!("csv written to {path}");
+    }
+}
+
+fn run(cmd: &str) -> bool {
+    let csv = csv_target();
+    match cmd {
+        "table1" => print!("{}", ex::table1()),
+        "figure5" => print!("{}", ex::figure5()),
+        "headline" => print!("{}", ex::headline()),
+        "figure6" => {
+            let rows = ex::slowdown_sweep('A');
+            print!("{}", ex::render_slowdown('A', &rows));
+            maybe_write_csv(&csv, ex::slowdown_csv(&rows));
+        }
+        "figure7" => {
+            let rows = ex::slowdown_sweep('F');
+            print!("{}", ex::render_slowdown('F', &rows));
+            maybe_write_csv(&csv, ex::slowdown_csv(&rows));
+        }
+        "figure6-all" => {
+            for letter in dqs_plan::Fig5::letters() {
+                let rows = ex::slowdown_sweep(letter);
+                print!("{}", ex::render_slowdown(letter, &rows));
+                println!();
+            }
+        }
+        "figure8" => {
+            let rows = ex::figure8();
+            print!("{}", ex::render_figure8(&rows));
+            maybe_write_csv(&csv, ex::figure8_csv(&rows));
+        }
+        "delay-taxonomy" => print!("{}", ex::delay_taxonomy()),
+        "memory" => print!("{}", ex::memory_pressure()),
+        "multi-query" => print!("{}", ex::multi_query()),
+        "scrambling" => print!("{}", ex::scrambling()),
+        "ablate-bmt" => print!("{}", ex::ablate_bmt()),
+        "ablate-batch" => print!("{}", ex::ablate_batch()),
+        "ablate-queue" => print!("{}", ex::ablate_queue()),
+        "ablate-dse" => print!("{}", ex::ablate_dse_features()),
+        "ablate-rate" => print!("{}", ex::ablate_rate()),
+        "all" => {
+            for c in [
+                "table1",
+                "figure5",
+                "headline",
+                "figure6",
+                "figure7",
+                "figure6-all",
+                "figure8",
+                "delay-taxonomy",
+                "memory",
+                "multi-query",
+                "scrambling",
+                "ablate-bmt",
+                "ablate-batch",
+                "ablate-queue",
+                "ablate-dse",
+                "ablate-rate",
+            ] {
+                println!("===== {c} =====");
+                run(c);
+                println!();
+            }
+        }
+        _ => return false,
+    }
+    true
+}
+
+fn main() {
+    let cmd = std::env::args().nth(1).unwrap_or_else(|| "help".into());
+    if cmd == "help" || !run(&cmd) {
+        eprint!(
+            "usage: repro <command>\n\
+             commands: table1 figure5 headline figure6 figure7 figure6-all figure8\n\
+             \u{20}         delay-taxonomy memory multi-query scrambling ablate-bmt ablate-batch\n\
+             \u{20}         ablate-queue\n\
+             \u{20}         ablate-dse ablate-rate all\n"
+        );
+        std::process::exit(2);
+    }
+}

@@ -1,0 +1,87 @@
+//! Strategy dispatch and repeated-run averaging.
+
+use dqs_core::DsePolicy;
+use dqs_exec::{run_workload, MaPolicy, RunMetrics, ScramblingPolicy, SeqPolicy, Workload};
+use dqs_sim::stats;
+
+/// The paper repeats each measurement 3 times and averages (§5.1.3); these
+/// are the seeds used.
+pub const SEEDS: [u64; 3] = [101, 202, 303];
+
+/// Which execution strategy to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StrategyKind {
+    /// Classical iterator model.
+    Seq,
+    /// Materialize-All of [1].
+    Ma,
+    /// Query scrambling (phase 1 of [1]/[2]) — the timeout-reactive
+    /// related work the paper argues against.
+    Scr,
+    /// The paper's Dynamic Scheduling Execution.
+    Dse,
+}
+
+impl StrategyKind {
+    /// The paper's §5 comparison set, in presentation order.
+    pub const ALL: [StrategyKind; 3] = [StrategyKind::Seq, StrategyKind::Ma, StrategyKind::Dse];
+
+    /// The comparison set extended with the scrambling baseline.
+    pub const WITH_SCR: [StrategyKind; 4] = [
+        StrategyKind::Seq,
+        StrategyKind::Ma,
+        StrategyKind::Scr,
+        StrategyKind::Dse,
+    ];
+
+    /// Display name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            StrategyKind::Seq => "SEQ",
+            StrategyKind::Ma => "MA",
+            StrategyKind::Scr => "SCR",
+            StrategyKind::Dse => "DSE",
+        }
+    }
+}
+
+/// Execute `workload` once under `strategy`.
+pub fn run_once(workload: &Workload, strategy: StrategyKind) -> RunMetrics {
+    match strategy {
+        StrategyKind::Seq => run_workload(workload, SeqPolicy),
+        StrategyKind::Ma => run_workload(workload, MaPolicy::default()),
+        StrategyKind::Scr => run_workload(workload, ScramblingPolicy::new()),
+        StrategyKind::Dse => run_workload(workload, DsePolicy::new()),
+    }
+}
+
+/// Run `workload` under `strategy` for each seed in [`SEEDS`] and return
+/// `(mean response seconds, std dev, last metrics)`.
+pub fn run_repeated(workload: &Workload, strategy: StrategyKind) -> (f64, f64, RunMetrics) {
+    let mut secs = Vec::with_capacity(SEEDS.len());
+    let mut last = None;
+    for &seed in &SEEDS {
+        let w = workload.clone().with_seed(seed);
+        let m = run_once(&w, strategy);
+        secs.push(m.response_secs());
+        last = Some(m);
+    }
+    (
+        stats::mean(&secs),
+        stats::stddev(&secs),
+        last.expect("at least one seed"),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strategy_names_match_paper() {
+        assert_eq!(StrategyKind::Seq.name(), "SEQ");
+        assert_eq!(StrategyKind::Ma.name(), "MA");
+        assert_eq!(StrategyKind::Dse.name(), "DSE");
+        assert_eq!(StrategyKind::ALL.len(), 3);
+    }
+}

@@ -1,0 +1,27 @@
+//! # dqs-cli — JSON workload specifications and the `dqs` binary
+//!
+//! The external interface a deployment would feed the engine: a JSON file
+//! naming the remote relations (cardinality estimates, actual deliveries,
+//! delay behaviour), the join graph, and engine knobs. The classical DP
+//! optimizer plans it; `dqs run` executes it under any strategy.
+//!
+//! ```
+//! use dqs_cli::spec::WorkloadSpec;
+//!
+//! let spec = WorkloadSpec::from_json(r#"{
+//!     "relations": [
+//!         {"name": "r", "cardinality": 1000},
+//!         {"name": "s", "cardinality": 500, "delay": {"uniform_us": 80}}
+//!     ],
+//!     "joins": [{"left": "r", "right": "s", "selectivity": 0.001}]
+//! }"#).unwrap();
+//! let workload = spec.into_workload().unwrap();
+//! assert_eq!(workload.catalog.len(), 2);
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod spec;
+
+pub use spec::{ConfigSpec, DelaySpec, JoinSpec, RelationSpec, SpecError, WorkloadSpec};

@@ -1,0 +1,179 @@
+//! `dqs` — run, explain and bound JSON-specified integration workloads.
+//!
+//! ```text
+//! dqs explain <spec.json>                 show plan, chains, annotations
+//! dqs run <spec.json> [--strategy X] [--seed N] [--all]
+//! dqs lwb <spec.json>                     analytic lower bound
+//! dqs validate <spec.json>                parse + plan, report problems
+//! ```
+
+use std::process::ExitCode;
+
+use dqs_cli::spec::WorkloadSpec;
+use dqs_core::{lwb, DsePolicy};
+use dqs_exec::{run_workload, MaPolicy, RunMetrics, ScramblingPolicy, SeqPolicy, Workload};
+use dqs_plan::{AnnotatedPlan, ChainSet};
+
+fn usage() -> ExitCode {
+    eprint!(
+        "usage: dqs <command> <spec.json> [options]\n\
+         commands:\n\
+         \u{20} explain   show the optimized plan, pipeline chains and annotations\n\
+         \u{20} run       execute (options: --strategy seq|ma|scr|dse, --seed N, --all)\n\
+         \u{20} lwb       print the analytic response-time lower bound\n\
+         \u{20} validate  parse and plan without executing\n"
+    );
+    ExitCode::from(2)
+}
+
+fn load(path: &str) -> Result<Workload, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    WorkloadSpec::from_json(&text)
+        .and_then(WorkloadSpec::into_workload)
+        .map_err(|e| e.to_string())
+}
+
+fn run_strategy(w: &Workload, name: &str) -> Result<RunMetrics, String> {
+    Ok(match name {
+        "seq" => run_workload(w, SeqPolicy),
+        "ma" => run_workload(w, MaPolicy::default()),
+        "scr" => run_workload(w, ScramblingPolicy::new()),
+        "dse" => run_workload(w, DsePolicy::new()),
+        other => return Err(format!("unknown strategy {other:?} (seq|ma|scr|dse)")),
+    })
+}
+
+fn print_metrics(m: &RunMetrics) {
+    println!("strategy       {}", m.strategy);
+    println!("response       {:.6} s", m.response_secs());
+    println!("output tuples  {}", m.output_tuples);
+    println!("cpu busy       {:.6} s", m.cpu_busy.as_secs_f64());
+    println!("disk busy      {:.6} s", m.disk_busy.as_secs_f64());
+    println!("stall          {:.6} s", m.stall_time.as_secs_f64());
+    println!(
+        "disk pages     {} written, {} read, {} seeks",
+        m.pages_written, m.pages_read, m.seeks
+    );
+    println!(
+        "scheduler      {} plans, {} EndOfQF, {} RateChange, {} TimeOut, {} degradations",
+        m.plans, m.end_of_qf, m.rate_changes, m.timeouts, m.degradations
+    );
+    println!(
+        "memory peak    {:.2} MB",
+        m.memory_high_water as f64 / (1024.0 * 1024.0)
+    );
+    if m.query_responses.len() > 1 {
+        for (q, t) in &m.query_responses {
+            println!("query {q} done   {:.6} s", t.as_secs_f64());
+        }
+    }
+}
+
+fn explain(w: &Workload) {
+    let catalog = w.catalog.clone();
+    println!("Plan (build side first = blocking edge):");
+    print!("{}", w.qep.render(&|r| catalog.name(r).to_string()));
+    let chains = ChainSet::decompose(&w.qep);
+    let plan = AnnotatedPlan::annotate(chains, &w.catalog, &w.config.params);
+    println!("\nPipeline chains (iterator order):");
+    for pc in &plan.chains.chains {
+        let info = plan.info(pc.id);
+        let blocked: Vec<u32> = pc.blocked_by.iter().map(|p| p.0).collect();
+        println!(
+            "  p{}: {:?} -> {:?}, blocked_by {:?}, n≈{}, c_p={:.2}µs, mem={} KB",
+            pc.id.0,
+            pc.source,
+            pc.sink,
+            blocked,
+            info.source_card as u64,
+            plan.per_tuple_cost(pc.id, &w.config.params).as_micros_f64(),
+            info.mem_bytes / 1024
+        );
+    }
+    println!(
+        "\nTotals: {} chains, {:.2} MB of hash tables, {:.3} s CPU work estimate",
+        plan.chains.len(),
+        plan.total_ht_bytes() as f64 / (1024.0 * 1024.0),
+        plan.total_cpu_estimate(&w.config.params).as_secs_f64()
+    );
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (Some(cmd), Some(path)) = (args.first(), args.get(1)) else {
+        return usage();
+    };
+    let mut workload = match load(path) {
+        Ok(w) => w,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if let Some(i) = args.iter().position(|a| a == "--seed") {
+        match args.get(i + 1).and_then(|s| s.parse().ok()) {
+            Some(seed) => workload.config.seed = seed,
+            None => return usage(),
+        }
+    }
+
+    match cmd.as_str() {
+        "validate" => {
+            println!(
+                "ok: {} relations, {} joins planned, {} pipeline chains",
+                workload.catalog.len(),
+                workload.qep.join_count(),
+                ChainSet::decompose(&workload.qep).len()
+            );
+            ExitCode::SUCCESS
+        }
+        "explain" => {
+            explain(&workload);
+            ExitCode::SUCCESS
+        }
+        "lwb" => {
+            let l = lwb(&workload);
+            println!(
+                "LWB {:.6} s (cpu work {:.6} s, max retrieval {:.6} s)",
+                l.bound().as_secs_f64(),
+                l.cpu_work.as_secs_f64(),
+                l.max_retrieval.as_secs_f64()
+            );
+            ExitCode::SUCCESS
+        }
+        "run" => {
+            if args.iter().any(|a| a == "--all") {
+                for s in ["seq", "ma", "scr", "dse"] {
+                    match run_strategy(&workload, s) {
+                        Ok(m) => {
+                            print_metrics(&m);
+                            println!();
+                        }
+                        Err(e) => {
+                            eprintln!("error: {e}");
+                            return ExitCode::FAILURE;
+                        }
+                    }
+                }
+                return ExitCode::SUCCESS;
+            }
+            let strategy = args
+                .iter()
+                .position(|a| a == "--strategy")
+                .and_then(|i| args.get(i + 1))
+                .map(String::as_str)
+                .unwrap_or("dse");
+            match run_strategy(&workload, strategy) {
+                Ok(m) => {
+                    print_metrics(&m);
+                    ExitCode::SUCCESS
+                }
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    ExitCode::FAILURE
+                }
+            }
+        }
+        _ => usage(),
+    }
+}

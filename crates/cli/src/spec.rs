@@ -1,0 +1,321 @@
+//! JSON workload specifications.
+//!
+//! A spec names the remote relations (with their delivery behaviour), the
+//! join graph, and the engine configuration; the classical DP optimizer
+//! (§5.1.1) turns the join graph into a bushy plan. This is the external
+//! interface a mediator deployment would feed the engine — see
+//! `examples/specs/*.json`.
+
+use serde::Deserialize;
+
+use dqs_exec::{EngineConfig, Workload};
+use dqs_plan::{optimize, Catalog, JoinGraph};
+use dqs_sim::SimDuration;
+use dqs_source::DelayModel;
+
+/// One remote relation.
+#[derive(Debug, Clone, Deserialize)]
+#[serde(deny_unknown_fields)]
+pub struct RelationSpec {
+    /// Name used by the join specs.
+    pub name: String,
+    /// Cardinality estimate the mediator plans with.
+    pub cardinality: u64,
+    /// Tuples the wrapper really delivers (defaults to `cardinality`).
+    #[serde(default)]
+    pub actual_cardinality: Option<u64>,
+    /// Delivery pacing (defaults to the platform `w_min`).
+    #[serde(default)]
+    pub delay: Option<DelaySpec>,
+}
+
+/// Delivery pacing, mirroring `dqs_source::DelayModel`.
+#[derive(Debug, Clone, Deserialize)]
+#[serde(rename_all = "snake_case", deny_unknown_fields)]
+pub enum DelaySpec {
+    /// Fixed inter-tuple gap in microseconds.
+    ConstantUs(u64),
+    /// Uniform gaps in `[0, 2·mean]`, mean in microseconds.
+    UniformUs(u64),
+    /// First tuple delayed, rest uniform.
+    Initial {
+        /// Delay before the first tuple, milliseconds.
+        delay_ms: u64,
+        /// Mean gap afterwards, microseconds.
+        mean_us: u64,
+    },
+    /// Bursts separated by silence.
+    Bursty {
+        /// Tuples per burst.
+        burst: u64,
+        /// Gap within a burst, microseconds.
+        within_us: u64,
+        /// Silence between bursts, milliseconds.
+        pause_ms: u64,
+    },
+}
+
+impl DelaySpec {
+    /// Convert to the engine's delay model.
+    pub fn to_model(&self) -> DelayModel {
+        match *self {
+            DelaySpec::ConstantUs(us) => DelayModel::Constant {
+                w: SimDuration::from_micros(us),
+            },
+            DelaySpec::UniformUs(us) => DelayModel::Uniform {
+                mean: SimDuration::from_micros(us),
+            },
+            DelaySpec::Initial { delay_ms, mean_us } => DelayModel::Initial {
+                initial: SimDuration::from_millis(delay_ms),
+                mean: SimDuration::from_micros(mean_us),
+            },
+            DelaySpec::Bursty {
+                burst,
+                within_us,
+                pause_ms,
+            } => DelayModel::Bursty {
+                burst,
+                within: SimDuration::from_micros(within_us),
+                pause: SimDuration::from_millis(pause_ms),
+            },
+        }
+    }
+}
+
+/// One join predicate between two named relations.
+#[derive(Debug, Clone, Deserialize)]
+#[serde(deny_unknown_fields)]
+pub struct JoinSpec {
+    /// Left relation name.
+    pub left: String,
+    /// Right relation name.
+    pub right: String,
+    /// Classical join selectivity `|L ⋈ R| / (|L|·|R|)`.
+    pub selectivity: f64,
+}
+
+/// Engine knobs (all optional).
+#[derive(Debug, Clone, Default, Deserialize)]
+#[serde(deny_unknown_fields)]
+pub struct ConfigSpec {
+    /// Query memory budget in megabytes.
+    pub memory_mb: Option<u64>,
+    /// Communication queue capacity in tuples.
+    pub queue_capacity: Option<usize>,
+    /// DQP batch size in tuples.
+    pub batch_size: Option<usize>,
+    /// Stall timeout in milliseconds (0 disables).
+    pub timeout_ms: Option<u64>,
+    /// Master seed.
+    pub seed: Option<u64>,
+}
+
+/// The whole workload file.
+#[derive(Debug, Clone, Deserialize)]
+#[serde(deny_unknown_fields)]
+pub struct WorkloadSpec {
+    /// Remote relations.
+    pub relations: Vec<RelationSpec>,
+    /// Join graph (must connect all relations).
+    pub joins: Vec<JoinSpec>,
+    /// Engine configuration overrides.
+    #[serde(default)]
+    pub config: ConfigSpec,
+}
+
+/// Errors turning a spec into a workload.
+#[derive(Debug)]
+pub enum SpecError {
+    /// JSON syntax / schema problem.
+    Parse(serde_json::Error),
+    /// A join references an unknown relation.
+    UnknownRelation(String),
+    /// Structural problems (optimizer rejected the join graph, ...).
+    Invalid(String),
+}
+
+impl std::fmt::Display for SpecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SpecError::Parse(e) => write!(f, "spec parse error: {e}"),
+            SpecError::UnknownRelation(n) => write!(f, "join references unknown relation {n:?}"),
+            SpecError::Invalid(m) => write!(f, "invalid spec: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for SpecError {}
+
+impl WorkloadSpec {
+    /// Parse a spec from JSON text.
+    pub fn from_json(text: &str) -> Result<WorkloadSpec, SpecError> {
+        serde_json::from_str(text).map_err(SpecError::Parse)
+    }
+
+    /// Build the executable workload: catalog + DP-optimized plan + delays.
+    pub fn into_workload(self) -> Result<Workload, SpecError> {
+        if self.relations.len() < 2 {
+            return Err(SpecError::Invalid("need at least two relations".into()));
+        }
+        let mut catalog = Catalog::new();
+        let mut ids = std::collections::HashMap::new();
+        for r in &self.relations {
+            if ids.contains_key(r.name.as_str()) {
+                return Err(SpecError::Invalid(format!("duplicate relation {:?}", r.name)));
+            }
+            let id = catalog.add(r.name.clone(), r.cardinality);
+            ids.insert(r.name.as_str(), id);
+        }
+        let mut graph = JoinGraph::new();
+        for j in &self.joins {
+            let l = *ids
+                .get(j.left.as_str())
+                .ok_or_else(|| SpecError::UnknownRelation(j.left.clone()))?;
+            let r = *ids
+                .get(j.right.as_str())
+                .ok_or_else(|| SpecError::UnknownRelation(j.right.clone()))?;
+            if l == r {
+                return Err(SpecError::Invalid(format!("self-join on {:?}", j.left)));
+            }
+            if j.selectivity <= 0.0 || j.selectivity.is_nan() || !j.selectivity.is_finite() {
+                return Err(SpecError::Invalid(format!(
+                    "selectivity {} out of range",
+                    j.selectivity
+                )));
+            }
+            graph.join(l, r, j.selectivity);
+        }
+        let qep = optimize(&catalog, &graph).map_err(|e| SpecError::Invalid(e.to_string()))?;
+
+        let mut workload = Workload::new(catalog, qep);
+        for r in &self.relations {
+            let id = ids[r.name.as_str()];
+            if let Some(d) = &r.delay {
+                workload = workload.with_delay(id, d.to_model());
+            }
+            if let Some(n) = r.actual_cardinality {
+                workload = workload.with_actual_cardinality(id, n);
+            }
+        }
+        let c = &self.config;
+        let cfg: &mut EngineConfig = &mut workload.config;
+        if let Some(mb) = c.memory_mb {
+            cfg.memory_bytes = mb * 1024 * 1024;
+        }
+        if let Some(q) = c.queue_capacity {
+            cfg.queue_capacity = q;
+        }
+        if let Some(b) = c.batch_size {
+            cfg.batch_size = b;
+            cfg.queue_capacity = cfg.queue_capacity.max(b);
+        }
+        if let Some(ms) = c.timeout_ms {
+            cfg.timeout = SimDuration::from_millis(ms);
+        }
+        if let Some(s) = c.seed {
+            cfg.seed = s;
+        }
+        Ok(workload)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const GOOD: &str = r#"{
+        "relations": [
+            {"name": "orders", "cardinality": 10000,
+             "delay": {"uniform_us": 100}},
+            {"name": "customers", "cardinality": 2000,
+             "actual_cardinality": 1500}
+        ],
+        "joins": [
+            {"left": "orders", "right": "customers", "selectivity": 0.0005}
+        ],
+        "config": {"memory_mb": 16, "seed": 7}
+    }"#;
+
+    #[test]
+    fn good_spec_builds_a_workload() {
+        let spec = WorkloadSpec::from_json(GOOD).unwrap();
+        let w = spec.into_workload().unwrap();
+        assert_eq!(w.catalog.len(), 2);
+        assert_eq!(w.config.memory_bytes, 16 * 1024 * 1024);
+        assert_eq!(w.config.seed, 7);
+        assert_eq!(w.actual_cardinality(dqs_relop_rel(1)), 1_500);
+        assert!(matches!(
+            w.delays[0],
+            DelayModel::Uniform { .. }
+        ));
+    }
+
+    fn dqs_relop_rel(i: u16) -> dqs_relop::RelId {
+        dqs_relop::RelId(i)
+    }
+
+    #[test]
+    fn unknown_relation_rejected() {
+        let bad = GOOD.replace("\"right\": \"customers\"", "\"right\": \"nope\"");
+        let err = WorkloadSpec::from_json(&bad)
+            .unwrap()
+            .into_workload()
+            .unwrap_err();
+        assert!(matches!(err, SpecError::UnknownRelation(_)));
+    }
+
+    #[test]
+    fn unknown_fields_rejected() {
+        let bad = GOOD.replace("\"memory_mb\": 16", "\"memory_mbb\": 16");
+        assert!(matches!(
+            WorkloadSpec::from_json(&bad),
+            Err(SpecError::Parse(_))
+        ));
+    }
+
+    #[test]
+    fn bad_selectivity_rejected() {
+        let bad = GOOD.replace("0.0005", "-1.0");
+        let err = WorkloadSpec::from_json(&bad)
+            .unwrap()
+            .into_workload()
+            .unwrap_err();
+        assert!(matches!(err, SpecError::Invalid(_)));
+    }
+
+    #[test]
+    fn disconnected_graph_rejected() {
+        let spec = r#"{
+            "relations": [
+                {"name": "a", "cardinality": 10},
+                {"name": "b", "cardinality": 10},
+                {"name": "c", "cardinality": 10}
+            ],
+            "joins": [
+                {"left": "a", "right": "b", "selectivity": 0.1}
+            ]
+        }"#;
+        let err = WorkloadSpec::from_json(spec)
+            .unwrap()
+            .into_workload()
+            .unwrap_err();
+        assert!(matches!(err, SpecError::Invalid(_)));
+    }
+
+    #[test]
+    fn all_delay_specs_convert() {
+        for (json, want_constant) in [
+            (r#"{"constant_us": 20}"#, true),
+            (r#"{"uniform_us": 50}"#, false),
+            (r#"{"initial": {"delay_ms": 100, "mean_us": 20}}"#, false),
+            (
+                r#"{"bursty": {"burst": 100, "within_us": 20, "pause_ms": 50}}"#,
+                false,
+            ),
+        ] {
+            let d: DelaySpec = serde_json::from_str(json).unwrap();
+            let m = d.to_model();
+            assert_eq!(matches!(m, DelayModel::Constant { .. }), want_constant);
+        }
+    }
+}

@@ -1,0 +1,73 @@
+//! The dynamic QEP optimizer's memory-overflow module (§4.2).
+//!
+//! "If p is not M-schedulable, the DQP cannot process p, even alone, in the
+//! available memory without generating paging ... the query scheduler
+//! suspends execution when a PC is discovered to be not M-schedulable and
+//! informs the dynamic optimizer which must change the query execution
+//! plan. ... One simple solution is to use the technique devised in [4]. It
+//! consists of modifying the QEP by replacing p by two fragments. This
+//! involves inserting a materialize operator at the highest possible point
+//! in p ... A remarkable feature is that the first created fragment is
+//! necessarily M-schedulable."
+//!
+//! Runtime realization: split the fragment just before its terminal
+//! `Build`. The head runs every probe and spools its output to a temp —
+//! when it completes, the hash tables it probed are discarded and their
+//! memory released, at which point the tail (temp scan → build) can reserve
+//! the memory the whole chain could not.
+
+use dqs_exec::{FragId, FragSource, FragStatus, PlanCtx};
+use dqs_relop::OpSpec;
+
+/// Whether splitting `frag` can relieve memory pressure, and at which
+/// operator boundary.
+///
+/// Returns the split point `k` when (i) the fragment has not started,
+/// (ii) it terminates in a `Build`, and (iii) the head `ops[..k]` contains
+/// at least one probe — releasing a probed table is the only memory this
+/// transformation frees.
+pub fn split_point(ctx: &PlanCtx<'_>, frag: FragId) -> Option<usize> {
+    let f = ctx.frags.get(frag);
+    if f.status != FragStatus::Active || f.started {
+        return None;
+    }
+    let spec = f.chain.spec();
+    if !matches!(spec.last(), Some(OpSpec::Build { .. })) || spec.len() < 2 {
+        return None;
+    }
+    let k = spec.len() - 1;
+    spec[..k]
+        .iter()
+        .any(|o| matches!(o, OpSpec::Probe { .. }))
+        .then_some(k)
+}
+
+/// Bytes currently held by hash tables this fragment probes — the memory a
+/// §4.2 split would eventually release.
+pub fn probed_resident_bytes(ctx: &PlanCtx<'_>, frag: FragId) -> u64 {
+    let tuple_bytes = ctx.world.params.tuple_bytes;
+    ctx.frags
+        .get(frag)
+        .chain
+        .probe_targets()
+        .iter()
+        .map(|&ht| ctx.world.arena.get(ht).footprint_bytes(tuple_bytes))
+        .sum()
+}
+
+/// Apply the §4.2 transformation to `frag` if possible: returns the
+/// (head, tail) pair, head first so the scheduler can run it immediately.
+pub fn try_split(ctx: &mut PlanCtx<'_>, frag: FragId) -> Option<(FragId, FragId)> {
+    let k = split_point(ctx, frag)?;
+    Some(ctx.split(frag, k))
+}
+
+/// True when `frag` is a candidate for the overflow split: it needs more
+/// memory than is free, and the tables it probes hold enough to matter.
+pub fn overflow_candidate(ctx: &PlanCtx<'_>, frag: FragId, needed: u64) -> bool {
+    let f = ctx.frags.get(frag);
+    if f.started || !matches!(f.source, FragSource::Queue(_) | FragSource::Temp { .. }) {
+        return false;
+    }
+    needed > ctx.world.memory.free() && probed_resident_bytes(ctx, frag) > 0
+}

@@ -1,0 +1,237 @@
+//! DSE — the paper's Dynamic Scheduling Execution strategy.
+//!
+//! §4.5: "At each scheduling phase, the DQS computes an SP by using the
+//! annotated query execution plan, a set of heuristic rules, the current
+//! state of the query execution (e.g., data arrival rates estimations and
+//! the available memory) and the benefit materialization threshold (bmt).
+//! The DQS first computes the set of schedulable PC's. It then selects
+//! non-C-schedulable PC's for degradation when bmi is greater than bmt.
+//! Then it establishes a priority order between these PC's using the
+//! critical degree of the PC's. Finally the DQS uses this priority order,
+//! and memory constraints (i.e., ensures that the scheduling plan fits in
+//! the available memory) to extract a scheduling plan."
+//!
+//! The heuristics the paper defers to its tech report [6] are made concrete
+//! here and documented inline:
+//!
+//! * priority = critical degree, descending; ties break toward the lower
+//!   chain id (§5.3 observes total ordering is delicate when degrees tie);
+//! * an MF is cancelled as soon as its chain becomes C-schedulable — the
+//!   remaining tuples flow directly to the complement fragment once the
+//!   temp drains ("partial materialization");
+//! * memory extraction is a greedy walk: a fragment whose (unreserved)
+//!   hash-table estimate does not fit the remaining budget is left out of
+//!   this scheduling plan and reconsidered at the next phase;
+//! * a C-schedulable fragment that can never fit while the tables it
+//!   probes stay resident is handed to the DQO's §4.2 split.
+
+use std::collections::BTreeSet;
+
+use dqs_exec::{FragId, FragKind, FragSource, FragStatus, Interrupt, PlanCtx, Policy};
+use dqs_plan::PcId;
+use dqs_relop::estimate_chain;
+use dqs_sim::SimDuration;
+
+use crate::dqo;
+use crate::metrics::{bmi, critical_degree, DEFAULT_BMT};
+
+/// Tuning knobs of the DSE strategy (ablation benches sweep these).
+#[derive(Debug, Clone)]
+pub struct DseConfig {
+    /// Benefit-materialization threshold (§4.4); §5.1.3 fixes it to 1.
+    pub bmt: f64,
+    /// Enable PC degradation (disable to ablate: pure reordering DSE).
+    pub degrade: bool,
+    /// Enable MF cancellation when the chain becomes schedulable.
+    pub cancel_mf: bool,
+}
+
+impl Default for DseConfig {
+    fn default() -> Self {
+        DseConfig {
+            bmt: DEFAULT_BMT,
+            degrade: true,
+            cancel_mf: true,
+        }
+    }
+}
+
+/// The Dynamic Scheduling Execution policy (DQS + DQO).
+#[derive(Debug, Default)]
+pub struct DsePolicy {
+    cfg: DseConfig,
+    /// Chains this policy degraded for delay absorption (only these MFs are
+    /// cancellable; DQO memory-split heads must run to completion).
+    degraded_for_delay: BTreeSet<PcId>,
+}
+
+impl DsePolicy {
+    /// DSE with the paper's defaults (`bmt = 1`).
+    pub fn new() -> Self {
+        DsePolicy::default()
+    }
+
+    /// DSE with explicit configuration.
+    pub fn with_config(cfg: DseConfig) -> Self {
+        DsePolicy {
+            cfg,
+            degraded_for_delay: BTreeSet::new(),
+        }
+    }
+
+    /// Live estimate of the inter-tuple gap of a fragment's source.
+    fn source_gap(ctx: &PlanCtx<'_>, source: FragSource) -> SimDuration {
+        match source {
+            FragSource::Queue(rel) => ctx
+                .world
+                .cm
+                .estimated_gap(rel)
+                .unwrap_or_else(|| ctx.world.params.w_min()),
+            FragSource::Temp { .. } => ctx.world.disk.amortized_tuple_io(),
+        }
+    }
+
+    /// Tuples a fragment still expects from its source (`n_p`, updated with
+    /// progress).
+    fn remaining(ctx: &PlanCtx<'_>, f: FragId) -> u64 {
+        let frag = ctx.frags.get(f);
+        let est = ctx.plan.info(frag.pc).source_card as u64;
+        match frag.source {
+            FragSource::Queue(rel) => {
+                // Future arrivals: estimate minus what already reached the
+                // mediator (queued tuples are no longer "waited for").
+                est.saturating_sub(ctx.world.cm.received(rel))
+            }
+            FragSource::Temp { cursor, .. } => est.saturating_sub(cursor),
+        }
+    }
+
+    /// `c_p` of a fragment: average per-source-tuple CPU time of its ops.
+    fn per_tuple_cost(ctx: &PlanCtx<'_>, f: FragId) -> SimDuration {
+        let spec = ctx.frags.get(f).chain.spec();
+        let instr = estimate_chain(spec, &ctx.world.params).instr_per_source_tuple;
+        SimDuration::from_nanos((instr * 1_000.0 / ctx.world.params.cpu_mips as f64).round() as u64)
+    }
+
+    fn critical_of(ctx: &PlanCtx<'_>, f: FragId) -> i128 {
+        let frag = ctx.frags.get(f);
+        let n = Self::remaining(ctx, f);
+        let w = Self::source_gap(ctx, frag.source);
+        let c = Self::per_tuple_cost(ctx, f);
+        critical_degree(n, w, c)
+    }
+}
+
+impl Policy for DsePolicy {
+    fn name(&self) -> &'static str {
+        "DSE"
+    }
+
+    fn plan(&mut self, ctx: &mut PlanCtx<'_>, _why: Interrupt) -> Vec<FragId> {
+        let pcs = ctx.plan.chains.sequential_order();
+        let io_p = ctx.world.disk.amortized_tuple_io();
+
+        // Pass 1 — cancel delay MFs whose chain became C-schedulable: from
+        // here on the complement fragment absorbs the live stream itself.
+        if self.cfg.cancel_mf {
+            for &pc in &pcs {
+                if !self.degraded_for_delay.contains(&pc) {
+                    continue;
+                }
+                let Some(mf) = ctx.frags.live_mf(pc) else {
+                    continue;
+                };
+                if matches!(ctx.frags.get(mf).source, FragSource::Queue(_))
+                    && ctx.c_schedulable(pc)
+                {
+                    ctx.cancel_mf(mf);
+                    self.degraded_for_delay.remove(&pc);
+                }
+            }
+        }
+
+        // Pass 2 — degradation (§4.4): non-C-schedulable, wrapper-fed,
+        // critical chains with bmi above the threshold start materializing.
+        if self.cfg.degrade {
+            for &pc in &pcs {
+                let Some(body) = ctx.frags.live_body(pc) else {
+                    continue;
+                };
+                let b = ctx.frags.get(body);
+                if b.kind != FragKind::Whole || b.started {
+                    continue;
+                }
+                let FragSource::Queue(rel) = b.source else {
+                    continue;
+                };
+                if ctx.c_schedulable(pc) {
+                    continue;
+                }
+                if ctx.world.cm.exhausted(rel) {
+                    // Everything already arrived; nothing left to absorb.
+                    continue;
+                }
+                if ctx.world.cm.estimated_gap(rel).is_none() {
+                    // No delivery-rate observations yet: degrading on the
+                    // blind w_min fallback would materialize fast sources
+                    // for nothing. The CM raises a RateChange as soon as
+                    // the first stable estimate exists.
+                    continue;
+                }
+                let w = Self::source_gap(ctx, b.source);
+                let n = Self::remaining(ctx, body);
+                let c = Self::per_tuple_cost(ctx, body);
+                if critical_degree(n, w, c) > 0 && bmi(w, io_p) > self.cfg.bmt {
+                    ctx.degrade(pc, true);
+                    self.degraded_for_delay.insert(pc);
+                }
+            }
+        }
+
+        // Pass 3 — collect schedulable fragments: every active MF, plus
+        // every body whose probes are complete (runtime C-schedulability).
+        let mut candidates: Vec<(i128, FragId)> = Vec::new();
+        for &pc in &pcs {
+            if let Some(mf) = ctx.frags.live_mf(pc) {
+                candidates.push((Self::critical_of(ctx, mf), mf));
+            }
+            if let Some(body) = ctx.frags.live_body(pc) {
+                if ctx.c_schedulable(pc) {
+                    candidates.push((Self::critical_of(ctx, body), body));
+                }
+            }
+        }
+        // Priority: critical degree descending; ties toward older
+        // fragments (stable, deterministic — §5.3's total-order caveat).
+        candidates.sort_by(|a, b| b.0.cmp(&a.0).then(a.1.cmp(&b.1)));
+
+        // Pass 4 — memory extraction (§4.1 M-schedulability): admit
+        // fragments greedily while their unreserved hash-table estimates
+        // fit; hand hopeless cases to the DQO split.
+        let mut sp = Vec::with_capacity(candidates.len());
+        let mut budget = ctx.world.memory.free();
+        for (_, f) in candidates {
+            if ctx.frags.get(f).status != FragStatus::Active {
+                continue; // superseded by a split earlier in this pass
+            }
+            let needs = match ctx.frags.get(f).chain.build_target() {
+                Some(_) if !ctx.frags.get(f).started => ctx.plan.info(ctx.frags.get(f).pc).mem_bytes,
+                _ => 0,
+            };
+            if needs <= budget {
+                budget -= needs;
+                sp.push(f);
+            } else if dqo::overflow_candidate(ctx, f, needs) {
+                if let Some((head, _tail)) = dqo::try_split(ctx, f) {
+                    // The head probes-and-spools within negligible memory;
+                    // the tail waits for the head to free the probed
+                    // tables.
+                    sp.push(head);
+                }
+            }
+            // else: not M-schedulable this phase; reconsidered at the next
+            // planning phase (§4.2: execution of that chain is suspended).
+        }
+        sp
+    }
+}

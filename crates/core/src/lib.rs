@@ -1,0 +1,41 @@
+//! # dqs-core — dynamic query scheduling for data integration systems
+//!
+//! The primary contribution of Bouganim, Fabret, Mohan & Valduriez,
+//! *Dynamic Query Scheduling in Data Integration Systems* (ICDE 2000),
+//! reproduced on the simulated platform of the sibling crates:
+//!
+//! * [`metrics`] — the scheduler's decision metrics: the critical degree
+//!   `critical(p) = n_p (w_p − c_p)` (§4.3) and the benefit-materialization
+//!   indicator `bmi = w_p / (2·IO_p)` with its threshold `bmt` (§4.4);
+//! * [`dqs::DsePolicy`] — the Dynamic Scheduling Execution strategy: at
+//!   every interruption event it recomputes a scheduling plan — degrading
+//!   blocked critical chains into MF/CF pairs, ordering fragments by
+//!   critical degree, and fitting the plan into the memory budget (§4.5);
+//! * [`dqo`] — the dynamic optimizer's memory-overflow module: the §4.2
+//!   chain split that inserts a materialization at the highest possible
+//!   point;
+//! * [`lwb`] — the analytic response-time lower bound of §5.1.2.
+//!
+//! # Quick start
+//!
+//! ```
+//! use dqs_core::DsePolicy;
+//! use dqs_exec::{run_workload, Workload};
+//!
+//! // The paper's Figure 5 experiment plan, all wrappers at w_min.
+//! let (workload, _fig5) = Workload::fig5();
+//! let metrics = run_workload(&workload, DsePolicy::new());
+//! assert_eq!(metrics.output_tuples, 90_000);
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod dqo;
+pub mod dqs;
+pub mod lwb;
+pub mod metrics;
+
+pub use dqs::{DseConfig, DsePolicy};
+pub use lwb::{lwb, Lwb};
+pub use metrics::{bmi, critical_degree, is_critical, DEFAULT_BMT};

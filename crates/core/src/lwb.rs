@@ -1,0 +1,177 @@
+//! The analytic lower bound LWB (§5.1.2).
+//!
+//! "For a given query Q, the lower bound for the response time is
+//! `LWB(Q) = max( Σ_p n_p·c_p , max_p (n_p·w_p) )` ... No execution
+//! strategy can obtain an execution time lower than LWB."
+//!
+//! Interpretation note (the formula is garbled in the available scan): the
+//! first term must be the total mediator CPU work — the response time of a
+//! uniprocessor cannot undercut its own busy time — and the second the
+//! retrieval time of the slowest wrapper, which no mediator-side strategy
+//! can hide. We additionally fold the per-message receive CPU into the
+//! first term, since it runs on the same processor.
+
+use dqs_exec::Workload;
+use dqs_plan::{AnnotatedPlan, ChainSet, ChainSource};
+use dqs_sim::SimDuration;
+
+/// Note: with stochastic delay models (`DelayModel::Uniform`), the
+/// retrieval term is the *expected* retrieval time; a sampled run can
+/// finish marginally earlier. Comparisons should allow sampling slack.
+///
+/// The two components of the bound, plus their max.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Lwb {
+    /// Total mediator CPU work: Σ n_p·c_p plus message receive costs.
+    pub cpu_work: SimDuration,
+    /// max_p n_p·w_p — the slowest single retrieval (in expectation).
+    pub max_retrieval: SimDuration,
+    /// Per-wrapper `(expected retrieval, std of the sampled retrieval)`.
+    retrievals: Vec<(SimDuration, SimDuration)>,
+}
+
+impl Lwb {
+    /// The bound itself (retrieval term in expectation).
+    pub fn bound(&self) -> SimDuration {
+        self.cpu_work.max(self.max_retrieval)
+    }
+
+    /// A bound that holds for sampled runs with ~`k`-sigma confidence:
+    /// each wrapper's retrieval term is discounted by `k` standard
+    /// deviations of its total delay sum before taking the max. The CPU
+    /// term is deterministic and undiscounted. Use `k = 5` in tests.
+    pub fn probabilistic_bound(&self, k: f64) -> SimDuration {
+        let retrieval = self
+            .retrievals
+            .iter()
+            .map(|&(exp, std)| {
+                let discount = (std.as_nanos() as f64 * k).round() as u64;
+                exp.saturating_sub(SimDuration::from_nanos(discount))
+            })
+            .max()
+            .unwrap_or(SimDuration::ZERO);
+        self.cpu_work.max(retrieval)
+    }
+}
+
+/// Compute LWB for a workload.
+pub fn lwb(workload: &Workload) -> Lwb {
+    let params = &workload.config.params;
+    let chains = ChainSet::decompose(&workload.qep);
+    let plan = AnnotatedPlan::annotate(chains, &workload.catalog, params);
+
+    // Σ n_p · c_p over all chains.
+    let mut cpu = plan.total_cpu_estimate(params);
+
+    // Message receive CPU: one message per batch of incoming tuples, plus
+    // one sub-query send per wrapper.
+    let tuples_per_msg = params.tuples_per_message();
+    let mut messages = workload.catalog.len() as u64;
+    for (_, spec) in workload.catalog.iter() {
+        messages += spec.cardinality.div_ceil(tuples_per_msg.max(1));
+    }
+    cpu += params.instr_time(messages * params.instr_per_message);
+
+    // max_p n_p · w_p over wrapper-fed chains.
+    let mut max_retrieval = SimDuration::ZERO;
+    let mut retrievals = Vec::new();
+    for pc in &plan.chains.chains {
+        if let ChainSource::Wrapper(rel) = pc.source {
+            let n = workload.actual_cardinality(rel);
+            let model = &workload.delays[rel.0 as usize];
+            let total = model.expected_total(n);
+            retrievals.push((total, model.total_std(n)));
+            max_retrieval = max_retrieval.max(total);
+        }
+    }
+
+    Lwb {
+        cpu_work: cpu,
+        max_retrieval,
+        retrievals,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dqs_exec::{run_workload, MaPolicy, SeqPolicy};
+    use dqs_plan::{Catalog, QepBuilder};
+    use dqs_sim::SimDuration;
+    use dqs_source::DelayModel;
+
+    fn workload(card_a: u64, card_b: u64) -> Workload {
+        let mut cat = Catalog::new();
+        let a = cat.add("A", card_a);
+        let b = cat.add("B", card_b);
+        let mut qb = QepBuilder::new();
+        let sa = qb.scan(a, 1.0);
+        let sb = qb.scan(b, 1.0);
+        let j = qb.hash_join(sa, sb, 1.0);
+        Workload::new(cat, qb.finish(j).unwrap())
+    }
+
+    #[test]
+    fn lwb_is_below_every_strategy() {
+        let w = workload(10_000, 10_000);
+        let bound = lwb(&w).probabilistic_bound(5.0);
+        for m in [
+            run_workload(&w, SeqPolicy),
+            run_workload(&w, MaPolicy::default()),
+        ] {
+            assert!(
+                m.response_time >= bound,
+                "{} ran in {} < LWB {bound}",
+                m.strategy,
+                m.response_time
+            );
+        }
+    }
+
+    #[test]
+    fn slow_wrapper_moves_the_bound() {
+        let w = workload(1_000, 1_000);
+        let base = lwb(&w);
+        let slowed = w.with_delay(
+            dqs_relop::RelId(0),
+            DelayModel::Uniform {
+                mean: SimDuration::from_millis(1),
+            },
+        );
+        let l = lwb(&slowed);
+        assert_eq!(l.cpu_work, base.cpu_work, "CPU work is delay-independent");
+        assert_eq!(
+            l.max_retrieval,
+            SimDuration::from_secs(1),
+            "1000 tuples at 1 ms each"
+        );
+        assert!(l.bound() > base.bound());
+    }
+
+    #[test]
+    fn cpu_bound_workload_uses_cpu_term() {
+        // Tiny delays: the bound must come from CPU work.
+        let w = workload(50_000, 50_000).with_all_delays(DelayModel::Constant {
+            w: SimDuration::from_nanos(100),
+        });
+        let l = lwb(&w);
+        assert!(l.cpu_work > l.max_retrieval);
+        assert_eq!(l.bound(), l.cpu_work);
+    }
+
+    #[test]
+    fn probabilistic_bound_discounts_only_stochastic_terms() {
+        // Deterministic delays: no discount at any k.
+        let det = workload(1_000, 1_000);
+        let l = lwb(&det);
+        assert_eq!(l.probabilistic_bound(10.0), l.bound());
+        // Stochastic delays: the discounted bound is below the expectation
+        // (when retrieval dominates), and never below the CPU term.
+        let sto = workload(1_000, 1_000).with_all_delays(DelayModel::Uniform {
+            mean: SimDuration::from_millis(1),
+        });
+        let l = lwb(&sto);
+        assert!(l.probabilistic_bound(5.0) < l.bound());
+        assert!(l.probabilistic_bound(5.0) >= l.cpu_work);
+    }
+}

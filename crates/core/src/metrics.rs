@@ -1,0 +1,82 @@
+//! The scheduler's decision metrics (§4.3–§4.4).
+
+use dqs_sim::SimDuration;
+
+/// Critical degree of a chain (§4.3):
+/// `critical(p) = n_p · (w_p − c_p)` — the total CPU idle time if `p` ran
+/// with no concurrent work. Positive values mean `p` is *critical*: its
+/// data arrives slower than the processor consumes it.
+///
+/// Returned in signed nanoseconds so callers can order by it directly.
+pub fn critical_degree(n: u64, w: SimDuration, c: SimDuration) -> i128 {
+    let w = w.as_nanos() as i128;
+    let c = c.as_nanos() as i128;
+    n as i128 * (w - c)
+}
+
+/// True when the chain is critical (§4.3: `critical(p) > 0`).
+pub fn is_critical(n: u64, w: SimDuration, c: SimDuration) -> bool {
+    critical_degree(n, w, c) > 0
+}
+
+/// Benefit-materialization indicator (§4.4):
+/// `bmi = w_p / (2 · IO_p)` — the profitability of degrading a critical
+/// chain, comparing its per-tuple waiting time against writing the tuple
+/// now and reading it back later.
+pub fn bmi(w: SimDuration, io_per_tuple: SimDuration) -> f64 {
+    let io = io_per_tuple.as_nanos();
+    if io == 0 {
+        return f64::INFINITY;
+    }
+    w.as_nanos() as f64 / (2.0 * io as f64)
+}
+
+/// The default benefit-materialization threshold: §5.1.3 fixes `bmt = 1`
+/// for the single-query experiments.
+pub const DEFAULT_BMT: f64 = 1.0;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn us(x: u64) -> SimDuration {
+        SimDuration::from_micros(x)
+    }
+
+    #[test]
+    fn critical_degree_matches_formula() {
+        // 1000 tuples, 20 µs waiting, 5 µs processing: 1000 × 15 µs idle.
+        assert_eq!(critical_degree(1_000, us(20), us(5)), 15_000_000);
+        assert!(is_critical(1_000, us(20), us(5)));
+    }
+
+    #[test]
+    fn fast_chain_is_not_critical() {
+        // Processing slower than arrival: negative critical degree.
+        assert!(critical_degree(1_000, us(5), us(20)) < 0);
+        assert!(!is_critical(1_000, us(5), us(20)));
+    }
+
+    #[test]
+    fn zero_tuples_never_critical() {
+        assert_eq!(critical_degree(0, us(100), us(1)), 0);
+        assert!(!is_critical(0, us(100), us(1)));
+    }
+
+    #[test]
+    fn bmi_profitable_iff_wait_exceeds_twice_io() {
+        // w = 20 µs, IO = 6.7 µs → bmi ≈ 1.49 > 1: profitable (the §5.2
+        // observation that DSE gains ~40 % even at w_min).
+        let b = bmi(us(20), SimDuration::from_nanos(6_693));
+        assert!((b - 1.494).abs() < 0.01, "{b}");
+        // w = 10 µs, IO = 6.7 µs → bmi ≈ 0.75 < 1: not profitable.
+        assert!(bmi(us(10), SimDuration::from_nanos(6_693)) < 1.0);
+        // Exactly 2·IO → bmi = 1.
+        assert!((bmi(us(10), us(5)) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bmi_guards_zero_io() {
+        assert!(bmi(us(1), SimDuration::ZERO).is_infinite());
+    }
+}

@@ -1,0 +1,695 @@
+//! The dynamic query processor (DQP) and its event loop.
+//!
+//! §3.2: "the task of the DQP is to interleave the execution of the query
+//! fragments in order to maximize the processor utilization with respect to
+//! the priorities defined in the scheduling plan. To do so, the DQP scans
+//! the queue associated with the query fragment which has the highest
+//! priority and processes a certain amount of tuples called a batch (if
+//! any). If the queue does not contain a sufficient amount of tuples, the
+//! DQP scans the second queue in the list and so on. After each batch
+//! processing, the DQP returns to the highest priority queue."
+//!
+//! The engine is strategy-agnostic: SEQ, MA and DSE are [`Policy`]s that
+//! differ only in the scheduling plans they return (§5.1.2: "Since the
+//! different strategies use the same lower-level code, the performance
+//! difference can only stem from the execution strategies").
+//!
+//! Everything runs on the simulated clock: batch CPU time and message
+//! receive costs queue on the single mediator CPU, materialization and temp
+//! scans queue on the single disk.
+
+use std::collections::HashMap;
+
+use dqs_plan::AnnotatedPlan;
+use dqs_relop::{HtId, RelId, Tuple};
+use dqs_sim::{EventId, EventQueue, SimTime, TraceKind};
+use dqs_storage::ReservationId;
+
+use crate::frag::{FragId, FragSink, FragSource, FragStatus, FragTable};
+use crate::metrics::{MetricsAcc, RunMetrics};
+use crate::policy::{Interrupt, PlanCtx, Policy};
+use crate::workload::{EngineConfig, Workload};
+use crate::world::World;
+
+/// Events driving the engine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Event {
+    /// A tuple from this wrapper reaches the communication manager.
+    Arrival(RelId),
+    /// The in-flight DQP batch completes.
+    BatchDone,
+    /// A temp relation's prefetched pages became resident.
+    TempReady,
+    /// The stall timer expired (generation guards staleness).
+    Timeout(u64),
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Inflight {
+    frag: FragId,
+}
+
+/// Hard ceiling on simulation events — a runaway loop trips this rather
+/// than hanging the benchmark harness.
+const MAX_EVENTS: u64 = 500_000_000;
+
+/// One query execution: world + fragments + policy + event loop.
+pub struct Engine<P: Policy> {
+    world: World,
+    plan: AnnotatedPlan,
+    frags: FragTable,
+    policy: P,
+    cfg: EngineConfig,
+    events: EventQueue<Event>,
+    /// Current scheduling plan, highest priority first.
+    sp: Vec<FragId>,
+    inflight: Option<Inflight>,
+    pending_replan: Option<Interrupt>,
+    timeout_ev: Option<EventId>,
+    timeout_gen: u64,
+    /// Memory reservation per built hash table: (grant, reserved bytes).
+    ht_mem: HashMap<HtId, (ReservationId, u64)>,
+    /// Fragment that last failed to reserve, with the free bytes then.
+    last_overflow: Option<(FragId, u64)>,
+    /// Output chains still running (multi-query forests have several).
+    outputs_pending: usize,
+    /// `(query, completion time)` per finished output chain.
+    output_times: Vec<(u32, SimTime)>,
+    /// Set once every output chain finished.
+    output_done_at: Option<SimTime>,
+    aborted: Option<String>,
+    acc: MetricsAcc,
+}
+
+impl<P: Policy> Engine<P> {
+    /// Build an engine for `workload` driven by `policy`.
+    pub fn new(workload: &Workload, policy: P) -> Self {
+        let (world, plan) = World::build(workload);
+        let frags = FragTable::from_plan(&plan);
+        let outputs_pending = plan
+            .chains
+            .chains
+            .iter()
+            .filter(|c| matches!(c.sink, dqs_plan::ChainSink::Output))
+            .count();
+        Engine {
+            world,
+            plan,
+            frags,
+            policy,
+            cfg: workload.config.clone(),
+            events: EventQueue::new(),
+            sp: Vec::new(),
+            inflight: None,
+            pending_replan: None,
+            timeout_ev: None,
+            timeout_gen: 0,
+            ht_mem: HashMap::new(),
+            last_overflow: None,
+            outputs_pending,
+            output_times: Vec::new(),
+            output_done_at: None,
+            aborted: None,
+            acc: MetricsAcc::default(),
+        }
+    }
+
+    /// Execute to completion, panicking on unrecoverable scheduling errors
+    /// (deadlock, unresolvable memory overflow). Use [`Engine::try_run`] to
+    /// observe those as errors instead.
+    pub fn run(self) -> RunMetrics {
+        match self.try_run() {
+            Ok(m) => m,
+            Err(e) => panic!("query execution aborted: {e}"),
+        }
+    }
+
+    /// Execute to completion and report metrics, or the abort reason.
+    pub fn try_run(self) -> Result<RunMetrics, String> {
+        self.try_run_traced().map(|(m, _)| m)
+    }
+
+    /// Like [`Engine::try_run`], also returning the execution trace (empty
+    /// unless the workload's config enabled tracing).
+    pub fn try_run_traced(mut self) -> Result<(RunMetrics, dqs_sim::Trace), String> {
+        let (arrivals, start_instr) = self.world.cm.start(SimTime::ZERO);
+        if start_instr > 0 {
+            let t = self.world.params.instr_time(start_instr);
+            self.world.cpu.acquire(SimTime::ZERO, t);
+        }
+        for (rel, at) in arrivals {
+            self.events.schedule(at, Event::Arrival(rel));
+        }
+        self.replan(Interrupt::Start);
+        self.try_dispatch();
+
+        while self.output_done_at.is_none() && self.aborted.is_none() {
+            let Some((t, ev)) = self.events.pop() else {
+                self.aborted = Some(format!(
+                    "deadlock: no events pending, query incomplete (sp={:?})",
+                    self.sp
+                ));
+                break;
+            };
+            match ev {
+                Event::Arrival(rel) => self.on_arrival(rel, t),
+                Event::BatchDone => self.on_batch_done(),
+                Event::TempReady => {
+                    if self.inflight.is_none() {
+                        self.try_dispatch();
+                    }
+                }
+                Event::Timeout(gen) => self.on_timeout(gen),
+            }
+            if self.events.fired() > MAX_EVENTS {
+                self.aborted = Some("runaway simulation: event limit exceeded".into());
+            }
+        }
+        self.finish_metrics()
+    }
+
+    // ------------------------------------------------------------------
+    // Event handlers
+    // ------------------------------------------------------------------
+
+    fn on_arrival(&mut self, rel: RelId, now: SimTime) {
+        let out = self.world.cm.on_arrival(rel, now);
+        if out.cpu_instr > 0 {
+            let t = self.world.params.instr_time(out.cpu_instr);
+            self.world.cpu.acquire(now, t);
+        }
+        if let Some(at) = out.next_arrival {
+            self.events.schedule(at, Event::Arrival(rel));
+        }
+        if out.rate_change {
+            self.acc.m.rate_changes += 1;
+            self.note_replan(Interrupt::RateChange);
+        }
+        self.world.trace.emit(now, TraceKind::Arrival, || {
+            format!("rel {} tuple (finished={})", rel.0, out.finished)
+        });
+        if self.inflight.is_none() {
+            self.try_dispatch();
+        }
+    }
+
+    fn on_batch_done(&mut self) {
+        let inf = self.inflight.take().expect("BatchDone without inflight");
+        let now = self.events.now();
+        // Keep every temp scan's asynchronous read-ahead window warm while
+        // the CPU is busy elsewhere (§4.4: CF I/O overlaps CPU) — this is
+        // what lets a complement fragment start from resident pages instead
+        // of a cold disk once its blocking inputs complete.
+        self.arm_all_readahead();
+        self.world.trace.emit(now, TraceKind::Batch, || {
+            format!("batch done frag {}", inf.frag.0)
+        });
+        self.maybe_finalize(inf.frag);
+        if self.output_done_at.is_some() {
+            return;
+        }
+        if let Some(why) = self.pending_replan.take() {
+            self.replan(why);
+        }
+        self.try_dispatch();
+    }
+
+    fn on_timeout(&mut self, gen: u64) {
+        self.timeout_ev = None;
+        if gen != self.timeout_gen || self.inflight.is_some() || self.output_done_at.is_some() {
+            return;
+        }
+        self.acc.m.timeouts += 1;
+        self.world
+            .trace
+            .emit(self.events.now(), TraceKind::Interrupt, || "TimeOut".into());
+        self.replan(Interrupt::Timeout);
+        self.try_dispatch();
+    }
+
+    // ------------------------------------------------------------------
+    // Planning
+    // ------------------------------------------------------------------
+
+    fn replan(&mut self, why: Interrupt) {
+        self.acc.m.plans += 1;
+        self.world.cm.mark_rates();
+        let degradations_before = self.frags.len();
+        let mut ctx = PlanCtx {
+            now: self.events.now(),
+            plan: &self.plan,
+            frags: &mut self.frags,
+            world: &mut self.world,
+        };
+        let sp = self.policy.plan(&mut ctx, why);
+        self.acc.m.degradations += ((self.frags.len() - degradations_before) / 2) as u64;
+        for &f in &sp {
+            debug_assert_eq!(
+                self.frags.get(f).status,
+                FragStatus::Active,
+                "policy scheduled a dead fragment"
+            );
+        }
+        self.world.trace.emit(self.events.now(), TraceKind::Plan, || {
+            format!("{why:?} -> sp {:?}", sp.iter().map(|f| f.0).collect::<Vec<_>>())
+        });
+        self.sp = sp;
+    }
+
+    /// Request a planning phase; deferred to batch completion if the DQP is
+    /// mid-batch (the DQS and DQP never run concurrently, §3.1).
+    fn note_replan(&mut self, why: Interrupt) {
+        if self.inflight.is_some() {
+            self.pending_replan.get_or_insert(why);
+        } else {
+            self.replan(why);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Dispatch
+    // ------------------------------------------------------------------
+
+    fn try_dispatch(&mut self) {
+        loop {
+            if self.inflight.is_some() || self.output_done_at.is_some() || self.aborted.is_some() {
+                return;
+            }
+            // Finalize every fragment that is complete without further
+            // processing (drained sources, zero-tuple relations, sealed and
+            // consumed temps).
+            let active: Vec<FragId> = self
+                .frags
+                .iter()
+                .filter(|f| f.status == FragStatus::Active)
+                .map(|f| f.id)
+                .collect();
+            let mut last_finalized = None;
+            for f in active {
+                self.normalize_source(f);
+                if self.frag_complete_now(f) {
+                    self.finalize(f);
+                    last_finalized = Some(f);
+                }
+            }
+            if let Some(f) = last_finalized {
+                if self.output_done_at.is_some() {
+                    return;
+                }
+                self.replan(Interrupt::EndOfQf(f));
+                continue; // plan changed; rescan
+            }
+
+            // Pick the next batch. Pass 0 is the flow-control emergency
+            // lane: a fragment whose wrapper the window protocol suspended
+            // is losing retrieval bandwidth every instant its queue stays
+            // full, so it is drained first whatever its priority. Pass 1
+            // wants a full batch from the highest priority (§3.2's
+            // "sufficient amount of tuples"); pass 2 takes anything.
+            let batch = self.cfg.batch_size as u64;
+            let mut picked = None;
+            'pick: for pass in 0..3 {
+                for i in 0..self.sp.len() {
+                    let f = self.sp[i];
+                    if self.frags.get(f).status != FragStatus::Active {
+                        continue;
+                    }
+                    if !self.probes_complete(f) {
+                        continue;
+                    }
+                    self.normalize_source(f);
+                    let avail = self.available_input(f);
+                    let enough = match pass {
+                        0 => {
+                            avail > 0
+                                && matches!(self.frags.get(f).source, FragSource::Queue(rel)
+                                    if self.world.cm.is_suspended(rel))
+                        }
+                        1 => avail >= batch || (avail > 0 && self.upstream_finished(f)),
+                        _ => avail > 0,
+                    };
+                    if enough {
+                        picked = Some(f);
+                        break 'pick;
+                    }
+                }
+            }
+            match picked {
+                Some(f) => {
+                    if self.start_batch(f) {
+                        return;
+                    }
+                    // Reservation failed: the policy replanned; rescan
+                    // unless we are giving up.
+                    continue;
+                }
+                None => {
+                    // Nothing runnable: make sure pending temp reads are in
+                    // flight — their completion is what will wake us.
+                    let now = self.events.now();
+                    self.arm_all_readahead();
+                    // Stall (§3.2): nothing schedulable has data.
+                    self.acc.stall_begin(now);
+                    if self.timeout_ev.is_none() && !self.cfg.timeout.is_zero() {
+                        self.timeout_gen += 1;
+                        let id = self
+                            .events
+                            .schedule(now + self.cfg.timeout, Event::Timeout(self.timeout_gen));
+                        self.timeout_ev = Some(id);
+                    }
+                    return;
+                }
+            }
+        }
+    }
+
+    /// Start one batch of `f`. Returns false if a memory reservation failed
+    /// (a `MemoryOverflow` planning phase was run instead).
+    fn start_batch(&mut self, f: FragId) -> bool {
+        let now = self.events.now();
+
+        // Reserve hash-table memory before the fragment's first build.
+        if let FragSink::Build(ht) = self.frags.get(f).sink {
+            if !self.ht_mem.contains_key(&ht) && !self.reserve_ht(f, ht) {
+                return false;
+            }
+        }
+
+        self.acc.stall_end(now);
+        if let Some(id) = self.timeout_ev.take() {
+            self.events.cancel(id);
+        }
+
+        // Pull the input batch.
+        let batch = self.cfg.batch_size;
+        let source = self.frags.get(f).source;
+        let (input, read_wait, read_instr): (Vec<Tuple>, Option<SimTime>, u64) = match source {
+            FragSource::Queue(rel) => {
+                let tuples = self.world.cm.consume(rel, batch);
+                if let Some(at) = self.world.cm.after_consume(rel, now) {
+                    self.events.schedule(at, Event::Arrival(rel));
+                }
+                (tuples, None, 0)
+            }
+            FragSource::Temp { temp, cursor, .. } => {
+                let world = &mut self.world;
+                let (tuples, instr, wake) = world.temps[temp.0 as usize].read_available(
+                    cursor,
+                    batch as u64,
+                    now,
+                    &mut world.disk,
+                );
+                if let FragSource::Temp { ref mut cursor, .. } = self.frags.get_mut(f).source {
+                    *cursor += tuples.len() as u64;
+                }
+                if let Some(at) = wake {
+                    self.events.schedule(at.max(now), Event::TempReady);
+                }
+                // Reads are asynchronous (§4.4): the DQP only consumes
+                // resident pages and never blocks on the device.
+                (tuples, None, instr)
+            }
+        };
+        assert!(!input.is_empty(), "dispatched a fragment without input");
+
+        let frag = self.frags.get_mut(f);
+        frag.started = true;
+        frag.tuples_in += input.len() as u64;
+        let result = frag
+            .chain
+            .run_batch(&input, &mut self.world.arena, &self.world.params);
+        let mut instr = result.instr + read_instr;
+        let mut sink_wait: Option<SimTime> = None;
+
+        match self.frags.get(f).sink {
+            FragSink::Build(ht) => {
+                // Grow the reservation if the build outgrew its estimate.
+                let fp = self
+                    .world
+                    .arena
+                    .get(ht)
+                    .footprint_bytes(self.world.params.tuple_bytes);
+                if let Some(&(res, reserved)) = self.ht_mem.get(&ht) {
+                    if fp > reserved {
+                        let extra = fp - reserved;
+                        if self.world.memory.grow(res, extra).is_err() {
+                            self.acc.m.memory_overflows += 1;
+                            self.aborted = Some(format!(
+                                "hash table {ht:?} outgrew query memory mid-build \
+                                 ({fp} bytes needed, {} free)",
+                                self.world.memory.free()
+                            ));
+                            return true; // batch charged; abort surfaces next loop
+                        }
+                        self.ht_mem.insert(ht, (res, fp));
+                    }
+                }
+            }
+            FragSink::Mat(temp) => {
+                // The mat operator moves each tuple into the I/O buffer.
+                instr += result.out.len() as u64 * self.world.params.instr_move_tuple;
+                let world = &mut self.world;
+                let charge =
+                    world.temps[temp.0 as usize].append_batch(&result.out, now, &mut world.disk);
+                instr += charge.cpu_instr;
+                if self.frags.get(f).sync_mat_io {
+                    // Naive synchronous materialization (MA): the batch is
+                    // not done until the page write lands.
+                    if let Some(done) = charge.device_done {
+                        sink_wait = Some(done);
+                    }
+                }
+            }
+            FragSink::Output => {
+                self.acc.m.output_tuples += result.out.len() as u64;
+            }
+        }
+
+        let grant = self.world.cpu.acquire(now, self.world.params.instr_time(instr));
+        let done_at = [read_wait, sink_wait]
+            .into_iter()
+            .flatten()
+            .fold(grant.finish, SimTime::max);
+        self.events.schedule(done_at, Event::BatchDone);
+        self.inflight = Some(Inflight { frag: f });
+        self.acc.m.batches += 1;
+        true
+    }
+
+    fn reserve_ht(&mut self, f: FragId, ht: HtId) -> bool {
+        let pc = self.frags.get(f).pc;
+        let bytes = self.plan.info(pc).mem_bytes;
+        match self.world.memory.reserve(bytes, format!("ht:{}", ht.0)) {
+            Ok(res) => {
+                self.ht_mem.insert(ht, (res, bytes));
+                self.last_overflow = None;
+                true
+            }
+            Err(e) => {
+                self.acc.m.memory_overflows += 1;
+                // If the same fragment already failed with no memory freed
+                // since, the policy cannot make progress: abort.
+                if self.last_overflow == Some((f, e.free)) {
+                    self.aborted = Some(format!(
+                        "fragment {f:?} is not M-schedulable and the policy \
+                         could not resolve it: {e}"
+                    ));
+                    return false;
+                }
+                self.last_overflow = Some((f, e.free));
+                self.note_replan(Interrupt::MemoryOverflow {
+                    frag: f,
+                    needed: bytes,
+                });
+                false
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Fragment state helpers
+    // ------------------------------------------------------------------
+
+    /// Issue asynchronous read-ahead for every active temp-sourced
+    /// fragment, scheduling wake-ups for newly in-flight windows.
+    fn arm_all_readahead(&mut self) {
+        let now = self.events.now();
+        let temp_frags: Vec<FragId> = self
+            .frags
+            .iter()
+            .filter(|fr| {
+                fr.status == FragStatus::Active && matches!(fr.source, FragSource::Temp { .. })
+            })
+            .map(|fr| fr.id)
+            .collect();
+        for f in temp_frags {
+            if let FragSource::Temp { temp, cursor, .. } = self.frags.get(f).source {
+                let world = &mut self.world;
+                let (instr, wake) =
+                    world.temps[temp.0 as usize].arm_readahead(cursor, now, &mut world.disk);
+                if instr > 0 {
+                    let t = world.params.instr_time(instr);
+                    world.cpu.acquire(now, t);
+                }
+                if let Some(at) = wake {
+                    self.events.schedule(at.max(now), Event::TempReady);
+                }
+            }
+        }
+    }
+
+    /// Swap a drained-temp source over to its live queue (MF cancelled
+    /// hand-off). The retired MF's operators are prepended to the chain —
+    /// with their live accumulator state — so tuples that now bypass the
+    /// temp still see the same scan predicate with the same deterministic
+    /// rounding.
+    fn normalize_source(&mut self, f: FragId) {
+        let frag = self.frags.get(f);
+        if let FragSource::Temp {
+            temp,
+            cursor,
+            then_queue: Some(rel),
+        } = frag.source
+        {
+            let t = self.world.temp(temp);
+            if t.is_sealed() && cursor >= t.len() {
+                if let Some(mf) = self.frags.get_mut(f).handoff_from.take() {
+                    let front = self.frags.take_chain(mf);
+                    let back = self.frags.take_chain(f);
+                    self.frags.get_mut(f).chain = dqs_relop::PhysChain::concat(front, back);
+                }
+                self.frags.get_mut(f).source = FragSource::Queue(rel);
+            }
+        }
+    }
+
+    fn available_input(&self, f: FragId) -> u64 {
+        match self.frags.get(f).source {
+            FragSource::Queue(rel) => self.world.cm.available(rel) as u64,
+            FragSource::Temp { temp, cursor, .. } => {
+                self.world.temp(temp).available(cursor, self.events.now())
+            }
+        }
+    }
+
+    /// No more input will ever appear beyond what is currently available.
+    fn upstream_finished(&self, f: FragId) -> bool {
+        match self.frags.get(f).source {
+            FragSource::Queue(rel) => self.world.cm.exhausted(rel),
+            FragSource::Temp {
+                temp, then_queue, ..
+            } => then_queue.is_none() && self.world.temp(temp).is_sealed(),
+        }
+    }
+
+    fn probes_complete(&self, f: FragId) -> bool {
+        self.frags
+            .get(f)
+            .chain
+            .probe_targets()
+            .iter()
+            .all(|&ht| self.world.arena.get(ht).is_complete())
+    }
+
+    fn frag_complete_now(&self, f: FragId) -> bool {
+        let frag = self.frags.get(f);
+        if frag.status != FragStatus::Active {
+            return false;
+        }
+        match frag.source {
+            FragSource::Queue(rel) => self.world.cm.drained(rel),
+            FragSource::Temp {
+                temp,
+                cursor,
+                then_queue,
+            } => {
+                let t = self.world.temp(temp);
+                then_queue.is_none() && t.is_sealed() && cursor >= t.len()
+            }
+        }
+    }
+
+    /// Finalize `f` if it has become complete, raising `EndOfQF`.
+    fn maybe_finalize(&mut self, f: FragId) {
+        self.normalize_source(f);
+        if self.frag_complete_now(f) {
+            self.finalize(f);
+            if self.output_done_at.is_none() {
+                self.replan(Interrupt::EndOfQf(f));
+            }
+        }
+    }
+
+    fn finalize(&mut self, f: FragId) {
+        let now = self.events.now();
+        self.frags.get_mut(f).status = FragStatus::Done;
+        self.acc.m.end_of_qf += 1;
+        self.world.trace.emit(now, TraceKind::Interrupt, || {
+            format!("EndOfQF frag {}", f.0)
+        });
+        match self.frags.get(f).sink {
+            FragSink::Build(ht) => {
+                self.world.arena.get_mut(ht).complete();
+            }
+            FragSink::Mat(temp) => {
+                let world = &mut self.world;
+                let charge = world.temps[temp.0 as usize].seal(now, &mut world.disk);
+                if charge.cpu_instr > 0 {
+                    let t = world.params.instr_time(charge.cpu_instr);
+                    world.cpu.acquire(now, t);
+                }
+            }
+            FragSink::Output => {
+                let query = self.plan.chains.chain(self.frags.get(f).pc).query;
+                self.output_times.push((query, now));
+                self.outputs_pending -= 1;
+                if self.outputs_pending == 0 {
+                    self.output_done_at = Some(now);
+                }
+            }
+        }
+        // This fragment was the sole consumer of the tables it probed:
+        // drop their contents and release their memory.
+        for ht in self.frags.get(f).chain.probe_targets() {
+            self.world.arena.discard(ht);
+            if let Some((res, _)) = self.ht_mem.remove(&ht) {
+                self.world.memory.release(res);
+            }
+        }
+    }
+
+    fn finish_metrics(mut self) -> Result<(RunMetrics, dqs_sim::Trace), String> {
+        if let Some(reason) = self.aborted {
+            return Err(reason);
+        }
+        let trace = std::mem::take(&mut self.world.trace);
+        let end = self.output_done_at.unwrap_or(self.events.now());
+        self.acc.stall_end(end);
+        let mut m = self.acc.m;
+        m.strategy = self.policy.name();
+        m.seed = self.cfg.seed;
+        m.response_time = end.saturating_since(SimTime::ZERO);
+        m.cpu_busy = self.world.cpu.busy_time();
+        m.disk_busy = self.world.disk.busy_time();
+        m.pages_written = self.world.disk.pages_written();
+        m.pages_read = self.world.disk.pages_read();
+        m.seeks = self.world.disk.seeks();
+        m.memory_high_water = self.world.memory.high_water();
+        m.events = self.events.fired();
+        m.query_responses = {
+            let mut v: Vec<(u32, dqs_sim::SimDuration)> = self
+                .output_times
+                .iter()
+                .map(|&(q, t)| (q, t.saturating_since(SimTime::ZERO)))
+                .collect();
+            v.sort();
+            v
+        };
+        Ok((m, trace))
+    }
+}
+
+/// Convenience: build and run `workload` under `policy`.
+pub fn run_workload<P: Policy>(workload: &Workload, policy: P) -> RunMetrics {
+    Engine::new(workload, policy).run()
+}

@@ -1,0 +1,54 @@
+//! # dqs-exec — the execution engine
+//!
+//! Event-driven execution of integration queries on the simulated platform:
+//!
+//! * [`workload::Workload`] — a run is a pure function of this description;
+//! * [`world::World`] — CPU, disk, memory, wrappers, hash tables, temps;
+//! * [`frag`] — runtime query fragments (whole chains and the MF/CF halves
+//!   of degraded chains, §4.4);
+//! * [`engine::Engine`] — the DQP: batch-interleaved processing over the
+//!   scheduling plan, window-protocol flow control, interruption events
+//!   (§3.2), stall/timeout accounting;
+//! * [`policy::Policy`] — the DQS interface: scheduling plans recomputed at
+//!   every interruption;
+//! * [`strategies`] — the SEQ / MA / scrambling baselines. The paper's DSE
+//!   strategy is `dqs_core::DsePolicy`.
+//!
+//! ```
+//! use dqs_exec::{run_workload, SeqPolicy, Workload};
+//! use dqs_plan::{Catalog, QepBuilder};
+//!
+//! let mut catalog = Catalog::new();
+//! let r = catalog.add("R", 500);
+//! let s = catalog.add("S", 800);
+//! let mut qb = QepBuilder::new();
+//! let scan_r = qb.scan(r, 1.0);
+//! let scan_s = qb.scan(s, 1.0);
+//! let join = qb.hash_join(scan_r, scan_s, 1.0);
+//! let workload = Workload::new(catalog, qb.finish(join).unwrap());
+//!
+//! let metrics = run_workload(&workload, SeqPolicy);
+//! assert_eq!(metrics.output_tuples, 800);
+//! assert!(metrics.response_time > dqs_sim::SimDuration::ZERO);
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod engine;
+pub mod frag;
+pub mod metrics;
+pub mod multi;
+pub mod policy;
+pub mod strategies;
+pub mod workload;
+pub mod world;
+
+pub use engine::{run_workload, Engine};
+pub use frag::{FragId, FragKind, FragSink, FragSource, FragStatus, FragTable, TempId};
+pub use metrics::RunMetrics;
+pub use multi::{combine, SingleQuery};
+pub use policy::{Interrupt, PlanCtx, Policy};
+pub use strategies::{MaPolicy, ScramblingPolicy, SeqPolicy};
+pub use workload::{EngineConfig, Workload};
+pub use world::World;

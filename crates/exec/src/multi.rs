@@ -1,0 +1,180 @@
+//! Multi-query execution — the paper's §6 future work.
+//!
+//! "We also plan to study the behavior of our approach in the context of
+//! multi-query execution. As soon as we consider such context, we face the
+//! classical tradeoff between throughput and response time."
+//!
+//! Several independent integration queries are packed into one executable
+//! *forest* workload: their catalogs are concatenated (each query keeps its
+//! own wrappers), their plans become roots of a single multi-root QEP, and
+//! the engine runs all of their pipeline chains under one scheduling
+//! policy, sharing the mediator CPU, the disk, and the query-memory
+//! budget. Per-query response times come back in
+//! [`crate::RunMetrics::query_responses`].
+//!
+//! Under SEQ the forest executes serially (query 1 starts after query 0
+//! finishes draining); under the dynamic scheduler the chains of all
+//! queries compete by critical degree, which trades individual response
+//! time for global throughput — exactly the §6 tension.
+
+use dqs_plan::{Catalog, Qep, QepBuilder, QepNode};
+use dqs_relop::RelId;
+use dqs_source::DelayModel;
+
+use crate::workload::{EngineConfig, Workload};
+
+/// One independent query to pack into a forest.
+#[derive(Debug, Clone)]
+pub struct SingleQuery {
+    /// The query's own relations.
+    pub catalog: Catalog,
+    /// Its (single-root) plan.
+    pub qep: Qep,
+    /// Delay model per relation of `catalog`.
+    pub delays: Vec<DelayModel>,
+}
+
+impl SingleQuery {
+    /// Wrap a workload-shaped query.
+    pub fn from_workload(w: &Workload) -> SingleQuery {
+        SingleQuery {
+            catalog: w.catalog.clone(),
+            qep: w.qep.clone(),
+            delays: w.delays.clone(),
+        }
+    }
+}
+
+/// Pack `queries` into one multi-root workload sharing `config`'s
+/// resources.
+///
+/// # Panics
+/// Panics if `queries` is empty or any query is itself a forest.
+pub fn combine(queries: &[SingleQuery], config: EngineConfig) -> Workload {
+    assert!(!queries.is_empty(), "combine of zero queries");
+    let mut catalog = Catalog::new();
+    let mut delays = Vec::new();
+    let mut qb = QepBuilder::new();
+    let mut roots = Vec::new();
+
+    for (qi, q) in queries.iter().enumerate() {
+        assert_eq!(
+            q.qep.query_count(),
+            1,
+            "query {qi} is already a forest; combine flat queries"
+        );
+        assert_eq!(
+            q.delays.len(),
+            q.catalog.len(),
+            "query {qi}: one delay model per relation"
+        );
+        // Concatenate the catalog, remembering the relation offset.
+        let rel_offset = catalog.len() as u16;
+        for (rel, spec) in q.catalog.iter() {
+            catalog.add(format!("q{qi}.{}", spec.name), spec.cardinality);
+            delays.push(q.delays[rel.0 as usize].clone());
+        }
+        // Copy the plan's nodes in order; node ids shift uniformly.
+        let node_offset = qb.len() as u32;
+        for (_, node) in q.qep.iter() {
+            match node {
+                QepNode::Scan { rel, selectivity } => {
+                    qb.scan(RelId(rel.0 + rel_offset), *selectivity);
+                }
+                QepNode::HashJoin {
+                    build,
+                    probe,
+                    fanout,
+                } => {
+                    qb.hash_join(
+                        dqs_plan::NodeId(build.0 + node_offset),
+                        dqs_plan::NodeId(probe.0 + node_offset),
+                        *fanout,
+                    );
+                }
+                QepNode::Mat { input } => {
+                    qb.mat(dqs_plan::NodeId(input.0 + node_offset));
+                }
+            }
+        }
+        roots.push(dqs_plan::NodeId(q.qep.root().0 + node_offset));
+    }
+
+    let qep = qb
+        .finish_forest(roots)
+        .expect("combining valid queries yields a valid forest");
+    Workload {
+        catalog,
+        qep,
+        delays,
+        actuals: None,
+        config,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::run_workload;
+    use crate::strategies::SeqPolicy;
+    use dqs_plan::Catalog;
+    use dqs_sim::SimDuration;
+
+    fn small_query(card: u64) -> SingleQuery {
+        let mut cat = Catalog::new();
+        let a = cat.add("A", card);
+        let b = cat.add("B", card / 2);
+        let mut qb = QepBuilder::new();
+        let sa = qb.scan(a, 1.0);
+        let sb = qb.scan(b, 1.0);
+        let j = qb.hash_join(sa, sb, 1.0);
+        let qep = qb.finish(j).unwrap();
+        let delays = vec![
+            DelayModel::Constant {
+                w: SimDuration::from_micros(20)
+            };
+            2
+        ];
+        SingleQuery {
+            catalog: cat,
+            qep,
+            delays,
+        }
+    }
+
+    #[test]
+    fn combine_builds_a_valid_forest() {
+        let w = combine(
+            &[small_query(1_000), small_query(2_000)],
+            EngineConfig::default(),
+        );
+        assert_eq!(w.catalog.len(), 4);
+        assert_eq!(w.qep.query_count(), 2);
+        assert!(w.qep.validate().is_ok());
+        assert_eq!(w.delays.len(), 4);
+    }
+
+    #[test]
+    fn forest_runs_and_reports_per_query_responses() {
+        let w = combine(
+            &[small_query(1_000), small_query(2_000)],
+            EngineConfig::default(),
+        );
+        let m = run_workload(&w, SeqPolicy);
+        // Outputs: 500 + 1000 probe tuples.
+        assert_eq!(m.output_tuples, 500 + 1_000);
+        assert_eq!(m.query_responses.len(), 2);
+        assert_eq!(m.query_responses[0].0, 0);
+        assert_eq!(m.query_responses[1].0, 1);
+        // Under SEQ query 0 finishes strictly before query 1.
+        assert!(m.query_responses[0].1 < m.query_responses[1].1);
+        // The run ends when the last query ends.
+        assert_eq!(m.query_responses[1].1, m.response_time);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero queries")]
+    fn empty_combine_panics() {
+        let _ = combine(&[], EngineConfig::default());
+    }
+}

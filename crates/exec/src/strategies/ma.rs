@@ -1,0 +1,148 @@
+//! MA: the Materialize-All strategy of [1] (§5.1.2).
+//!
+//! "The last strategy is the fairly simple Materialize All, denoted by MA
+//! and proposed in [1] which proceeds in two phases. In the first phase, MA
+//! materializes simultaneously on the disk of the mediator all the remote
+//! relations. Then, in the second phase, it executes the query with local
+//! data stored on disk. Therefore, MA can overlap the delays of several
+//! input relations, however at a high I/O overhead."
+//!
+//! Implementation: at start, every wrapper-sourced chain is degraded with
+//! `include_scan = false` (raw spooling — MA stores the relations, not
+//! partial results). Phase 1 schedules all MFs, ordered by chain id; phase
+//! 2 begins only when every MF finished and runs the complement fragments
+//! sequentially, exactly like SEQ but reading local temps.
+
+use crate::frag::{FragId, FragKind, FragStatus};
+use crate::policy::{Interrupt, PlanCtx, Policy};
+
+/// The Materialize-All baseline.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct MaPolicy {
+    degraded: bool,
+}
+
+impl Policy for MaPolicy {
+    fn name(&self) -> &'static str {
+        "MA"
+    }
+
+    fn plan(&mut self, ctx: &mut PlanCtx<'_>, _why: Interrupt) -> Vec<FragId> {
+        if !self.degraded {
+            let pcs: Vec<_> = ctx.plan.chains.sequential_order();
+            for pc in pcs {
+                use dqs_plan::ChainSource;
+                if matches!(ctx.plan.chains.chain(pc).source, ChainSource::Wrapper(_)) {
+                    let (mf, _cf) = ctx.degrade(pc, false);
+                    // MA is the naive materializer of [1]: its spooling
+                    // blocks on every page write instead of writing behind.
+                    ctx.frags.get_mut(mf).sync_mat_io = true;
+                }
+            }
+            self.degraded = true;
+        }
+
+        // Phase 1: all active MFs, in chain order.
+        let mfs: Vec<FragId> = ctx
+            .plan
+            .chains
+            .sequential_order()
+            .into_iter()
+            .filter_map(|pc| ctx.frags.live_mf(pc))
+            .filter(|&f| ctx.frags.get(f).status == FragStatus::Active)
+            .collect();
+        if !mfs.is_empty() {
+            return mfs;
+        }
+
+        // Phase 2: sequential over the complements.
+        for pc in ctx.plan.chains.sequential_order() {
+            if let Some(f) = ctx.frags.live_body(pc) {
+                debug_assert_ne!(ctx.frags.get(f).kind, FragKind::Mf);
+                return vec![f];
+            }
+        }
+        Vec::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::run_workload;
+    use crate::strategies::seq::SeqPolicy;
+    use crate::workload::Workload;
+    use dqs_plan::{Catalog, QepBuilder};
+    use dqs_sim::{SimDuration, SimParams};
+    use dqs_source::DelayModel;
+
+    fn two_way(card_a: u64, card_b: u64) -> Workload {
+        let mut cat = Catalog::new();
+        let a = cat.add("A", card_a);
+        let b = cat.add("B", card_b);
+        let mut qb = QepBuilder::new();
+        let sa = qb.scan(a, 1.0);
+        let sb = qb.scan(b, 1.0);
+        let j = qb.hash_join(sa, sb, 1.0);
+        Workload::new(cat, qb.finish(j).unwrap())
+    }
+
+    #[test]
+    fn ma_materializes_everything_then_answers() {
+        let w = two_way(2_000, 3_000);
+        let m = run_workload(&w, MaPolicy::default());
+        assert_eq!(m.strategy, "MA");
+        assert_eq!(m.output_tuples, 3_000);
+        // All 5000 tuples hit the disk: ≥ ceil(5000/204) pages written.
+        let pages = SimParams::default().pages_for_tuples(5_000);
+        assert!(
+            m.pages_written >= pages,
+            "MA must spool all relations: {} < {pages}",
+            m.pages_written
+        );
+        assert_eq!(m.degradations, 2);
+    }
+
+    #[test]
+    fn ma_is_slower_than_seq_without_delays() {
+        // §5.2: "MA's response time is always worse in these experiments" —
+        // with no slowdown its extra I/O buys nothing.
+        let w = two_way(20_000, 20_000);
+        let seq = run_workload(&w, SeqPolicy);
+        let ma = run_workload(&w, MaPolicy::default());
+        assert!(
+            ma.response_time > seq.response_time,
+            "MA {} should exceed SEQ {}",
+            ma.response_time,
+            seq.response_time
+        );
+    }
+
+    #[test]
+    fn ma_overlaps_two_slow_relations() {
+        // MA's one virtue (§5.4): overlapping delays of *several* slowed
+        // relations. Slow both inputs heavily; SEQ pays the sum of the two
+        // retrieval times, MA roughly their max plus local work.
+        let slow = DelayModel::Uniform {
+            mean: SimDuration::from_micros(400),
+        };
+        let w = two_way(5_000, 5_000).with_all_delays(slow);
+        let seq = run_workload(&w, SeqPolicy);
+        let ma = run_workload(&w, MaPolicy::default());
+        assert!(
+            ma.response_time < seq.response_time,
+            "MA {} should beat SEQ {} when all inputs crawl",
+            ma.response_time,
+            seq.response_time
+        );
+    }
+
+    #[test]
+    fn ma_deterministic_per_seed() {
+        let w = two_way(1_000, 1_000);
+        let a = run_workload(&w.clone().with_seed(3), MaPolicy::default());
+        let b = run_workload(&w.with_seed(3), MaPolicy::default());
+        assert_eq!(a.response_time, b.response_time);
+        assert_eq!(a.pages_written, b.pages_written);
+    }
+}

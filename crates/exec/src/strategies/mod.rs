@@ -1,0 +1,10 @@
+//! Baseline execution strategies (the paper's §5.1.2 comparison set minus
+//! DSE, which lives in `dqs-core`).
+
+pub mod ma;
+pub mod scrambling;
+pub mod seq;
+
+pub use ma::MaPolicy;
+pub use scrambling::ScramblingPolicy;
+pub use seq::SeqPolicy;

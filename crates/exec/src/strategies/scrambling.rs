@@ -1,0 +1,236 @@
+//! SCR: query scrambling, the timeout-reactive strategy of [1]/[2] that the
+//! paper argues against (§1.2).
+//!
+//! "The different scrambling techniques are all based on the same concept:
+//! react to a timeout while waiting for remote data to arrive. When this
+//! timeout occurs, a scrambling step takes place: The operator currently in
+//! execution, say O1, is suspended (as it has no input data), and a new
+//! operator, say O2, is selected for execution. ... O1 resumes as soon as
+//! data arrives, or O2 is executed until it ends or until a new timeout
+//! occurs."
+//!
+//! Implementation of phase 1 (rescheduling; phase 2 — run-time
+//! re-optimization — is out of scope for both the paper and this
+//! reproduction):
+//!
+//! * execution starts exactly like SEQ: the first unfinished chain in
+//!   iterator order is the only scheduled fragment;
+//! * each `TimeOut` interruption is one *scrambling step*: schedule the
+//!   next C-schedulable chain not yet running; if none exists, start
+//!   materializing one blocked wrapper (raw spooling, as [1]'s
+//!   materialization steps do);
+//! * the current chain keeps the highest priority, so it "resumes as soon
+//!   as data arrives"; scrambled work runs during its silences.
+//!
+//! The paper's two §1.2 criticisms fall out measurably: the behaviour
+//! depends on the timeout value (`repro scrambling` sweeps it), and *slow
+//! delivery* never trips the timeout at all — data keeps trickling, the
+//! stall never reaches the threshold, and SCR degenerates to SEQ.
+
+use dqs_plan::ChainSource;
+
+use crate::frag::{FragId, FragStatus};
+use crate::policy::{Interrupt, PlanCtx, Policy};
+
+/// The query-scrambling baseline (phase 1 of [1]).
+#[derive(Debug, Default)]
+pub struct ScramblingPolicy {
+    /// Fragments activated by scrambling steps, in activation order.
+    scrambled: Vec<FragId>,
+    /// Scrambling steps taken (reported via `RunMetrics::plans` timing;
+    /// exposed for tests through `steps`).
+    steps: u64,
+}
+
+impl ScramblingPolicy {
+    /// A fresh scrambler.
+    pub fn new() -> Self {
+        ScramblingPolicy::default()
+    }
+
+    /// Scrambling steps performed so far.
+    pub fn steps(&self) -> u64 {
+        self.steps
+    }
+
+    /// The SEQ-like current fragment: first unfinished chain in order.
+    fn current(&self, ctx: &PlanCtx<'_>) -> Option<FragId> {
+        ctx.plan
+            .chains
+            .sequential_order()
+            .into_iter()
+            .find_map(|pc| ctx.frags.live_body(pc))
+    }
+
+    fn assemble(&mut self, ctx: &PlanCtx<'_>) -> Vec<FragId> {
+        let mut sp = Vec::new();
+        if let Some(cur) = self.current(ctx) {
+            sp.push(cur);
+        }
+        // Keep previously scrambled fragments running until they finish
+        // ("O2 is executed until it ends or until a new timeout occurs").
+        self.scrambled
+            .retain(|&f| ctx.frags.get(f).status == FragStatus::Active);
+        for &f in &self.scrambled {
+            if !sp.contains(&f) {
+                sp.push(f);
+            }
+        }
+        sp
+    }
+
+    /// One scrambling step: activate more work.
+    fn scramble(&mut self, ctx: &mut PlanCtx<'_>, sp: &[FragId]) {
+        self.steps += 1;
+        // 1. Another C-schedulable chain that is not yet scheduled.
+        for pc in ctx.plan.chains.sequential_order() {
+            let Some(body) = ctx.frags.live_body(pc) else {
+                continue;
+            };
+            if sp.contains(&body) || self.scrambled.contains(&body) {
+                continue;
+            }
+            if ctx.c_schedulable(pc) {
+                self.scrambled.push(body);
+                return;
+            }
+        }
+        // 2. Otherwise, start materializing one blocked wrapper (raw, as
+        //    [1]'s materialization steps store whole relations).
+        for pc in ctx.plan.chains.sequential_order() {
+            let Some(body) = ctx.frags.live_body(pc) else {
+                continue;
+            };
+            let b = ctx.frags.get(body);
+            if b.kind != crate::frag::FragKind::Whole || b.started {
+                continue;
+            }
+            let is_wrapper = matches!(
+                ctx.plan.chains.chain(pc).source,
+                ChainSource::Wrapper(rel) if !ctx.world.cm.exhausted(rel)
+            );
+            if is_wrapper && !ctx.c_schedulable(pc) {
+                let (mf, _cf) = ctx.degrade(pc, false);
+                self.scrambled.push(mf);
+                return;
+            }
+        }
+        // Nothing left to scramble (§1.2: "if a single problem arises with
+        // the last accessed data source, scrambling will be ineffective
+        // since there is no more work to scramble").
+    }
+}
+
+impl Policy for ScramblingPolicy {
+    fn name(&self) -> &'static str {
+        "SCR"
+    }
+
+    fn plan(&mut self, ctx: &mut PlanCtx<'_>, why: Interrupt) -> Vec<FragId> {
+        let sp = self.assemble(ctx);
+        if matches!(why, Interrupt::Timeout) {
+            self.scramble(ctx, &sp);
+            return self.assemble(ctx);
+        }
+        sp
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::run_workload;
+    use crate::strategies::seq::SeqPolicy;
+    use crate::workload::Workload;
+    use dqs_plan::{Catalog, QepBuilder};
+    use dqs_sim::SimDuration;
+    use dqs_source::DelayModel;
+
+    /// Three-way join; relation A builds, B probes+builds, C outputs.
+    fn three_way() -> Workload {
+        let mut cat = Catalog::new();
+        let a = cat.add("A", 3_000);
+        let b = cat.add("B", 3_000);
+        let c = cat.add("C", 3_000);
+        let mut qb = QepBuilder::new();
+        let sa = qb.scan(a, 1.0);
+        let sb = qb.scan(b, 1.0);
+        let j1 = qb.hash_join(sa, sb, 1.0);
+        let sc = qb.scan(c, 1.0);
+        let j2 = qb.hash_join(j1, sc, 1.0);
+        Workload::new(cat, qb.finish(j2).unwrap())
+    }
+
+    #[test]
+    fn scr_without_delays_behaves_like_seq() {
+        let w = three_way();
+        let seq = run_workload(&w, SeqPolicy);
+        let scr = run_workload(&w, ScramblingPolicy::new());
+        assert_eq!(scr.output_tuples, seq.output_tuples);
+        assert_eq!(scr.timeouts, 0, "no starvation, no scrambling");
+        let ratio = scr.response_secs() / seq.response_secs();
+        assert!((ratio - 1.0).abs() < 0.02, "SCR == SEQ without delays: {ratio}");
+    }
+
+    #[test]
+    fn scr_reacts_to_initial_delay() {
+        // A's first tuple is 2 s late: SEQ stalls the whole time; SCR's
+        // timeout fires and it materializes B/C meanwhile.
+        let mut w = three_way().with_delay(
+            dqs_relop::RelId(0),
+            DelayModel::Initial {
+                initial: SimDuration::from_secs(2),
+                mean: SimDuration::from_micros(20),
+            },
+        );
+        w.config.timeout = SimDuration::from_millis(100);
+        let seq = run_workload(&w, SeqPolicy);
+        let scr = run_workload(&w, ScramblingPolicy::new());
+        assert_eq!(scr.output_tuples, seq.output_tuples);
+        assert!(scr.timeouts >= 1, "the initial delay must trip the timeout");
+        assert!(
+            scr.response_time < seq.response_time,
+            "SCR {} must beat SEQ {} on initial delays",
+            scr.response_time,
+            seq.response_time
+        );
+    }
+
+    #[test]
+    fn scr_cannot_handle_slow_delivery() {
+        // §1.2: slow-but-steady arrivals never trip the timeout, so SCR
+        // degenerates to SEQ — the paper's core criticism.
+        let mut w = three_way().with_delay(
+            dqs_relop::RelId(0),
+            DelayModel::Uniform {
+                mean: SimDuration::from_micros(400),
+            },
+        );
+        w.config.timeout = SimDuration::from_millis(100);
+        let seq = run_workload(&w, SeqPolicy);
+        let scr = run_workload(&w, ScramblingPolicy::new());
+        assert_eq!(
+            scr.timeouts, 0,
+            "steady 0-800 µs gaps never reach a 100 ms timeout"
+        );
+        let ratio = scr.response_secs() / seq.response_secs();
+        assert!(
+            (ratio - 1.0).abs() < 0.02,
+            "SCR degenerates to SEQ on slow delivery: {ratio}"
+        );
+    }
+
+    #[test]
+    fn huge_timeout_disables_scrambling() {
+        let mut w = three_way().with_delay(
+            dqs_relop::RelId(0),
+            DelayModel::Initial {
+                initial: SimDuration::from_secs(2),
+                mean: SimDuration::from_micros(20),
+            },
+        );
+        w.config.timeout = SimDuration::from_secs(30);
+        let scr = run_workload(&w, ScramblingPolicy::new());
+        assert_eq!(scr.timeouts, 0, "a too-large timeout never fires (§1.2)");
+    }
+}

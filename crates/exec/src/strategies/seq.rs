@@ -1,0 +1,126 @@
+//! SEQ: the classical iterator-model execution (§2.3, §5.1.2).
+//!
+//! "We have implemented the classical iterator model, resulting in a
+//! sequential execution, denoted by SEQ ... We use its performance as the
+//! baseline, i.e., the performance results when nothing is done to handle
+//! unpredictable data delivery rates."
+//!
+//! The scheduling plan always contains exactly one fragment: the first
+//! unfinished pipeline chain in the QEP's left-to-right activation order.
+//! When its wrapper is slow, the query processor stalls — precisely the
+//! §2.3 pathology the dynamic strategies attack.
+
+use crate::frag::FragId;
+use crate::policy::{Interrupt, PlanCtx, Policy};
+
+/// The sequential iterator-model baseline.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct SeqPolicy;
+
+impl Policy for SeqPolicy {
+    fn name(&self) -> &'static str {
+        "SEQ"
+    }
+
+    fn plan(&mut self, ctx: &mut PlanCtx<'_>, _why: Interrupt) -> Vec<FragId> {
+        for pc in ctx.plan.chains.sequential_order() {
+            if let Some(f) = ctx.frags.live_body(pc) {
+                return vec![f];
+            }
+        }
+        Vec::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::run_workload;
+    use crate::workload::Workload;
+    use dqs_plan::{Catalog, QepBuilder};
+    use dqs_sim::SimDuration;
+    use dqs_source::DelayModel;
+
+    /// Small two-way join everything downstream reuses.
+    fn small_workload(card_a: u64, card_b: u64) -> Workload {
+        let mut cat = Catalog::new();
+        let a = cat.add("A", card_a);
+        let b = cat.add("B", card_b);
+        let mut qb = QepBuilder::new();
+        let sa = qb.scan(a, 1.0);
+        let sb = qb.scan(b, 1.0);
+        let j = qb.hash_join(sa, sb, 1.0);
+        Workload::new(cat, qb.finish(j).unwrap())
+    }
+
+    #[test]
+    fn seq_completes_and_produces_expected_output() {
+        let w = small_workload(2_000, 3_000);
+        let m = run_workload(&w, SeqPolicy);
+        assert_eq!(m.strategy, "SEQ");
+        assert_eq!(m.output_tuples, 3_000, "fanout 1.0 over the probe side");
+        assert!(m.response_time > SimDuration::ZERO);
+        assert_eq!(m.pages_written, 0, "SEQ never materializes");
+        assert_eq!(m.degradations, 0);
+    }
+
+    #[test]
+    fn seq_response_is_at_least_sum_of_retrievals_minus_overlap() {
+        // §2.3: sequential execution's response time is bounded below by
+        // the serialized consumption of each wrapper (the window protocol
+        // overlaps only a queue's worth).
+        let w = small_workload(5_000, 5_000);
+        let m = run_workload(&w, SeqPolicy);
+        // 10 000 tuples at w_min = 20 µs each → at least 0.2 s minus the
+        // bounded queue prefetch.
+        let floor = 10_000u64 - 2 * w.config.queue_capacity as u64;
+        assert!(
+            m.response_time >= SimDuration::from_micros(20) * floor,
+            "response {} too small",
+            m.response_time
+        );
+    }
+
+    #[test]
+    fn seq_stalls_on_slow_wrapper() {
+        let mut w = small_workload(2_000, 2_000);
+        w = w.with_delay(
+            dqs_relop::RelId(0),
+            DelayModel::Uniform {
+                mean: SimDuration::from_micros(500),
+            },
+        );
+        let m = run_workload(&w, SeqPolicy);
+        // Relation A alone takes ~1 s to arrive; SEQ must stall for most
+        // of it.
+        assert!(
+            m.stall_time > SimDuration::from_millis(500),
+            "stall {} should dominate",
+            m.stall_time
+        );
+    }
+
+    #[test]
+    fn seq_is_deterministic_per_seed() {
+        let w = small_workload(1_000, 1_000);
+        let m1 = run_workload(&w.clone().with_seed(7), SeqPolicy);
+        let m2 = run_workload(&w.with_seed(7), SeqPolicy);
+        assert_eq!(m1.response_time, m2.response_time);
+        assert_eq!(m1.batches, m2.batches);
+        assert_eq!(m1.events, m2.events);
+    }
+
+    #[test]
+    fn zero_cardinality_relation_completes() {
+        let w = small_workload(0, 100);
+        let m = run_workload(&w, SeqPolicy);
+        assert_eq!(m.output_tuples, 0, "probing an empty build yields nothing");
+    }
+
+    #[test]
+    fn zero_probe_side_completes() {
+        let w = small_workload(100, 0);
+        let m = run_workload(&w, SeqPolicy);
+        assert_eq!(m.output_tuples, 0);
+    }
+}

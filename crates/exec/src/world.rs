@@ -1,0 +1,146 @@
+//! The execution world: every simulated component of one run.
+
+use dqs_plan::{AnnotatedPlan, ChainSet};
+use dqs_relop::{HashTableArena, RelId, Tuple};
+use dqs_sim::{FifoResource, SeedSplitter, SimParams, Trace};
+use dqs_storage::{Disk, MemoryManager, StreamId, TempRelation};
+use dqs_source::{CommManager, Wrapper};
+
+use crate::frag::TempId;
+use crate::workload::Workload;
+
+/// All mutable simulated state shared by the engine and the policies.
+#[derive(Debug)]
+pub struct World {
+    /// Platform parameters.
+    pub params: SimParams,
+    /// The mediator's single CPU.
+    pub cpu: FifoResource,
+    /// The mediator's local disk.
+    pub disk: Disk,
+    /// The query memory budget.
+    pub memory: MemoryManager,
+    /// Wrappers, queues and rate estimation.
+    pub cm: CommManager,
+    /// All hash tables of the plan.
+    pub arena: HashTableArena,
+    /// Temp relations (plan-level mats first, degradations appended).
+    pub temps: Vec<TempRelation<Tuple>>,
+    /// Optional execution trace.
+    pub trace: Trace,
+}
+
+impl World {
+    /// Build a world for `workload`, returning it with the annotated plan.
+    pub fn build(workload: &Workload) -> (World, AnnotatedPlan) {
+        let params = workload.config.params.clone();
+        let chains = ChainSet::decompose(&workload.qep);
+        let plan = AnnotatedPlan::annotate(chains, &workload.catalog, &params);
+
+        let seeds = SeedSplitter::new(workload.config.seed);
+        let wrappers: Vec<Wrapper> = workload
+            .catalog
+            .iter()
+            .map(|(rel, spec)| {
+                Wrapper::new(
+                    rel,
+                    workload.actual_cardinality(rel),
+                    workload.delays[rel.0 as usize].clone(),
+                    seeds.stream(&format!("wrapper:{}", spec.name)),
+                )
+            })
+            .collect();
+        let mut cm = CommManager::new(wrappers, workload.config.queue_capacity, params.clone());
+        if let Some(t) = workload.config.rate_change_threshold {
+            cm.set_rate_change_threshold(t);
+        }
+
+        let mut arena = HashTableArena::new();
+        for _ in 0..plan.chains.ht_count {
+            arena.alloc();
+        }
+
+        let mut world = World {
+            cpu: FifoResource::new("cpu"),
+            disk: Disk::new(params.clone()),
+            memory: MemoryManager::new(workload.config.memory_bytes),
+            cm,
+            arena,
+            temps: Vec::new(),
+            trace: if workload.config.trace {
+                Trace::enabled()
+            } else {
+                Trace::disabled()
+            },
+            params,
+        };
+        // Pre-allocate temps for plan-level Mat nodes so TempId(i) == MatId(i).
+        for _ in 0..plan.chains.mat_count {
+            world.alloc_temp();
+        }
+        (world, plan)
+    }
+
+    /// Allocate a fresh temp relation with its own disk streams.
+    pub fn alloc_temp(&mut self) -> TempId {
+        let i = self.temps.len() as u32;
+        self.temps.push(TempRelation::new(
+            &self.params,
+            StreamId(2 * i),
+            StreamId(2 * i + 1),
+        ));
+        TempId(i)
+    }
+
+    /// Temp lookup.
+    pub fn temp(&self, id: TempId) -> &TempRelation<Tuple> {
+        &self.temps[id.0 as usize]
+    }
+
+    /// Mutable temp lookup.
+    pub fn temp_mut(&mut self, id: TempId) -> &mut TempRelation<Tuple> {
+        &mut self.temps[id.0 as usize]
+    }
+
+    /// True when the wrapper for `rel` delivered everything and its queue
+    /// is empty.
+    pub fn rel_drained(&self, rel: RelId) -> bool {
+        self.cm.drained(rel)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workload::Workload;
+
+    #[test]
+    fn build_wires_all_components() {
+        let (w, _f5) = Workload::fig5();
+        let (world, plan) = World::build(&w);
+        assert_eq!(world.cm.len(), 6);
+        assert_eq!(world.arena.len(), 5, "five joins, five hash tables");
+        assert!(world.temps.is_empty(), "no plan-level mats in figure 5");
+        assert_eq!(plan.chains.len(), 6);
+        assert_eq!(world.memory.total(), 32 * 1024 * 1024);
+    }
+
+    #[test]
+    fn alloc_temp_assigns_distinct_streams() {
+        let (w, _) = Workload::fig5();
+        let (mut world, _) = World::build(&w);
+        let a = world.alloc_temp();
+        let b = world.alloc_temp();
+        assert_ne!(a, b);
+        assert_eq!(world.temps.len(), 2);
+    }
+
+    #[test]
+    fn same_workload_same_world_shape() {
+        let (w, _) = Workload::fig5();
+        let (w1, p1) = World::build(&w);
+        let (w2, p2) = World::build(&w);
+        assert_eq!(p1.chains.len(), p2.chains.len());
+        assert_eq!(w1.cm.len(), w2.cm.len());
+    }
+}

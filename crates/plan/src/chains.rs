@@ -1,0 +1,447 @@
+//! Pipeline-chain decomposition.
+//!
+//! §2.2: "A QEP can be decomposed into a set of maximum pipeline chains. A
+//! pipeline chain (PC) is the maximal set of physical operators linked by
+//! pipelinable edges. Blocking edges induce dependency constraints between
+//! PCs."
+//!
+//! Each chain starts at a *source* — a wrapper scan or the temp relation
+//! written by a `Mat` node — and follows pipelinable edges upward through the
+//! probe sides of hash joins until it hits a blocking edge: the build side of
+//! a join (sink: hash table), a `Mat` node (sink: temp relation), or the plan
+//! root (sink: query output).
+//!
+//! Chains are numbered in the classical iterator activation order (build
+//! subtree before probe subtree, §2.3), so the sequential strategy SEQ is
+//! exactly "execute chains in id order".
+
+use std::collections::BTreeSet;
+
+use dqs_relop::{HtId, OpSpec, RelId};
+
+use crate::qep::{NodeId, Qep, QepNode};
+
+/// Identifier of a pipeline chain.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct PcId(pub u32);
+
+/// Identifier of a materialization temp relation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct MatId(pub u32);
+
+/// Where a chain's input tuples come from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ChainSource {
+    /// The communication queue of a remote wrapper.
+    Wrapper(RelId),
+    /// A temp relation produced by a `Mat` sink.
+    Temp(MatId),
+}
+
+/// Where a chain's output goes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ChainSink {
+    /// Into a hash table (the blocking build edge of a join).
+    Build(HtId),
+    /// Into a temp relation (an explicit `Mat`).
+    Mat(MatId),
+    /// The query result.
+    Output,
+}
+
+/// One maximal pipeline chain.
+#[derive(Debug, Clone)]
+pub struct PipelineChain {
+    /// Chain id == position in [`ChainSet::chains`].
+    pub id: PcId,
+    /// Which query of the forest this chain belongs to (0 for single-query
+    /// plans).
+    pub query: u32,
+    /// Input source.
+    pub source: ChainSource,
+    /// Operator specs in pipeline order; if the sink is `Build`, the last
+    /// spec is the corresponding `OpSpec::Build`.
+    pub ops: Vec<OpSpec>,
+    /// Output sink.
+    pub sink: ChainSink,
+    /// Direct ancestors: chains connected to this one by one blocking edge
+    /// (they must complete before this chain may run). Sorted, deduplicated.
+    pub blocked_by: Vec<PcId>,
+}
+
+impl PipelineChain {
+    /// Hash tables probed by this chain.
+    pub fn probes(&self) -> Vec<HtId> {
+        self.ops
+            .iter()
+            .filter_map(|o| match o {
+                OpSpec::Probe { table, .. } => Some(*table),
+                _ => None,
+            })
+            .collect()
+    }
+}
+
+/// The full decomposition of one QEP.
+#[derive(Debug, Clone)]
+pub struct ChainSet {
+    /// Chains in iterator (sequential) order.
+    pub chains: Vec<PipelineChain>,
+    /// Number of hash tables (one per join).
+    pub ht_count: u32,
+    /// Number of temp relations (one per `Mat` node).
+    pub mat_count: u32,
+    /// For each hash table, the chain that builds it.
+    ht_builder: Vec<PcId>,
+    /// For each temp relation, the chain that writes it.
+    mat_builder: Vec<PcId>,
+}
+
+#[derive(Debug, Clone, Copy)]
+#[allow(clippy::enum_variant_names)] // the Of suffix reads as intended
+enum Role {
+    BuildOf(NodeId),
+    ProbeOf(NodeId),
+    InputOf(NodeId),
+}
+
+impl ChainSet {
+    /// Decompose `qep` into maximal pipeline chains.
+    pub fn decompose(qep: &Qep) -> ChainSet {
+        // Parent role of every node.
+        let mut parent: Vec<Option<Role>> = vec![None; qep.len()];
+        // Hash-table / temp ids per node index.
+        let mut ht_of: Vec<Option<HtId>> = vec![None; qep.len()];
+        let mut mat_of: Vec<Option<MatId>> = vec![None; qep.len()];
+        let mut ht_count = 0u32;
+        let mut mat_count = 0u32;
+        for (id, node) in qep.iter() {
+            match node {
+                QepNode::HashJoin { build, probe, .. } => {
+                    parent[build.0 as usize] = Some(Role::BuildOf(id));
+                    parent[probe.0 as usize] = Some(Role::ProbeOf(id));
+                    ht_of[id.0 as usize] = Some(HtId(ht_count));
+                    ht_count += 1;
+                }
+                QepNode::Mat { input } => {
+                    parent[input.0 as usize] = Some(Role::InputOf(id));
+                    mat_of[id.0 as usize] = Some(MatId(mat_count));
+                    mat_count += 1;
+                }
+                QepNode::Scan { .. } => {}
+            }
+        }
+
+        let mut set = ChainSet {
+            chains: Vec::new(),
+            ht_count,
+            mat_count,
+            ht_builder: vec![PcId(u32::MAX); ht_count as usize],
+            mat_builder: vec![PcId(u32::MAX); mat_count as usize],
+        };
+
+        // DFS in iterator order, starting chains at scans and Mat outputs.
+        fn visit(
+            qep: &Qep,
+            id: NodeId,
+            parent: &[Option<Role>],
+            ht_of: &[Option<HtId>],
+            mat_of: &[Option<MatId>],
+            set: &mut ChainSet,
+        ) {
+            match qep.node(id) {
+                QepNode::Scan { rel, selectivity } => {
+                    let mut ops = vec![OpSpec::Select {
+                        selectivity: *selectivity,
+                    }];
+                    start_chain(
+                        qep,
+                        id,
+                        ChainSource::Wrapper(*rel),
+                        &mut ops,
+                        parent,
+                        ht_of,
+                        mat_of,
+                        set,
+                    );
+                }
+                QepNode::HashJoin { build, probe, .. } => {
+                    visit(qep, *build, parent, ht_of, mat_of, set);
+                    visit(qep, *probe, parent, ht_of, mat_of, set);
+                }
+                QepNode::Mat { input } => {
+                    visit(qep, *input, parent, ht_of, mat_of, set);
+                    // The complement chain reads the finished temp relation.
+                    let m = mat_of[id.0 as usize].expect("mat id assigned");
+                    let mut ops = Vec::new();
+                    start_chain(
+                        qep,
+                        id,
+                        ChainSource::Temp(m),
+                        &mut ops,
+                        parent,
+                        ht_of,
+                        mat_of,
+                        set,
+                    );
+                }
+            }
+        }
+
+        #[allow(clippy::too_many_arguments)]
+        fn start_chain(
+            qep: &Qep,
+            from: NodeId,
+            source: ChainSource,
+            ops: &mut Vec<OpSpec>,
+            parent: &[Option<Role>],
+            ht_of: &[Option<HtId>],
+            mat_of: &[Option<MatId>],
+            set: &mut ChainSet,
+        ) {
+            let mut cur = from;
+            let sink = loop {
+                match parent[cur.0 as usize] {
+                    None => break ChainSink::Output,
+                    Some(Role::BuildOf(join)) => {
+                        let ht = ht_of[join.0 as usize].expect("join has ht");
+                        ops.push(OpSpec::Build { table: ht });
+                        break ChainSink::Build(ht);
+                    }
+                    Some(Role::ProbeOf(join)) => {
+                        let ht = ht_of[join.0 as usize].expect("join has ht");
+                        let fanout = match qep.node(join) {
+                            QepNode::HashJoin { fanout, .. } => *fanout,
+                            _ => unreachable!("probe parent must be a join"),
+                        };
+                        ops.push(OpSpec::Probe { table: ht, fanout });
+                        cur = join;
+                    }
+                    Some(Role::InputOf(mat)) => {
+                        let m = mat_of[mat.0 as usize].expect("mat has id");
+                        break ChainSink::Mat(m);
+                    }
+                }
+            };
+            let id = PcId(set.chains.len() as u32);
+            match sink {
+                ChainSink::Build(h) => set.ht_builder[h.0 as usize] = id,
+                ChainSink::Mat(m) => set.mat_builder[m.0 as usize] = id,
+                ChainSink::Output => {}
+            }
+            set.chains.push(PipelineChain {
+                id,
+                query: 0,
+                source,
+                ops: std::mem::take(ops),
+                sink,
+                blocked_by: Vec::new(),
+            });
+        }
+
+        for (q, &root) in qep.roots().iter().enumerate() {
+            let first = set.chains.len();
+            visit(qep, root, &parent, &ht_of, &mat_of, &mut set);
+            for c in &mut set.chains[first..] {
+                c.query = q as u32;
+            }
+        }
+
+        // Direct dependency constraints: probing a table blocks on its
+        // builder; reading a temp blocks on its writer.
+        for i in 0..set.chains.len() {
+            let mut deps = BTreeSet::new();
+            for ht in set.chains[i].probes() {
+                deps.insert(set.ht_builder[ht.0 as usize]);
+            }
+            if let ChainSource::Temp(m) = set.chains[i].source {
+                deps.insert(set.mat_builder[m.0 as usize]);
+            }
+            set.chains[i].blocked_by = deps.into_iter().collect();
+        }
+        set
+    }
+
+    /// The chain that builds hash table `ht`.
+    pub fn builder_of(&self, ht: HtId) -> PcId {
+        self.ht_builder[ht.0 as usize]
+    }
+
+    /// The chain that writes temp relation `m`.
+    pub fn writer_of(&self, m: MatId) -> PcId {
+        self.mat_builder[m.0 as usize]
+    }
+
+    /// Chain lookup.
+    pub fn chain(&self, id: PcId) -> &PipelineChain {
+        &self.chains[id.0 as usize]
+    }
+
+    /// Number of chains.
+    pub fn len(&self) -> usize {
+        self.chains.len()
+    }
+
+    /// True when the set is empty (never for a decomposed plan).
+    pub fn is_empty(&self) -> bool {
+        self.chains.is_empty()
+    }
+
+    /// `ancestors*(p)`: the transitive closure of the blocking relation
+    /// (§4.1), i.e. every chain that must finish before `p` may run.
+    pub fn ancestors_star(&self, p: PcId) -> BTreeSet<PcId> {
+        let mut out = BTreeSet::new();
+        let mut stack: Vec<PcId> = self.chain(p).blocked_by.clone();
+        while let Some(q) = stack.pop() {
+            if out.insert(q) {
+                stack.extend(self.chain(q).blocked_by.iter().copied());
+            }
+        }
+        out
+    }
+
+    /// Chains that transitively depend on `p` (used to reason about how much
+    /// work a slow chain gates — §5.2's "p_B and p_F represent approximately
+    /// one half of the query execution").
+    pub fn descendants_star(&self, p: PcId) -> BTreeSet<PcId> {
+        let mut out = BTreeSet::new();
+        for c in &self.chains {
+            if self.ancestors_star(c.id).contains(&p) {
+                out.insert(c.id);
+            }
+        }
+        out
+    }
+
+    /// The sequential (iterator model) execution order — chain ids ascending.
+    pub fn sequential_order(&self) -> Vec<PcId> {
+        (0..self.chains.len() as u32).map(PcId).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::qep::QepBuilder;
+
+    /// Figure 3-like plan: W_A ⋈ W_B where the result joins W_C.
+    fn three_way() -> Qep {
+        let mut b = QepBuilder::new();
+        let a = b.scan(RelId(0), 1.0);
+        let w_b = b.scan(RelId(1), 1.0);
+        let j1 = b.hash_join(a, w_b, 1.0);
+        let c = b.scan(RelId(2), 1.0);
+        let j2 = b.hash_join(j1, c, 1.0);
+        b.finish(j2).unwrap()
+    }
+
+    #[test]
+    fn three_way_decomposes_into_three_chains() {
+        let set = ChainSet::decompose(&three_way());
+        assert_eq!(set.len(), 3);
+        assert_eq!(set.ht_count, 2);
+        assert_eq!(set.mat_count, 0);
+
+        // p0 = scan A -> build HT0
+        let p0 = set.chain(PcId(0));
+        assert_eq!(p0.source, ChainSource::Wrapper(RelId(0)));
+        assert_eq!(p0.sink, ChainSink::Build(HtId(0)));
+        assert!(p0.blocked_by.is_empty());
+
+        // p1 = scan B -> probe HT0 -> build HT1, blocked by p0
+        let p1 = set.chain(PcId(1));
+        assert_eq!(p1.source, ChainSource::Wrapper(RelId(1)));
+        assert_eq!(p1.sink, ChainSink::Build(HtId(1)));
+        assert_eq!(p1.blocked_by, vec![PcId(0)]);
+        assert_eq!(p1.probes(), vec![HtId(0)]);
+
+        // p2 = scan C -> probe HT1 -> output, blocked by p1
+        let p2 = set.chain(PcId(2));
+        assert_eq!(p2.sink, ChainSink::Output);
+        assert_eq!(p2.blocked_by, vec![PcId(1)]);
+    }
+
+    #[test]
+    fn ancestors_star_is_transitive() {
+        let set = ChainSet::decompose(&three_way());
+        let anc = set.ancestors_star(PcId(2));
+        assert_eq!(anc.into_iter().collect::<Vec<_>>(), vec![PcId(0), PcId(1)]);
+        assert!(set.ancestors_star(PcId(0)).is_empty());
+    }
+
+    #[test]
+    fn descendants_star_inverts_ancestors() {
+        let set = ChainSet::decompose(&three_way());
+        let desc = set.descendants_star(PcId(0));
+        assert_eq!(desc.into_iter().collect::<Vec<_>>(), vec![PcId(1), PcId(2)]);
+    }
+
+    #[test]
+    fn mat_splits_a_chain_in_two() {
+        // scan A -> Mat -> probe(HT of scan B) ... i.e. plan:
+        // J(build=scan B, probe=Mat(scan A)).
+        let mut b = QepBuilder::new();
+        let a = b.scan(RelId(0), 1.0);
+        let m = b.mat(a);
+        let w_b = b.scan(RelId(1), 1.0);
+        let j = b.hash_join(w_b, m, 1.0);
+        let qep = b.finish(j).unwrap();
+
+        let set = ChainSet::decompose(&qep);
+        assert_eq!(set.len(), 3);
+        assert_eq!(set.mat_count, 1);
+
+        // Iterator order: build side (scan B) first, then the Mat input
+        // chain, then the temp-sourced complement chain.
+        let p0 = set.chain(PcId(0));
+        assert_eq!(p0.source, ChainSource::Wrapper(RelId(1)));
+        assert_eq!(p0.sink, ChainSink::Build(HtId(0)));
+
+        let mf = set.chain(PcId(1));
+        assert_eq!(mf.source, ChainSource::Wrapper(RelId(0)));
+        assert_eq!(mf.sink, ChainSink::Mat(MatId(0)));
+        assert!(mf.blocked_by.is_empty(), "MF has no ancestors (§4.4)");
+
+        let cf = set.chain(PcId(2));
+        assert_eq!(cf.source, ChainSource::Temp(MatId(0)));
+        assert_eq!(cf.sink, ChainSink::Output);
+        assert_eq!(cf.blocked_by, vec![PcId(0), PcId(1)]);
+        assert_eq!(set.writer_of(MatId(0)), PcId(1));
+    }
+
+    #[test]
+    fn builder_of_maps_tables_to_chains() {
+        let set = ChainSet::decompose(&three_way());
+        assert_eq!(set.builder_of(HtId(0)), PcId(0));
+        assert_eq!(set.builder_of(HtId(1)), PcId(1));
+    }
+
+    #[test]
+    fn chain_ops_carry_scan_selectivity() {
+        let mut b = QepBuilder::new();
+        let a = b.scan(RelId(0), 0.25);
+        let c = b.scan(RelId(1), 1.0);
+        let j = b.hash_join(a, c, 2.0);
+        let qep = b.finish(j).unwrap();
+        let set = ChainSet::decompose(&qep);
+        assert_eq!(
+            set.chain(PcId(0)).ops[0],
+            OpSpec::Select { selectivity: 0.25 }
+        );
+        // Probe chain carries the join fanout.
+        assert!(set
+            .chain(PcId(1))
+            .ops
+            .iter()
+            .any(|o| matches!(o, OpSpec::Probe { fanout, .. } if *fanout == 2.0)));
+    }
+
+    #[test]
+    fn sequential_order_is_ascending_ids() {
+        let set = ChainSet::decompose(&three_way());
+        assert_eq!(
+            set.sequential_order(),
+            vec![PcId(0), PcId(1), PcId(2)]
+        );
+    }
+}

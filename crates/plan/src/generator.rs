@@ -1,0 +1,176 @@
+//! Random query generation.
+//!
+//! §5.1.1: "The query was generated using the algorithm of [14]" — Swami &
+//! Iyer-style random bushy join-tree generation. Given a relation count and
+//! parameter ranges, the generator draws cardinalities, a random bushy tree
+//! shape, and per-join fan-outs, producing a catalog plus QEP that the
+//! scheduler and all three strategies can execute. §5.1.1 again: "Other
+//! queries, differing by their complexity, size and shape, were tested in
+//! the same manner" — the property-based tests run the engine over this
+//! generator's output.
+
+use rand::Rng;
+use rand_chacha::ChaCha8Rng;
+
+use crate::qep::{NodeId, Qep, QepBuilder};
+use crate::spec::Catalog;
+
+/// Parameter ranges for random queries.
+#[derive(Debug, Clone)]
+pub struct GeneratorConfig {
+    /// Number of base relations (>= 2).
+    pub relations: usize,
+    /// Cardinality range for each relation.
+    pub cardinality: (u64, u64),
+    /// Scan selectivity range.
+    pub scan_selectivity: (f64, f64),
+    /// Per-probe-tuple join fan-out range.
+    pub join_fanout: (f64, f64),
+}
+
+impl Default for GeneratorConfig {
+    fn default() -> Self {
+        GeneratorConfig {
+            relations: 6,
+            cardinality: (10_000, 200_000),
+            scan_selectivity: (0.5, 1.0),
+            join_fanout: (0.5, 1.5),
+        }
+    }
+}
+
+/// A randomly generated workload.
+#[derive(Debug, Clone)]
+pub struct GeneratedQuery {
+    /// Relation catalog.
+    pub catalog: Catalog,
+    /// Bushy QEP.
+    pub qep: Qep,
+}
+
+/// Generate a random bushy query.
+///
+/// The shape is drawn by repeatedly joining two random roots of the current
+/// forest — the classical recipe for uniform-ish bushy trees. The build side
+/// of each join is the subtree with the smaller estimated cardinality, as a
+/// cost-based optimizer would choose.
+pub fn generate(config: &GeneratorConfig, rng: &mut ChaCha8Rng) -> GeneratedQuery {
+    assert!(config.relations >= 2, "need at least two relations");
+    let mut catalog = Catalog::new();
+    let mut qb = QepBuilder::new();
+    // Forest of (root node, estimated cardinality).
+    let mut forest: Vec<(NodeId, f64)> = Vec::new();
+
+    for i in 0..config.relations {
+        let card = rng.gen_range(config.cardinality.0..=config.cardinality.1);
+        let rel = catalog.add(format!("R{i}"), card);
+        let sel = rng.gen_range(config.scan_selectivity.0..=config.scan_selectivity.1);
+        let node = qb.scan(rel, sel);
+        forest.push((node, card as f64 * sel));
+    }
+
+    while forest.len() > 1 {
+        let i = rng.gen_range(0..forest.len());
+        let (left, left_card) = forest.swap_remove(i);
+        let j = rng.gen_range(0..forest.len());
+        let (right, right_card) = forest.swap_remove(j);
+        // Smaller side builds the hash table.
+        let (build, build_card, probe, probe_card) = if left_card <= right_card {
+            (left, left_card, right, right_card)
+        } else {
+            (right, right_card, left, left_card)
+        };
+        let fanout = rng.gen_range(config.join_fanout.0..=config.join_fanout.1);
+        let node = qb.hash_join(build, probe, fanout);
+        let _ = build_card;
+        forest.push((node, probe_card * fanout));
+    }
+
+    let root = forest[0].0;
+    let qep = qb.finish(root).expect("generated plan is structurally valid");
+    GeneratedQuery { catalog, qep }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::chains::ChainSet;
+    use dqs_sim::SeedSplitter;
+
+    fn rng(seed: u64) -> ChaCha8Rng {
+        SeedSplitter::new(seed).stream("query-generator")
+    }
+
+    #[test]
+    fn generates_requested_relation_count() {
+        let q = generate(&GeneratorConfig::default(), &mut rng(1));
+        assert_eq!(q.catalog.len(), 6);
+        assert_eq!(q.qep.join_count(), 5);
+        assert!(q.qep.validate().is_ok());
+    }
+
+    #[test]
+    fn same_seed_same_query() {
+        let a = generate(&GeneratorConfig::default(), &mut rng(7));
+        let b = generate(&GeneratorConfig::default(), &mut rng(7));
+        assert_eq!(a.qep, b.qep);
+        assert_eq!(a.catalog, b.catalog);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = generate(&GeneratorConfig::default(), &mut rng(1));
+        let b = generate(&GeneratorConfig::default(), &mut rng(2));
+        assert!(a.qep != b.qep || a.catalog != b.catalog);
+    }
+
+    #[test]
+    fn cardinalities_respect_range() {
+        let cfg = GeneratorConfig {
+            relations: 10,
+            cardinality: (100, 200),
+            ..GeneratorConfig::default()
+        };
+        let q = generate(&cfg, &mut rng(3));
+        for (_, r) in q.catalog.iter() {
+            assert!((100..=200).contains(&r.cardinality));
+        }
+    }
+
+    #[test]
+    fn every_generated_plan_decomposes() {
+        for seed in 0..50 {
+            for n in 2..=10 {
+                let cfg = GeneratorConfig {
+                    relations: n,
+                    ..GeneratorConfig::default()
+                };
+                let q = generate(&cfg, &mut rng(seed));
+                let set = ChainSet::decompose(&q.qep);
+                assert_eq!(set.len(), n, "one chain per relation (no Mat nodes)");
+                // Exactly one output chain, blocked-by ids all smaller.
+                let outputs = set
+                    .chains
+                    .iter()
+                    .filter(|c| matches!(c.sink, crate::chains::ChainSink::Output))
+                    .count();
+                assert_eq!(outputs, 1);
+                for c in &set.chains {
+                    for d in &c.blocked_by {
+                        assert!(d.0 < c.id.0, "iterator order respects dependencies");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two")]
+    fn rejects_single_relation() {
+        let cfg = GeneratorConfig {
+            relations: 1,
+            ..GeneratorConfig::default()
+        };
+        let _ = generate(&cfg, &mut rng(0));
+    }
+}

@@ -1,0 +1,54 @@
+//! # dqs-plan — query plans and pipeline chains
+//!
+//! The plan layer of the DQS reproduction:
+//!
+//! * [`spec::Catalog`] — mediator-side relation estimates;
+//! * [`qep`] — bushy query execution plans with blocking (hash-join build,
+//!   `Mat`) and pipelinable (probe) edges, §2.2;
+//! * [`chains`] — maximal pipeline-chain decomposition, the dependency
+//!   (ancestor) relation, and the sequential iterator order, §2.2/§4.1;
+//! * [`annotate`] — the annotated plan the scheduler consumes: `mem(op)`,
+//!   result-size estimates and per-tuple cost `c_p`, §3.3;
+//! * [`generator`] — random bushy queries ("the algorithm of [14]", §5.1.1);
+//! * [`optimizer`] — the classical dynamic-programming optimizer, §5.1.1;
+//! * [`experiment`] — the reconstructed Figure 5 experiment plan.
+//!
+//! ```
+//! use dqs_plan::{Catalog, ChainSet, QepBuilder};
+//!
+//! // R ⋈ S with R building the hash table.
+//! let mut catalog = Catalog::new();
+//! let r = catalog.add("R", 1_000);
+//! let s = catalog.add("S", 5_000);
+//! let mut qb = QepBuilder::new();
+//! let scan_r = qb.scan(r, 1.0);
+//! let scan_s = qb.scan(s, 1.0);
+//! let join = qb.hash_join(scan_r, scan_s, 1.0);
+//! let qep = qb.finish(join).unwrap();
+//!
+//! // Two maximal pipeline chains: build R, then probe with S.
+//! let chains = ChainSet::decompose(&qep);
+//! assert_eq!(chains.len(), 2);
+//! assert!(chains.chain(dqs_plan::PcId(1))
+//!     .blocked_by
+//!     .contains(&dqs_plan::PcId(0)));
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod annotate;
+pub mod chains;
+pub mod experiment;
+pub mod generator;
+pub mod optimizer;
+pub mod qep;
+pub mod spec;
+
+pub use annotate::{AnnotatedPlan, ChainInfo};
+pub use chains::{ChainSet, ChainSink, ChainSource, MatId, PcId, PipelineChain};
+pub use experiment::Fig5;
+pub use generator::{generate, GeneratedQuery, GeneratorConfig};
+pub use optimizer::{optimize, JoinGraph, OptimizeError};
+pub use qep::{NodeId, Qep, QepBuilder, QepError, QepNode};
+pub use spec::{Catalog, RelationSpec};

@@ -1,0 +1,349 @@
+//! Classical dynamic-programming optimizer.
+//!
+//! §5.1.1: the experiment query was "optimized in a classical dynamic
+//! programming query optimizer". This module implements a textbook DP over
+//! connected subsets of the join graph, enumerating *bushy* trees (§2.2:
+//! "bushy plans ... offer the best opportunities to minimize the size of
+//! intermediate results") with the sum of intermediate result cardinalities
+//! as the cost function. Build sides are the smaller input, as for the
+//! simulated asymmetric hash join.
+//!
+//! The optimizer runs at compile time in the paper's architecture; the
+//! dynamic QEP optimizer (DQO) may invoke it again for re-optimization, a
+//! hook `dqs-core` exposes but (like the paper, which defers to "phase 2 of
+//! scrambling") does not exercise in the experiments.
+
+use std::collections::HashMap;
+
+use dqs_relop::RelId;
+
+use crate::qep::{NodeId, Qep, QepBuilder};
+use crate::spec::Catalog;
+
+/// An undirected join graph over the catalog's relations.
+#[derive(Debug, Clone, Default)]
+pub struct JoinGraph {
+    /// `((i, j), selectivity)` with `i < j`, relation indices into the
+    /// catalog. Join selectivity is the classical `|R ⋈ S| / (|R|·|S|)`.
+    edges: HashMap<(u16, u16), f64>,
+}
+
+impl JoinGraph {
+    /// Empty graph.
+    pub fn new() -> Self {
+        JoinGraph::default()
+    }
+
+    /// Add (or overwrite) a join predicate between `a` and `b`.
+    pub fn join(&mut self, a: RelId, b: RelId, selectivity: f64) {
+        assert!(a != b, "self-join edges are not supported");
+        assert!(
+            selectivity > 0.0 && selectivity.is_finite(),
+            "bad selectivity {selectivity}"
+        );
+        let key = (a.0.min(b.0), a.0.max(b.0));
+        self.edges.insert(key, selectivity);
+    }
+
+    /// Selectivity between two relation indices, if an edge exists.
+    fn edge(&self, a: u16, b: u16) -> Option<f64> {
+        self.edges.get(&(a.min(b), a.max(b))).copied()
+    }
+
+    /// Number of predicates.
+    pub fn len(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// True when no predicates exist.
+    pub fn is_empty(&self) -> bool {
+        self.edges.is_empty()
+    }
+}
+
+/// Errors from optimization.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum OptimizeError {
+    /// More relations than the DP can enumerate (bitset width).
+    TooManyRelations {
+        /// Count supplied.
+        got: usize,
+        /// Supported maximum.
+        max: usize,
+    },
+    /// The join graph does not connect all relations (cross products are
+    /// rejected rather than silently planned).
+    Disconnected,
+    /// Fewer than two relations.
+    TooFew,
+}
+
+impl std::fmt::Display for OptimizeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            OptimizeError::TooManyRelations { got, max } => {
+                write!(f, "{got} relations exceed the DP limit of {max}")
+            }
+            OptimizeError::Disconnected => write!(f, "join graph is disconnected"),
+            OptimizeError::TooFew => write!(f, "need at least two relations"),
+        }
+    }
+}
+
+impl std::error::Error for OptimizeError {}
+
+const MAX_RELS: usize = 16;
+
+#[derive(Debug, Clone, Copy)]
+struct Best {
+    cost: f64,
+    card: f64,
+    split: Option<(u32, u32)>, // (left subset, right subset)
+}
+
+/// Optimize `graph` over `catalog` into a bushy QEP.
+///
+/// Cost = Σ intermediate result cardinalities. Ties break toward the
+/// lexicographically smaller split, so plans are deterministic.
+pub fn optimize(catalog: &Catalog, graph: &JoinGraph) -> Result<Qep, OptimizeError> {
+    let n = catalog.len();
+    if n < 2 {
+        return Err(OptimizeError::TooFew);
+    }
+    if n > MAX_RELS {
+        return Err(OptimizeError::TooManyRelations {
+            got: n,
+            max: MAX_RELS,
+        });
+    }
+    let full: u32 = (1u32 << n) - 1;
+    let cards: Vec<f64> = (0..n)
+        .map(|i| catalog.cardinality(RelId(i as u16)) as f64)
+        .collect();
+
+    let mut best: Vec<Option<Best>> = vec![None; (full + 1) as usize];
+    for (i, &c) in cards.iter().enumerate() {
+        best[1usize << i] = Some(Best {
+            cost: 0.0,
+            card: c,
+            split: None,
+        });
+    }
+
+    // Enumerate subsets in increasing popcount order via plain increasing
+    // value order (any strict subset of S is numerically smaller than S).
+    for s in 1..=full {
+        if s.count_ones() < 2 {
+            continue;
+        }
+        // Enumerate proper nonempty subsets l of s; take each unordered
+        // split once (l < complement).
+        let mut l = (s - 1) & s;
+        let mut found: Option<Best> = None;
+        while l > 0 {
+            let r = s & !l;
+            if l < r {
+                if let (Some(bl), Some(br)) = (best[l as usize], best[r as usize]) {
+                    if let Some(sel) = cross_selectivity(graph, l, r) {
+                        let card = bl.card * br.card * sel;
+                        let cost = bl.cost + br.cost + card;
+                        let better = match found {
+                            None => true,
+                            Some(f) => cost < f.cost,
+                        };
+                        if better {
+                            found = Some(Best {
+                                cost,
+                                card,
+                                split: Some((l, r)),
+                            });
+                        }
+                    }
+                }
+            }
+            l = (l - 1) & s;
+        }
+        best[s as usize] = found;
+    }
+
+    let Some(root_best) = best[full as usize] else {
+        return Err(OptimizeError::Disconnected);
+    };
+    let _ = root_best;
+
+    // Materialize the plan bottom-up.
+    let mut qb = QepBuilder::new();
+    let root = emit(&mut qb, &best, full);
+    Ok(qb.finish(root).expect("DP plan is structurally valid"))
+}
+
+/// Product of selectivities of edges crossing the (l, r) cut; `None` if no
+/// edge crosses (cross product — rejected).
+fn cross_selectivity(graph: &JoinGraph, l: u32, r: u32) -> Option<f64> {
+    let mut sel = 1.0;
+    let mut any = false;
+    let mut li = l;
+    while li != 0 {
+        let i = li.trailing_zeros() as u16;
+        li &= li - 1;
+        let mut rj = r;
+        while rj != 0 {
+            let j = rj.trailing_zeros() as u16;
+            rj &= rj - 1;
+            if let Some(s) = graph.edge(i, j) {
+                sel *= s;
+                any = true;
+            }
+        }
+    }
+    any.then_some(sel)
+}
+
+fn emit(qb: &mut QepBuilder, best: &[Option<Best>], s: u32) -> NodeId {
+    let b = best[s as usize].expect("emit on unplanned subset");
+    match b.split {
+        None => {
+            let i = s.trailing_zeros() as u16;
+            qb.scan(RelId(i), 1.0)
+        }
+        Some((l, r)) => {
+            let bl = best[l as usize].unwrap();
+            let br = best[r as usize].unwrap();
+            // Smaller side builds (asymmetric hash join, §2.2).
+            let (bs, bcard, ps, pcard) = if bl.card <= br.card {
+                (l, bl.card, r, br.card)
+            } else {
+                (r, br.card, l, bl.card)
+            };
+            let _ = bcard;
+            let build = emit(qb, best, bs);
+            let probe = emit(qb, best, ps);
+            // Per-probe-tuple fan-out reproduces the joint cardinality.
+            let fanout = if pcard > 0.0 { b.card / pcard } else { 0.0 };
+            qb.hash_join(build, probe, fanout)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::annotate::AnnotatedPlan;
+    use crate::chains::ChainSet;
+    use dqs_sim::SimParams;
+
+    fn chain_catalog(cards: &[u64]) -> (Catalog, JoinGraph) {
+        let mut cat = Catalog::new();
+        let ids: Vec<RelId> = cards
+            .iter()
+            .enumerate()
+            .map(|(i, &c)| cat.add(format!("R{i}"), c))
+            .collect();
+        let mut g = JoinGraph::new();
+        for w in ids.windows(2) {
+            g.join(w[0], w[1], 1e-5);
+        }
+        (cat, g)
+    }
+
+    #[test]
+    fn two_way_join_builds_smaller_side() {
+        let (cat, g) = chain_catalog(&[1_000, 50]);
+        let qep = optimize(&cat, &g).unwrap();
+        assert_eq!(qep.join_count(), 1);
+        let set = ChainSet::decompose(&qep);
+        // Build chain (id 0) must be the 50-tuple relation.
+        let plan = AnnotatedPlan::annotate(set, &cat, &SimParams::default());
+        assert_eq!(plan.info(crate::chains::PcId(0)).source_card, 50.0);
+    }
+
+    #[test]
+    fn plan_cardinalities_match_selectivity_model() {
+        let mut cat = Catalog::new();
+        let a = cat.add("A", 1_000);
+        let b = cat.add("B", 2_000);
+        let mut g = JoinGraph::new();
+        g.join(a, b, 1e-3); // |A ⋈ B| = 1000·2000·1e-3 = 2000
+        let qep = optimize(&cat, &g).unwrap();
+        let plan = AnnotatedPlan::annotate(ChainSet::decompose(&qep), &cat, &SimParams::default());
+        // The probe (output) chain's output must be 2000 tuples.
+        let out = plan
+            .info
+            .iter()
+            .map(|i| i.output_card)
+            .fold(0.0f64, f64::max);
+        assert!((out - 2_000.0).abs() < 1.0, "{out}");
+    }
+
+    #[test]
+    fn star_query_avoids_large_intermediates() {
+        // Hub H joins three dimensions; the DP should join the most
+        // selective (smallest-result) pairs first.
+        let mut cat = Catalog::new();
+        let h = cat.add("H", 100_000);
+        let d1 = cat.add("D1", 10);
+        let d2 = cat.add("D2", 10_000);
+        let d3 = cat.add("D3", 100);
+        let mut g = JoinGraph::new();
+        g.join(h, d1, 1e-4);
+        g.join(h, d2, 1e-4);
+        g.join(h, d3, 1e-4);
+        let qep = optimize(&cat, &g).unwrap();
+        assert!(qep.validate().is_ok());
+        assert_eq!(qep.join_count(), 3);
+    }
+
+    #[test]
+    fn disconnected_graph_rejected() {
+        let mut cat = Catalog::new();
+        let a = cat.add("A", 10);
+        let b = cat.add("B", 10);
+        let c = cat.add("C", 10);
+        let mut g = JoinGraph::new();
+        g.join(a, b, 0.1);
+        let _ = c;
+        assert_eq!(optimize(&cat, &g), Err(OptimizeError::Disconnected));
+    }
+
+    #[test]
+    fn single_relation_rejected() {
+        let mut cat = Catalog::new();
+        cat.add("A", 10);
+        assert_eq!(optimize(&cat, &JoinGraph::new()), Err(OptimizeError::TooFew));
+    }
+
+    #[test]
+    fn too_many_relations_rejected() {
+        let mut cat = Catalog::new();
+        let ids: Vec<RelId> = (0..17).map(|i| cat.add(format!("R{i}"), 10)).collect();
+        let mut g = JoinGraph::new();
+        for w in ids.windows(2) {
+            g.join(w[0], w[1], 0.1);
+        }
+        assert!(matches!(
+            optimize(&cat, &g),
+            Err(OptimizeError::TooManyRelations { got: 17, .. })
+        ));
+    }
+
+    #[test]
+    fn optimizer_is_deterministic() {
+        let (cat, g) = chain_catalog(&[500, 300, 700, 100]);
+        let a = optimize(&cat, &g).unwrap();
+        let b = optimize(&cat, &g).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn optimized_plans_decompose_cleanly() {
+        let (cat, g) = chain_catalog(&[500, 300, 700, 100, 900, 50]);
+        let qep = optimize(&cat, &g).unwrap();
+        let set = ChainSet::decompose(&qep);
+        assert_eq!(set.len(), 6);
+        for c in &set.chains {
+            for d in &c.blocked_by {
+                assert!(d.0 < c.id.0);
+            }
+        }
+    }
+}

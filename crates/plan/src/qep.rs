@@ -1,0 +1,438 @@
+//! Query execution plans.
+//!
+//! A QEP (§2.2) is an operator tree over three physical operators:
+//!
+//! * `Scan` — a leaf reading one remote relation through its wrapper, with
+//!   an optional selection predicate;
+//! * `HashJoin` — the classical asymmetric binary operator: the *build*
+//!   input is **blocking** (the hash table must be complete before probing
+//!   starts), the *probe* input is **pipelinable**;
+//! * `Mat` — explicit materialization, introduced before a blocking edge;
+//!   its input is pipelinable, its output blocking (the consumer reads the
+//!   finished temp relation).
+//!
+//! Plans are stored as an arena of nodes; bushy shapes are fully supported
+//! (§2.2: "we consider bushy trees in this paper").
+
+use std::fmt;
+
+use dqs_relop::RelId;
+
+/// Index of a node within a [`Qep`] arena.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(pub u32);
+
+/// One physical operator node.
+#[derive(Debug, Clone, PartialEq)]
+pub enum QepNode {
+    /// Leaf: scan the remote relation `rel`, keeping `selectivity` of its
+    /// tuples.
+    Scan {
+        /// Which base relation / wrapper.
+        rel: RelId,
+        /// Fraction of tuples surviving the scan predicate.
+        selectivity: f64,
+    },
+    /// Hash join with blocking `build` input and pipelinable `probe` input.
+    HashJoin {
+        /// Child whose output is materialized into the hash table.
+        build: NodeId,
+        /// Child whose output streams through the probe.
+        probe: NodeId,
+        /// Average output tuples per probe tuple (join selectivity × build
+        /// cardinality).
+        fanout: f64,
+    },
+    /// Explicit materialization of the input into a temp relation.
+    Mat {
+        /// Pipelined input.
+        input: NodeId,
+    },
+}
+
+/// A query execution plan: an arena of operator nodes plus its root(s).
+///
+/// A single-root plan is one integration query; a multi-root *forest*
+/// packs several independent queries into one executable unit — the §6
+/// multi-query extension. Roots are ordered: root `i` is query `i`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Qep {
+    nodes: Vec<QepNode>,
+    roots: Vec<NodeId>,
+}
+
+/// Errors detected by [`Qep::validate`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum QepError {
+    /// A node references a child index outside the arena.
+    DanglingChild {
+        /// The offending parent.
+        node: NodeId,
+    },
+    /// A node is used as input by two parents (plans are trees).
+    SharedChild {
+        /// The multiply-consumed child.
+        node: NodeId,
+    },
+    /// The node graph contains a cycle.
+    Cycle,
+    /// The root is not the unique parentless node.
+    BadRoot,
+    /// A numeric parameter is out of range.
+    BadParameter {
+        /// The offending node.
+        node: NodeId,
+        /// Explanation.
+        what: &'static str,
+    },
+}
+
+impl fmt::Display for QepError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QepError::DanglingChild { node } => write!(f, "node {node:?} has a dangling child"),
+            QepError::SharedChild { node } => write!(f, "node {node:?} has two parents"),
+            QepError::Cycle => write!(f, "plan contains a cycle"),
+            QepError::BadRoot => write!(f, "root is not the unique parentless node"),
+            QepError::BadParameter { node, what } => {
+                write!(f, "node {node:?} has a bad parameter: {what}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for QepError {}
+
+/// Builder for plans; `NodeId`s are returned as nodes are added.
+#[derive(Debug, Default)]
+pub struct QepBuilder {
+    nodes: Vec<QepNode>,
+}
+
+impl QepBuilder {
+    /// Start an empty plan.
+    pub fn new() -> Self {
+        QepBuilder::default()
+    }
+
+    fn push(&mut self, n: QepNode) -> NodeId {
+        self.nodes.push(n);
+        NodeId(self.nodes.len() as u32 - 1)
+    }
+
+    /// Nodes added so far (useful when splicing plans into a forest).
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True before any node is added.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Add a scan leaf.
+    pub fn scan(&mut self, rel: RelId, selectivity: f64) -> NodeId {
+        self.push(QepNode::Scan { rel, selectivity })
+    }
+
+    /// Add a hash join; `fanout` is average outputs per probe tuple.
+    pub fn hash_join(&mut self, build: NodeId, probe: NodeId, fanout: f64) -> NodeId {
+        self.push(QepNode::HashJoin {
+            build,
+            probe,
+            fanout,
+        })
+    }
+
+    /// Add an explicit materialization.
+    pub fn mat(&mut self, input: NodeId) -> NodeId {
+        self.push(QepNode::Mat { input })
+    }
+
+    /// Finish with `root`, validating the plan.
+    pub fn finish(self, root: NodeId) -> Result<Qep, QepError> {
+        self.finish_forest(vec![root])
+    }
+
+    /// Finish a multi-query forest: each root is one independent query.
+    pub fn finish_forest(self, roots: Vec<NodeId>) -> Result<Qep, QepError> {
+        let qep = Qep {
+            nodes: self.nodes,
+            roots,
+        };
+        qep.validate()?;
+        Ok(qep)
+    }
+}
+
+impl Qep {
+    /// The first (or only) root node.
+    pub fn root(&self) -> NodeId {
+        self.roots[0]
+    }
+
+    /// All roots, one per query in the forest.
+    pub fn roots(&self) -> &[NodeId] {
+        &self.roots
+    }
+
+    /// Number of independent queries in this plan.
+    pub fn query_count(&self) -> usize {
+        self.roots.len()
+    }
+
+    /// Node lookup.
+    pub fn node(&self, id: NodeId) -> &QepNode {
+        &self.nodes[id.0 as usize]
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True if the plan has no nodes (never true for a validated plan).
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Iterate over `(NodeId, &QepNode)`.
+    pub fn iter(&self) -> impl Iterator<Item = (NodeId, &QepNode)> {
+        self.nodes
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (NodeId(i as u32), n))
+    }
+
+    /// Children of a node (build first for joins, matching the classical
+    /// left-to-right iterator activation order).
+    pub fn children(&self, id: NodeId) -> Vec<NodeId> {
+        match self.node(id) {
+            QepNode::Scan { .. } => vec![],
+            QepNode::HashJoin { build, probe, .. } => vec![*build, *probe],
+            QepNode::Mat { input } => vec![*input],
+        }
+    }
+
+    /// All scan leaves in DFS (build-before-probe) order, roots in order.
+    pub fn scans(&self) -> Vec<(NodeId, RelId)> {
+        let mut out = Vec::new();
+        for &root in &self.roots {
+            self.dfs(root, &mut |id, n| {
+                if let QepNode::Scan { rel, .. } = n {
+                    out.push((id, *rel));
+                }
+            });
+        }
+        out
+    }
+
+    /// Number of hash joins.
+    pub fn join_count(&self) -> usize {
+        self.nodes
+            .iter()
+            .filter(|n| matches!(n, QepNode::HashJoin { .. }))
+            .count()
+    }
+
+    fn dfs(&self, id: NodeId, f: &mut impl FnMut(NodeId, &QepNode)) {
+        for c in self.children(id) {
+            self.dfs(c, f);
+        }
+        f(id, self.node(id));
+    }
+
+    /// Structural and parameter validation.
+    pub fn validate(&self) -> Result<(), QepError> {
+        if self.nodes.is_empty()
+            || self.roots.is_empty()
+            || self.roots.iter().any(|r| r.0 as usize >= self.nodes.len())
+        {
+            return Err(QepError::BadRoot);
+        }
+        let n = self.nodes.len();
+        let mut parents = vec![0u32; n];
+        for (i, node) in self.nodes.iter().enumerate() {
+            let id = NodeId(i as u32);
+            for c in self.children(id) {
+                if c.0 as usize >= n {
+                    return Err(QepError::DanglingChild { node: id });
+                }
+                parents[c.0 as usize] += 1;
+                if parents[c.0 as usize] > 1 {
+                    return Err(QepError::SharedChild { node: c });
+                }
+            }
+            match node {
+                QepNode::Scan { selectivity, .. } => {
+                    if !(0.0..=1.0).contains(selectivity) || !selectivity.is_finite() {
+                        return Err(QepError::BadParameter {
+                            node: id,
+                            what: "scan selectivity outside [0,1]",
+                        });
+                    }
+                }
+                QepNode::HashJoin { fanout, .. } => {
+                    if *fanout < 0.0 || !fanout.is_finite() {
+                        return Err(QepError::BadParameter {
+                            node: id,
+                            what: "join fanout negative or non-finite",
+                        });
+                    }
+                }
+                QepNode::Mat { .. } => {}
+            }
+        }
+        // The parentless nodes must be exactly the declared roots.
+        let parentless: std::collections::BTreeSet<usize> =
+            (0..n).filter(|&i| parents[i] == 0).collect();
+        let declared: std::collections::BTreeSet<usize> =
+            self.roots.iter().map(|r| r.0 as usize).collect();
+        if parentless != declared || declared.len() != self.roots.len() {
+            return Err(QepError::BadRoot);
+        }
+        // Trees + unique parents + declared roots imply acyclicity, but
+        // check reachability to catch disconnected cyclic islands.
+        let mut seen = vec![false; n];
+        let mut stack: Vec<NodeId> = self.roots.clone();
+        while let Some(id) = stack.pop() {
+            if seen[id.0 as usize] {
+                return Err(QepError::Cycle);
+            }
+            seen[id.0 as usize] = true;
+            stack.extend(self.children(id));
+        }
+        if seen.iter().any(|s| !s) {
+            return Err(QepError::BadRoot); // disconnected node
+        }
+        Ok(())
+    }
+
+    /// Pretty-print the plan as an indented tree (used by `repro figure5`).
+    pub fn render(&self, rel_names: &dyn Fn(RelId) -> String) -> String {
+        fn go(
+            qep: &Qep,
+            id: NodeId,
+            depth: usize,
+            names: &dyn Fn(RelId) -> String,
+            out: &mut String,
+        ) {
+            let pad = "  ".repeat(depth);
+            match qep.node(id) {
+                QepNode::Scan { rel, selectivity } => {
+                    out.push_str(&format!(
+                        "{pad}Scan[{}] sel={selectivity}\n",
+                        names(*rel)
+                    ));
+                }
+                QepNode::HashJoin {
+                    build,
+                    probe,
+                    fanout,
+                } => {
+                    out.push_str(&format!("{pad}HashJoin fanout={fanout}\n"));
+                    out.push_str(&format!("{pad}├─build (blocking):\n"));
+                    go(qep, *build, depth + 1, names, out);
+                    out.push_str(&format!("{pad}└─probe (pipelined):\n"));
+                    go(qep, *probe, depth + 1, names, out);
+                }
+                QepNode::Mat { input } => {
+                    out.push_str(&format!("{pad}Mat\n"));
+                    go(qep, *input, depth + 1, names, out);
+                }
+            }
+        }
+        let mut s = String::new();
+        for (i, &root) in self.roots.iter().enumerate() {
+            if self.roots.len() > 1 {
+                s.push_str(&format!("query {i}:\n"));
+            }
+            go(self, root, 0, rel_names, &mut s);
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_way() -> Qep {
+        let mut b = QepBuilder::new();
+        let a = b.scan(RelId(0), 1.0);
+        let c = b.scan(RelId(1), 0.5);
+        let j = b.hash_join(a, c, 2.0);
+        b.finish(j).unwrap()
+    }
+
+    #[test]
+    fn builder_produces_valid_plan() {
+        let q = two_way();
+        assert_eq!(q.len(), 3);
+        assert_eq!(q.join_count(), 1);
+        assert_eq!(q.scans().len(), 2);
+    }
+
+    #[test]
+    fn scans_in_build_before_probe_order() {
+        let q = two_way();
+        let rels: Vec<RelId> = q.scans().into_iter().map(|(_, r)| r).collect();
+        assert_eq!(rels, vec![RelId(0), RelId(1)]);
+    }
+
+    #[test]
+    fn shared_child_rejected() {
+        let mut b = QepBuilder::new();
+        let a = b.scan(RelId(0), 1.0);
+        let j = b.hash_join(a, a, 1.0);
+        assert_eq!(b.finish(j), Err(QepError::SharedChild { node: a }));
+    }
+
+    #[test]
+    fn wrong_root_rejected() {
+        let mut b = QepBuilder::new();
+        let a = b.scan(RelId(0), 1.0);
+        let c = b.scan(RelId(1), 1.0);
+        let _j = b.hash_join(a, c, 1.0);
+        assert_eq!(b.finish(a), Err(QepError::BadRoot));
+    }
+
+    #[test]
+    fn bad_selectivity_rejected() {
+        let mut b = QepBuilder::new();
+        let a = b.scan(RelId(0), 1.5);
+        assert!(matches!(
+            b.finish(a),
+            Err(QepError::BadParameter { .. })
+        ));
+    }
+
+    #[test]
+    fn negative_fanout_rejected() {
+        let mut b = QepBuilder::new();
+        let a = b.scan(RelId(0), 1.0);
+        let c = b.scan(RelId(1), 1.0);
+        let j = b.hash_join(a, c, -2.0);
+        assert!(matches!(b.finish(j), Err(QepError::BadParameter { .. })));
+    }
+
+    #[test]
+    fn mat_nodes_validate() {
+        let mut b = QepBuilder::new();
+        let a = b.scan(RelId(0), 1.0);
+        let m = b.mat(a);
+        let c = b.scan(RelId(1), 1.0);
+        let j = b.hash_join(m, c, 1.0);
+        let q = b.finish(j).unwrap();
+        assert_eq!(q.len(), 4);
+    }
+
+    #[test]
+    fn render_mentions_both_edge_kinds() {
+        let q = two_way();
+        let s = q.render(&|r| format!("R{}", r.0));
+        assert!(s.contains("blocking"));
+        assert!(s.contains("pipelined"));
+        assert!(s.contains("R0") && s.contains("R1"));
+    }
+}

@@ -1,0 +1,105 @@
+//! Catalog: what the mediator knows about the remote relations.
+//!
+//! §3.3: the annotated QEP carries estimated operator result sizes and
+//! memory needs; these derive from per-relation cardinality estimates and
+//! per-join selectivities. The catalog is the mediator-side estimate — the
+//! sources are autonomous, so runtime cardinalities may differ (the paper's
+//! "inaccuracy of estimates" problem, handled by the DQO hooks).
+
+use dqs_relop::RelId;
+
+/// Mediator-side description of one remote relation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RelationSpec {
+    /// Human-readable name ("A", "B", ... in the paper's experiments).
+    pub name: String,
+    /// Estimated cardinality (tuples).
+    pub cardinality: u64,
+}
+
+/// The set of relations a query integrates, indexed by [`RelId`].
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Catalog {
+    relations: Vec<RelationSpec>,
+}
+
+impl Catalog {
+    /// Empty catalog.
+    pub fn new() -> Self {
+        Catalog::default()
+    }
+
+    /// Register a relation; returns its id.
+    pub fn add(&mut self, name: impl Into<String>, cardinality: u64) -> RelId {
+        self.relations.push(RelationSpec {
+            name: name.into(),
+            cardinality,
+        });
+        RelId(self.relations.len() as u16 - 1)
+    }
+
+    /// Lookup by id.
+    pub fn relation(&self, id: RelId) -> &RelationSpec {
+        &self.relations[id.0 as usize]
+    }
+
+    /// Cardinality of `id`.
+    pub fn cardinality(&self, id: RelId) -> u64 {
+        self.relation(id).cardinality
+    }
+
+    /// Name of `id`.
+    pub fn name(&self, id: RelId) -> &str {
+        &self.relation(id).name
+    }
+
+    /// Number of relations.
+    pub fn len(&self) -> usize {
+        self.relations.len()
+    }
+
+    /// True if no relations registered.
+    pub fn is_empty(&self) -> bool {
+        self.relations.is_empty()
+    }
+
+    /// Iterate `(RelId, &RelationSpec)`.
+    pub fn iter(&self) -> impl Iterator<Item = (RelId, &RelationSpec)> {
+        self.relations
+            .iter()
+            .enumerate()
+            .map(|(i, r)| (RelId(i as u16), r))
+    }
+
+    /// Total tuples across all relations (the retrieval volume).
+    pub fn total_tuples(&self) -> u64 {
+        self.relations.iter().map(|r| r.cardinality).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_assigns_sequential_ids() {
+        let mut c = Catalog::new();
+        let a = c.add("A", 100);
+        let b = c.add("B", 200);
+        assert_eq!(a, RelId(0));
+        assert_eq!(b, RelId(1));
+        assert_eq!(c.name(a), "A");
+        assert_eq!(c.cardinality(b), 200);
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.total_tuples(), 300);
+    }
+
+    #[test]
+    fn iter_yields_in_id_order() {
+        let mut c = Catalog::new();
+        c.add("X", 1);
+        c.add("Y", 2);
+        let names: Vec<&str> = c.iter().map(|(_, r)| r.name.as_str()).collect();
+        assert_eq!(names, vec!["X", "Y"]);
+    }
+}

@@ -1,0 +1,161 @@
+//! Property tests over the pipeline-chain decomposition: for arbitrary
+//! generated bushy plans, the §2.2/§4.1 structural invariants must hold.
+
+use std::collections::BTreeSet;
+
+use dqs_plan::{generate, AnnotatedPlan, ChainSet, ChainSink, ChainSource, GeneratorConfig, PcId};
+use dqs_relop::{HtId, OpSpec};
+use dqs_sim::{SeedSplitter, SimParams};
+use proptest::prelude::*;
+
+fn arb_chainset() -> impl Strategy<Value = (ChainSet, AnnotatedPlan)> {
+    (2usize..10, 0u64..50_000).prop_map(|(relations, seed)| {
+        let mut rng = SeedSplitter::new(seed).stream("decomp-props");
+        let q = generate(
+            &GeneratorConfig {
+                relations,
+                ..GeneratorConfig::default()
+            },
+            &mut rng,
+        );
+        let chains = ChainSet::decompose(&q.qep);
+        let plan = AnnotatedPlan::annotate(chains.clone(), &q.catalog, &SimParams::default());
+        (chains, plan)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+    /// Maximality: one chain per scan leaf / mat output; no two chains can
+    /// merge (each ends at a blocking edge or the root).
+    #[test]
+    fn one_chain_per_source((chains, _plan) in arb_chainset()) {
+        let wrapper_sources = chains
+            .chains
+            .iter()
+            .filter(|c| matches!(c.source, ChainSource::Wrapper(_)))
+            .count();
+        prop_assert_eq!(wrapper_sources + chains.mat_count as usize, chains.len());
+    }
+
+    /// Every hash table is built by exactly one chain and probed by exactly
+    /// one chain (plans are trees).
+    #[test]
+    fn hash_tables_built_once_probed_once((chains, _plan) in arb_chainset()) {
+        for h in 0..chains.ht_count {
+            let ht = HtId(h);
+            let builders = chains
+                .chains
+                .iter()
+                .filter(|c| c.sink == ChainSink::Build(ht))
+                .count();
+            let probers = chains
+                .chains
+                .iter()
+                .filter(|c| c.probes().contains(&ht))
+                .count();
+            prop_assert_eq!(builders, 1, "ht {} builders", h);
+            prop_assert_eq!(probers, 1, "ht {} probers", h);
+            prop_assert_eq!(chains.builder_of(ht), chains
+                .chains
+                .iter()
+                .find(|c| c.sink == ChainSink::Build(ht))
+                .unwrap()
+                .id);
+        }
+    }
+
+    /// Exactly one output chain, and every chain is among its ancestors —
+    /// the result depends on all of them.
+    #[test]
+    fn single_output_depends_on_everything((chains, _plan) in arb_chainset()) {
+        let outputs: Vec<PcId> = chains
+            .chains
+            .iter()
+            .filter(|c| c.sink == ChainSink::Output)
+            .map(|c| c.id)
+            .collect();
+        prop_assert_eq!(outputs.len(), 1);
+        let out = outputs[0];
+        let mut expected: BTreeSet<PcId> =
+            chains.chains.iter().map(|c| c.id).collect();
+        expected.remove(&out);
+        prop_assert_eq!(chains.ancestors_star(out), expected);
+    }
+
+    /// The iterator order respects dependencies: a chain's ancestors all
+    /// carry smaller ids.
+    #[test]
+    fn sequential_order_topological((chains, _plan) in arb_chainset()) {
+        for c in &chains.chains {
+            for anc in chains.ancestors_star(c.id) {
+                prop_assert!(anc.0 < c.id.0, "{anc:?} before {:?}", c.id);
+            }
+        }
+    }
+
+    /// Direct blockers come from the probe targets (plus the temp writer).
+    #[test]
+    fn blocked_by_matches_probes((chains, _plan) in arb_chainset()) {
+        for c in &chains.chains {
+            let mut expect: BTreeSet<PcId> =
+                c.probes().iter().map(|&h| chains.builder_of(h)).collect();
+            if let ChainSource::Temp(m) = c.source {
+                expect.insert(chains.writer_of(m));
+            }
+            prop_assert_eq!(
+                c.blocked_by.iter().copied().collect::<BTreeSet<_>>(),
+                expect
+            );
+        }
+    }
+
+    /// Operator conservation: every QEP join appears as exactly one Probe
+    /// and one Build across all chains; scans appear as Selects.
+    #[test]
+    fn operators_partition_across_chains((chains, _plan) in arb_chainset()) {
+        let mut probes = 0usize;
+        let mut builds = 0usize;
+        let mut selects = 0usize;
+        for c in &chains.chains {
+            for op in &c.ops {
+                match op {
+                    OpSpec::Probe { .. } => probes += 1,
+                    OpSpec::Build { .. } => builds += 1,
+                    OpSpec::Select { .. } => selects += 1,
+                }
+            }
+        }
+        prop_assert_eq!(probes, chains.ht_count as usize);
+        prop_assert_eq!(builds, chains.ht_count as usize);
+        // One select per wrapper scan.
+        let scans = chains
+            .chains
+            .iter()
+            .filter(|c| matches!(c.source, ChainSource::Wrapper(_)))
+            .count();
+        prop_assert_eq!(selects, scans);
+    }
+
+    /// Annotation sanity: memory is exactly build input × tuple size, and
+    /// build-terminated chains emit nothing downstream.
+    #[test]
+    fn annotations_consistent((chains, plan) in arb_chainset()) {
+        let params = SimParams::default();
+        for c in &chains.chains {
+            let info = plan.info(c.id);
+            prop_assert!(info.source_card >= 0.0);
+            match c.sink {
+                ChainSink::Build(_) => {
+                    prop_assert_eq!(info.output_card, 0.0);
+                    prop_assert_eq!(
+                        info.mem_bytes,
+                        (info.build_input_card.ceil() as u64) * params.tuple_bytes as u64
+                    );
+                }
+                _ => prop_assert_eq!(info.mem_bytes, 0),
+            }
+        }
+    }
+}

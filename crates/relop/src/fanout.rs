@@ -1,0 +1,121 @@
+//! Deterministic fractional fan-out.
+//!
+//! Joins and selections in the simulated operator library produce, per input
+//! tuple, `f` output tuples *on average*, where `f` is derived from the
+//! configured selectivity (§5.1: behaviour is studied "by setting relation
+//! parameters (cardinality and selectivity)"). A [`FanoutAccumulator`]
+//! spreads the fractional part evenly: input `i` yields
+//! `floor((i+1)·f) − floor(i·f)` outputs, so after `n` inputs exactly
+//! `floor(n·f)` outputs exist — no randomness, no drift.
+
+/// Deterministic per-tuple output-count generator with exact long-run total.
+#[derive(Debug, Clone)]
+pub struct FanoutAccumulator {
+    /// Average outputs per input.
+    fanout: f64,
+    /// Inputs consumed so far.
+    inputs: u64,
+    /// Outputs emitted so far.
+    outputs: u64,
+}
+
+impl FanoutAccumulator {
+    /// Create with average fan-out `f >= 0`.
+    pub fn new(fanout: f64) -> Self {
+        assert!(fanout >= 0.0 && fanout.is_finite(), "bad fanout {fanout}");
+        FanoutAccumulator {
+            fanout,
+            inputs: 0,
+            outputs: 0,
+        }
+    }
+
+    /// The configured average fan-out.
+    pub fn fanout(&self) -> f64 {
+        self.fanout
+    }
+
+    /// Outputs for the next input tuple.
+    #[allow(clippy::should_implement_trait)] // domain verb, not an Iterator
+    pub fn next(&mut self) -> u64 {
+        self.inputs += 1;
+        let target = (self.inputs as f64 * self.fanout).floor() as u64;
+        let k = target.saturating_sub(self.outputs);
+        self.outputs = target.max(self.outputs);
+        k
+    }
+
+    /// Total outputs emitted for `n` inputs without iterating (used by cost
+    /// estimation).
+    pub fn total_for(n: u64, fanout: f64) -> u64 {
+        (n as f64 * fanout).floor() as u64
+    }
+
+    /// Inputs consumed so far.
+    pub fn inputs(&self) -> u64 {
+        self.inputs
+    }
+
+    /// Outputs emitted so far.
+    pub fn outputs(&self) -> u64 {
+        self.outputs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn integral_fanout_is_constant() {
+        let mut f = FanoutAccumulator::new(2.0);
+        for _ in 0..100 {
+            assert_eq!(f.next(), 2);
+        }
+        assert_eq!(f.outputs(), 200);
+    }
+
+    #[test]
+    fn zero_fanout_filters_everything() {
+        let mut f = FanoutAccumulator::new(0.0);
+        for _ in 0..50 {
+            assert_eq!(f.next(), 0);
+        }
+    }
+
+    #[test]
+    fn fractional_fanout_spreads_evenly() {
+        let mut f = FanoutAccumulator::new(0.5);
+        let seq: Vec<u64> = (0..6).map(|_| f.next()).collect();
+        assert_eq!(seq, vec![0, 1, 0, 1, 0, 1]);
+    }
+
+    #[test]
+    fn long_run_total_is_exact() {
+        for &fan in &[0.1, 0.25, 0.33, 1.5, 2.75, 10.01] {
+            let mut f = FanoutAccumulator::new(fan);
+            let total: u64 = (0..10_000).map(|_| f.next()).sum();
+            assert_eq!(
+                total,
+                FanoutAccumulator::total_for(10_000, fan),
+                "fanout {fan}"
+            );
+            assert_eq!(total, (10_000.0 * fan).floor() as u64);
+        }
+    }
+
+    #[test]
+    fn per_step_variation_is_at_most_one() {
+        let mut f = FanoutAccumulator::new(1.3);
+        for _ in 0..1000 {
+            let k = f.next();
+            assert!(k == 1 || k == 2, "step must be floor or ceil of fanout");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "bad fanout")]
+    fn rejects_negative() {
+        let _ = FanoutAccumulator::new(-0.1);
+    }
+}

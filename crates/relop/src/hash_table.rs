@@ -1,0 +1,203 @@
+//! Simulated hash tables.
+//!
+//! The build side of every hash join materializes into a [`SimHashTable`]:
+//! a real in-memory structure (tuples plus a key index) whose footprint is
+//! charged against the query-memory budget at the Table 1 tuple size. Hash
+//! tables are shared between the chain that builds them and the chain that
+//! probes them, so they live in a [`HashTableArena`] indexed by [`HtId`] —
+//! chains hold ids, never references.
+
+use std::collections::HashMap;
+
+use crate::tuple::Tuple;
+
+/// Identifier of a hash table in the arena.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct HtId(pub u32);
+
+/// One hash table: the fully materialized build side of a join.
+#[derive(Debug, Default)]
+pub struct SimHashTable {
+    tuples: Vec<Tuple>,
+    index: HashMap<u64, Vec<u32>>,
+    complete: bool,
+}
+
+impl SimHashTable {
+    /// An empty, still-building table.
+    pub fn new() -> Self {
+        SimHashTable::default()
+    }
+
+    /// Insert one build tuple.
+    ///
+    /// # Panics
+    /// Panics if the table was already marked complete: the blocking edge
+    /// semantics of §2.2 forbid inserting after a consumer started probing.
+    pub fn insert(&mut self, t: Tuple) {
+        assert!(!self.complete, "insert into completed hash table");
+        let pos = self.tuples.len() as u32;
+        self.tuples.push(t);
+        self.index.entry(t.key).or_default().push(pos);
+    }
+
+    /// Number of build tuples.
+    pub fn len(&self) -> u64 {
+        self.tuples.len() as u64
+    }
+
+    /// True when no tuples were inserted.
+    pub fn is_empty(&self) -> bool {
+        self.tuples.is_empty()
+    }
+
+    /// Mark the build finished; probing may begin.
+    pub fn complete(&mut self) {
+        self.complete = true;
+    }
+
+    /// Whether the build finished.
+    pub fn is_complete(&self) -> bool {
+        self.complete
+    }
+
+    /// Real key lookup (used by tests and the quickstart example; the
+    /// selectivity-driven probe uses [`SimHashTable::pick`]).
+    pub fn lookup(&self, key: u64) -> &[u32] {
+        self.index.get(&key).map_or(&[], |v| v.as_slice())
+    }
+
+    /// Deterministically pick the `i`-th matched build tuple for synthetic
+    /// match generation: rotates through the build side so every build tuple
+    /// participates equally.
+    pub fn pick(&self, i: u64) -> Option<&Tuple> {
+        if self.tuples.is_empty() {
+            None
+        } else {
+            Some(&self.tuples[(i % self.tuples.len() as u64) as usize])
+        }
+    }
+
+    /// Simulated memory footprint given the Table 1 tuple size.
+    pub fn footprint_bytes(&self, tuple_bytes: u32) -> u64 {
+        self.len() * tuple_bytes as u64
+    }
+}
+
+/// Owner of all hash tables of one query execution.
+#[derive(Debug, Default)]
+pub struct HashTableArena {
+    tables: Vec<SimHashTable>,
+}
+
+impl HashTableArena {
+    /// An empty arena.
+    pub fn new() -> Self {
+        HashTableArena::default()
+    }
+
+    /// Allocate a fresh (building) table.
+    pub fn alloc(&mut self) -> HtId {
+        self.tables.push(SimHashTable::new());
+        HtId(self.tables.len() as u32 - 1)
+    }
+
+    /// Shared access.
+    pub fn get(&self, id: HtId) -> &SimHashTable {
+        &self.tables[id.0 as usize]
+    }
+
+    /// Exclusive access.
+    pub fn get_mut(&mut self, id: HtId) -> &mut SimHashTable {
+        &mut self.tables[id.0 as usize]
+    }
+
+    /// Number of tables allocated.
+    pub fn len(&self) -> usize {
+        self.tables.len()
+    }
+
+    /// True if no table was allocated.
+    pub fn is_empty(&self) -> bool {
+        self.tables.is_empty()
+    }
+
+    /// Drop the contents of a table whose consumers are done, freeing the
+    /// (host) memory; the id stays valid but the table reads as empty.
+    pub fn discard(&mut self, id: HtId) {
+        let t = &mut self.tables[id.0 as usize];
+        t.tuples = Vec::new();
+        t.index = HashMap::new();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tuple::RelId;
+
+    fn t(key: u64) -> Tuple {
+        Tuple::new(key, RelId(0))
+    }
+
+    #[test]
+    fn insert_and_lookup() {
+        let mut ht = SimHashTable::new();
+        ht.insert(t(7));
+        ht.insert(t(7));
+        ht.insert(t(9));
+        assert_eq!(ht.len(), 3);
+        assert_eq!(ht.lookup(7).len(), 2);
+        assert_eq!(ht.lookup(9), &[2]);
+        assert!(ht.lookup(42).is_empty());
+    }
+
+    #[test]
+    fn pick_rotates_over_build_side() {
+        let mut ht = SimHashTable::new();
+        for k in 0..3 {
+            ht.insert(t(k));
+        }
+        assert_eq!(ht.pick(0).unwrap().key, 0);
+        assert_eq!(ht.pick(4).unwrap().key, 1);
+        assert!(SimHashTable::new().pick(0).is_none());
+    }
+
+    #[test]
+    fn footprint_uses_table1_tuple_size() {
+        let mut ht = SimHashTable::new();
+        for k in 0..100 {
+            ht.insert(t(k));
+        }
+        assert_eq!(ht.footprint_bytes(40), 4_000);
+    }
+
+    #[test]
+    #[should_panic(expected = "insert into completed")]
+    fn insert_after_complete_panics() {
+        let mut ht = SimHashTable::new();
+        ht.complete();
+        ht.insert(t(1));
+    }
+
+    #[test]
+    fn arena_allocates_distinct_ids() {
+        let mut a = HashTableArena::new();
+        let x = a.alloc();
+        let y = a.alloc();
+        assert_ne!(x, y);
+        a.get_mut(x).insert(t(1));
+        assert_eq!(a.get(x).len(), 1);
+        assert_eq!(a.get(y).len(), 0);
+    }
+
+    #[test]
+    fn discard_frees_contents_but_keeps_id() {
+        let mut a = HashTableArena::new();
+        let x = a.alloc();
+        a.get_mut(x).insert(t(1));
+        a.discard(x);
+        assert_eq!(a.get(x).len(), 0);
+        assert!(a.get(x).lookup(1).is_empty());
+    }
+}

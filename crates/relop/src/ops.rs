@@ -1,0 +1,450 @@
+//! Physical chain operators and batch execution.
+//!
+//! A pipeline chain (§2.2) compiles into a [`PhysChain`]: an ordered list of
+//! tuple-at-a-time operators ending either in a hash-table build (a blocking
+//! edge to the consumer) or in the open end of the pipeline (the caller
+//! materializes, enqueues, or emits the survivors). Executing a batch charges
+//! CPU instructions per the Table 1 cost model:
+//!
+//! * move a tuple: 100 instructions (selection / copy),
+//! * search a hash table: 100 instructions per probe,
+//! * produce a result tuple: 50 instructions per join output.
+//!
+//! All data-dependent behaviour (filter pass rate, join fan-out) is driven by
+//! deterministic [`FanoutAccumulator`]s so runs are reproducible and
+//! cardinalities are exact.
+
+use dqs_sim::SimParams;
+
+use crate::fanout::FanoutAccumulator;
+use crate::hash_table::{HashTableArena, HtId};
+use crate::tuple::Tuple;
+
+/// Declarative description of one operator inside a chain, as produced by
+/// the plan layer. `OpSpec` is `Copy`-free but cheap to clone.
+#[derive(Debug, Clone, PartialEq)]
+pub enum OpSpec {
+    /// Filter with the given pass selectivity in `[0, 1]`.
+    Select {
+        /// Fraction of input tuples that survive.
+        selectivity: f64,
+    },
+    /// Probe the (already complete) hash table `table`; each input tuple
+    /// produces `fanout` outputs on average (`fanout` = join selectivity ×
+    /// build cardinality).
+    Probe {
+        /// Hash table to probe.
+        table: HtId,
+        /// Average outputs per probe tuple.
+        fanout: f64,
+    },
+    /// Terminal: insert every input tuple into `table` (the blocking edge).
+    Build {
+        /// Hash table being built.
+        table: HtId,
+    },
+}
+
+impl OpSpec {
+    /// Average output tuples per input tuple of this operator.
+    pub fn fanout(&self) -> f64 {
+        match self {
+            OpSpec::Select { selectivity } => *selectivity,
+            OpSpec::Probe { fanout, .. } => *fanout,
+            OpSpec::Build { .. } => 0.0,
+        }
+    }
+}
+
+/// Estimated execution profile of a chain, used for the scheduler's
+/// annotated plan (§3.3: per-operator memory and result-size estimates) and
+/// for the critical-degree metric's `c_p`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ChainCostEstimate {
+    /// Average CPU instructions consumed per *source* tuple entering the
+    /// chain, including downstream work triggered by fan-out.
+    pub instr_per_source_tuple: f64,
+    /// Average chain output tuples per source tuple (0 for build-terminated
+    /// chains, whose output goes into the hash table).
+    pub fanout_total: f64,
+}
+
+/// Estimate instructions-per-source-tuple and total fan-out for a chain spec.
+pub fn estimate_chain(ops: &[OpSpec], params: &SimParams) -> ChainCostEstimate {
+    let mut mult = 1.0; // tuples reaching the current operator, per source tuple
+    let mut instr = 0.0;
+    for op in ops {
+        match op {
+            OpSpec::Select { selectivity } => {
+                instr += mult * params.instr_move_tuple as f64;
+                mult *= selectivity;
+            }
+            OpSpec::Probe { fanout, .. } => {
+                instr += mult * params.instr_hash_search as f64;
+                instr += mult * fanout * params.instr_produce_tuple as f64;
+                mult *= fanout;
+            }
+            OpSpec::Build { .. } => {
+                instr += mult * params.instr_move_tuple as f64;
+                mult = 0.0;
+            }
+        }
+    }
+    ChainCostEstimate {
+        instr_per_source_tuple: instr,
+        fanout_total: mult,
+    }
+}
+
+/// Runtime operator with its deterministic fan-out state.
+#[derive(Debug)]
+enum RunOp {
+    Select {
+        acc: FanoutAccumulator,
+    },
+    Probe {
+        table: HtId,
+        acc: FanoutAccumulator,
+        picked: u64,
+    },
+    Build {
+        table: HtId,
+    },
+}
+
+/// Result of pushing a batch through a chain.
+#[derive(Debug, Default)]
+pub struct BatchResult {
+    /// Tuples leaving the open end of the chain (empty for build-terminated
+    /// chains).
+    pub out: Vec<Tuple>,
+    /// CPU instructions consumed.
+    pub instr: u64,
+}
+
+/// A compiled, executable pipeline chain body.
+#[derive(Debug)]
+pub struct PhysChain {
+    ops: Vec<RunOp>,
+    spec: Vec<OpSpec>,
+    consumed: u64,
+    emitted: u64,
+}
+
+impl PhysChain {
+    /// Compile a chain from its spec.
+    ///
+    /// # Panics
+    /// Panics if a `Build` appears anywhere but last: a build terminates the
+    /// pipeline by definition of the blocking edge.
+    pub fn compile(spec: &[OpSpec]) -> Self {
+        for (i, op) in spec.iter().enumerate() {
+            if matches!(op, OpSpec::Build { .. }) {
+                assert!(
+                    i == spec.len() - 1,
+                    "Build must be the terminal operator of a chain"
+                );
+            }
+        }
+        let ops = spec
+            .iter()
+            .map(|s| match s {
+                OpSpec::Select { selectivity } => RunOp::Select {
+                    acc: FanoutAccumulator::new(*selectivity),
+                },
+                OpSpec::Probe { table, fanout } => RunOp::Probe {
+                    table: *table,
+                    acc: FanoutAccumulator::new(*fanout),
+                    picked: 0,
+                },
+                OpSpec::Build { table } => RunOp::Build { table: *table },
+            })
+            .collect();
+        PhysChain {
+            ops,
+            spec: spec.to_vec(),
+            consumed: 0,
+            emitted: 0,
+        }
+    }
+
+    /// The spec this chain was compiled from.
+    pub fn spec(&self) -> &[OpSpec] {
+        &self.spec
+    }
+
+    /// Concatenate two chains, preserving all runtime operator state (the
+    /// deterministic fan-out accumulators keep counting exactly where they
+    /// left off). Used when a cancelled materialization fragment hands its
+    /// leading operators back to the complement fragment, so tuples that
+    /// now bypass the temp relation still pass through the same scan with
+    /// the same accumulator — batch boundaries and degradation can never
+    /// change the query answer.
+    ///
+    /// # Panics
+    /// Panics if `front` contains a `Build` (it would not be terminal).
+    pub fn concat(front: PhysChain, back: PhysChain) -> PhysChain {
+        assert!(
+            !front
+                .spec
+                .iter()
+                .any(|o| matches!(o, OpSpec::Build { .. })),
+            "front of a concatenation cannot contain a Build"
+        );
+        let mut spec = front.spec;
+        spec.extend(back.spec);
+        let mut ops = front.ops;
+        ops.extend(back.ops);
+        PhysChain {
+            ops,
+            spec,
+            // The merged chain continues the *source-side* stream: tuples
+            // the front already consumed went to the temp relation and are
+            // replayed through the back separately.
+            consumed: front.consumed,
+            emitted: back.emitted,
+        }
+    }
+
+    /// Source tuples consumed so far.
+    pub fn consumed(&self) -> u64 {
+        self.consumed
+    }
+
+    /// Tuples emitted from the open end so far.
+    pub fn emitted(&self) -> u64 {
+        self.emitted
+    }
+
+    /// Hash table this chain builds into, if build-terminated.
+    pub fn build_target(&self) -> Option<HtId> {
+        match self.ops.last() {
+            Some(RunOp::Build { table }) => Some(*table),
+            _ => None,
+        }
+    }
+
+    /// Hash tables this chain probes.
+    pub fn probe_targets(&self) -> Vec<HtId> {
+        self.spec
+            .iter()
+            .filter_map(|s| match s {
+                OpSpec::Probe { table, .. } => Some(*table),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Push `input` through the chain, inserting into / probing tables in
+    /// `arena`, charging instructions per `params`.
+    ///
+    /// # Panics
+    /// Panics if a probed table is not complete — the scheduler must never
+    /// run a chain whose blocking inputs are unfinished (C-schedulability).
+    pub fn run_batch(
+        &mut self,
+        input: &[Tuple],
+        arena: &mut HashTableArena,
+        params: &SimParams,
+    ) -> BatchResult {
+        self.consumed += input.len() as u64;
+        let mut current: Vec<Tuple> = input.to_vec();
+        let mut instr: u64 = 0;
+
+        for op in &mut self.ops {
+            match op {
+                RunOp::Select { acc } => {
+                    instr += current.len() as u64 * params.instr_move_tuple;
+                    current.retain(|_| acc.next() > 0);
+                }
+                RunOp::Probe { table, acc, picked } => {
+                    let ht = arena.get(*table);
+                    assert!(
+                        ht.is_complete(),
+                        "probe of incomplete hash table {table:?} — C-schedulability violated"
+                    );
+                    instr += current.len() as u64 * params.instr_hash_search;
+                    let mut next: Vec<Tuple> = Vec::new();
+                    for t in &current {
+                        // An empty build side matches nothing, whatever the
+                        // estimated fan-out says.
+                        let k = if ht.is_empty() { 0 } else { acc.next() };
+                        instr += k * params.instr_produce_tuple;
+                        for _ in 0..k {
+                            // Rotate deterministically through the build side;
+                            // the output carries the probe tuple's identity.
+                            let _build = ht.pick(*picked);
+                            *picked += 1;
+                            next.push(*t);
+                        }
+                    }
+                    current = next;
+                }
+                RunOp::Build { table } => {
+                    instr += current.len() as u64 * params.instr_move_tuple;
+                    let ht = arena.get_mut(*table);
+                    for t in current.drain(..) {
+                        ht.insert(t);
+                    }
+                }
+            }
+        }
+
+        self.emitted += current.len() as u64;
+        BatchResult {
+            out: current,
+            instr,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tuple::RelId;
+
+    fn tuples(n: u64) -> Vec<Tuple> {
+        (0..n).map(|i| Tuple::new(i, RelId(0))).collect()
+    }
+
+    #[test]
+    fn select_charges_move_and_filters() {
+        let p = SimParams::default();
+        let mut arena = HashTableArena::new();
+        let mut c = PhysChain::compile(&[OpSpec::Select { selectivity: 0.5 }]);
+        let r = c.run_batch(&tuples(100), &mut arena, &p);
+        assert_eq!(r.out.len(), 50);
+        assert_eq!(r.instr, 100 * p.instr_move_tuple);
+        assert_eq!(c.consumed(), 100);
+        assert_eq!(c.emitted(), 50);
+    }
+
+    #[test]
+    fn build_terminates_into_table() {
+        let p = SimParams::default();
+        let mut arena = HashTableArena::new();
+        let ht = arena.alloc();
+        let mut c = PhysChain::compile(&[OpSpec::Build { table: ht }]);
+        let r = c.run_batch(&tuples(10), &mut arena, &p);
+        assert!(r.out.is_empty());
+        assert_eq!(arena.get(ht).len(), 10);
+        assert_eq!(r.instr, 10 * p.instr_move_tuple);
+        assert_eq!(c.build_target(), Some(ht));
+    }
+
+    #[test]
+    fn probe_fanout_and_costs() {
+        let p = SimParams::default();
+        let mut arena = HashTableArena::new();
+        let ht = arena.alloc();
+        for t in tuples(4) {
+            arena.get_mut(ht).insert(t);
+        }
+        arena.get_mut(ht).complete();
+        let mut c = PhysChain::compile(&[OpSpec::Probe {
+            table: ht,
+            fanout: 2.0,
+        }]);
+        let r = c.run_batch(&tuples(10), &mut arena, &p);
+        assert_eq!(r.out.len(), 20);
+        assert_eq!(
+            r.instr,
+            10 * p.instr_hash_search + 20 * p.instr_produce_tuple
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "incomplete hash table")]
+    fn probing_incomplete_table_panics() {
+        let p = SimParams::default();
+        let mut arena = HashTableArena::new();
+        let ht = arena.alloc();
+        let mut c = PhysChain::compile(&[OpSpec::Probe {
+            table: ht,
+            fanout: 1.0,
+        }]);
+        let _ = c.run_batch(&tuples(1), &mut arena, &p);
+    }
+
+    #[test]
+    #[should_panic(expected = "terminal operator")]
+    fn build_mid_chain_rejected() {
+        let _ = PhysChain::compile(&[
+            OpSpec::Build { table: HtId(0) },
+            OpSpec::Select { selectivity: 1.0 },
+        ]);
+    }
+
+    #[test]
+    fn full_chain_scan_probe_build() {
+        let p = SimParams::default();
+        let mut arena = HashTableArena::new();
+        let probed = arena.alloc();
+        for t in tuples(8) {
+            arena.get_mut(probed).insert(t);
+        }
+        arena.get_mut(probed).complete();
+        let built = arena.alloc();
+        let mut c = PhysChain::compile(&[
+            OpSpec::Select { selectivity: 0.5 },
+            OpSpec::Probe {
+                table: probed,
+                fanout: 3.0,
+            },
+            OpSpec::Build { table: built },
+        ]);
+        let r = c.run_batch(&tuples(100), &mut arena, &p);
+        assert!(r.out.is_empty());
+        assert_eq!(arena.get(built).len(), 150); // 100 × 0.5 × 3
+        assert_eq!(c.probe_targets(), vec![probed]);
+        assert_eq!(c.build_target(), Some(built));
+    }
+
+    #[test]
+    fn estimate_matches_execution_cost() {
+        let p = SimParams::default();
+        let spec = [
+            OpSpec::Select { selectivity: 0.5 },
+            OpSpec::Probe {
+                table: HtId(0),
+                fanout: 3.0,
+            },
+        ];
+        let est = estimate_chain(&spec, &p);
+        // move(100) + 0.5·(search(100) + 3·produce(50)) = 100 + 125 = 225
+        assert!((est.instr_per_source_tuple - 225.0).abs() < 1e-9);
+        assert!((est.fanout_total - 1.5).abs() < 1e-9);
+
+        // Execute and compare: 1000 source tuples.
+        let mut arena = HashTableArena::new();
+        let ht = arena.alloc();
+        arena.get_mut(ht).insert(Tuple::new(0, RelId(1)));
+        arena.get_mut(ht).complete();
+        let mut c = PhysChain::compile(&[
+            OpSpec::Select { selectivity: 0.5 },
+            OpSpec::Probe {
+                table: ht,
+                fanout: 3.0,
+            },
+        ]);
+        let r = c.run_batch(&tuples(1000), &mut arena, &p);
+        assert_eq!(r.out.len(), 1500);
+        assert_eq!(r.instr as f64, est.instr_per_source_tuple * 1000.0);
+    }
+
+    #[test]
+    fn batches_are_equivalent_to_one_shot() {
+        let p = SimParams::default();
+        let mut arena = HashTableArena::new();
+        let spec = [OpSpec::Select { selectivity: 0.3 }];
+        let mut whole = PhysChain::compile(&spec);
+        let mut split = PhysChain::compile(&spec);
+        let input = tuples(1000);
+        let r1 = whole.run_batch(&input, &mut arena, &p);
+        let mut out2 = 0;
+        for chunk in input.chunks(37) {
+            out2 += split.run_batch(chunk, &mut arena, &p).out.len();
+        }
+        assert_eq!(r1.out.len(), out2, "batch boundaries must not change results");
+    }
+}

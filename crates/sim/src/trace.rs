@@ -1,0 +1,138 @@
+//! Optional execution tracing.
+//!
+//! The scheduler experiments in §5.3 of the paper were debugged by "checking
+//! the execution traces"; this module gives the same capability. Tracing is
+//! off by default and costs one branch per emit when disabled.
+
+use std::fmt::Write as _;
+
+use crate::time::SimTime;
+
+/// Category of a trace record, used for filtering when rendering.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceKind {
+    /// A tuple (batch) arrived from a wrapper.
+    Arrival,
+    /// The query processor started/finished a batch.
+    Batch,
+    /// A scheduling phase ran.
+    Plan,
+    /// An interruption event was raised.
+    Interrupt,
+    /// Disk activity.
+    Io,
+    /// Anything else.
+    Other,
+}
+
+/// One trace record.
+#[derive(Debug, Clone)]
+pub struct TraceEvent {
+    /// Virtual time of the record.
+    pub at: SimTime,
+    /// Category.
+    pub kind: TraceKind,
+    /// Free-form detail line.
+    pub detail: String,
+}
+
+/// Collecting sink for trace records.
+#[derive(Debug, Default)]
+pub struct Trace {
+    enabled: bool,
+    events: Vec<TraceEvent>,
+}
+
+impl Trace {
+    /// A disabled trace (emits are dropped).
+    pub fn disabled() -> Self {
+        Trace {
+            enabled: false,
+            events: Vec::new(),
+        }
+    }
+
+    /// An enabled trace.
+    pub fn enabled() -> Self {
+        Trace {
+            enabled: true,
+            events: Vec::new(),
+        }
+    }
+
+    /// Whether records are being kept.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Record an event (no-op when disabled). `detail` is built lazily so
+    /// disabled traces never pay for formatting.
+    pub fn emit(&mut self, at: SimTime, kind: TraceKind, detail: impl FnOnce() -> String) {
+        if self.enabled {
+            self.events.push(TraceEvent {
+                at,
+                kind,
+                detail: detail(),
+            });
+        }
+    }
+
+    /// All records in emission order.
+    pub fn events(&self) -> &[TraceEvent] {
+        &self.events
+    }
+
+    /// Render records (optionally filtered by kind) as a human-readable log.
+    pub fn render(&self, filter: Option<TraceKind>) -> String {
+        let mut out = String::new();
+        for e in &self.events {
+            if filter.map_or(true, |k| k == e.kind) {
+                let _ = writeln!(out, "[{}] {:?}: {}", e.at, e.kind, e.detail);
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::SimDuration;
+
+    #[test]
+    fn disabled_trace_drops_and_skips_formatting() {
+        let mut t = Trace::disabled();
+        let mut called = false;
+        t.emit(SimTime::ZERO, TraceKind::Other, || {
+            called = true;
+            "x".into()
+        });
+        assert!(!called, "formatter must not run when disabled");
+        assert!(t.events().is_empty());
+    }
+
+    #[test]
+    fn enabled_trace_records_in_order() {
+        let mut t = Trace::enabled();
+        t.emit(SimTime::ZERO, TraceKind::Arrival, || "a".into());
+        t.emit(
+            SimTime::ZERO + SimDuration::from_micros(1),
+            TraceKind::Batch,
+            || "b".into(),
+        );
+        assert_eq!(t.events().len(), 2);
+        assert_eq!(t.events()[0].detail, "a");
+        assert_eq!(t.events()[1].kind, TraceKind::Batch);
+    }
+
+    #[test]
+    fn render_filters_by_kind() {
+        let mut t = Trace::enabled();
+        t.emit(SimTime::ZERO, TraceKind::Arrival, || "a".into());
+        t.emit(SimTime::ZERO, TraceKind::Io, || "w".into());
+        let all = t.render(None);
+        assert!(all.contains("a") && all.contains("w"));
+        let io = t.render(Some(TraceKind::Io));
+        assert!(!io.contains("Arrival") && io.contains("Io"));
+    }
+}

@@ -1,0 +1,231 @@
+//! Data-delivery delay models.
+//!
+//! §1.2 taxonomizes delivery problems into *initial delay* (only the first
+//! tuple is late), *bursty arrival* (bursts separated by silence) and *slow
+//! delivery* (regular but slow). §5.1.3 adds the experiment methodology:
+//! per-tuple delays drawn uniformly from `[0, 2w]` for an average waiting
+//! time of `w`, with `w_min = 20 µs` modelling a wrapper that reads
+//! sequentially and ships over a 100 Mb/s network.
+//!
+//! A [`DelayModel`] yields the inter-tuple gap before each tuple index; all
+//! randomness comes from the caller's seeded stream.
+
+use dqs_sim::rng::uniform_delay;
+use dqs_sim::SimDuration;
+use rand_chacha::ChaCha8Rng;
+
+/// How a wrapper paces its tuples.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DelayModel {
+    /// Fixed gap `w` before every tuple (ideal regular delivery; use
+    /// `w = w_min` for a source with "no particular delays").
+    Constant {
+        /// Inter-tuple waiting time.
+        w: SimDuration,
+    },
+    /// Uniformly distributed gap in `[0, 2·mean]` (§5.1.3's methodology;
+    /// also the *slow delivery* case when `mean` is large).
+    Uniform {
+        /// Average inter-tuple waiting time.
+        mean: SimDuration,
+    },
+    /// *Initial delay* (§1.2): the first tuple waits `initial`, the rest
+    /// arrive with uniform gaps of average `mean`.
+    Initial {
+        /// Delay before the first tuple.
+        initial: SimDuration,
+        /// Average gap for subsequent tuples.
+        mean: SimDuration,
+    },
+    /// *Bursty arrival* (§1.2): tuples come in bursts of `burst` spaced
+    /// `within` apart, with a `pause` of no arrivals between bursts.
+    Bursty {
+        /// Tuples per burst (>= 1).
+        burst: u64,
+        /// Gap between tuples inside a burst.
+        within: SimDuration,
+        /// Silence between bursts.
+        pause: SimDuration,
+    },
+}
+
+impl DelayModel {
+    /// Gap before tuple `index` (0-based).
+    pub fn gap(&self, index: u64, rng: &mut ChaCha8Rng) -> SimDuration {
+        match self {
+            DelayModel::Constant { w } => *w,
+            DelayModel::Uniform { mean } => uniform_delay(rng, *mean),
+            DelayModel::Initial { initial, mean } => {
+                if index == 0 {
+                    *initial
+                } else {
+                    uniform_delay(rng, *mean)
+                }
+            }
+            DelayModel::Bursty {
+                burst,
+                within,
+                pause,
+            } => {
+                if index != 0 && index % burst == 0 {
+                    *pause
+                } else {
+                    *within
+                }
+            }
+        }
+    }
+
+    /// The *average* inter-tuple waiting time `w` of this model over `n`
+    /// tuples — the quantity the paper's metrics reason about.
+    pub fn mean_gap(&self, n: u64) -> SimDuration {
+        if n == 0 {
+            return SimDuration::ZERO;
+        }
+        match self {
+            DelayModel::Constant { w } => *w,
+            DelayModel::Uniform { mean } => *mean,
+            DelayModel::Initial { initial, mean } => {
+                SimDuration::from_nanos(
+                    (initial.as_nanos() + mean.as_nanos() * (n - 1)) / n,
+                )
+            }
+            DelayModel::Bursty {
+                burst,
+                within,
+                pause,
+            } => {
+                let pauses = (n.saturating_sub(1)) / burst;
+                let withins = n - pauses;
+                SimDuration::from_nanos(
+                    (pause.as_nanos() * pauses + within.as_nanos() * withins) / n,
+                )
+            }
+        }
+    }
+
+    /// Expected total time for a wrapper to deliver `n` tuples with this
+    /// model (ignoring flow control) — the X axis of Figures 6/7.
+    pub fn expected_total(&self, n: u64) -> SimDuration {
+        self.mean_gap(n).saturating_mul(n)
+    }
+
+    /// Standard deviation of the *total* delivery time of `n` tuples.
+    /// Zero for the deterministic models; for uniform gaps on `[0, 2w]`
+    /// each gap has std `w/√3`, and the independent sum scales with `√n`.
+    pub fn total_std(&self, n: u64) -> SimDuration {
+        let (per_gap_std_ns, gaps) = match self {
+            DelayModel::Constant { .. } | DelayModel::Bursty { .. } => (0.0, 0),
+            DelayModel::Uniform { mean } => (mean.as_nanos() as f64 / 3f64.sqrt(), n),
+            DelayModel::Initial { mean, .. } => {
+                (mean.as_nanos() as f64 / 3f64.sqrt(), n.saturating_sub(1))
+            }
+        };
+        SimDuration::from_nanos((per_gap_std_ns * (gaps as f64).sqrt()).round() as u64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dqs_sim::SeedSplitter;
+
+    fn rng() -> ChaCha8Rng {
+        SeedSplitter::new(11).stream("delay-tests")
+    }
+
+    #[test]
+    fn constant_is_constant() {
+        let m = DelayModel::Constant {
+            w: SimDuration::from_micros(20),
+        };
+        let mut r = rng();
+        for i in 0..100 {
+            assert_eq!(m.gap(i, &mut r), SimDuration::from_micros(20));
+        }
+        assert_eq!(m.mean_gap(100), SimDuration::from_micros(20));
+    }
+
+    #[test]
+    fn uniform_average_approaches_mean() {
+        let m = DelayModel::Uniform {
+            mean: SimDuration::from_micros(50),
+        };
+        let mut r = rng();
+        let n = 50_000u64;
+        let total: u64 = (0..n).map(|i| m.gap(i, &mut r).as_nanos()).sum();
+        let avg = total / n;
+        assert!((avg as i64 - 50_000).abs() < 1_000, "{avg}");
+        assert_eq!(m.mean_gap(n), SimDuration::from_micros(50));
+    }
+
+    #[test]
+    fn initial_delays_only_first_tuple() {
+        let m = DelayModel::Initial {
+            initial: SimDuration::from_secs(3),
+            mean: SimDuration::from_micros(10),
+        };
+        let mut r = rng();
+        assert_eq!(m.gap(0, &mut r), SimDuration::from_secs(3));
+        for i in 1..1000 {
+            assert!(m.gap(i, &mut r) <= SimDuration::from_micros(20));
+        }
+    }
+
+    #[test]
+    fn bursty_pauses_between_bursts() {
+        let m = DelayModel::Bursty {
+            burst: 4,
+            within: SimDuration::from_micros(5),
+            pause: SimDuration::from_millis(100),
+        };
+        let mut r = rng();
+        let gaps: Vec<SimDuration> = (0..9).map(|i| m.gap(i, &mut r)).collect();
+        // Pauses before tuples 4 and 8.
+        for (i, g) in gaps.iter().enumerate() {
+            if i == 4 || i == 8 {
+                assert_eq!(*g, SimDuration::from_millis(100));
+            } else {
+                assert_eq!(*g, SimDuration::from_micros(5));
+            }
+        }
+    }
+
+    #[test]
+    fn mean_gap_matches_simulated_average() {
+        let models = [
+            DelayModel::Initial {
+                initial: SimDuration::from_millis(10),
+                mean: SimDuration::from_micros(20),
+            },
+            DelayModel::Bursty {
+                burst: 10,
+                within: SimDuration::from_micros(2),
+                pause: SimDuration::from_millis(1),
+            },
+        ];
+        for m in models {
+            let n = 10_000u64;
+            // For deterministic parts, the analytic mean must equal the
+            // realized mean exactly (Uniform is statistical, tested above).
+            if let DelayModel::Bursty { .. } = m {
+                let mut r = rng();
+                let total: u64 = (0..n).map(|i| m.gap(i, &mut r).as_nanos()).sum();
+                assert_eq!(total / n, m.mean_gap(n).as_nanos());
+            }
+            assert_eq!(
+                m.expected_total(n).as_nanos(),
+                m.mean_gap(n).as_nanos() * n
+            );
+        }
+    }
+
+    #[test]
+    fn zero_tuples_zero_expectation() {
+        let m = DelayModel::Constant {
+            w: SimDuration::from_micros(20),
+        };
+        assert_eq!(m.mean_gap(0), SimDuration::ZERO);
+        assert_eq!(m.expected_total(0), SimDuration::ZERO);
+    }
+}

@@ -1,0 +1,38 @@
+//! # dqs-source — simulated data sources and the communication manager
+//!
+//! The data-delivery side of the DQS reproduction:
+//!
+//! * [`delay::DelayModel`] — the paper's delay taxonomy (§1.2: initial,
+//!   bursty, slow) plus the §5.1.3 uniform `[0, 2w]` methodology;
+//! * [`wrapper::Wrapper`] — black-box remote sources producing synthetic
+//!   tuples at the modelled pace;
+//! * [`queue::TupleQueue`] — the bounded communication queues of §2.1;
+//! * [`comm::CommManager`] — receives tuples, enforces the window protocol,
+//!   charges per-message CPU, estimates delivery rates (EWMA) and raises
+//!   `RateChange` when they drift from the scheduler's planning marks.
+//!
+//! ```
+//! use dqs_sim::SimDuration;
+//! use dqs_source::DelayModel;
+//!
+//! // §5.1.3: per-tuple delays uniform in [0, 2w] average to w, so a
+//! // 100 K-tuple relation at w = 20 µs takes about 2 s to retrieve.
+//! let model = DelayModel::Uniform { mean: SimDuration::from_micros(20) };
+//! assert_eq!(model.expected_total(100_000), SimDuration::from_secs(2));
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod comm;
+pub mod delay;
+pub mod queue;
+pub mod wrapper;
+
+pub use comm::{
+    ArrivalOutcome, CommManager, DEFAULT_QUEUE_CAPACITY, DEFAULT_RATE_ALPHA,
+    DEFAULT_RATE_CHANGE_THRESHOLD,
+};
+pub use delay::DelayModel;
+pub use queue::TupleQueue;
+pub use wrapper::Wrapper;

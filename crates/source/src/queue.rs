@@ -1,0 +1,151 @@
+//! Bounded communication queues.
+//!
+//! §2.1: "the query engine ... creates a queue of a given size in order to
+//! buffer the received tuples. ... If the relevant destination queue is
+//! full, sub-query processing at the wrapper is suspended as it cannot send
+//! more tuples, until tuples are consumed from that queue. This
+//! communication protocol is a kind of 'window protocol'."
+
+use std::collections::VecDeque;
+
+use dqs_relop::Tuple;
+
+/// A bounded FIFO of tuples between the communication manager and the
+/// query processor.
+#[derive(Debug)]
+pub struct TupleQueue {
+    buf: VecDeque<Tuple>,
+    capacity: usize,
+    enqueued: u64,
+    dequeued: u64,
+}
+
+impl TupleQueue {
+    /// A queue holding at most `capacity` tuples.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "queue capacity must be positive");
+        TupleQueue {
+            buf: VecDeque::with_capacity(capacity.min(4096)),
+            capacity,
+            enqueued: 0,
+            dequeued: 0,
+        }
+    }
+
+    /// Configured capacity (the flow-control window).
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Tuples currently buffered.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// True when nothing is buffered.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// True when an arriving tuple would not fit.
+    pub fn is_full(&self) -> bool {
+        self.buf.len() >= self.capacity
+    }
+
+    /// Enqueue one tuple.
+    ///
+    /// # Panics
+    /// Panics if full: the window protocol must have suspended the wrapper
+    /// before this can happen; violating it is an engine bug.
+    pub fn push(&mut self, t: Tuple) {
+        assert!(!self.is_full(), "push into full queue — window protocol violated");
+        self.buf.push_back(t);
+        self.enqueued += 1;
+    }
+
+    /// Dequeue up to `max` tuples.
+    pub fn pop_batch(&mut self, max: usize) -> Vec<Tuple> {
+        let n = max.min(self.buf.len());
+        self.buf.drain(..n).collect()
+    }
+
+    /// Total tuples ever enqueued.
+    pub fn total_enqueued(&self) -> u64 {
+        self.enqueued
+    }
+
+    /// Total tuples ever dequeued.
+    pub fn total_dequeued(&self) -> u64 {
+        self.dequeued
+    }
+
+    /// Record `n` tuples as consumed (kept separate from `pop_batch` so the
+    /// caller can account consumption at batch completion time).
+    pub fn note_dequeued(&mut self, n: u64) {
+        self.dequeued += n;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dqs_relop::RelId;
+
+    fn t(k: u64) -> Tuple {
+        Tuple::new(k, RelId(0))
+    }
+
+    #[test]
+    fn fifo_order() {
+        let mut q = TupleQueue::new(10);
+        q.push(t(1));
+        q.push(t(2));
+        q.push(t(3));
+        let out = q.pop_batch(2);
+        assert_eq!(out.iter().map(|x| x.key).collect::<Vec<_>>(), vec![1, 2]);
+        assert_eq!(q.len(), 1);
+    }
+
+    #[test]
+    fn full_detection() {
+        let mut q = TupleQueue::new(2);
+        q.push(t(1));
+        assert!(!q.is_full());
+        q.push(t(2));
+        assert!(q.is_full());
+    }
+
+    #[test]
+    #[should_panic(expected = "window protocol violated")]
+    fn overflow_panics() {
+        let mut q = TupleQueue::new(1);
+        q.push(t(1));
+        q.push(t(2));
+    }
+
+    #[test]
+    fn pop_more_than_available_clamps() {
+        let mut q = TupleQueue::new(5);
+        q.push(t(1));
+        let out = q.pop_batch(10);
+        assert_eq!(out.len(), 1);
+        assert!(q.pop_batch(10).is_empty());
+    }
+
+    #[test]
+    fn counters_track_traffic() {
+        let mut q = TupleQueue::new(5);
+        q.push(t(1));
+        q.push(t(2));
+        let _ = q.pop_batch(2);
+        q.note_dequeued(2);
+        assert_eq!(q.total_enqueued(), 2);
+        assert_eq!(q.total_dequeued(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_rejected() {
+        let _ = TupleQueue::new(0);
+    }
+}

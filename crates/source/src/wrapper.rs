@@ -1,0 +1,164 @@
+//! Simulated wrappers.
+//!
+//! §2.1: wrappers are black boxes that evaluate a sub-query against their
+//! source and stream result tuples to the mediator. The simulation reduces a
+//! wrapper to (i) a result cardinality, (ii) a [`DelayModel`] pacing tuple
+//! production — which folds together source processing time, source load and
+//! network time — and (iii) the window-protocol suspension state driven by
+//! the communication manager.
+
+use dqs_relop::{synth_key, RelId, Tuple};
+use dqs_sim::SimDuration;
+use rand_chacha::ChaCha8Rng;
+
+use crate::delay::DelayModel;
+
+/// One simulated remote wrapper.
+#[derive(Debug)]
+pub struct Wrapper {
+    rel: RelId,
+    total: u64,
+    produced: u64,
+    delay: DelayModel,
+    rng: ChaCha8Rng,
+    suspended: bool,
+}
+
+impl Wrapper {
+    /// A wrapper that will deliver `total` tuples for relation `rel`.
+    pub fn new(rel: RelId, total: u64, delay: DelayModel, rng: ChaCha8Rng) -> Self {
+        Wrapper {
+            rel,
+            total,
+            produced: 0,
+            delay,
+            rng,
+            suspended: false,
+        }
+    }
+
+    /// The relation this wrapper serves.
+    pub fn rel(&self) -> RelId {
+        self.rel
+    }
+
+    /// Tuples delivered so far.
+    pub fn produced(&self) -> u64 {
+        self.produced
+    }
+
+    /// Total tuples this wrapper will deliver.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// True when every tuple has been delivered.
+    pub fn exhausted(&self) -> bool {
+        self.produced >= self.total
+    }
+
+    /// Whether the window protocol has suspended this wrapper.
+    pub fn is_suspended(&self) -> bool {
+        self.suspended
+    }
+
+    /// Suspend (queue full).
+    pub fn suspend(&mut self) {
+        self.suspended = true;
+    }
+
+    /// Resume after the consumer drained the queue.
+    pub fn resume(&mut self) {
+        self.suspended = false;
+    }
+
+    /// The gap before the *next* tuple, consuming randomness; `None` when
+    /// exhausted.
+    pub fn next_gap(&mut self) -> Option<SimDuration> {
+        if self.exhausted() {
+            None
+        } else {
+            Some(self.delay.gap(self.produced, &mut self.rng))
+        }
+    }
+
+    /// Emit the next tuple (deterministic key).
+    ///
+    /// # Panics
+    /// Panics when exhausted.
+    pub fn emit(&mut self) -> Tuple {
+        assert!(!self.exhausted(), "emit from exhausted wrapper");
+        let t = Tuple::new(synth_key(self.rel, self.produced), self.rel);
+        self.produced += 1;
+        t
+    }
+
+    /// The configured delay model (for analytics such as LWB).
+    pub fn delay_model(&self) -> &DelayModel {
+        &self.delay
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dqs_sim::SeedSplitter;
+
+    fn mk(total: u64) -> Wrapper {
+        Wrapper::new(
+            RelId(3),
+            total,
+            DelayModel::Constant {
+                w: SimDuration::from_micros(20),
+            },
+            SeedSplitter::new(1).stream("wrapper-test"),
+        )
+    }
+
+    #[test]
+    fn produces_exactly_total_tuples() {
+        let mut w = mk(5);
+        let mut n = 0;
+        while !w.exhausted() {
+            assert!(w.next_gap().is_some());
+            let _ = w.emit();
+            n += 1;
+        }
+        assert_eq!(n, 5);
+        assert!(w.next_gap().is_none());
+    }
+
+    #[test]
+    fn keys_are_deterministic_and_distinct() {
+        let mut a = mk(3);
+        let mut b = mk(3);
+        let ka: Vec<u64> = (0..3).map(|_| a.emit().key).collect();
+        let kb: Vec<u64> = (0..3).map(|_| b.emit().key).collect();
+        assert_eq!(ka, kb);
+        assert_eq!(ka.len(), 3);
+        assert_ne!(ka[0], ka[1]);
+    }
+
+    #[test]
+    fn suspension_state_toggles() {
+        let mut w = mk(1);
+        assert!(!w.is_suspended());
+        w.suspend();
+        assert!(w.is_suspended());
+        w.resume();
+        assert!(!w.is_suspended());
+    }
+
+    #[test]
+    #[should_panic(expected = "exhausted wrapper")]
+    fn emit_past_end_panics() {
+        let mut w = mk(0);
+        let _ = w.emit();
+    }
+
+    #[test]
+    fn tuples_carry_origin() {
+        let mut w = mk(1);
+        assert_eq!(w.emit().origin, RelId(3));
+    }
+}

@@ -1,0 +1,20 @@
+//! # dqs-storage — simulated storage substrate
+//!
+//! The mediator-side storage layer of the DQS reproduction: the local disk
+//! with its 8-page I/O cache ([`disk::Disk`]), the fixed query-memory budget
+//! that M-schedulability is checked against ([`memory::MemoryManager`]), and
+//! disk-backed temp relations used by `mat` operators, degraded chains and
+//! the Materialize-All baseline ([`temp::TempRelation`]).
+//!
+//! All timing flows from `dqs_sim::SimParams` (Table 1 of the paper).
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod disk;
+pub mod memory;
+pub mod temp;
+
+pub use disk::{Disk, IoKind, IoTicket, StreamId};
+pub use memory::{MemoryManager, OutOfMemory, ReservationId};
+pub use temp::{IoCharge, TempRelation};

@@ -1,0 +1,230 @@
+//! Memory manager for the integration query.
+//!
+//! §3.3/§4.1 of the paper: "the total available memory for the query
+//! execution ... is assumed not to change during the query execution", and a
+//! pipeline chain is *M-schedulable* only if the sum of its operators' memory
+//! requirements fits in what is currently free. The scheduler reserves memory
+//! when it admits a fragment into the scheduling plan and releases it when
+//! the consuming chains are done with the corresponding hash tables.
+
+use std::collections::HashMap;
+
+/// Handle to a granted reservation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ReservationId(u64);
+
+/// Error returned when a reservation does not fit.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OutOfMemory {
+    /// Bytes requested.
+    pub requested: u64,
+    /// Bytes currently free.
+    pub free: u64,
+}
+
+impl std::fmt::Display for OutOfMemory {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "out of query memory: requested {} bytes, {} free",
+            self.requested, self.free
+        )
+    }
+}
+
+impl std::error::Error for OutOfMemory {}
+
+/// Tracks the fixed memory budget of one integration query.
+#[derive(Debug)]
+pub struct MemoryManager {
+    total: u64,
+    used: u64,
+    high_water: u64,
+    next_id: u64,
+    grants: HashMap<ReservationId, Grant>,
+}
+
+#[derive(Debug)]
+struct Grant {
+    bytes: u64,
+    label: String,
+}
+
+impl MemoryManager {
+    /// A manager over `total` bytes of query memory.
+    pub fn new(total: u64) -> Self {
+        MemoryManager {
+            total,
+            used: 0,
+            high_water: 0,
+            next_id: 0,
+            grants: HashMap::new(),
+        }
+    }
+
+    /// Total budget.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Bytes currently reserved.
+    pub fn used(&self) -> u64 {
+        self.used
+    }
+
+    /// Bytes currently free.
+    pub fn free(&self) -> u64 {
+        self.total - self.used
+    }
+
+    /// Peak reservation level observed.
+    pub fn high_water(&self) -> u64 {
+        self.high_water
+    }
+
+    /// Would a request for `bytes` fit right now?
+    pub fn fits(&self, bytes: u64) -> bool {
+        bytes <= self.free()
+    }
+
+    /// Reserve `bytes`, labelled for diagnostics, or fail without side
+    /// effects.
+    pub fn reserve(&mut self, bytes: u64, label: impl Into<String>) -> Result<ReservationId, OutOfMemory> {
+        if !self.fits(bytes) {
+            return Err(OutOfMemory {
+                requested: bytes,
+                free: self.free(),
+            });
+        }
+        let id = ReservationId(self.next_id);
+        self.next_id += 1;
+        self.used += bytes;
+        self.high_water = self.high_water.max(self.used);
+        self.grants.insert(
+            id,
+            Grant {
+                bytes,
+                label: label.into(),
+            },
+        );
+        Ok(id)
+    }
+
+    /// Grow an existing reservation by `extra` bytes (a hash table whose
+    /// build side turned out larger than estimated), or fail leaving the
+    /// original grant intact.
+    pub fn grow(&mut self, id: ReservationId, extra: u64) -> Result<(), OutOfMemory> {
+        if !self.fits(extra) {
+            return Err(OutOfMemory {
+                requested: extra,
+                free: self.free(),
+            });
+        }
+        let grant = self
+            .grants
+            .get_mut(&id)
+            .expect("grow on released or unknown reservation");
+        grant.bytes += extra;
+        self.used += extra;
+        self.high_water = self.high_water.max(self.used);
+        Ok(())
+    }
+
+    /// Release a reservation, returning the freed byte count.
+    ///
+    /// # Panics
+    /// Panics on double release — that is a scheduler accounting bug.
+    pub fn release(&mut self, id: ReservationId) -> u64 {
+        let grant = self
+            .grants
+            .remove(&id)
+            .expect("release of unknown reservation");
+        self.used -= grant.bytes;
+        grant.bytes
+    }
+
+    /// Labels and sizes of live reservations (diagnostics, deterministic
+    /// order).
+    pub fn live(&self) -> Vec<(String, u64)> {
+        let mut v: Vec<_> = self
+            .grants
+            .values()
+            .map(|g| (g.label.clone(), g.bytes))
+            .collect();
+        v.sort();
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reserve_and_release_roundtrip() {
+        let mut m = MemoryManager::new(1000);
+        let a = m.reserve(400, "ht:A").unwrap();
+        assert_eq!(m.used(), 400);
+        assert_eq!(m.free(), 600);
+        let freed = m.release(a);
+        assert_eq!(freed, 400);
+        assert_eq!(m.used(), 0);
+    }
+
+    #[test]
+    fn over_reservation_fails_cleanly() {
+        let mut m = MemoryManager::new(100);
+        let _a = m.reserve(80, "ht:A").unwrap();
+        let err = m.reserve(30, "ht:B").unwrap_err();
+        assert_eq!(err.requested, 30);
+        assert_eq!(err.free, 20);
+        // Failed reservation leaves no residue.
+        assert_eq!(m.used(), 80);
+    }
+
+    #[test]
+    fn exact_fit_succeeds() {
+        let mut m = MemoryManager::new(100);
+        assert!(m.reserve(100, "all").is_ok());
+        assert_eq!(m.free(), 0);
+        assert!(!m.fits(1));
+        assert!(m.fits(0));
+    }
+
+    #[test]
+    fn grow_extends_or_fails_atomically() {
+        let mut m = MemoryManager::new(100);
+        let a = m.reserve(50, "ht").unwrap();
+        m.grow(a, 30).unwrap();
+        assert_eq!(m.used(), 80);
+        assert!(m.grow(a, 30).is_err());
+        assert_eq!(m.used(), 80, "failed grow has no effect");
+        assert_eq!(m.release(a), 80);
+    }
+
+    #[test]
+    fn high_water_tracks_peak() {
+        let mut m = MemoryManager::new(1000);
+        let a = m.reserve(700, "a").unwrap();
+        m.release(a);
+        let _b = m.reserve(100, "b").unwrap();
+        assert_eq!(m.high_water(), 700);
+    }
+
+    #[test]
+    #[should_panic(expected = "release of unknown reservation")]
+    fn double_release_panics() {
+        let mut m = MemoryManager::new(100);
+        let a = m.reserve(10, "x").unwrap();
+        m.release(a);
+        m.release(a);
+    }
+
+    #[test]
+    fn live_lists_grants_sorted() {
+        let mut m = MemoryManager::new(1000);
+        m.reserve(10, "b").unwrap();
+        m.reserve(20, "a").unwrap();
+        assert_eq!(m.live(), vec![("a".to_string(), 20), ("b".to_string(), 10)]);
+    }
+}

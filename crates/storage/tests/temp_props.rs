@@ -1,0 +1,113 @@
+//! Property tests over temp relations: whatever the interleaving of
+//! appends, seals, reads and clock advances, a sequential scan must return
+//! exactly the appended data, and the I/O accounting must stay consistent.
+
+use dqs_sim::{SimDuration, SimParams, SimTime};
+use dqs_storage::{Disk, StreamId, TempRelation};
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+enum Step {
+    /// Append `n` tuples.
+    Append(u16),
+    /// Try to read up to `n` tuples (advancing a cursor).
+    Read(u16),
+    /// Let the simulated clock advance by `µs`.
+    Wait(u32),
+}
+
+fn steps() -> impl Strategy<Value = Vec<Step>> {
+    prop::collection::vec(
+        prop_oneof![
+            (1u16..2_000).prop_map(Step::Append),
+            (1u16..2_000).prop_map(Step::Read),
+            (1u32..200_000).prop_map(Step::Wait),
+        ],
+        1..40,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 128, ..ProptestConfig::default() })]
+
+    /// The reader sees exactly the writer's sequence, in order, without
+    /// gaps, however the operations interleave.
+    #[test]
+    fn scan_roundtrips_appends(ops in steps()) {
+        let params = SimParams::default();
+        let mut disk = Disk::new(params.clone());
+        let mut temp: TempRelation<u64> = TempRelation::new(&params, StreamId(0), StreamId(1));
+        let mut now = SimTime::ZERO;
+        let mut written: u64 = 0;
+        let mut cursor: u64 = 0;
+        let mut read_back: Vec<u64> = Vec::new();
+
+        for op in &ops {
+            match op {
+                Step::Append(n) => {
+                    let batch: Vec<u64> = (written..written + *n as u64).collect();
+                    temp.append_batch(&batch, now, &mut disk);
+                    written += *n as u64;
+                }
+                Step::Read(n) => {
+                    let (tuples, _instr, wake) =
+                        temp.read_available(cursor, *n as u64, now, &mut disk);
+                    cursor += tuples.len() as u64;
+                    read_back.extend(tuples);
+                    // A wake-up, if promised, is never in the past.
+                    if let Some(w) = wake {
+                        prop_assert!(w >= now || temp.available(cursor, now) > 0);
+                    }
+                }
+                Step::Wait(us) => {
+                    now = now + SimDuration::from_micros(*us as u64);
+                }
+            }
+            // Availability never exceeds what exists past the cursor.
+            prop_assert!(temp.available(cursor, now) <= written - cursor);
+        }
+
+        // Everything read so far is the exact prefix of what was written.
+        let expect: Vec<u64> = (0..cursor).collect();
+        prop_assert_eq!(&read_back, &expect);
+
+        // Drain the rest: seal, then read with generous waits.
+        temp.seal(now, &mut disk);
+        let mut guard = 0;
+        while cursor < written {
+            let (tuples, _instr, wake) = temp.read_available(cursor, 10_000, now, &mut disk);
+            cursor += tuples.len() as u64;
+            read_back.extend(tuples);
+            if let Some(w) = wake {
+                now = now.max(w);
+            } else {
+                now = now + SimDuration::from_millis(100);
+            }
+            guard += 1;
+            prop_assert!(guard < 10_000, "drain must terminate");
+        }
+        let expect: Vec<u64> = (0..written).collect();
+        prop_assert_eq!(read_back, expect);
+    }
+
+    /// Disk page accounting: everything flushed is written exactly once,
+    /// and reads never exceed what the read-ahead window could have
+    /// fetched.
+    #[test]
+    fn io_accounting_consistent(appends in prop::collection::vec(1u16..3_000, 1..20)) {
+        let params = SimParams::default();
+        let mut disk = Disk::new(params.clone());
+        let mut temp: TempRelation<u64> = TempRelation::new(&params, StreamId(0), StreamId(1));
+        let mut written = 0u64;
+        for n in &appends {
+            let batch: Vec<u64> = (written..written + *n as u64).collect();
+            temp.append_batch(&batch, SimTime::ZERO, &mut disk);
+            written += *n as u64;
+        }
+        temp.seal(SimTime::ZERO, &mut disk);
+        let expected_pages = params.pages_for_tuples(written);
+        prop_assert_eq!(disk.pages_written(), expected_pages);
+        prop_assert_eq!(temp.flushed(), written);
+        prop_assert!(temp.is_sealed());
+    }
+}

@@ -1,0 +1,72 @@
+//! The §1.2 delay taxonomy: *initial delay*, *bursty arrival*, and *slow
+//! delivery* — and §1.3's claim that dynamic scheduling, being independent
+//! of any timeout mechanism, handles all three (where query scrambling
+//! handles only the first two).
+//!
+//! ```sh
+//! cargo run --release --example delay_taxonomy
+//! ```
+
+use dqs_bench::{run_once, StrategyKind};
+use dqs_exec::Workload;
+use dqs_sim::SimDuration;
+use dqs_source::DelayModel;
+
+fn main() {
+    let (base, fig5) = Workload::fig5();
+    let a = fig5.rels.a;
+    let n = base.catalog.cardinality(a);
+    let w_min = base.config.params.w_min();
+
+    let cases: Vec<(&str, &str, DelayModel)> = vec![
+        (
+            "baseline",
+            "A paced at w_min like everyone else",
+            DelayModel::Constant { w: w_min },
+        ),
+        (
+            "initial delay",
+            "A's first tuple arrives 3 s late (remote start-up cost)",
+            DelayModel::Initial {
+                initial: SimDuration::from_secs(3),
+                mean: w_min,
+            },
+        ),
+        (
+            "bursty arrival",
+            "A arrives in 10 bursts separated by 300 ms of silence",
+            DelayModel::Bursty {
+                burst: n / 10,
+                within: w_min,
+                pause: SimDuration::from_millis(300),
+            },
+        ),
+        (
+            "slow delivery",
+            "A is steadily 4x slower than normal (overloaded source)",
+            DelayModel::Uniform { mean: w_min * 4 },
+        ),
+    ];
+
+    for (name, blurb, model) in cases {
+        let w = base.clone().with_delay(a, model);
+        println!("--- {name}: {blurb}");
+        let seq = run_once(&w, StrategyKind::Seq);
+        for strategy in StrategyKind::ALL {
+            let m = run_once(&w, strategy);
+            println!(
+                "    {:<4} {:>8.3}s  stall {:>6.3}s  gain {:>6.1}%",
+                m.strategy,
+                m.response_secs(),
+                m.stall_time.as_secs_f64(),
+                m.gain_over(&seq) * 100.0,
+            );
+        }
+        println!();
+    }
+    println!(
+        "DSE improves every case: it never waits on a timeout to react (§1.3),\n\
+         so even repetitive short delays (bursty, slow) are absorbed by\n\
+         interleaving other fragments."
+    );
+}

@@ -1,0 +1,131 @@
+//! §1.2/§1.3: the three delay classes — initial delay, bursty arrival, slow
+//! delivery — and the claim that dynamic scheduling improves all of them
+//! without any timeout tuning ("our approach is independent of any timeout
+//! mechanism ... particularly suited to slow delivery cases").
+
+use dqs_bench::{run_once, StrategyKind};
+use dqs_exec::Workload;
+use dqs_sim::SimDuration;
+use dqs_source::DelayModel;
+
+fn fig5_with_a_delay(model: DelayModel) -> Workload {
+    let (base, f5) = Workload::fig5();
+    base.with_delay(f5.rels.a, model)
+}
+
+fn gains(model: DelayModel) -> (f64, f64) {
+    let w = fig5_with_a_delay(model);
+    let seq = run_once(&w, StrategyKind::Seq);
+    let ma = run_once(&w, StrategyKind::Ma);
+    let dse = run_once(&w, StrategyKind::Dse);
+    (dse.gain_over(&seq), ma.gain_over(&seq))
+}
+
+#[test]
+fn initial_delay_absorbed() {
+    let w_min = SimDuration::from_micros(20);
+    let (dse, _ma) = gains(DelayModel::Initial {
+        initial: SimDuration::from_secs(3),
+        mean: w_min,
+    });
+    assert!(
+        dse > 0.30,
+        "initial delay should be hidden by DSE, gain {:.1}%",
+        dse * 100.0
+    );
+}
+
+#[test]
+fn bursty_arrival_absorbed() {
+    let (dse, _ma) = gains(DelayModel::Bursty {
+        burst: 15_000,
+        within: SimDuration::from_micros(20),
+        pause: SimDuration::from_millis(300),
+    });
+    assert!(
+        dse > 0.30,
+        "bursty arrival should be hidden by DSE, gain {:.1}%",
+        dse * 100.0
+    );
+}
+
+#[test]
+fn slow_delivery_absorbed() {
+    // The case scrambling cannot handle (§1.2: "the authors have not
+    // provided any solution to the problem of slow delivery").
+    let (dse, _ma) = gains(DelayModel::Uniform {
+        mean: SimDuration::from_micros(80),
+    });
+    assert!(
+        dse > 0.25,
+        "slow delivery should be hidden by DSE, gain {:.1}%",
+        dse * 100.0
+    );
+}
+
+#[test]
+fn dse_beats_ma_on_every_delay_class() {
+    let w_min = SimDuration::from_micros(20);
+    let cases = [
+        DelayModel::Initial {
+            initial: SimDuration::from_secs(3),
+            mean: w_min,
+        },
+        DelayModel::Bursty {
+            burst: 15_000,
+            within: w_min,
+            pause: SimDuration::from_millis(300),
+        },
+        DelayModel::Uniform {
+            mean: SimDuration::from_micros(80),
+        },
+    ];
+    for model in cases {
+        let (dse, ma) = gains(model.clone());
+        assert!(
+            dse > ma,
+            "DSE ({:.1}%) must beat MA ({:.1}%) for {model:?}",
+            dse * 100.0,
+            ma * 100.0
+        );
+    }
+}
+
+#[test]
+fn timeouts_fire_only_during_true_starvation() {
+    // A 3-second initial delay on every wrapper leaves the DQP with nothing
+    // to do: the §3.2 TimeOut interruption must fire.
+    let (base, _) = Workload::fig5();
+    let w = base.with_all_delays(DelayModel::Initial {
+        initial: SimDuration::from_secs(3),
+        mean: SimDuration::from_micros(20),
+    });
+    let m = run_once(&w, StrategyKind::Dse);
+    assert!(m.timeouts >= 1, "global initial delay must trip the timeout");
+
+    // At steady w_min pacing it must not.
+    let (steady, _) = Workload::fig5();
+    let m2 = run_once(&steady, StrategyKind::Dse);
+    assert_eq!(m2.timeouts, 0, "no starvation at w_min");
+}
+
+#[test]
+fn rate_change_interruptions_trigger_replanning() {
+    // A wrapper that turns drastically slower mid-stream must raise
+    // RateChange (§3.2) and cause additional planning phases.
+    let (base, f5) = Workload::fig5();
+    let w = base.with_delay(
+        f5.rels.c,
+        DelayModel::Bursty {
+            burst: 60_000,
+            within: SimDuration::from_micros(20),
+            pause: SimDuration::from_secs(1),
+        },
+    );
+    let m = run_once(&w, StrategyKind::Dse);
+    assert!(
+        m.rate_changes >= 1,
+        "a 1 s silence after 60k fast tuples must register as a rate change"
+    );
+    assert_eq!(m.output_tuples, 90_000);
+}

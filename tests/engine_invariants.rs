@@ -1,0 +1,151 @@
+//! Property-based engine invariants: for randomly generated bushy queries
+//! and random delay configurations, every strategy must produce the same
+//! answer, respect the lower bound, conserve tuples, and replay
+//! bit-identically.
+
+use dqs_bench::{run_once, StrategyKind};
+use dqs_core::lwb;
+use dqs_exec::Workload;
+use dqs_plan::{generate, AnnotatedPlan, ChainSet, GeneratorConfig};
+use dqs_relop::RelId;
+use dqs_sim::{SeedSplitter, SimDuration, SimParams};
+use dqs_source::DelayModel;
+use proptest::prelude::*;
+
+/// Build a random workload from a compact descriptor so proptest shrinking
+/// stays meaningful.
+fn workload_from(seed: u64, relations: usize, slow_rel: usize, slow_factor: u64) -> Workload {
+    let mut rng = SeedSplitter::new(seed).stream("engine-invariants");
+    let q = generate(
+        &GeneratorConfig {
+            relations,
+            cardinality: (200, 2_500),
+            scan_selectivity: (0.4, 1.0),
+            join_fanout: (0.4, 1.3),
+        },
+        &mut rng,
+    );
+    let n = q.catalog.len();
+    let w = Workload::new(q.catalog, q.qep);
+    let rel = RelId((slow_rel % n) as u16);
+    w.with_delay(
+        rel,
+        DelayModel::Uniform {
+            mean: SimDuration::from_micros(20 * slow_factor),
+        },
+    )
+}
+
+/// Analytic output cardinality: source card × product of fan-outs along the
+/// output chain, with flooring applied per operator (matches the
+/// deterministic fan-out accumulators exactly only for integral fan-outs,
+/// so we assert agreement *between strategies* rather than against this).
+fn expected_floor(plan: &AnnotatedPlan) -> u64 {
+    plan.info
+        .iter()
+        .map(|i| i.output_card)
+        .fold(0.0f64, f64::max) as u64
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 24,
+        ..ProptestConfig::default()
+    })]
+
+    #[test]
+    fn strategies_agree_and_respect_lwb(
+        seed in 0u64..10_000,
+        relations in 2usize..7,
+        slow_rel in 0usize..8,
+        slow_factor in 1u64..30,
+    ) {
+        let w = workload_from(seed, relations, slow_rel, slow_factor);
+        // The retrieval term of LWB is an expectation; discount it by five
+        // standard deviations of the sampled delay sum.
+        let bound = lwb(&w).probabilistic_bound(5.0).as_secs_f64();
+        let mut outputs = Vec::new();
+        for s in StrategyKind::ALL {
+            let m = run_once(&w, s);
+            prop_assert!(
+                m.response_secs() >= bound,
+                "{} {} < LWB {bound}", s.name(), m.response_secs()
+            );
+            // Conservation: outputs bounded by the estimate's ceiling.
+            let plan = AnnotatedPlan::annotate(
+                ChainSet::decompose(&w.qep), &w.catalog, &SimParams::default());
+            let est = expected_floor(&plan);
+            prop_assert!(
+                m.output_tuples <= est + plan.chains.len() as u64,
+                "{}: {} tuples vs estimate {est}", s.name(), m.output_tuples
+            );
+            outputs.push(m.output_tuples);
+        }
+        prop_assert_eq!(outputs[0], outputs[1]);
+        prop_assert_eq!(outputs[0], outputs[2]);
+    }
+
+    #[test]
+    fn replay_is_bit_identical(
+        seed in 0u64..10_000,
+        relations in 2usize..6,
+    ) {
+        let w = workload_from(seed, relations, 0, 10);
+        for s in StrategyKind::ALL {
+            let a = run_once(&w.clone().with_seed(seed), s);
+            let b = run_once(&w.clone().with_seed(seed), s);
+            prop_assert_eq!(a.response_time, b.response_time);
+            prop_assert_eq!(a.events, b.events);
+            prop_assert_eq!(a.cpu_busy, b.cpu_busy);
+            prop_assert_eq!(a.disk_busy, b.disk_busy);
+        }
+    }
+
+    #[test]
+    fn dse_metrics_are_coherent(
+        seed in 0u64..10_000,
+        relations in 2usize..7,
+        slow_factor in 1u64..25,
+    ) {
+        let w = workload_from(seed, relations, 1, slow_factor);
+        let m = run_once(&w, StrategyKind::Dse);
+        // Time accounting: the processor cannot be busy longer than the run.
+        prop_assert!(m.cpu_busy <= m.response_time);
+        prop_assert!(m.stall_time <= m.response_time);
+        // Every degradation writes what it later reads (reads may exceed
+        // writes only by read-ahead rounding).
+        prop_assert!(m.pages_read <= m.pages_written + 64);
+        // Planning happened at least once, and once per EndOfQF.
+        prop_assert!(m.plans > m.end_of_qf.min(1));
+    }
+}
+
+#[test]
+fn queue_capacity_never_changes_the_answer() {
+    for cap in [130usize, 512, 4096] {
+        let mut w = workload_from(42, 4, 0, 12);
+        w.config.queue_capacity = cap;
+        w.config.batch_size = w.config.batch_size.min(cap);
+        let outs: Vec<u64> = StrategyKind::ALL
+            .iter()
+            .map(|&s| run_once(&w, s).output_tuples)
+            .collect();
+        assert_eq!(outs[0], outs[1], "cap {cap}");
+        assert_eq!(outs[1], outs[2], "cap {cap}");
+    }
+}
+
+#[test]
+fn batch_size_never_changes_the_answer() {
+    let mut baseline = None;
+    for batch in [16usize, 64, 256, 813] {
+        let mut w = workload_from(43, 4, 2, 8);
+        w.config.batch_size = batch;
+        w.config.queue_capacity = w.config.queue_capacity.max(batch);
+        let out = run_once(&w, StrategyKind::Dse).output_tuples;
+        if let Some(b) = baseline {
+            assert_eq!(out, b, "batch {batch}");
+        }
+        baseline = Some(out);
+    }
+}

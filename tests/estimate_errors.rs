@@ -1,0 +1,119 @@
+//! Inaccurate cardinality estimates (§1: "the sizes of intermediate
+//! results used to estimate the costs of the integration query execution
+//! plan are then likely to be inaccurate"). The engine must stay correct
+//! when wrappers deliver more or less than the catalog claims; memory
+//! reservations grow on demand; and the dynamic scheduler keeps its
+//! advantage.
+
+use dqs_bench::{run_once, StrategyKind};
+use dqs_core::DsePolicy;
+use dqs_exec::{Engine, Workload};
+use dqs_plan::{Catalog, QepBuilder};
+use dqs_relop::RelId;
+use dqs_sim::SimDuration;
+use dqs_source::DelayModel;
+
+fn two_way(card_a: u64, card_b: u64) -> Workload {
+    let mut cat = Catalog::new();
+    let a = cat.add("A", card_a);
+    let b = cat.add("B", card_b);
+    let mut qb = QepBuilder::new();
+    let sa = qb.scan(a, 1.0);
+    let sb = qb.scan(b, 1.0);
+    let j = qb.hash_join(sa, sb, 1.0);
+    Workload::new(cat, qb.finish(j).unwrap())
+}
+
+#[test]
+fn answers_follow_actuals_not_estimates() {
+    // Catalog claims 1000/2000; wrappers really deliver 1500/500.
+    let w = two_way(1_000, 2_000)
+        .with_actual_cardinality(RelId(0), 1_500)
+        .with_actual_cardinality(RelId(1), 500);
+    for s in StrategyKind::WITH_SCR {
+        let m = run_once(&w, s);
+        assert_eq!(
+            m.output_tuples,
+            500,
+            "{}: the probe side really has 500 tuples",
+            s.name()
+        );
+    }
+}
+
+#[test]
+fn underestimated_build_grows_its_reservation() {
+    // The build side delivers 4x its estimate; the hash-table reservation
+    // must grow mid-build instead of corrupting accounting.
+    let w = two_way(1_000, 1_000).with_actual_cardinality(RelId(0), 4_000);
+    let m = Engine::new(&w, DsePolicy::new()).try_run().unwrap();
+    assert_eq!(m.output_tuples, 1_000);
+    // Peak memory reflects the *actual* 4000-tuple table.
+    assert!(
+        m.memory_high_water >= 4_000 * 40,
+        "peak {} must cover the real build",
+        m.memory_high_water
+    );
+}
+
+#[test]
+fn underestimate_that_busts_the_budget_fails_loudly() {
+    let mut w = two_way(1_000, 1_000).with_actual_cardinality(RelId(0), 100_000);
+    w.config.memory_bytes = 1_000_000; // 1 MB; the real table needs 4 MB
+    let err = Engine::new(&w, DsePolicy::new())
+        .try_run()
+        .expect_err("a 100x underestimate cannot fit");
+    assert!(
+        err.contains("outgrew"),
+        "diagnosis should blame the growing table: {err}"
+    );
+}
+
+#[test]
+fn overestimates_waste_memory_but_stay_correct() {
+    // Wrappers deliver a tenth of the estimate: reservations are too big,
+    // nothing breaks, the answer shrinks accordingly.
+    let w = two_way(10_000, 10_000)
+        .with_actual_cardinality(RelId(0), 1_000)
+        .with_actual_cardinality(RelId(1), 1_000);
+    for s in StrategyKind::ALL {
+        let m = run_once(&w, s);
+        assert_eq!(m.output_tuples, 1_000, "{}", s.name());
+    }
+}
+
+#[test]
+fn dse_keeps_its_advantage_under_bad_estimates() {
+    // Figure-5 shape with every estimate off by ±50 % and A slowed.
+    let (base, f5) = Workload::fig5();
+    let mut w = base.with_delay(
+        f5.rels.a,
+        DelayModel::Uniform {
+            mean: SimDuration::from_micros(80),
+        },
+    );
+    for (i, factor) in [1.5f64, 0.5, 1.3, 0.7, 1.5, 0.6].iter().enumerate() {
+        let rel = RelId(i as u16);
+        let est = w.catalog.cardinality(rel);
+        w = w.with_actual_cardinality(rel, (est as f64 * factor) as u64);
+    }
+    let seq = run_once(&w, StrategyKind::Seq);
+    let dse = run_once(&w, StrategyKind::Dse);
+    assert_eq!(dse.output_tuples, seq.output_tuples);
+    assert!(
+        dse.gain_over(&seq) > 0.15,
+        "DSE should still win with wrong estimates: {:.1}%",
+        dse.gain_over(&seq) * 100.0
+    );
+}
+
+#[test]
+fn zero_actuals_complete() {
+    // A source that claims data but delivers none (dropped connection
+    // after the sub-query, empty remote result, ...).
+    let w = two_way(1_000, 1_000).with_actual_cardinality(RelId(0), 0);
+    for s in StrategyKind::ALL {
+        let m = run_once(&w, s);
+        assert_eq!(m.output_tuples, 0, "{}", s.name());
+    }
+}

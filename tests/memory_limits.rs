@@ -1,0 +1,106 @@
+//! Memory-limitation behaviour (§4.1/§4.2): M-schedulability gating and the
+//! DQO's chain split keep the dynamic scheduler alive where the static
+//! iterator execution cannot proceed.
+
+use dqs_core::DsePolicy;
+use dqs_exec::{Engine, SeqPolicy, Workload};
+use dqs_plan::{Catalog, QepBuilder};
+
+fn fig5_with_budget(mb: u64) -> Workload {
+    let (mut w, _) = Workload::fig5();
+    w.config.memory_bytes = mb * 1024 * 1024;
+    w
+}
+
+#[test]
+fn dse_completes_under_moderate_pressure() {
+    // The plan needs ~16 MB of hash tables if everything were resident at
+    // once; DSE staggers them.
+    for mb in [16u64, 12] {
+        let m = Engine::new(&fig5_with_budget(mb), DsePolicy::new())
+            .try_run()
+            .unwrap_or_else(|e| panic!("DSE must survive {mb} MB: {e}"));
+        assert_eq!(m.output_tuples, 90_000, "{mb} MB");
+        assert!(m.memory_high_water <= mb * 1024 * 1024);
+    }
+}
+
+#[test]
+fn dse_uses_dqo_split_under_severe_pressure() {
+    // 8 MB cannot hold HT(J1) (6 MB) together with HT(J2) (4.8 MB): the
+    // chain building HT(J2) must be split so HT(J1) is released first.
+    let m = Engine::new(&fig5_with_budget(8), DsePolicy::new())
+        .try_run()
+        .expect("DSE must survive 8 MB via the DQO split");
+    assert_eq!(m.output_tuples, 90_000);
+    assert!(
+        m.memory_high_water <= 8 * 1024 * 1024,
+        "peak {} must respect the budget",
+        m.memory_high_water
+    );
+    assert!(
+        m.degradations > 4,
+        "severe pressure requires extra splits, got {}",
+        m.degradations
+    );
+}
+
+#[test]
+fn seq_aborts_when_not_m_schedulable() {
+    let err = Engine::new(&fig5_with_budget(8), SeqPolicy)
+        .try_run()
+        .expect_err("SEQ has no answer to memory overflow");
+    assert!(
+        err.contains("M-schedulable"),
+        "abort reason should cite M-schedulability: {err}"
+    );
+}
+
+#[test]
+fn memory_pressure_costs_time_not_correctness() {
+    let fast = Engine::new(&fig5_with_budget(32), DsePolicy::new())
+        .try_run()
+        .unwrap();
+    let tight = Engine::new(&fig5_with_budget(8), DsePolicy::new())
+        .try_run()
+        .unwrap();
+    assert_eq!(fast.output_tuples, tight.output_tuples);
+    assert!(
+        tight.response_time > fast.response_time,
+        "staggering must cost response time: {} vs {}",
+        tight.response_time,
+        fast.response_time
+    );
+}
+
+#[test]
+fn single_oversized_chain_is_reported() {
+    // One build side larger than the whole budget: no scheduling trick can
+    // fix that (the paper defers to full re-optimization, out of scope) —
+    // the engine must fail with a diagnosis rather than hang.
+    let mut cat = Catalog::new();
+    let a = cat.add("A", 100_000); // 4 MB hash table
+    let b = cat.add("B", 1_000);
+    let mut qb = QepBuilder::new();
+    let sa = qb.scan(a, 1.0);
+    let sb = qb.scan(b, 1.0);
+    let j = qb.hash_join(sa, sb, 1.0);
+    let mut w = Workload::new(cat, qb.finish(j).unwrap());
+    w.config.memory_bytes = 1024 * 1024; // 1 MB
+    let err = Engine::new(&w, DsePolicy::new())
+        .try_run()
+        .expect_err("an oversized build side cannot succeed");
+    assert!(!err.is_empty());
+}
+
+#[test]
+fn peak_memory_tracks_hash_table_sizes() {
+    let m = Engine::new(&fig5_with_budget(32), DsePolicy::new())
+        .try_run()
+        .unwrap();
+    // HT(J1) = 150K × 40 B = 6 MB must have been resident at some point.
+    assert!(m.memory_high_water >= 6_000_000);
+    // And everything fits well below the 16 MB sum because probers release
+    // tables as they finish.
+    assert!(m.memory_high_water < 16 * 1024 * 1024);
+}

@@ -1,0 +1,107 @@
+//! Multi-query (§6) integration tests: packing independent queries into a
+//! forest must preserve every per-query answer, and the throughput /
+//! response-time tradeoff must point the way the paper predicts.
+
+use dqs_bench::experiments::tenth_scale_fig5;
+use dqs_bench::{run_once, StrategyKind};
+use dqs_exec::{combine, SingleQuery, Workload};
+use dqs_plan::{Catalog, QepBuilder};
+use dqs_sim::SimDuration;
+use dqs_source::DelayModel;
+
+fn small(card: u64, fanout: f64) -> SingleQuery {
+    let mut cat = Catalog::new();
+    let a = cat.add("A", card);
+    let b = cat.add("B", card * 2);
+    let mut qb = QepBuilder::new();
+    let sa = qb.scan(a, 1.0);
+    let sb = qb.scan(b, 1.0);
+    let j = qb.hash_join(sa, sb, fanout);
+    let qep = qb.finish(j).unwrap();
+    SingleQuery {
+        catalog: cat,
+        qep,
+        delays: vec![
+            DelayModel::Constant {
+                w: SimDuration::from_micros(20)
+            };
+            2
+        ],
+    }
+}
+
+#[test]
+fn forest_answers_match_individual_runs() {
+    // Run each query alone, then together; per-query outputs must match.
+    let q1 = small(1_000, 1.0); // out: 2000
+    let q2 = small(500, 2.0); // out: 2000
+    let q3 = small(800, 0.5); // out: 800
+
+    let mut solo_total = 0;
+    for q in [&q1, &q2, &q3] {
+        let w = Workload::new(q.catalog.clone(), q.qep.clone());
+        solo_total += run_once(&w, StrategyKind::Seq).output_tuples;
+    }
+
+    let forest = combine(
+        &[q1, q2, q3],
+        dqs_exec::EngineConfig::default(),
+    );
+    for s in StrategyKind::ALL {
+        let m = run_once(&forest, s);
+        assert_eq!(m.output_tuples, solo_total, "{}", s.name());
+        assert_eq!(m.query_responses.len(), 3, "{}", s.name());
+    }
+}
+
+#[test]
+fn seq_serializes_queries() {
+    let forest = combine(
+        &[small(2_000, 1.0), small(2_000, 1.0)],
+        dqs_exec::EngineConfig::default(),
+    );
+    let m = run_once(&forest, StrategyKind::Seq);
+    let (q0, q1) = (m.query_responses[0].1, m.query_responses[1].1);
+    // Query 1 finishes roughly twice as late as query 0.
+    let ratio = q1.as_secs_f64() / q0.as_secs_f64();
+    assert!(
+        ratio > 1.7,
+        "SEQ must serialize: q0 {q0}, q1 {q1} (ratio {ratio:.2})"
+    );
+}
+
+#[test]
+fn dse_improves_makespan_over_seq() {
+    let one = tenth_scale_fig5();
+    let queries: Vec<SingleQuery> = (0..3).map(|_| SingleQuery::from_workload(&one)).collect();
+    let forest = combine(&queries, one.config.clone());
+    let seq = run_once(&forest, StrategyKind::Seq);
+    let dse = run_once(&forest, StrategyKind::Dse);
+    assert!(
+        dse.response_time < seq.response_time,
+        "DSE makespan {} must beat SEQ {}",
+        dse.response_time,
+        seq.response_time
+    );
+    // The §6 cost: DSE does extra (materialization) work.
+    assert!(dse.cpu_busy + dse.disk_busy > seq.cpu_busy + seq.disk_busy);
+}
+
+#[test]
+fn forest_with_one_slow_query_shields_the_others_under_dse() {
+    // Query 1's wrapper crawls; under DSE, query 0 should still answer in
+    // reasonable time instead of queueing behind it.
+    let mut slow = small(2_000, 1.0);
+    slow.delays[0] = DelayModel::Uniform {
+        mean: SimDuration::from_millis(1),
+    };
+    let fast = small(2_000, 1.0);
+    let forest = combine(&[slow, fast], dqs_exec::EngineConfig::default());
+    let m = run_once(&forest, StrategyKind::Dse);
+    let q_slow = m.query_responses[0].1;
+    let q_fast = m.query_responses[1].1;
+    assert!(
+        q_fast.as_secs_f64() < q_slow.as_secs_f64() / 2.0,
+        "the fast query ({q_fast}) must not wait for the slow one ({q_slow})"
+    );
+}

@@ -1,0 +1,100 @@
+//! Scrambling-vs-DSE integration tests on the Figure 5 workload: the §1.2
+//! comparison the paper makes in prose, measured.
+
+use dqs_bench::{run_once, StrategyKind};
+use dqs_exec::Workload;
+use dqs_sim::SimDuration;
+use dqs_source::DelayModel;
+
+fn fig5_with_a(model: DelayModel, timeout_ms: u64) -> Workload {
+    let (base, f5) = Workload::fig5();
+    let mut w = base.with_delay(f5.rels.a, model);
+    w.config.timeout = SimDuration::from_millis(timeout_ms);
+    w
+}
+
+#[test]
+fn scr_beats_seq_on_initial_delay_but_loses_to_dse() {
+    let w = fig5_with_a(
+        DelayModel::Initial {
+            initial: SimDuration::from_secs(3),
+            mean: SimDuration::from_micros(20),
+        },
+        500,
+    );
+    let seq = run_once(&w, StrategyKind::Seq);
+    let scr = run_once(&w, StrategyKind::Scr);
+    let dse = run_once(&w, StrategyKind::Dse);
+    assert!(scr.response_time < seq.response_time, "SCR improves on SEQ");
+    assert!(dse.response_time < scr.response_time, "DSE improves on SCR");
+    assert_eq!(scr.output_tuples, 90_000);
+    assert!(scr.timeouts >= 1, "scrambling must have stepped");
+}
+
+#[test]
+fn scr_equals_seq_on_slow_delivery() {
+    // §1.2: "the authors have not provided any solution to the problem of
+    // slow delivery" — trickling data never trips the timeout.
+    let w = fig5_with_a(
+        DelayModel::Uniform {
+            mean: SimDuration::from_micros(80),
+        },
+        500,
+    );
+    let seq = run_once(&w, StrategyKind::Seq);
+    let scr = run_once(&w, StrategyKind::Scr);
+    assert_eq!(scr.timeouts, 0, "80 µs gaps never reach 500 ms");
+    let ratio = scr.response_secs() / seq.response_secs();
+    assert!(
+        (ratio - 1.0).abs() < 0.02,
+        "SCR must degenerate to SEQ: ratio {ratio:.3}"
+    );
+    // While DSE, timeout-free, absorbs it.
+    let dse = run_once(&w, StrategyKind::Dse);
+    assert!(dse.gain_over(&seq) > 0.25);
+}
+
+#[test]
+fn scr_is_timeout_sensitive_dse_is_not() {
+    // §1.2's configuration criticism, quantified: the spread of SCR's
+    // response across timeout settings is large; DSE has no timeout knob
+    // in its reaction path at all (the engine timeout only signals the
+    // DQO hook).
+    let delay = DelayModel::Initial {
+        initial: SimDuration::from_secs(3),
+        mean: SimDuration::from_micros(20),
+    };
+    let mut scr_times = Vec::new();
+    let mut dse_times = Vec::new();
+    for ms in [100u64, 1_000, 4_000] {
+        let w = fig5_with_a(delay.clone(), ms);
+        scr_times.push(run_once(&w, StrategyKind::Scr).response_secs());
+        dse_times.push(run_once(&w, StrategyKind::Dse).response_secs());
+    }
+    let spread = |v: &[f64]| {
+        let max = v.iter().cloned().fold(f64::MIN, f64::max);
+        let min = v.iter().cloned().fold(f64::MAX, f64::min);
+        (max - min) / min
+    };
+    assert!(
+        spread(&scr_times) > 0.10,
+        "SCR must vary with the timeout: {scr_times:?}"
+    );
+    assert!(
+        spread(&dse_times) < 0.05,
+        "DSE must not care about the timeout: {dse_times:?}"
+    );
+}
+
+#[test]
+fn all_four_strategies_agree_on_fig5_answers() {
+    let w = fig5_with_a(
+        DelayModel::Uniform {
+            mean: SimDuration::from_micros(60),
+        },
+        500,
+    );
+    for s in StrategyKind::WITH_SCR {
+        assert_eq!(run_once(&w, s).output_tuples, 90_000, "{}", s.name());
+    }
+}

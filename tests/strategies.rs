@@ -1,0 +1,152 @@
+//! Cross-strategy integration tests: whatever the scheduling strategy, the
+//! *answer* must be identical — only the response time may differ — and no
+//! strategy may beat the analytic lower bound.
+
+use dqs_bench::{run_once, StrategyKind};
+use dqs_core::lwb;
+use dqs_exec::Workload;
+use dqs_plan::{generate, Catalog, GeneratorConfig, QepBuilder};
+use dqs_sim::{SeedSplitter, SimDuration};
+use dqs_source::DelayModel;
+
+/// A small three-way join with mixed fan-outs and a selective scan.
+fn three_way() -> Workload {
+    let mut cat = Catalog::new();
+    let a = cat.add("A", 4_000);
+    let b = cat.add("B", 6_000);
+    let c = cat.add("C", 8_000);
+    let mut qb = QepBuilder::new();
+    let sa = qb.scan(a, 0.5);
+    let sb = qb.scan(b, 1.0);
+    let j1 = qb.hash_join(sa, sb, 2.0);
+    let sc = qb.scan(c, 0.75);
+    let j2 = qb.hash_join(j1, sc, 1.5);
+    Workload::new(cat, qb.finish(j2).unwrap())
+}
+
+#[test]
+fn all_strategies_agree_on_the_answer() {
+    let w = three_way();
+    // Expected: C: 8000 × 0.75 × 1.5 = 9000.
+    let mut outputs = Vec::new();
+    for s in StrategyKind::ALL {
+        let m = run_once(&w, s);
+        assert_eq!(m.output_tuples, 9_000, "{} output", s.name());
+        outputs.push(m.output_tuples);
+    }
+    assert!(outputs.windows(2).all(|w| w[0] == w[1]));
+}
+
+#[test]
+fn answers_survive_slow_wrappers() {
+    let slow = DelayModel::Uniform {
+        mean: SimDuration::from_micros(300),
+    };
+    for rel in 0..3u16 {
+        let w = three_way().with_delay(dqs_relop::RelId(rel), slow.clone());
+        for s in StrategyKind::ALL {
+            let m = run_once(&w, s);
+            assert_eq!(
+                m.output_tuples,
+                9_000,
+                "{} with slow relation {rel}",
+                s.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn no_strategy_beats_the_lower_bound() {
+    for mean_us in [20u64, 100, 500] {
+        let w = three_way().with_all_delays(DelayModel::Uniform {
+            mean: SimDuration::from_micros(mean_us),
+        });
+        // The retrieval term of LWB is an expectation; discount by five
+        // standard deviations of the sampled delay sum.
+        let bound = lwb(&w).probabilistic_bound(5.0).as_secs_f64();
+        for s in StrategyKind::ALL {
+            let m = run_once(&w, s);
+            assert!(
+                m.response_secs() >= bound,
+                "{} at {mean_us}µs: {} < LWB {bound}",
+                s.name(),
+                m.response_secs()
+            );
+        }
+    }
+}
+
+#[test]
+fn runs_are_bit_deterministic() {
+    let w = three_way().with_all_delays(DelayModel::Uniform {
+        mean: SimDuration::from_micros(100),
+    });
+    for s in StrategyKind::ALL {
+        let a = run_once(&w.clone().with_seed(99), s);
+        let b = run_once(&w.clone().with_seed(99), s);
+        assert_eq!(a.response_time, b.response_time, "{}", s.name());
+        assert_eq!(a.events, b.events);
+        assert_eq!(a.batches, b.batches);
+        assert_eq!(a.pages_written, b.pages_written);
+        assert_eq!(a.plans, b.plans);
+    }
+}
+
+#[test]
+fn different_seeds_vary_only_stochastic_runs() {
+    // Uniform delays: response varies with the seed (but the answer never).
+    let w = three_way().with_all_delays(DelayModel::Uniform {
+        mean: SimDuration::from_micros(100),
+    });
+    let a = run_once(&w.clone().with_seed(1), StrategyKind::Dse);
+    let b = run_once(&w.clone().with_seed(2), StrategyKind::Dse);
+    assert_eq!(a.output_tuples, b.output_tuples);
+    assert_ne!(
+        a.response_time, b.response_time,
+        "uniform delays must be seed-dependent"
+    );
+}
+
+#[test]
+fn generated_queries_agree_across_strategies() {
+    for seed in 0..8u64 {
+        let mut rng = SeedSplitter::new(seed).stream("strategies-gen");
+        let q = generate(
+            &GeneratorConfig {
+                relations: 5,
+                cardinality: (500, 3_000),
+                scan_selectivity: (0.5, 1.0),
+                join_fanout: (0.5, 1.2),
+            },
+            &mut rng,
+        );
+        let w = Workload::new(q.catalog, q.qep);
+        let outs: Vec<u64> = StrategyKind::ALL
+            .iter()
+            .map(|&s| run_once(&w, s).output_tuples)
+            .collect();
+        assert_eq!(outs[0], outs[1], "seed {seed}: SEQ vs MA");
+        assert_eq!(outs[0], outs[2], "seed {seed}: SEQ vs DSE");
+    }
+}
+
+#[test]
+fn dse_never_loses_badly_to_seq() {
+    // Whatever the delays, DSE should be within a small overhead margin of
+    // SEQ (it degrades only when the bmi predicts profit).
+    for mean_us in [5u64, 20, 100, 400] {
+        let w = three_way().with_all_delays(DelayModel::Uniform {
+            mean: SimDuration::from_micros(mean_us),
+        });
+        let seq = run_once(&w, StrategyKind::Seq);
+        let dse = run_once(&w, StrategyKind::Dse);
+        let ratio = dse.response_secs() / seq.response_secs();
+        assert!(
+            ratio < 1.10,
+            "at {mean_us}µs DSE/SEQ = {ratio:.3} (DSE {} vs SEQ {})",
+            dse.response_time,
+            seq.response_time
+        );
+    }
+}
