@@ -98,14 +98,23 @@ pub fn table1() -> String {
                 p.disk_transfer_bytes_per_sec / 1_000_000
             ),
         ),
-        ("I/O Cache Size".into(), format!("{} pages", p.io_cache_pages)),
-        ("Perform an I/O".into(), format!("{} Instr.", p.instr_per_io)),
+        (
+            "I/O Cache Size".into(),
+            format!("{} pages", p.io_cache_pages),
+        ),
+        (
+            "Perform an I/O".into(),
+            format!("{} Instr.", p.instr_per_io),
+        ),
         ("Number of Local Disks".into(), format!("{}", p.num_disks)),
         (
             "Tuple Size - Page Size".into(),
             format!("{} bytes - {} Kb", p.tuple_bytes, p.page_bytes / 1024),
         ),
-        ("Move a Tuple".into(), format!("{} Inst.", p.instr_move_tuple)),
+        (
+            "Move a Tuple".into(),
+            format!("{} Inst.", p.instr_move_tuple),
+        ),
         (
             "Search for Match in Hash Table".into(),
             format!("{} Inst.", p.instr_hash_search),
@@ -190,9 +199,7 @@ pub fn slowdown_sweep(letter: char) -> Vec<SlowdownRow> {
         let w = slowdown_workload(letter, x);
         let rel = Fig5::build().rel_by_letter(letter).unwrap();
         let n = w.catalog.cardinality(rel);
-        let actual = w.delays[rel.0 as usize]
-            .expected_total(n)
-            .as_secs_f64();
+        let actual = w.delays[rel.0 as usize].expected_total(n).as_secs_f64();
         // Clamping to the natural retrieval time can duplicate points.
         if seen.iter().any(|&s: &f64| (s - actual).abs() < 1e-9) {
             continue;
@@ -241,7 +248,11 @@ pub fn render_slowdown(letter: char, rows: &[SlowdownRow]) -> String {
         "{fig}: One Slowed-down Relation ({}) — response time [s]\n",
         letter.to_ascii_uppercase()
     );
-    let _ = writeln!(out, "{:>10} {:>8} {:>8} {:>8} {:>8}", "slowdown", "SEQ", "MA", "DSE", "LWB");
+    let _ = writeln!(
+        out,
+        "{:>10} {:>8} {:>8} {:>8} {:>8}",
+        "slowdown", "SEQ", "MA", "DSE", "LWB"
+    );
     for r in rows {
         let _ = writeln!(
             out,
@@ -275,10 +286,12 @@ pub fn figure8() -> Vec<GainRow> {
 
 /// Render the Figure 8 series.
 pub fn render_figure8(rows: &[GainRow]) -> String {
-    let mut out = String::from(
-        "Figure 8: Several Slowed-down Relations — gain of DSE over SEQ\n",
+    let mut out = String::from("Figure 8: Several Slowed-down Relations — gain of DSE over SEQ\n");
+    let _ = writeln!(
+        out,
+        "{:>9} {:>9} {:>9} {:>8}",
+        "w_min[µs]", "SEQ[s]", "DSE[s]", "gain[%]"
     );
-    let _ = writeln!(out, "{:>9} {:>9} {:>9} {:>8}", "w_min[µs]", "SEQ[s]", "DSE[s]", "gain[%]");
     for r in rows {
         let _ = writeln!(
             out,
@@ -309,7 +322,11 @@ pub fn ablate_bmt() -> String {
             degr = m.degradations;
             secs.push(m.response_secs());
         }
-        let label = if bmt >= 1e9 { "∞".to_string() } else { format!("{bmt}") };
+        let label = if bmt >= 1e9 {
+            "∞".to_string()
+        } else {
+            format!("{bmt}")
+        };
         let _ = writeln!(out, "{:>6} {:>9.3} {:>6}", label, stats::mean(&secs), degr);
     }
     out
@@ -325,7 +342,13 @@ pub fn ablate_batch() -> String {
         // The flow-control window must hold at least one batch.
         w.config.queue_capacity = w.config.queue_capacity.max(batch);
         let m = run_once(&w, StrategyKind::Dse);
-        let _ = writeln!(out, "{:>7} {:>9.3} {:>9}", batch, m.response_secs(), m.batches);
+        let _ = writeln!(
+            out,
+            "{:>7} {:>9.3} {:>9}",
+            batch,
+            m.response_secs(),
+            m.batches
+        );
     }
     out
 }
@@ -349,10 +372,13 @@ pub fn ablate_queue() -> String {
 /// delivering long after its chain becomes schedulable, which is where MF
 /// cancellation pays).
 pub fn ablate_dse_features() -> String {
-    let mut out = String::from(
-        "Ablation A6: DSE feature knock-outs (one relation slowed to 6 s)\n",
+    let mut out =
+        String::from("Ablation A6: DSE feature knock-outs (one relation slowed to 6 s)\n");
+    let _ = writeln!(
+        out,
+        "{:>24} {:>10} {:>10}",
+        "variant", "A-slow[s]", "F-slow[s]"
     );
-    let _ = writeln!(out, "{:>24} {:>10} {:>10}", "variant", "A-slow[s]", "F-slow[s]");
     let wa = slowdown_workload('A', 6.0);
     let wf = slowdown_workload('F', 6.0);
     let variants: [(&str, DseConfig); 4] = [
@@ -396,7 +422,11 @@ pub fn ablate_dse_features() -> String {
     // SEQ reference.
     let (seq_a, _, _) = run_repeated(&wa, StrategyKind::Seq);
     let (seq_f, _, _) = run_repeated(&wf, StrategyKind::Seq);
-    let _ = writeln!(out, "{:>24} {:>10.3} {:>10.3}", "SEQ (reference)", seq_a, seq_f);
+    let _ = writeln!(
+        out,
+        "{:>24} {:>10.3} {:>10.3}",
+        "SEQ (reference)", seq_a, seq_f
+    );
     out
 }
 
@@ -447,10 +477,7 @@ pub fn delay_taxonomy() -> String {
     let n = base.catalog.cardinality(a);
     let w_min = base.config.params.w_min();
     let cases: Vec<(&str, DelayModel)> = vec![
-        (
-            "none (w_min)",
-            DelayModel::Constant { w: w_min },
-        ),
+        ("none (w_min)", DelayModel::Constant { w: w_min }),
         (
             "initial 3s",
             DelayModel::Initial {
@@ -466,22 +493,10 @@ pub fn delay_taxonomy() -> String {
                 pause: SimDuration::from_millis(300),
             },
         ),
-        (
-            "slow 2x",
-            DelayModel::Uniform {
-                mean: w_min * 2,
-            },
-        ),
-        (
-            "slow 4x",
-            DelayModel::Uniform {
-                mean: w_min * 4,
-            },
-        ),
+        ("slow 2x", DelayModel::Uniform { mean: w_min * 2 }),
+        ("slow 4x", DelayModel::Uniform { mean: w_min * 4 }),
     ];
-    let mut out = String::from(
-        "Delay taxonomy (§1.2) on relation A — response time [s]\n",
-    );
+    let mut out = String::from("Delay taxonomy (§1.2) on relation A — response time [s]\n");
     let _ = writeln!(out, "{:>14} {:>8} {:>8} {:>8}", "delay", "SEQ", "MA", "DSE");
     for (name, model) in cases {
         let w = base.clone().with_delay(a, model);
@@ -497,9 +512,7 @@ pub fn delay_taxonomy() -> String {
 /// memory budget until the plan's hash tables no longer fit together; DSE's
 /// M-schedulability gating plus the DQO split keep it alive.
 pub fn memory_pressure() -> String {
-    let mut out = String::from(
-        "Memory-limited execution (figure-5 workload at w_min)\n",
-    );
+    let mut out = String::from("Memory-limited execution (figure-5 workload at w_min)\n");
     let _ = writeln!(
         out,
         "{:>10} {:>9} {:>9} {:>12}",
@@ -536,9 +549,8 @@ pub fn scrambling() -> String {
     let a = f5.rels.a;
     let w_min = base.config.params.w_min();
 
-    let mut out = String::from(
-        "Query scrambling (SCR) vs the paper's strategies (relation A delayed)\n",
-    );
+    let mut out =
+        String::from("Query scrambling (SCR) vs the paper's strategies (relation A delayed)\n");
     let _ = writeln!(
         out,
         "{:>14} {:>8} {:>8} {:>8} {:>9}",
@@ -601,9 +613,8 @@ pub fn scrambling() -> String {
 /// throughput-vs-response-time tradeoff.
 pub fn multi_query() -> String {
     use dqs_exec::{combine, SingleQuery};
-    let mut out = String::from(
-        "Multi-query execution (§6): N tenth-scale figure-5 queries at w_min\n",
-    );
+    let mut out =
+        String::from("Multi-query execution (§6): N tenth-scale figure-5 queries at w_min\n");
     let _ = writeln!(
         out,
         "{:>2} {:>5} {:>11} {:>11} {:>11} {:>9} {:>9}",

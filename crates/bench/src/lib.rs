@@ -11,4 +11,7 @@
 pub mod experiments;
 pub mod runner;
 
-pub use runner::{run_once, run_repeated, StrategyKind, SEEDS};
+pub use runner::{
+    run_once, run_once_with_phases, run_repeated, run_repeated_serial, PhaseStat, PhaseStats,
+    StrategyKind, SEEDS,
+};

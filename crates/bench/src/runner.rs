@@ -1,8 +1,11 @@
-//! Strategy dispatch and repeated-run averaging.
+//! Strategy dispatch, per-phase statistics and repeated-run averaging.
 
 use dqs_core::DsePolicy;
-use dqs_exec::{run_workload, MaPolicy, RunMetrics, ScramblingPolicy, SeqPolicy, Workload};
-use dqs_sim::stats;
+use dqs_exec::{
+    run_workload, run_workload_observed, EngineEvent, EngineObserver, Interrupt, MaPolicy,
+    RunMetrics, ScramblingPolicy, SeqPolicy, Workload,
+};
+use dqs_sim::{stats, SimTime};
 
 /// The paper repeats each measurement 3 times and averages (§5.1.3); these
 /// are the seeds used.
@@ -45,6 +48,92 @@ impl StrategyKind {
     }
 }
 
+/// Aggregates for one scheduling phase (the stretch of execution between
+/// two planning events, §3.1).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PhaseStat {
+    /// The interruption that opened this phase.
+    pub why: Interrupt,
+    /// Fragments in the scheduling plan the phase ran under.
+    pub sp_len: usize,
+    /// Virtual time the phase started.
+    pub start: SimTime,
+    /// Virtual time the phase ended (next planning event, or run end).
+    pub end: SimTime,
+    /// Batches processed during the phase.
+    pub batches: u64,
+    /// Input tuples those batches consumed.
+    pub tuples_in: u64,
+    /// Result tuples delivered to the query output.
+    pub output: u64,
+    /// Times the DQP entered a stall.
+    pub stalls: u64,
+    /// Memory reservations denied.
+    pub mem_denied: u64,
+}
+
+/// [`EngineObserver`] that folds the event stream into one [`PhaseStat`]
+/// per scheduling phase — what the bench harness reports per run.
+#[derive(Debug, Default)]
+pub struct PhaseStats {
+    /// Completed phases, in execution order.
+    pub phases: Vec<PhaseStat>,
+}
+
+impl PhaseStats {
+    /// Close the trailing phase at `end` and return all phases.
+    pub fn finish(mut self, end: SimTime) -> Vec<PhaseStat> {
+        if let Some(p) = self.phases.last_mut() {
+            p.end = end;
+        }
+        self.phases
+    }
+}
+
+impl EngineObserver for PhaseStats {
+    fn on_event(&mut self, at: SimTime, ev: &EngineEvent<'_>) {
+        if let EngineEvent::PlanComputed { why, sp } = ev {
+            if let Some(prev) = self.phases.last_mut() {
+                prev.end = at;
+            }
+            self.phases.push(PhaseStat {
+                why: *why,
+                sp_len: sp.len(),
+                start: at,
+                end: at,
+                batches: 0,
+                tuples_in: 0,
+                output: 0,
+                stalls: 0,
+                mem_denied: 0,
+            });
+            return;
+        }
+        let Some(p) = self.phases.last_mut() else {
+            return; // events before the initial plan (arrivals) have no phase
+        };
+        match ev {
+            EngineEvent::BatchStart { tuples, .. } => {
+                p.batches += 1;
+                p.tuples_in += tuples;
+            }
+            EngineEvent::BatchDone { output, .. } => p.output += output,
+            EngineEvent::Stalled => p.stalls += 1,
+            EngineEvent::MemoryDenied { .. } => p.mem_denied += 1,
+            _ => {}
+        }
+    }
+}
+
+fn dispatch<O: EngineObserver>(workload: &Workload, strategy: StrategyKind, obs: O) -> RunMetrics {
+    match strategy {
+        StrategyKind::Seq => run_workload_observed(workload, SeqPolicy, obs),
+        StrategyKind::Ma => run_workload_observed(workload, MaPolicy::default(), obs),
+        StrategyKind::Scr => run_workload_observed(workload, ScramblingPolicy::new(), obs),
+        StrategyKind::Dse => run_workload_observed(workload, DsePolicy::new(), obs),
+    }
+}
+
 /// Execute `workload` once under `strategy`.
 pub fn run_once(workload: &Workload, strategy: StrategyKind) -> RunMetrics {
     match strategy {
@@ -55,21 +144,56 @@ pub fn run_once(workload: &Workload, strategy: StrategyKind) -> RunMetrics {
     }
 }
 
+/// Execute `workload` once under `strategy`, also returning per-phase
+/// statistics folded from the structured event stream.
+pub fn run_once_with_phases(
+    workload: &Workload,
+    strategy: StrategyKind,
+) -> (RunMetrics, Vec<PhaseStat>) {
+    let mut stats = PhaseStats::default();
+    let m = dispatch(workload, strategy, &mut stats);
+    let end = SimTime::ZERO + m.response_time;
+    (m, stats.finish(end))
+}
+
 /// Run `workload` under `strategy` for each seed in [`SEEDS`] and return
 /// `(mean response seconds, std dev, last metrics)`.
+///
+/// Seeds run on scoped threads — the simulation is a pure function of the
+/// workload, so the results are identical to running them back-to-back
+/// (asserted by `parallel_seeds_match_serial`).
 pub fn run_repeated(workload: &Workload, strategy: StrategyKind) -> (f64, f64, RunMetrics) {
-    let mut secs = Vec::with_capacity(SEEDS.len());
-    let mut last = None;
-    for &seed in &SEEDS {
-        let w = workload.clone().with_seed(seed);
-        let m = run_once(&w, strategy);
-        secs.push(m.response_secs());
-        last = Some(m);
-    }
+    let metrics: Vec<RunMetrics> = std::thread::scope(|scope| {
+        let handles: Vec<_> = SEEDS
+            .iter()
+            .map(|&seed| {
+                let w = workload.clone().with_seed(seed);
+                scope.spawn(move || run_once(&w, strategy))
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("seed run panicked"))
+            .collect()
+    });
+    summarize(metrics)
+}
+
+/// Serial reference for [`run_repeated`]; same results, one seed at a time.
+pub fn run_repeated_serial(workload: &Workload, strategy: StrategyKind) -> (f64, f64, RunMetrics) {
+    let metrics = SEEDS
+        .iter()
+        .map(|&seed| run_once(&workload.clone().with_seed(seed), strategy))
+        .collect();
+    summarize(metrics)
+}
+
+fn summarize(metrics: Vec<RunMetrics>) -> (f64, f64, RunMetrics) {
+    let secs: Vec<f64> = metrics.iter().map(RunMetrics::response_secs).collect();
     (
         stats::mean(&secs),
         stats::stddev(&secs),
-        last.expect("at least one seed"),
+        metrics.into_iter().last().expect("at least one seed"),
     )
 }
 
@@ -83,5 +207,39 @@ mod tests {
         assert_eq!(StrategyKind::Ma.name(), "MA");
         assert_eq!(StrategyKind::Dse.name(), "DSE");
         assert_eq!(StrategyKind::ALL.len(), 3);
+    }
+
+    #[test]
+    fn parallel_seeds_match_serial() {
+        let (w, _) = Workload::fig5();
+        for strategy in [StrategyKind::Seq, StrategyKind::Dse] {
+            let (mean_p, sd_p, last_p) = run_repeated(&w, strategy);
+            let (mean_s, sd_s, last_s) = run_repeated_serial(&w, strategy);
+            assert_eq!(mean_p.to_bits(), mean_s.to_bits());
+            assert_eq!(sd_p.to_bits(), sd_s.to_bits());
+            assert_eq!(last_p, last_s);
+        }
+    }
+
+    #[test]
+    fn phase_stats_cover_the_run() {
+        let (w, _) = Workload::fig5();
+        let (m, phases) = run_once_with_phases(&w, StrategyKind::Dse);
+        assert_eq!(phases.len() as u64, m.plans, "one PhaseStat per plan");
+        assert_eq!(
+            phases.iter().map(|p| p.batches).sum::<u64>(),
+            m.batches,
+            "every batch lands in exactly one phase"
+        );
+        assert_eq!(
+            phases.iter().map(|p| p.output).sum::<u64>(),
+            m.output_tuples
+        );
+        assert_eq!(phases[0].why, Interrupt::Start);
+        // Phases are contiguous and ordered.
+        for pair in phases.windows(2) {
+            assert_eq!(pair[0].end, pair[1].start);
+        }
+        assert_eq!(phases.last().unwrap().end, SimTime::ZERO + m.response_time);
     }
 }

@@ -22,6 +22,7 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod json;
 pub mod spec;
 
 pub use spec::{ConfigSpec, DelaySpec, JoinSpec, RelationSpec, SpecError, WorkloadSpec};

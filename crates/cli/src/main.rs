@@ -7,11 +7,15 @@
 //! dqs validate <spec.json>                parse + plan, report problems
 //! ```
 
+use std::io::Write;
 use std::process::ExitCode;
 
 use dqs_cli::spec::WorkloadSpec;
 use dqs_core::{lwb, DsePolicy};
-use dqs_exec::{run_workload, MaPolicy, RunMetrics, ScramblingPolicy, SeqPolicy, Workload};
+use dqs_exec::{
+    run_workload, run_workload_observed, JsonLinesSink, MaPolicy, RunMetrics, ScramblingPolicy,
+    SeqPolicy, Workload,
+};
 use dqs_plan::{AnnotatedPlan, ChainSet};
 
 fn usage() -> ExitCode {
@@ -19,7 +23,8 @@ fn usage() -> ExitCode {
         "usage: dqs <command> <spec.json> [options]\n\
          commands:\n\
          \u{20} explain   show the optimized plan, pipeline chains and annotations\n\
-         \u{20} run       execute (options: --strategy seq|ma|scr|dse, --seed N, --all)\n\
+         \u{20} run       execute (options: --strategy seq|ma|scr|dse, --seed N, --all,\n\
+         \u{20}           --trace-json <path>: write structured engine events as JSON lines)\n\
          \u{20} lwb       print the analytic response-time lower bound\n\
          \u{20} validate  parse and plan without executing\n"
     );
@@ -33,14 +38,29 @@ fn load(path: &str) -> Result<Workload, String> {
         .map_err(|e| e.to_string())
 }
 
-fn run_strategy(w: &Workload, name: &str) -> Result<RunMetrics, String> {
-    Ok(match name {
-        "seq" => run_workload(w, SeqPolicy),
-        "ma" => run_workload(w, MaPolicy::default()),
-        "scr" => run_workload(w, ScramblingPolicy::new()),
-        "dse" => run_workload(w, DsePolicy::new()),
+fn run_strategy(w: &Workload, name: &str, trace_json: Option<&str>) -> Result<RunMetrics, String> {
+    let Some(path) = trace_json else {
+        return Ok(match name {
+            "seq" => run_workload(w, SeqPolicy),
+            "ma" => run_workload(w, MaPolicy::default()),
+            "scr" => run_workload(w, ScramblingPolicy::new()),
+            "dse" => run_workload(w, DsePolicy::new()),
+            other => return Err(format!("unknown strategy {other:?} (seq|ma|scr|dse)")),
+        });
+    };
+    let file = std::fs::File::create(path).map_err(|e| format!("cannot create {path}: {e}"))?;
+    let mut sink = JsonLinesSink::new(std::io::BufWriter::new(file));
+    let m = match name {
+        "seq" => run_workload_observed(w, SeqPolicy, &mut sink),
+        "ma" => run_workload_observed(w, MaPolicy::default(), &mut sink),
+        "scr" => run_workload_observed(w, ScramblingPolicy::new(), &mut sink),
+        "dse" => run_workload_observed(w, DsePolicy::new(), &mut sink),
         other => return Err(format!("unknown strategy {other:?} (seq|ma|scr|dse)")),
-    })
+    };
+    sink.finish()
+        .and_then(|mut out| out.flush())
+        .map_err(|e| format!("cannot write {path}: {e}"))?;
+    Ok(m)
 }
 
 fn print_metrics(m: &RunMetrics) {
@@ -142,9 +162,21 @@ fn main() -> ExitCode {
             ExitCode::SUCCESS
         }
         "run" => {
+            let trace_json =
+                args.iter()
+                    .position(|a| a == "--trace-json")
+                    .map(|i| match args.get(i + 1) {
+                        Some(p) => p.clone(),
+                        None => String::new(),
+                    });
+            if trace_json.as_deref() == Some("") {
+                return usage();
+            }
             if args.iter().any(|a| a == "--all") {
                 for s in ["seq", "ma", "scr", "dse"] {
-                    match run_strategy(&workload, s) {
+                    // One trace file per strategy: `<path>.<strategy>`.
+                    let per_strategy = trace_json.as_ref().map(|p| format!("{p}.{s}"));
+                    match run_strategy(&workload, s, per_strategy.as_deref()) {
                         Ok(m) => {
                             print_metrics(&m);
                             println!();
@@ -163,7 +195,7 @@ fn main() -> ExitCode {
                 .and_then(|i| args.get(i + 1))
                 .map(String::as_str)
                 .unwrap_or("dse");
-            match run_strategy(&workload, strategy) {
+            match run_strategy(&workload, strategy, trace_json.as_deref()) {
                 Ok(m) => {
                     print_metrics(&m);
                     ExitCode::SUCCESS

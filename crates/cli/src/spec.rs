@@ -5,8 +5,12 @@
 //! (§5.1.1) turns the join graph into a bushy plan. This is the external
 //! interface a mediator deployment would feed the engine — see
 //! `examples/specs/*.json`.
+//!
+//! Decoding is strict, mirroring serde's `deny_unknown_fields`: unknown or
+//! duplicate keys, missing required fields and type mismatches are all
+//! [`SpecError::Parse`] errors.
 
-use serde::Deserialize;
+use crate::json::{self, Json};
 
 use dqs_exec::{EngineConfig, Workload};
 use dqs_plan::{optimize, Catalog, JoinGraph};
@@ -14,24 +18,20 @@ use dqs_sim::SimDuration;
 use dqs_source::DelayModel;
 
 /// One remote relation.
-#[derive(Debug, Clone, Deserialize)]
-#[serde(deny_unknown_fields)]
+#[derive(Debug, Clone)]
 pub struct RelationSpec {
     /// Name used by the join specs.
     pub name: String,
     /// Cardinality estimate the mediator plans with.
     pub cardinality: u64,
     /// Tuples the wrapper really delivers (defaults to `cardinality`).
-    #[serde(default)]
     pub actual_cardinality: Option<u64>,
     /// Delivery pacing (defaults to the platform `w_min`).
-    #[serde(default)]
     pub delay: Option<DelaySpec>,
 }
 
 /// Delivery pacing, mirroring `dqs_source::DelayModel`.
-#[derive(Debug, Clone, Deserialize)]
-#[serde(rename_all = "snake_case", deny_unknown_fields)]
+#[derive(Debug, Clone)]
 pub enum DelaySpec {
     /// Fixed inter-tuple gap in microseconds.
     ConstantUs(u64),
@@ -80,11 +80,17 @@ impl DelaySpec {
             },
         }
     }
+
+    /// Parse a delay spec from JSON text (the externally-tagged form used
+    /// inside workload files, e.g. `{"uniform_us": 100}`).
+    pub fn from_json(text: &str) -> Result<DelaySpec, SpecError> {
+        let v = json::parse(text).map_err(|e| SpecError::Parse(e.to_string()))?;
+        decode_delay(&v)
+    }
 }
 
 /// One join predicate between two named relations.
-#[derive(Debug, Clone, Deserialize)]
-#[serde(deny_unknown_fields)]
+#[derive(Debug, Clone)]
 pub struct JoinSpec {
     /// Left relation name.
     pub left: String,
@@ -95,8 +101,7 @@ pub struct JoinSpec {
 }
 
 /// Engine knobs (all optional).
-#[derive(Debug, Clone, Default, Deserialize)]
-#[serde(deny_unknown_fields)]
+#[derive(Debug, Clone, Default)]
 pub struct ConfigSpec {
     /// Query memory budget in megabytes.
     pub memory_mb: Option<u64>,
@@ -111,15 +116,13 @@ pub struct ConfigSpec {
 }
 
 /// The whole workload file.
-#[derive(Debug, Clone, Deserialize)]
-#[serde(deny_unknown_fields)]
+#[derive(Debug, Clone)]
 pub struct WorkloadSpec {
     /// Remote relations.
     pub relations: Vec<RelationSpec>,
     /// Join graph (must connect all relations).
     pub joins: Vec<JoinSpec>,
     /// Engine configuration overrides.
-    #[serde(default)]
     pub config: ConfigSpec,
 }
 
@@ -127,7 +130,7 @@ pub struct WorkloadSpec {
 #[derive(Debug)]
 pub enum SpecError {
     /// JSON syntax / schema problem.
-    Parse(serde_json::Error),
+    Parse(String),
     /// A join references an unknown relation.
     UnknownRelation(String),
     /// Structural problems (optimizer rejected the join graph, ...).
@@ -146,10 +149,200 @@ impl std::fmt::Display for SpecError {
 
 impl std::error::Error for SpecError {}
 
+// --- strict object decoding -------------------------------------------------
+
+/// Tracks which keys of an object have been consumed so leftovers can be
+/// rejected, matching serde's `deny_unknown_fields`.
+struct Fields<'a> {
+    what: &'static str,
+    entries: &'a [(String, Json)],
+    seen: Vec<bool>,
+}
+
+impl<'a> Fields<'a> {
+    fn new(v: &'a Json, what: &'static str) -> Result<Fields<'a>, SpecError> {
+        let entries = v.as_object().ok_or_else(|| {
+            SpecError::Parse(format!("{what}: expected object, got {}", v.kind()))
+        })?;
+        Ok(Fields {
+            what,
+            seen: vec![false; entries.len()],
+            entries,
+        })
+    }
+
+    fn take(&mut self, name: &str) -> Option<&'a Json> {
+        for (i, (k, v)) in self.entries.iter().enumerate() {
+            if k == name {
+                self.seen[i] = true;
+                return Some(v);
+            }
+        }
+        None
+    }
+
+    fn require(&mut self, name: &str) -> Result<&'a Json, SpecError> {
+        self.take(name)
+            .ok_or_else(|| SpecError::Parse(format!("{}: missing field {name:?}", self.what)))
+    }
+
+    fn deny_unknown(self) -> Result<(), SpecError> {
+        for (i, (k, _)) in self.entries.iter().enumerate() {
+            if !self.seen[i] {
+                return Err(SpecError::Parse(format!(
+                    "{}: unknown field {k:?}",
+                    self.what
+                )));
+            }
+        }
+        Ok(())
+    }
+}
+
+fn decode_string(v: &Json, what: &str) -> Result<String, SpecError> {
+    v.as_str()
+        .map(str::to_string)
+        .ok_or_else(|| SpecError::Parse(format!("{what}: expected string, got {}", v.kind())))
+}
+
+fn decode_u64(v: &Json, what: &str) -> Result<u64, SpecError> {
+    v.as_u64().ok_or_else(|| {
+        SpecError::Parse(format!(
+            "{what}: expected non-negative integer, got {}",
+            v.kind()
+        ))
+    })
+}
+
+fn decode_f64(v: &Json, what: &str) -> Result<f64, SpecError> {
+    v.as_f64()
+        .ok_or_else(|| SpecError::Parse(format!("{what}: expected number, got {}", v.kind())))
+}
+
+fn decode_delay(v: &Json) -> Result<DelaySpec, SpecError> {
+    let entries = v
+        .as_object()
+        .ok_or_else(|| SpecError::Parse(format!("delay: expected object, got {}", v.kind())))?;
+    let [(tag, body)] = entries else {
+        return Err(SpecError::Parse(
+            "delay: expected exactly one variant key".into(),
+        ));
+    };
+    match tag.as_str() {
+        "constant_us" => Ok(DelaySpec::ConstantUs(decode_u64(
+            body,
+            "delay.constant_us",
+        )?)),
+        "uniform_us" => Ok(DelaySpec::UniformUs(decode_u64(body, "delay.uniform_us")?)),
+        "initial" => {
+            let mut f = Fields::new(body, "delay.initial")?;
+            let spec = DelaySpec::Initial {
+                delay_ms: decode_u64(f.require("delay_ms")?, "delay.initial.delay_ms")?,
+                mean_us: decode_u64(f.require("mean_us")?, "delay.initial.mean_us")?,
+            };
+            f.deny_unknown()?;
+            Ok(spec)
+        }
+        "bursty" => {
+            let mut f = Fields::new(body, "delay.bursty")?;
+            let spec = DelaySpec::Bursty {
+                burst: decode_u64(f.require("burst")?, "delay.bursty.burst")?,
+                within_us: decode_u64(f.require("within_us")?, "delay.bursty.within_us")?,
+                pause_ms: decode_u64(f.require("pause_ms")?, "delay.bursty.pause_ms")?,
+            };
+            f.deny_unknown()?;
+            Ok(spec)
+        }
+        other => Err(SpecError::Parse(format!(
+            "delay: unknown variant {other:?}"
+        ))),
+    }
+}
+
+fn decode_relation(v: &Json) -> Result<RelationSpec, SpecError> {
+    let mut f = Fields::new(v, "relation")?;
+    let spec = RelationSpec {
+        name: decode_string(f.require("name")?, "relation.name")?,
+        cardinality: decode_u64(f.require("cardinality")?, "relation.cardinality")?,
+        actual_cardinality: f
+            .take("actual_cardinality")
+            .map(|v| decode_u64(v, "relation.actual_cardinality"))
+            .transpose()?,
+        delay: f.take("delay").map(decode_delay).transpose()?,
+    };
+    f.deny_unknown()?;
+    Ok(spec)
+}
+
+fn decode_join(v: &Json) -> Result<JoinSpec, SpecError> {
+    let mut f = Fields::new(v, "join")?;
+    let spec = JoinSpec {
+        left: decode_string(f.require("left")?, "join.left")?,
+        right: decode_string(f.require("right")?, "join.right")?,
+        selectivity: decode_f64(f.require("selectivity")?, "join.selectivity")?,
+    };
+    f.deny_unknown()?;
+    Ok(spec)
+}
+
+fn decode_config(v: &Json) -> Result<ConfigSpec, SpecError> {
+    let mut f = Fields::new(v, "config")?;
+    let spec = ConfigSpec {
+        memory_mb: f
+            .take("memory_mb")
+            .map(|v| decode_u64(v, "config.memory_mb"))
+            .transpose()?,
+        queue_capacity: f
+            .take("queue_capacity")
+            .map(|v| decode_u64(v, "config.queue_capacity").map(|n| n as usize))
+            .transpose()?,
+        batch_size: f
+            .take("batch_size")
+            .map(|v| decode_u64(v, "config.batch_size").map(|n| n as usize))
+            .transpose()?,
+        timeout_ms: f
+            .take("timeout_ms")
+            .map(|v| decode_u64(v, "config.timeout_ms"))
+            .transpose()?,
+        seed: f
+            .take("seed")
+            .map(|v| decode_u64(v, "config.seed"))
+            .transpose()?,
+    };
+    f.deny_unknown()?;
+    Ok(spec)
+}
+
 impl WorkloadSpec {
     /// Parse a spec from JSON text.
     pub fn from_json(text: &str) -> Result<WorkloadSpec, SpecError> {
-        serde_json::from_str(text).map_err(SpecError::Parse)
+        let v = json::parse(text).map_err(|e| SpecError::Parse(e.to_string()))?;
+        let mut f = Fields::new(&v, "workload")?;
+        let relations = f
+            .require("relations")?
+            .as_array()
+            .ok_or_else(|| SpecError::Parse("workload.relations: expected array".into()))?
+            .iter()
+            .map(decode_relation)
+            .collect::<Result<Vec<_>, _>>()?;
+        let joins = f
+            .require("joins")?
+            .as_array()
+            .ok_or_else(|| SpecError::Parse("workload.joins: expected array".into()))?
+            .iter()
+            .map(decode_join)
+            .collect::<Result<Vec<_>, _>>()?;
+        let config = f
+            .take("config")
+            .map(decode_config)
+            .transpose()?
+            .unwrap_or_default();
+        f.deny_unknown()?;
+        Ok(WorkloadSpec {
+            relations,
+            joins,
+            config,
+        })
     }
 
     /// Build the executable workload: catalog + DP-optimized plan + delays.
@@ -161,7 +354,10 @@ impl WorkloadSpec {
         let mut ids = std::collections::HashMap::new();
         for r in &self.relations {
             if ids.contains_key(r.name.as_str()) {
-                return Err(SpecError::Invalid(format!("duplicate relation {:?}", r.name)));
+                return Err(SpecError::Invalid(format!(
+                    "duplicate relation {:?}",
+                    r.name
+                )));
             }
             let id = catalog.add(r.name.clone(), r.cardinality);
             ids.insert(r.name.as_str(), id);
@@ -244,10 +440,7 @@ mod tests {
         assert_eq!(w.config.memory_bytes, 16 * 1024 * 1024);
         assert_eq!(w.config.seed, 7);
         assert_eq!(w.actual_cardinality(dqs_relop_rel(1)), 1_500);
-        assert!(matches!(
-            w.delays[0],
-            DelayModel::Uniform { .. }
-        ));
+        assert!(matches!(w.delays[0], DelayModel::Uniform { .. }));
     }
 
     fn dqs_relop_rel(i: u16) -> dqs_relop::RelId {
@@ -267,6 +460,15 @@ mod tests {
     #[test]
     fn unknown_fields_rejected() {
         let bad = GOOD.replace("\"memory_mb\": 16", "\"memory_mbb\": 16");
+        assert!(matches!(
+            WorkloadSpec::from_json(&bad),
+            Err(SpecError::Parse(_))
+        ));
+    }
+
+    #[test]
+    fn missing_required_field_rejected() {
+        let bad = GOOD.replace("\"cardinality\": 10000,", "");
         assert!(matches!(
             WorkloadSpec::from_json(&bad),
             Err(SpecError::Parse(_))
@@ -313,7 +515,7 @@ mod tests {
                 false,
             ),
         ] {
-            let d: DelaySpec = serde_json::from_str(json).unwrap();
+            let d = DelaySpec::from_json(json).unwrap();
             let m = d.to_model();
             assert_eq!(matches!(m, DelayModel::Constant { .. }), want_constant);
         }

@@ -141,8 +141,7 @@ impl Policy for DsePolicy {
                 let Some(mf) = ctx.frags.live_mf(pc) else {
                     continue;
                 };
-                if matches!(ctx.frags.get(mf).source, FragSource::Queue(_))
-                    && ctx.c_schedulable(pc)
+                if matches!(ctx.frags.get(mf).source, FragSource::Queue(_)) && ctx.c_schedulable(pc)
                 {
                     ctx.cancel_mf(mf);
                     self.degraded_for_delay.remove(&pc);
@@ -215,7 +214,9 @@ impl Policy for DsePolicy {
                 continue; // superseded by a split earlier in this pass
             }
             let needs = match ctx.frags.get(f).chain.build_target() {
-                Some(_) if !ctx.frags.get(f).started => ctx.plan.info(ctx.frags.get(f).pc).mem_bytes,
+                Some(_) if !ctx.frags.get(f).started => {
+                    ctx.plan.info(ctx.frags.get(f).pc).mem_bytes
+                }
                 _ => 0,
             };
             if needs <= budget {

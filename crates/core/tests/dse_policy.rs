@@ -23,6 +23,7 @@ fn initial_plan_schedules_only_c_schedulable_chains() {
             plan: &plan,
             frags: &mut frags,
             world: &mut world,
+            obs: &mut dqs_exec::NullObserver,
         };
         policy.plan(&mut ctx, Interrupt::Start)
     };
@@ -61,6 +62,7 @@ fn degradation_waits_for_rate_estimates_then_fires() {
             plan: &plan,
             frags: &mut frags,
             world: &mut world,
+            obs: &mut dqs_exec::NullObserver,
         };
         policy.plan(&mut ctx, Interrupt::RateChange)
     };
@@ -91,6 +93,7 @@ fn memory_gating_excludes_unfundable_builds() {
             plan: &plan,
             frags: &mut frags,
             world: &mut world,
+            obs: &mut dqs_exec::NullObserver,
         };
         policy.plan(&mut ctx, Interrupt::Start)
     };
@@ -115,6 +118,7 @@ fn plan_is_deterministic() {
             plan: &plan_a,
             frags: &mut frags_a,
             world: &mut world_a,
+            obs: &mut dqs_exec::NullObserver,
         },
         Interrupt::Start,
     );
@@ -124,6 +128,7 @@ fn plan_is_deterministic() {
             plan: &plan_b,
             frags: &mut frags_b,
             world: &mut world_b,
+            obs: &mut dqs_exec::NullObserver,
         },
         Interrupt::Start,
     );

@@ -191,14 +191,10 @@ impl FragTable {
     /// The single *live* fragment representing chain `pc`'s remaining work:
     /// the Whole fragment, or the CF once degraded. `None` once complete.
     pub fn live_body(&self, pc: PcId) -> Option<FragId> {
-        self.by_pc[pc.0 as usize]
-            .iter()
-            .copied()
-            .rev()
-            .find(|&f| {
-                let fr = self.get(f);
-                fr.status == FragStatus::Active && fr.kind != FragKind::Mf
-            })
+        self.by_pc[pc.0 as usize].iter().copied().rev().find(|&f| {
+            let fr = self.get(f);
+            fr.status == FragStatus::Active && fr.kind != FragKind::Mf
+        })
     }
 
     /// The active MF of `pc`, if one exists.
@@ -222,9 +218,7 @@ impl FragTable {
 
     /// True when every non-superseded fragment is done.
     pub fn all_done(&self) -> bool {
-        self.frags
-            .iter()
-            .all(|f| f.status != FragStatus::Active)
+        self.frags.iter().all(|f| f.status != FragStatus::Active)
     }
 
     /// Split an active, not-yet-started fragment at operator boundary `k`:
@@ -304,14 +298,10 @@ impl FragTable {
     /// Panics if the chain already started, is already degraded, or is not
     /// wrapper-sourced — degrading any of those is a scheduler bug.
     pub fn degrade(&mut self, pc: PcId, include_scan: bool, temp: TempId) -> (FragId, FragId) {
-        let whole_id = *self
-            .by_pc[pc.0 as usize]
+        let whole_id = *self.by_pc[pc.0 as usize]
             .first()
             .expect("chain has a fragment");
-        assert!(
-            !self.is_degraded(pc),
-            "chain {pc:?} is already degraded"
-        );
+        assert!(!self.is_degraded(pc), "chain {pc:?} is already degraded");
         let whole = self.get(whole_id);
         assert!(
             matches!(whole.source, FragSource::Queue(_)),
@@ -367,7 +357,10 @@ mod tests {
         assert_eq!(m.chain.spec().len(), 1, "MF keeps the scan");
         assert_eq!(m.sink, FragSink::Mat(TempId(0)));
         assert!(
-            m.chain.spec().iter().all(|o| matches!(o, OpSpec::Select { .. })),
+            m.chain
+                .spec()
+                .iter()
+                .all(|o| matches!(o, OpSpec::Select { .. })),
             "MF must not contain joins"
         );
         let c = t.get(cf);

@@ -6,9 +6,12 @@
 //! * [`world::World`] — CPU, disk, memory, wrappers, hash tables, temps;
 //! * [`frag`] — runtime query fragments (whole chains and the MF/CF halves
 //!   of degraded chains, §4.4);
-//! * [`engine::Engine`] — the DQP: batch-interleaved processing over the
-//!   scheduling plan, window-protocol flow control, interruption events
-//!   (§3.2), stall/timeout accounting;
+//! * [`runtime::Engine`] — the engine runtime, split into layered modules:
+//!   [`runtime`] (event loop), [`dqp`] (batch-interleaved processing over
+//!   the scheduling plan, §3.2), [`mem`] (hash-table memory accounting,
+//!   §4.2) and [`replan`] (planning phases and interrupt handling, §3.1);
+//! * [`observe`] — structured, typed engine events ([`EngineEvent`]) and the
+//!   [`EngineObserver`] trait, with text-trace, metrics and JSON-lines sinks;
 //! * [`policy::Policy`] — the DQS interface: scheduling plans recomputed at
 //!   every interruption;
 //! * [`strategies`] — the SEQ / MA / scrambling baselines. The paper's DSE
@@ -35,20 +38,27 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
-pub mod engine;
+pub mod dqp;
 pub mod frag;
+pub mod mem;
 pub mod metrics;
 pub mod multi;
+pub mod observe;
 pub mod policy;
+pub mod replan;
+pub mod runtime;
 pub mod strategies;
 pub mod workload;
 pub mod world;
 
-pub use engine::{run_workload, Engine};
 pub use frag::{FragId, FragKind, FragSink, FragSource, FragStatus, FragTable, TempId};
 pub use metrics::RunMetrics;
 pub use multi::{combine, SingleQuery};
+pub use observe::{
+    EngineEvent, EngineObserver, JsonLinesSink, MetricsObserver, NullObserver, TextTrace,
+};
 pub use policy::{Interrupt, PlanCtx, Policy};
+pub use runtime::{run_workload, run_workload_observed, Engine};
 pub use strategies::{MaPolicy, ScramblingPolicy, SeqPolicy};
 pub use workload::{EngineConfig, Workload};
 pub use world::World;

@@ -1,0 +1,105 @@
+//! Hash-table memory accounting (§4.2).
+//!
+//! Every build-side fragment reserves its estimated hash-table footprint
+//! before its first batch; builds that outgrow the estimate grow the
+//! reservation mid-run; reservations are released when the fragment that
+//! probed the table finishes. A failed reservation raises the
+//! `MemoryOverflow` interruption so the policy can split or reorder
+//! (§4.2); a failed mid-build growth is unrecoverable and aborts the run.
+
+use dqs_relop::HtId;
+use dqs_sim::SimTime;
+
+use crate::frag::FragId;
+use crate::observe::{EngineEvent, EngineObserver};
+use crate::policy::{Interrupt, Policy};
+use crate::runtime::Engine;
+
+impl<P: Policy, O: EngineObserver> Engine<P, O> {
+    /// Reserve `ht`'s estimated footprint before fragment `f` first builds
+    /// into it. On failure, raises `MemoryOverflow` — unless the same
+    /// fragment already failed with no memory freed since, in which case
+    /// the policy cannot make progress and the run aborts.
+    pub(crate) fn reserve_ht(&mut self, f: FragId, ht: HtId) -> bool {
+        let now = self.events.now();
+        let pc = self.frags.get(f).pc;
+        let bytes = self.plan.info(pc).mem_bytes;
+        match self.world.memory.reserve(bytes, format!("ht:{}", ht.0)) {
+            Ok(res) => {
+                self.ht_mem.insert(ht, (res, bytes));
+                self.last_overflow = None;
+                self.emit(now, EngineEvent::MemoryGranted { ht, bytes });
+                true
+            }
+            Err(e) => {
+                self.emit(
+                    now,
+                    EngineEvent::MemoryDenied {
+                        frag: f,
+                        needed: bytes,
+                        free: e.free,
+                    },
+                );
+                if self.last_overflow == Some((f, e.free)) {
+                    self.aborted = Some(format!(
+                        "fragment {f:?} is not M-schedulable and the policy \
+                         could not resolve it: {e}"
+                    ));
+                    return false;
+                }
+                self.last_overflow = Some((f, e.free));
+                self.note_replan(Interrupt::MemoryOverflow {
+                    frag: f,
+                    needed: bytes,
+                });
+                false
+            }
+        }
+    }
+
+    /// Grow `ht`'s reservation if the build outgrew its estimate. Sets the
+    /// abort reason (and returns) when query memory cannot cover it.
+    pub(crate) fn grow_ht_if_needed(&mut self, f: FragId, ht: HtId, now: SimTime) {
+        let fp = self
+            .world
+            .arena
+            .get(ht)
+            .footprint_bytes(self.world.params.tuple_bytes);
+        let Some(&(res, reserved)) = self.ht_mem.get(&ht) else {
+            return;
+        };
+        if fp <= reserved {
+            return;
+        }
+        let extra = fp - reserved;
+        if self.world.memory.grow(res, extra).is_err() {
+            let free = self.world.memory.free();
+            self.emit(
+                now,
+                EngineEvent::MemoryDenied {
+                    frag: f,
+                    needed: extra,
+                    free,
+                },
+            );
+            self.aborted = Some(format!(
+                "hash table {ht:?} outgrew query memory mid-build \
+                 ({fp} bytes needed, {free} free)"
+            ));
+            return;
+        }
+        self.ht_mem.insert(ht, (res, fp));
+        self.emit(now, EngineEvent::MemoryGranted { ht, bytes: extra });
+    }
+
+    /// Drop the hash tables fragment `f` probed and release their memory —
+    /// `f` was their sole consumer.
+    pub(crate) fn release_probe_memory(&mut self, f: FragId) {
+        for ht in self.frags.get(f).chain.probe_targets() {
+            self.world.arena.discard(ht);
+            if let Some((res, _)) = self.ht_mem.remove(&ht) {
+                self.world.memory.release(res);
+            }
+        }
+    }
+}

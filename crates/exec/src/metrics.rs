@@ -3,7 +3,7 @@
 use dqs_sim::{SimDuration, SimTime};
 
 /// Everything measured during one query execution.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct RunMetrics {
     /// Name of the strategy that ran.
     pub strategy: &'static str,

@@ -12,6 +12,7 @@ use dqs_plan::{AnnotatedPlan, PcId};
 use dqs_sim::{SimDuration, SimTime};
 
 use crate::frag::{FragId, FragStatus, FragTable};
+use crate::observe::{EngineEvent, EngineObserver};
 use crate::world::World;
 
 /// Why a planning phase was entered (§3.2's interruption events plus the
@@ -37,7 +38,6 @@ pub enum Interrupt {
 }
 
 /// Context handed to a policy during a planning phase.
-#[derive(Debug)]
 pub struct PlanCtx<'a> {
     /// Current virtual time.
     pub now: SimTime,
@@ -47,6 +47,9 @@ pub struct PlanCtx<'a> {
     pub frags: &'a mut FragTable,
     /// The simulated world (rate estimates, memory, disk, hash tables).
     pub world: &'a mut World,
+    /// The engine's observer stack: plan mutations (degrade, split, MF
+    /// cancellation) are reported through it as structured events.
+    pub obs: &'a mut dyn EngineObserver,
 }
 
 impl<'a> PlanCtx<'a> {
@@ -54,7 +57,10 @@ impl<'a> PlanCtx<'a> {
     /// `(mf, cf)`.
     pub fn degrade(&mut self, pc: PcId, include_scan: bool) -> (FragId, FragId) {
         let temp = self.world.alloc_temp();
-        self.frags.degrade(pc, include_scan, temp)
+        let (mf, cf) = self.frags.degrade(pc, include_scan, temp);
+        self.obs
+            .on_event(self.now, &EngineEvent::Degraded { pc, mf, cf, temp });
+        (mf, cf)
     }
 
     /// Split fragment `fid` at operator boundary `k` (§4.2's memory-
@@ -62,7 +68,17 @@ impl<'a> PlanCtx<'a> {
     /// Returns `(head, tail)`.
     pub fn split(&mut self, fid: FragId, k: usize) -> (FragId, FragId) {
         let temp = self.world.alloc_temp();
-        self.frags.split_fragment(fid, k, temp)
+        let (head, tail) = self.frags.split_fragment(fid, k, temp);
+        self.obs.on_event(
+            self.now,
+            &EngineEvent::Split {
+                from: fid,
+                head,
+                tail,
+                temp,
+            },
+        );
+        (head, tail)
     }
 
     /// Stop an MF early because its chain became schedulable: the temp is
@@ -72,7 +88,7 @@ impl<'a> PlanCtx<'a> {
     /// # Panics
     /// Panics if `mf` is not an active MF.
     pub fn cancel_mf(&mut self, mf: FragId) {
-        use crate::frag::{FragKind, FragSource, FragSink};
+        use crate::frag::{FragKind, FragSink, FragSource};
         let (pc, rel, temp) = {
             let f = self.frags.get(mf);
             assert_eq!(f.kind, FragKind::Mf, "cancel_mf on non-MF");
@@ -110,6 +126,8 @@ impl<'a> PlanCtx<'a> {
             *then_queue = Some(rel);
         }
         self.frags.get_mut(cf).handoff_from = Some(mf);
+        self.obs
+            .on_event(self.now, &EngineEvent::MatCancelled { mf, cf });
     }
 
     /// Live estimate of chain `p`'s per-tuple waiting time `w_p`: the CM's

@@ -1,0 +1,59 @@
+//! Planning phases and interrupt handling (the DQS side of the loop).
+//!
+//! §3.1: the DQS recomputes the scheduling plan at every interruption
+//! event; the DQO, DQS and DQP interact synchronously — they never run
+//! concurrently — so a replanning request raised mid-batch is deferred to
+//! the batch boundary.
+
+use crate::frag::FragStatus;
+use crate::observe::{EngineEvent, EngineObserver};
+use crate::policy::{Interrupt, PlanCtx, Policy};
+use crate::runtime::Engine;
+
+impl<P: Policy, O: EngineObserver> Engine<P, O> {
+    /// Run a planning phase now: hand the fragment table, world and
+    /// observer to the policy and install the scheduling plan it returns.
+    pub(crate) fn replan(&mut self, why: Interrupt) {
+        let now = self.events.now();
+        self.world.cm.mark_rates();
+        let mut ctx = PlanCtx {
+            now,
+            plan: &self.plan,
+            frags: &mut self.frags,
+            world: &mut self.world,
+            obs: &mut self.obs,
+        };
+        let sp = self.policy.plan(&mut ctx, why);
+        for &f in &sp {
+            debug_assert_eq!(
+                self.frags.get(f).status,
+                FragStatus::Active,
+                "policy scheduled a dead fragment"
+            );
+        }
+        self.emit(now, EngineEvent::PlanComputed { why, sp: &sp });
+        self.sp = sp;
+    }
+
+    /// Request a planning phase; deferred to batch completion if the DQP is
+    /// mid-batch (the DQS and DQP never run concurrently, §3.1).
+    pub(crate) fn note_replan(&mut self, why: Interrupt) {
+        if self.inflight.is_some() {
+            self.pending_replan.get_or_insert(why);
+        } else {
+            self.replan(why);
+        }
+    }
+
+    /// Stall-timer expiry: raise `TimeOut` unless the timer is stale.
+    pub(crate) fn on_timeout(&mut self, gen: u64) {
+        self.timeout_ev = None;
+        if gen != self.timeout_gen || self.inflight.is_some() || self.output_done_at.is_some() {
+            return;
+        }
+        let now = self.events.now();
+        self.emit(now, EngineEvent::InterruptRaised(Interrupt::Timeout));
+        self.replan(Interrupt::Timeout);
+        self.try_dispatch();
+    }
+}

@@ -1,0 +1,299 @@
+//! The engine runtime: construction, the event loop, and run finalization.
+//!
+//! [`Engine`] is split across four modules, each an `impl` extension of the
+//! same struct:
+//!
+//! * here — the simulation event loop and the arrival/batch-done handlers;
+//! * [`crate::dqp`] — fragment lifecycle and batch processing (§3.2);
+//! * [`crate::mem`] — hash-table memory accounting (§4.2);
+//! * [`crate::replan`] — planning phases and interrupt handling (§3.1).
+//!
+//! The engine is strategy-agnostic: SEQ, MA and DSE are [`Policy`]s that
+//! differ only in the scheduling plans they return (§5.1.2: "Since the
+//! different strategies use the same lower-level code, the performance
+//! difference can only stem from the execution strategies").
+//!
+//! Everything runs on the simulated clock: batch CPU time and message
+//! receive costs queue on the single mediator CPU, materialization and temp
+//! scans queue on the single disk. Every state transition is reported as a
+//! structured [`EngineEvent`] to the observer stack (see [`crate::observe`]).
+
+use std::collections::HashMap;
+
+use dqs_plan::AnnotatedPlan;
+use dqs_relop::{HtId, RelId};
+use dqs_sim::{EventId, EventQueue, SimTime};
+use dqs_storage::ReservationId;
+
+use crate::frag::{FragId, FragTable};
+use crate::metrics::RunMetrics;
+use crate::observe::{EngineEvent, EngineObserver, NullObserver, Observers, TextTrace};
+use crate::policy::{Interrupt, Policy};
+use crate::workload::{EngineConfig, Workload};
+use crate::world::World;
+
+/// Events driving the engine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Event {
+    /// A tuple from this wrapper reaches the communication manager.
+    Arrival(RelId),
+    /// The in-flight DQP batch completes.
+    BatchDone,
+    /// A temp relation's prefetched pages became resident.
+    TempReady,
+    /// The stall timer expired (generation guards staleness).
+    Timeout(u64),
+}
+
+/// The batch currently on the CPU.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct Inflight {
+    pub(crate) frag: FragId,
+    /// Result tuples this batch delivered to the query output.
+    pub(crate) output: u64,
+}
+
+/// Hard ceiling on simulation events — a runaway loop trips this rather
+/// than hanging the benchmark harness.
+const MAX_EVENTS: u64 = 500_000_000;
+
+/// One query execution: world + fragments + policy + event loop.
+///
+/// The observer type parameter defaults to [`NullObserver`], so existing
+/// `Engine::new(..)` call sites are unchanged; [`Engine::with_observer`]
+/// installs a custom [`EngineObserver`] with static dispatch.
+pub struct Engine<P: Policy, O: EngineObserver = NullObserver> {
+    pub(crate) world: World,
+    pub(crate) plan: AnnotatedPlan,
+    pub(crate) frags: FragTable,
+    pub(crate) policy: P,
+    pub(crate) cfg: EngineConfig,
+    pub(crate) events: EventQueue<Event>,
+    /// Current scheduling plan, highest priority first.
+    pub(crate) sp: Vec<FragId>,
+    pub(crate) inflight: Option<Inflight>,
+    pub(crate) pending_replan: Option<Interrupt>,
+    pub(crate) timeout_ev: Option<EventId>,
+    pub(crate) timeout_gen: u64,
+    /// Memory reservation per built hash table: (grant, reserved bytes).
+    pub(crate) ht_mem: HashMap<HtId, (ReservationId, u64)>,
+    /// Fragment that last failed to reserve, with the free bytes then.
+    pub(crate) last_overflow: Option<(FragId, u64)>,
+    /// Output chains still running (multi-query forests have several).
+    pub(crate) outputs_pending: usize,
+    /// `(query, completion time)` per finished output chain.
+    pub(crate) output_times: Vec<(u32, SimTime)>,
+    /// Set once every output chain finished.
+    pub(crate) output_done_at: Option<SimTime>,
+    /// True while the DQP is stalled (dedups `Stalled` events).
+    pub(crate) stalled: bool,
+    pub(crate) aborted: Option<String>,
+    pub(crate) obs: Observers<O>,
+}
+
+impl<P: Policy> Engine<P> {
+    /// Build an engine for `workload` driven by `policy`.
+    pub fn new(workload: &Workload, policy: P) -> Self {
+        Engine::with_observer(workload, policy, NullObserver)
+    }
+}
+
+impl<P: Policy, O: EngineObserver> Engine<P, O> {
+    /// Build an engine that reports every [`EngineEvent`] to `observer`
+    /// (in addition to the built-in metrics and optional text trace).
+    pub fn with_observer(workload: &Workload, policy: P, observer: O) -> Self {
+        let (world, plan) = World::build(workload);
+        let frags = FragTable::from_plan(&plan);
+        let outputs_pending = plan
+            .chains
+            .chains
+            .iter()
+            .filter(|c| matches!(c.sink, dqs_plan::ChainSink::Output))
+            .count();
+        Engine {
+            world,
+            plan,
+            frags,
+            policy,
+            obs: Observers::new(workload.config.trace, observer),
+            cfg: workload.config.clone(),
+            events: EventQueue::new(),
+            sp: Vec::new(),
+            inflight: None,
+            pending_replan: None,
+            timeout_ev: None,
+            timeout_gen: 0,
+            ht_mem: HashMap::new(),
+            last_overflow: None,
+            outputs_pending,
+            output_times: Vec::new(),
+            output_done_at: None,
+            stalled: false,
+            aborted: None,
+        }
+    }
+
+    /// Report `ev` to the observer stack.
+    #[inline]
+    pub(crate) fn emit(&mut self, at: SimTime, ev: EngineEvent<'_>) {
+        self.obs.on_event(at, &ev);
+    }
+
+    /// Execute to completion, panicking on unrecoverable scheduling errors
+    /// (deadlock, unresolvable memory overflow). Use [`Engine::try_run`] to
+    /// observe those as errors instead.
+    pub fn run(self) -> RunMetrics {
+        match self.try_run() {
+            Ok(m) => m,
+            Err(e) => panic!("query execution aborted: {e}"),
+        }
+    }
+
+    /// Execute to completion and report metrics, or the abort reason.
+    pub fn try_run(self) -> Result<RunMetrics, String> {
+        self.try_run_traced().map(|(m, _)| m)
+    }
+
+    /// Like [`Engine::try_run`], also returning the execution trace (empty
+    /// unless the workload's config enabled tracing).
+    pub fn try_run_traced(mut self) -> Result<(RunMetrics, dqs_sim::Trace), String> {
+        let (arrivals, start_instr) = self.world.cm.start(SimTime::ZERO);
+        if start_instr > 0 {
+            let t = self.world.params.instr_time(start_instr);
+            self.world.cpu.acquire(SimTime::ZERO, t);
+        }
+        for (rel, at) in arrivals {
+            self.events.schedule(at, Event::Arrival(rel));
+        }
+        self.replan(Interrupt::Start);
+        self.try_dispatch();
+
+        while self.output_done_at.is_none() && self.aborted.is_none() {
+            let Some((t, ev)) = self.events.pop() else {
+                self.aborted = Some(format!(
+                    "deadlock: no events pending, query incomplete (sp={:?})",
+                    self.sp
+                ));
+                break;
+            };
+            match ev {
+                Event::Arrival(rel) => self.on_arrival(rel, t),
+                Event::BatchDone => self.on_batch_done(),
+                Event::TempReady => {
+                    if self.inflight.is_none() {
+                        self.try_dispatch();
+                    }
+                }
+                Event::Timeout(gen) => self.on_timeout(gen),
+            }
+            if self.events.fired() > MAX_EVENTS {
+                self.aborted = Some("runaway simulation: event limit exceeded".into());
+            }
+        }
+        self.finish_metrics()
+    }
+
+    // ------------------------------------------------------------------
+    // Event handlers
+    // ------------------------------------------------------------------
+
+    fn on_arrival(&mut self, rel: RelId, now: SimTime) {
+        let out = self.world.cm.on_arrival(rel, now);
+        if out.cpu_instr > 0 {
+            let t = self.world.params.instr_time(out.cpu_instr);
+            self.world.cpu.acquire(now, t);
+        }
+        if let Some(at) = out.next_arrival {
+            self.events.schedule(at, Event::Arrival(rel));
+        }
+        if out.rate_change {
+            self.emit(now, EngineEvent::InterruptRaised(Interrupt::RateChange));
+            self.note_replan(Interrupt::RateChange);
+        }
+        self.emit(
+            now,
+            EngineEvent::Arrival {
+                rel,
+                finished: out.finished,
+            },
+        );
+        if self.inflight.is_none() {
+            self.try_dispatch();
+        }
+    }
+
+    fn on_batch_done(&mut self) {
+        let inf = self.inflight.take().expect("BatchDone without inflight");
+        let now = self.events.now();
+        // Keep every temp scan's asynchronous read-ahead window warm while
+        // the CPU is busy elsewhere (§4.4: CF I/O overlaps CPU) — this is
+        // what lets a complement fragment start from resident pages instead
+        // of a cold disk once its blocking inputs complete.
+        self.arm_all_readahead();
+        self.emit(
+            now,
+            EngineEvent::BatchDone {
+                frag: inf.frag,
+                output: inf.output,
+            },
+        );
+        self.maybe_finalize(inf.frag);
+        if self.output_done_at.is_some() {
+            return;
+        }
+        if let Some(why) = self.pending_replan.take() {
+            self.replan(why);
+        }
+        self.try_dispatch();
+    }
+
+    fn finish_metrics(mut self) -> Result<(RunMetrics, dqs_sim::Trace), String> {
+        if let Some(reason) = self.aborted {
+            return Err(reason);
+        }
+        let trace = self
+            .obs
+            .text
+            .take()
+            .map(TextTrace::into_trace)
+            .unwrap_or_default();
+        let end = self.output_done_at.unwrap_or(self.events.now());
+        self.obs.metrics.acc.stall_end(end);
+        let mut m = self.obs.metrics.acc.m;
+        m.strategy = self.policy.name();
+        m.seed = self.cfg.seed;
+        m.response_time = end.saturating_since(SimTime::ZERO);
+        m.cpu_busy = self.world.cpu.busy_time();
+        m.disk_busy = self.world.disk.busy_time();
+        m.pages_written = self.world.disk.pages_written();
+        m.pages_read = self.world.disk.pages_read();
+        m.seeks = self.world.disk.seeks();
+        m.memory_high_water = self.world.memory.high_water();
+        m.events = self.events.fired();
+        m.query_responses = {
+            let mut v: Vec<(u32, dqs_sim::SimDuration)> = self
+                .output_times
+                .iter()
+                .map(|&(q, t)| (q, t.saturating_since(SimTime::ZERO)))
+                .collect();
+            v.sort();
+            v
+        };
+        Ok((m, trace))
+    }
+}
+
+/// Convenience: build and run `workload` under `policy`.
+pub fn run_workload<P: Policy>(workload: &Workload, policy: P) -> RunMetrics {
+    Engine::new(workload, policy).run()
+}
+
+/// Like [`run_workload`], reporting engine events to `observer` as the run
+/// progresses.
+pub fn run_workload_observed<P: Policy, O: EngineObserver>(
+    workload: &Workload,
+    policy: P,
+    observer: O,
+) -> RunMetrics {
+    Engine::with_observer(workload, policy, observer).run()
+}

@@ -69,7 +69,7 @@ impl Policy for MaPolicy {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::engine::run_workload;
+    use crate::run_workload;
     use crate::strategies::seq::SeqPolicy;
     use crate::workload::Workload;
     use dqs_plan::{Catalog, QepBuilder};

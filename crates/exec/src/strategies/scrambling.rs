@@ -139,7 +139,7 @@ impl Policy for ScramblingPolicy {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::engine::run_workload;
+    use crate::run_workload;
     use crate::strategies::seq::SeqPolicy;
     use crate::workload::Workload;
     use dqs_plan::{Catalog, QepBuilder};
@@ -169,7 +169,10 @@ mod tests {
         assert_eq!(scr.output_tuples, seq.output_tuples);
         assert_eq!(scr.timeouts, 0, "no starvation, no scrambling");
         let ratio = scr.response_secs() / seq.response_secs();
-        assert!((ratio - 1.0).abs() < 0.02, "SCR == SEQ without delays: {ratio}");
+        assert!(
+            (ratio - 1.0).abs() < 0.02,
+            "SCR == SEQ without delays: {ratio}"
+        );
     }
 
     #[test]

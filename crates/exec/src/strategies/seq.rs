@@ -35,7 +35,7 @@ impl Policy for SeqPolicy {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::engine::run_workload;
+    use crate::run_workload;
     use crate::workload::Workload;
     use dqs_plan::{Catalog, QepBuilder};
     use dqs_sim::SimDuration;

@@ -159,7 +159,10 @@ mod tests {
     fn config_defaults_are_sane() {
         let c = EngineConfig::default();
         assert!(c.batch_size > 0);
-        assert!(c.queue_capacity >= c.batch_size, "window must cover a batch");
+        assert!(
+            c.queue_capacity >= c.batch_size,
+            "window must cover a batch"
+        );
         assert!(c.memory_bytes > 16 * 1024 * 1024);
     }
 }

@@ -2,9 +2,9 @@
 
 use dqs_plan::{AnnotatedPlan, ChainSet};
 use dqs_relop::{HashTableArena, RelId, Tuple};
-use dqs_sim::{FifoResource, SeedSplitter, SimParams, Trace};
-use dqs_storage::{Disk, MemoryManager, StreamId, TempRelation};
+use dqs_sim::{FifoResource, SeedSplitter, SimParams};
 use dqs_source::{CommManager, Wrapper};
+use dqs_storage::{Disk, MemoryManager, StreamId, TempRelation};
 
 use crate::frag::TempId;
 use crate::workload::Workload;
@@ -26,8 +26,6 @@ pub struct World {
     pub arena: HashTableArena,
     /// Temp relations (plan-level mats first, degradations appended).
     pub temps: Vec<TempRelation<Tuple>>,
-    /// Optional execution trace.
-    pub trace: Trace,
 }
 
 impl World {
@@ -67,11 +65,6 @@ impl World {
             cm,
             arena,
             temps: Vec::new(),
-            trace: if workload.config.trace {
-                Trace::enabled()
-            } else {
-                Trace::disabled()
-            },
             params,
         };
         // Pre-allocate temps for plan-level Mat nodes so TempId(i) == MatId(i).

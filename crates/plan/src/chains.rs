@@ -439,9 +439,6 @@ mod tests {
     #[test]
     fn sequential_order_is_ascending_ids() {
         let set = ChainSet::decompose(&three_way());
-        assert_eq!(
-            set.sequential_order(),
-            vec![PcId(0), PcId(1), PcId(2)]
-        );
+        assert_eq!(set.sequential_order(), vec![PcId(0), PcId(1), PcId(2)]);
     }
 }

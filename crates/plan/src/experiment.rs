@@ -226,7 +226,10 @@ mod tests {
         // All hash tables together stay under 32 MB (§5: experiments assume
         // "the existence of sufficient memory").
         assert!(total < 32 * 1024 * 1024, "{total} bytes");
-        assert!(total > 10 * 1024 * 1024, "plan should be non-trivial: {total}");
+        assert!(
+            total > 10 * 1024 * 1024,
+            "plan should be non-trivial: {total}"
+        );
     }
 
     #[test]

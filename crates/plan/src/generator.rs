@@ -87,7 +87,9 @@ pub fn generate(config: &GeneratorConfig, rng: &mut ChaCha8Rng) -> GeneratedQuer
     }
 
     let root = forest[0].0;
-    let qep = qb.finish(root).expect("generated plan is structurally valid");
+    let qep = qb
+        .finish(root)
+        .expect("generated plan is structurally valid");
     GeneratedQuery { catalog, qep }
 }
 

@@ -309,7 +309,10 @@ mod tests {
     fn single_relation_rejected() {
         let mut cat = Catalog::new();
         cat.add("A", 10);
-        assert_eq!(optimize(&cat, &JoinGraph::new()), Err(OptimizeError::TooFew));
+        assert_eq!(
+            optimize(&cat, &JoinGraph::new()),
+            Err(OptimizeError::TooFew)
+        );
     }
 
     #[test]

@@ -320,10 +320,7 @@ impl Qep {
             let pad = "  ".repeat(depth);
             match qep.node(id) {
                 QepNode::Scan { rel, selectivity } => {
-                    out.push_str(&format!(
-                        "{pad}Scan[{}] sel={selectivity}\n",
-                        names(*rel)
-                    ));
+                    out.push_str(&format!("{pad}Scan[{}] sel={selectivity}\n", names(*rel)));
                 }
                 QepNode::HashJoin {
                     build,
@@ -401,10 +398,7 @@ mod tests {
     fn bad_selectivity_rejected() {
         let mut b = QepBuilder::new();
         let a = b.scan(RelId(0), 1.5);
-        assert!(matches!(
-            b.finish(a),
-            Err(QepError::BadParameter { .. })
-        ));
+        assert!(matches!(b.finish(a), Err(QepError::BadParameter { .. })));
     }
 
     #[test]

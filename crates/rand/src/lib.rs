@@ -1,0 +1,298 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! The build environment has no crates.io access, so this workspace vendors
+//! the *subset* of `rand`'s API it actually uses: [`RngCore`],
+//! [`SeedableRng`], the [`Rng`] extension trait with `gen_range` /
+//! `sample_iter`, and the [`distributions::Standard`] distribution. The
+//! semantics mirror `rand 0.8` closely enough for every call site in this
+//! repository; the bit streams are *not* guaranteed to match upstream
+//! `rand` (nothing here depends on that — determinism comes from
+//! `rand_chacha`'s specified ChaCha8 output, which is implemented exactly).
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+use std::ops::{Range, RangeInclusive};
+
+/// The core of a random number generator: a source of raw random words.
+pub trait RngCore {
+    /// Next 32 random bits.
+    fn next_u32(&mut self) -> u32;
+
+    /// Next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Fill `dest` with random bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        let mut chunks = dest.chunks_exact_mut(8);
+        for chunk in &mut chunks {
+            chunk.copy_from_slice(&self.next_u64().to_le_bytes());
+        }
+        let rem = chunks.into_remainder();
+        if !rem.is_empty() {
+            let bytes = self.next_u64().to_le_bytes();
+            rem.copy_from_slice(&bytes[..rem.len()]);
+        }
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u32(&mut self) -> u32 {
+        (**self).next_u32()
+    }
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// A generator that can be deterministically constructed from a seed.
+pub trait SeedableRng: Sized {
+    /// Seed type (a byte array).
+    type Seed: Default + AsMut<[u8]>;
+
+    /// Construct from a full seed.
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    /// Construct from a `u64`, expanding it with SplitMix64 exactly like
+    /// `rand 0.8` does, so `seed_from_u64` streams stay stable.
+    fn seed_from_u64(mut state: u64) -> Self {
+        // rand 0.8's SeedableRng::seed_from_u64 uses splitmix64 to fill
+        // the seed bytes; replicated verbatim for stream stability.
+        let mut seed = Self::Seed::default();
+        for chunk in seed.as_mut().chunks_mut(4) {
+            state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^= z >> 31;
+            let bytes = z.to_le_bytes();
+            chunk.copy_from_slice(&bytes[..chunk.len()]);
+        }
+        Self::from_seed(seed)
+    }
+}
+
+/// Ranges that can be sampled uniformly.
+pub trait SampleRange<T> {
+    /// Draw one value from the range using `rng`.
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+/// Unbiased integer sampling in `[0, bound)` by rejection (Lemire's method
+/// without the multiply shortcut: simple threshold rejection on the top).
+fn uniform_u64<R: RngCore + ?Sized>(rng: &mut R, bound: u64) -> u64 {
+    debug_assert!(bound > 0);
+    if bound.is_power_of_two() {
+        return rng.next_u64() & (bound - 1);
+    }
+    // Largest multiple of bound that fits in u64.
+    let zone = u64::MAX - (u64::MAX % bound) - 1;
+    loop {
+        let v = rng.next_u64();
+        if v <= zone {
+            return v % bound;
+        }
+    }
+}
+
+macro_rules! int_sample_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let span = (self.end as u64).wrapping_sub(self.start as u64);
+                self.start + uniform_u64(rng, span) as $t
+            }
+        }
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "cannot sample empty range");
+                let span = (hi as u64).wrapping_sub(lo as u64).wrapping_add(1);
+                if span == 0 {
+                    // Full domain: every word is a valid sample.
+                    return rng.next_u64() as $t;
+                }
+                lo + uniform_u64(rng, span) as $t
+            }
+        }
+    )*};
+}
+int_sample_range!(u8, u16, u32, u64, usize);
+
+/// A random f64 in `[0, 1)` with 53 bits of precision.
+fn unit_f64<R: RngCore + ?Sized>(rng: &mut R) -> f64 {
+    (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+impl SampleRange<f64> for Range<f64> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> f64 {
+        assert!(self.start < self.end, "cannot sample empty range");
+        self.start + unit_f64(rng) * (self.end - self.start)
+    }
+}
+
+impl SampleRange<f64> for RangeInclusive<f64> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> f64 {
+        let (lo, hi) = (*self.start(), *self.end());
+        assert!(lo <= hi, "cannot sample empty range");
+        lo + unit_f64(rng) * (hi - lo)
+    }
+}
+
+/// Distributions.
+pub mod distributions {
+    use super::RngCore;
+
+    /// A distribution over values of type `T`.
+    pub trait Distribution<T> {
+        /// Draw one sample.
+        fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T;
+    }
+
+    /// The "standard" distribution: uniform over the whole domain.
+    #[derive(Debug, Clone, Copy, Default)]
+    pub struct Standard;
+
+    impl Distribution<u64> for Standard {
+        fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> u64 {
+            rng.next_u64()
+        }
+    }
+
+    impl Distribution<u32> for Standard {
+        fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> u32 {
+            rng.next_u32()
+        }
+    }
+
+    impl Distribution<f64> for Standard {
+        fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+            super::unit_f64(rng)
+        }
+    }
+
+    /// Iterator yielded by [`crate::Rng::sample_iter`].
+    #[derive(Debug)]
+    pub struct DistIter<D, R, T> {
+        pub(crate) distr: D,
+        pub(crate) rng: R,
+        pub(crate) _marker: std::marker::PhantomData<T>,
+    }
+
+    impl<D: Distribution<T>, R: RngCore, T> Iterator for DistIter<D, R, T> {
+        type Item = T;
+        fn next(&mut self) -> Option<T> {
+            Some(self.distr.sample(&mut self.rng))
+        }
+    }
+}
+
+/// Convenience extension methods over any [`RngCore`].
+pub trait Rng: RngCore {
+    /// Uniform sample from `range` (integer or float, `a..b` or `a..=b`).
+    fn gen_range<T, S: SampleRange<T>>(&mut self, range: S) -> T
+    where
+        Self: Sized,
+    {
+        range.sample_single(self)
+    }
+
+    /// Sample from `distr`.
+    fn sample<T, D: distributions::Distribution<T>>(&mut self, distr: D) -> T
+    where
+        Self: Sized,
+    {
+        distr.sample(self)
+    }
+
+    /// Endless iterator of samples from `distr`, consuming the generator.
+    fn sample_iter<T, D: distributions::Distribution<T>>(
+        self,
+        distr: D,
+    ) -> distributions::DistIter<D, Self, T>
+    where
+        Self: Sized,
+    {
+        distributions::DistIter {
+            distr,
+            rng: self,
+            _marker: std::marker::PhantomData,
+        }
+    }
+
+    /// A random bool.
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        unit_f64(self) < p
+    }
+}
+
+impl<R: RngCore> Rng for R {}
+
+/// `rand::prelude` look-alike.
+pub mod prelude {
+    pub use super::distributions::Distribution;
+    pub use super::{Rng, RngCore, SeedableRng};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A tiny deterministic generator for testing the adapters.
+    struct XorShift(u64);
+    impl RngCore for XorShift {
+        fn next_u32(&mut self) -> u32 {
+            self.next_u64() as u32
+        }
+        fn next_u64(&mut self) -> u64 {
+            let mut x = self.0;
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            self.0 = x;
+            x
+        }
+    }
+
+    #[test]
+    fn int_ranges_stay_in_bounds() {
+        let mut r = XorShift(0x1234_5678_9abc_def0);
+        for _ in 0..10_000 {
+            let v = r.gen_range(10u64..20);
+            assert!((10..20).contains(&v));
+            let w = r.gen_range(5usize..=7);
+            assert!((5..=7).contains(&w));
+        }
+    }
+
+    #[test]
+    fn float_ranges_stay_in_bounds() {
+        let mut r = XorShift(42);
+        for _ in 0..10_000 {
+            let v = r.gen_range(0.25f64..=0.75);
+            assert!((0.25..=0.75).contains(&v));
+        }
+    }
+
+    #[test]
+    fn inclusive_range_hits_both_endpoints() {
+        let mut r = XorShift(7);
+        let mut seen = [false; 3];
+        for _ in 0..1_000 {
+            seen[r.gen_range(0u64..=2) as usize] = true;
+        }
+        assert_eq!(seen, [true; 3]);
+    }
+
+    #[test]
+    fn sample_iter_streams() {
+        let r = XorShift(9);
+        let xs: Vec<u64> = r.sample_iter(distributions::Standard).take(4).collect();
+        assert_eq!(xs.len(), 4);
+        assert!(xs.windows(2).any(|w| w[0] != w[1]));
+    }
+}

@@ -1,0 +1,164 @@
+//! Offline stand-in for `rand_chacha`: [`ChaCha8Rng`].
+//!
+//! The build environment has no crates.io access, so the ChaCha8 generator
+//! is implemented here from the ChaCha specification (Bernstein 2008, 8
+//! rounds). The keystream is a pure function of the 32-byte key — exactly
+//! the property the simulator's bit-reproducibility rests on. The word
+//! stream is *not* byte-for-byte identical to the upstream `rand_chacha`
+//! crate (which interleaves a block counter differently); nothing in this
+//! workspace compares against upstream streams, only against itself.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+use rand::{RngCore, SeedableRng};
+
+/// The ChaCha quarter round.
+#[inline(always)]
+fn quarter(state: &mut [u32; 16], a: usize, b: usize, c: usize, d: usize) {
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(16);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(12);
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(8);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(7);
+}
+
+/// A deterministic ChaCha8 random number generator.
+///
+/// Cloning copies the full stream position: a clone replays exactly the
+/// same remaining output as the original.
+#[derive(Debug, Clone)]
+pub struct ChaCha8Rng {
+    /// Key words (state words 4..12 of each block).
+    key: [u32; 8],
+    /// 64-bit block counter (state words 12..14); words 14..15 are the
+    /// nonce, fixed to zero.
+    counter: u64,
+    /// Current keystream block.
+    block: [u32; 16],
+    /// Next unread word of `block` (16 = exhausted).
+    index: usize,
+}
+
+impl ChaCha8Rng {
+    const SIGMA: [u32; 4] = [0x6170_7865, 0x3320_646e, 0x7962_2d32, 0x6b20_6574];
+
+    fn refill(&mut self) {
+        let mut x = [0u32; 16];
+        x[..4].copy_from_slice(&Self::SIGMA);
+        x[4..12].copy_from_slice(&self.key);
+        x[12] = self.counter as u32;
+        x[13] = (self.counter >> 32) as u32;
+        x[14] = 0;
+        x[15] = 0;
+        let input = x;
+        for _ in 0..4 {
+            // 8 rounds = 4 double rounds (column + diagonal).
+            quarter(&mut x, 0, 4, 8, 12);
+            quarter(&mut x, 1, 5, 9, 13);
+            quarter(&mut x, 2, 6, 10, 14);
+            quarter(&mut x, 3, 7, 11, 15);
+            quarter(&mut x, 0, 5, 10, 15);
+            quarter(&mut x, 1, 6, 11, 12);
+            quarter(&mut x, 2, 7, 8, 13);
+            quarter(&mut x, 3, 4, 9, 14);
+        }
+        for (o, i) in x.iter_mut().zip(input.iter()) {
+            *o = o.wrapping_add(*i);
+        }
+        self.block = x;
+        self.index = 0;
+        self.counter = self.counter.wrapping_add(1);
+    }
+}
+
+impl SeedableRng for ChaCha8Rng {
+    type Seed = [u8; 32];
+
+    fn from_seed(seed: [u8; 32]) -> Self {
+        let mut key = [0u32; 8];
+        for (k, chunk) in key.iter_mut().zip(seed.chunks_exact(4)) {
+            *k = u32::from_le_bytes(chunk.try_into().expect("4-byte chunk"));
+        }
+        ChaCha8Rng {
+            key,
+            counter: 0,
+            block: [0; 16],
+            index: 16,
+        }
+    }
+}
+
+impl RngCore for ChaCha8Rng {
+    fn next_u32(&mut self) -> u32 {
+        if self.index >= 16 {
+            self.refill();
+        }
+        let w = self.block[self.index];
+        self.index += 1;
+        w
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        let lo = self.next_u32() as u64;
+        let hi = self.next_u32() as u64;
+        lo | (hi << 32)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chacha8_known_answer() {
+        // ChaCha8 test vector: all-zero key, all-zero nonce, block 0.
+        // Keystream from the reference implementation (first four words).
+        let rng = &mut ChaCha8Rng::from_seed([0u8; 32]);
+        let words: Vec<u32> = (0..4).map(|_| rng.next_u32()).collect();
+        assert_eq!(
+            words,
+            vec![0x2fef003e, 0xd6405f89, 0xe8b85b7f, 0xa1a5091f],
+            "keystream must match the ChaCha8 reference vector"
+        );
+    }
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = ChaCha8Rng::seed_from_u64(42);
+        let mut b = ChaCha8Rng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = ChaCha8Rng::seed_from_u64(1);
+        let mut b = ChaCha8Rng::seed_from_u64(2);
+        assert_ne!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    fn clone_replays_the_remaining_stream() {
+        let mut a = ChaCha8Rng::seed_from_u64(7);
+        for _ in 0..37 {
+            a.next_u32();
+        }
+        let mut b = a.clone();
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn blocks_advance() {
+        let mut a = ChaCha8Rng::seed_from_u64(3);
+        let first: Vec<u32> = (0..16).map(|_| a.next_u32()).collect();
+        let second: Vec<u32> = (0..16).map(|_| a.next_u32()).collect();
+        assert_ne!(first, second, "successive blocks must differ");
+    }
+}

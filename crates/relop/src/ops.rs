@@ -185,10 +185,7 @@ impl PhysChain {
     /// Panics if `front` contains a `Build` (it would not be terminal).
     pub fn concat(front: PhysChain, back: PhysChain) -> PhysChain {
         assert!(
-            !front
-                .spec
-                .iter()
-                .any(|o| matches!(o, OpSpec::Build { .. })),
+            !front.spec.iter().any(|o| matches!(o, OpSpec::Build { .. })),
             "front of a concatenation cannot contain a Build"
         );
         let mut spec = front.spec;
@@ -445,6 +442,10 @@ mod tests {
         for chunk in input.chunks(37) {
             out2 += split.run_batch(chunk, &mut arena, &p).out.len();
         }
-        assert_eq!(r1.out.len(), out2, "batch boundaries must not change results");
+        assert_eq!(
+            r1.out.len(),
+            out2,
+            "batch boundaries must not change results"
+        );
     }
 }

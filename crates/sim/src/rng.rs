@@ -68,8 +68,16 @@ mod tests {
     fn same_seed_same_label_same_stream() {
         let a = SeedSplitter::new(42).stream("wrapper:A");
         let b = SeedSplitter::new(42).stream("wrapper:A");
-        let xs: Vec<u64> = a.clone().sample_iter(rand::distributions::Standard).take(8).collect();
-        let ys: Vec<u64> = b.clone().sample_iter(rand::distributions::Standard).take(8).collect();
+        let xs: Vec<u64> = a
+            .clone()
+            .sample_iter(rand::distributions::Standard)
+            .take(8)
+            .collect();
+        let ys: Vec<u64> = b
+            .clone()
+            .sample_iter(rand::distributions::Standard)
+            .take(8)
+            .collect();
         assert_eq!(xs, ys);
     }
 
@@ -118,6 +126,9 @@ mod tests {
     #[test]
     fn zero_mean_delay_is_zero() {
         let mut rng = SeedSplitter::new(1).stream("z");
-        assert_eq!(uniform_delay(&mut rng, SimDuration::ZERO), SimDuration::ZERO);
+        assert_eq!(
+            uniform_delay(&mut rng, SimDuration::ZERO),
+            SimDuration::ZERO
+        );
     }
 }

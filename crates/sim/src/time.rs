@@ -214,10 +214,7 @@ mod tests {
     #[test]
     fn duration_constructors_agree() {
         assert_eq!(SimDuration::from_secs(2), SimDuration::from_millis(2_000));
-        assert_eq!(
-            SimDuration::from_millis(3),
-            SimDuration::from_micros(3_000)
-        );
+        assert_eq!(SimDuration::from_millis(3), SimDuration::from_micros(3_000));
         assert_eq!(SimDuration::from_micros(7), SimDuration::from_nanos(7_000));
     }
 

@@ -85,6 +85,33 @@ proptest! {
         }
     }
 
+    /// Draining an arbitrary schedule pops times in nondecreasing order,
+    /// and ties come out in insertion (FIFO) order — the stability the
+    /// engine's determinism rests on.
+    #[test]
+    fn pops_nondecreasing_with_fifo_ties(times in prop::collection::vec(0u64..8, 1..100)) {
+        // A tiny time domain (0..8) forces heavy tie traffic.
+        let mut q: EventQueue<usize> = EventQueue::new();
+        for (i, &t) in times.iter().enumerate() {
+            q.schedule(SimTime::from_nanos(t), i);
+        }
+        let mut prev: Option<(SimTime, usize)> = None;
+        let mut popped = 0usize;
+        while let Some((at, payload)) = q.pop() {
+            prop_assert_eq!(times[payload], at.as_nanos(), "payload popped at its own time");
+            if let Some((pt, pp)) = prev {
+                prop_assert!(at >= pt, "times nondecreasing: {pt:?} then {at:?}");
+                if at == pt {
+                    prop_assert!(payload > pp,
+                        "FIFO tie-break: insertion {pp} must precede {payload}");
+                }
+            }
+            prev = Some((at, payload));
+            popped += 1;
+        }
+        prop_assert_eq!(popped, times.len(), "every scheduled event pops exactly once");
+    }
+
     /// FIFO resources: completions are ordered, busy time equals the sum
     /// of service demands, and no grant starts before its request.
     #[test]

@@ -86,9 +86,7 @@ impl DelayModel {
             DelayModel::Constant { w } => *w,
             DelayModel::Uniform { mean } => *mean,
             DelayModel::Initial { initial, mean } => {
-                SimDuration::from_nanos(
-                    (initial.as_nanos() + mean.as_nanos() * (n - 1)) / n,
-                )
+                SimDuration::from_nanos((initial.as_nanos() + mean.as_nanos() * (n - 1)) / n)
             }
             DelayModel::Bursty {
                 burst,
@@ -213,10 +211,7 @@ mod tests {
                 let total: u64 = (0..n).map(|i| m.gap(i, &mut r).as_nanos()).sum();
                 assert_eq!(total / n, m.mean_gap(n).as_nanos());
             }
-            assert_eq!(
-                m.expected_total(n).as_nanos(),
-                m.mean_gap(n).as_nanos() * n
-            );
+            assert_eq!(m.expected_total(n).as_nanos(), m.mean_gap(n).as_nanos() * n);
         }
     }
 

@@ -58,7 +58,10 @@ impl TupleQueue {
     /// Panics if full: the window protocol must have suspended the wrapper
     /// before this can happen; violating it is an engine bug.
     pub fn push(&mut self, t: Tuple) {
-        assert!(!self.is_full(), "push into full queue — window protocol violated");
+        assert!(
+            !self.is_full(),
+            "push into full queue — window protocol violated"
+        );
         self.buf.push_back(t);
         self.enqueued += 1;
     }

@@ -83,7 +83,13 @@ impl Disk {
     /// subsequent batches of this call are contiguous and pay transfer
     /// only. Returns the device completion time and the CPU instructions to
     /// charge (3000 per page, Table 1).
-    pub fn transfer(&mut self, now: SimTime, kind: IoKind, stream: StreamId, pages: u64) -> IoTicket {
+    pub fn transfer(
+        &mut self,
+        now: SimTime,
+        kind: IoKind,
+        stream: StreamId,
+        pages: u64,
+    ) -> IoTicket {
         if pages == 0 {
             return IoTicket {
                 device_done: now,

@@ -89,7 +89,11 @@ impl MemoryManager {
 
     /// Reserve `bytes`, labelled for diagnostics, or fail without side
     /// effects.
-    pub fn reserve(&mut self, bytes: u64, label: impl Into<String>) -> Result<ReservationId, OutOfMemory> {
+    pub fn reserve(
+        &mut self,
+        bytes: u64,
+        label: impl Into<String>,
+    ) -> Result<ReservationId, OutOfMemory> {
         if !self.fits(bytes) {
             return Err(OutOfMemory {
                 requested: bytes,

@@ -180,7 +180,12 @@ impl<T: Clone> TempRelation<T> {
     /// Returns the CPU instructions for any I/O issued and, if a prefetch
     /// is (still) in flight, the time its pages become resident — the
     /// caller schedules a wake-up then.
-    pub fn arm_readahead(&mut self, pos: u64, now: SimTime, disk: &mut Disk) -> (u64, Option<SimTime>) {
+    pub fn arm_readahead(
+        &mut self,
+        pos: u64,
+        now: SimTime,
+        disk: &mut Disk,
+    ) -> (u64, Option<SimTime>) {
         if now >= self.read_ready_at {
             self.read_resident = self.cached_pages();
         }

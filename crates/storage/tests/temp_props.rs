@@ -60,7 +60,7 @@ proptest! {
                     }
                 }
                 Step::Wait(us) => {
-                    now = now + SimDuration::from_micros(*us as u64);
+                    now += SimDuration::from_micros(*us as u64);
                 }
             }
             // Availability never exceeds what exists past the cursor.
@@ -81,7 +81,7 @@ proptest! {
             if let Some(w) = wake {
                 now = now.max(w);
             } else {
-                now = now + SimDuration::from_millis(100);
+                now += SimDuration::from_millis(100);
             }
             guard += 1;
             prop_assert!(guard < 10_000, "drain must terminate");

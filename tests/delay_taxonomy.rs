@@ -101,7 +101,10 @@ fn timeouts_fire_only_during_true_starvation() {
         mean: SimDuration::from_micros(20),
     });
     let m = run_once(&w, StrategyKind::Dse);
-    assert!(m.timeouts >= 1, "global initial delay must trip the timeout");
+    assert!(
+        m.timeouts >= 1,
+        "global initial delay must trip the timeout"
+    );
 
     // At steady w_min pacing it must not.
     let (steady, _) = Workload::fig5();

@@ -137,7 +137,10 @@ fn fig8_gain_increases_and_tops_out_high() {
     let g8 = gain_at(8);
     let g20 = gain_at(20);
     let g60 = gain_at(60);
-    assert!(g8 < g20 && g20 < g60, "gain must increase: {g8} {g20} {g60}");
+    assert!(
+        g8 < g20 && g20 < g60,
+        "gain must increase: {g8} {g20} {g60}"
+    );
     assert!(
         g60 > 0.60,
         "gain should approach the paper's 70 % at high w_min, got {:.1}%",

@@ -43,10 +43,7 @@ fn forest_answers_match_individual_runs() {
         solo_total += run_once(&w, StrategyKind::Seq).output_tuples;
     }
 
-    let forest = combine(
-        &[q1, q2, q3],
-        dqs_exec::EngineConfig::default(),
-    );
+    let forest = combine(&[q1, q2, q3], dqs_exec::EngineConfig::default());
     for s in StrategyKind::ALL {
         let m = run_once(&forest, s);
         assert_eq!(m.output_tuples, solo_total, "{}", s.name());
