@@ -1,0 +1,20 @@
+//! Prints the golden fingerprint table for the cross-driver parity suite.
+//!
+//! Run this on a known-good engine; paste the output into
+//! `tests/driver_parity.rs`. Each row is
+//! `(workload, strategy, metrics-signature, event-stream FNV hash)`.
+
+use dqs_bench::fingerprint::{fingerprint_run, lwb_signature, parity_workloads};
+use dqs_bench::StrategyKind;
+
+fn main() {
+    println!("const GOLDEN: &[(&str, &str, &str, u64)] = &[");
+    for (name, w) in parity_workloads() {
+        for s in StrategyKind::WITH_SCR {
+            let (sig, hash) = fingerprint_run(&w, s);
+            println!("    ({name:?}, {:?}, {sig:?}, {hash:#018x}),", s.name());
+        }
+        println!("    ({name:?}, \"lwb\", {:?}, 0x0),", lwb_signature(&w));
+    }
+    println!("];");
+}

@@ -682,7 +682,7 @@ pub fn tenth_scale_fig5() -> Workload {
 }
 
 /// Metrics snapshot helper used by the memory experiment test.
-pub fn run_dse_with_memory(mb: u64) -> Result<RunMetrics, String> {
+pub fn run_dse_with_memory(mb: u64) -> Result<RunMetrics, dqs_exec::RunError> {
     let (mut w, _) = Workload::fig5();
     w.config.memory_bytes = mb * 1024 * 1024;
     dqs_exec::Engine::new(&w, DsePolicy::new()).try_run()

@@ -9,6 +9,7 @@
 #![forbid(unsafe_code)]
 
 pub mod experiments;
+pub mod fingerprint;
 pub mod runner;
 
 pub use runner::{

@@ -16,9 +16,9 @@ pub const SEEDS: [u64; 3] = [101, 202, 303];
 pub enum StrategyKind {
     /// Classical iterator model.
     Seq,
-    /// Materialize-All of [1].
+    /// Materialize-All of \[1\].
     Ma,
-    /// Query scrambling (phase 1 of [1]/[2]) — the timeout-reactive
+    /// Query scrambling (phase 1 of \[1\]/\[2\]) — the timeout-reactive
     /// related work the paper argues against.
     Scr,
     /// The paper's Dynamic Scheduling Execution.

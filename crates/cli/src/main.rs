@@ -13,8 +13,8 @@ use std::process::ExitCode;
 use dqs_cli::spec::WorkloadSpec;
 use dqs_core::{lwb, DsePolicy};
 use dqs_exec::{
-    run_workload, run_workload_observed, JsonLinesSink, MaPolicy, RunMetrics, ScramblingPolicy,
-    SeqPolicy, Workload,
+    run_workload, run_workload_observed, run_workload_realtime, run_workload_realtime_observed,
+    JsonLinesSink, MaPolicy, Policy, RunMetrics, ScramblingPolicy, SeqPolicy, Workload,
 };
 use dqs_plan::{AnnotatedPlan, ChainSet};
 
@@ -24,6 +24,7 @@ fn usage() -> ExitCode {
          commands:\n\
          \u{20} explain   show the optimized plan, pipeline chains and annotations\n\
          \u{20} run       execute (options: --strategy seq|ma|scr|dse, --seed N, --all,\n\
+         \u{20}           --real-time: threaded wall-clock execution instead of simulation,\n\
          \u{20}           --trace-json <path>: write structured engine events as JSON lines)\n\
          \u{20} lwb       print the analytic response-time lower bound\n\
          \u{20} validate  parse and plan without executing\n"
@@ -38,29 +39,48 @@ fn load(path: &str) -> Result<Workload, String> {
         .map_err(|e| e.to_string())
 }
 
-fn run_strategy(w: &Workload, name: &str, trace_json: Option<&str>) -> Result<RunMetrics, String> {
+/// Execute `w` under one policy on the chosen substrate, optionally writing
+/// the JSON event trace. Real-time runs surface `RunError` as a message;
+/// the trace (including the final `abort` event) is flushed either way.
+fn dispatch<P: Policy>(
+    w: &Workload,
+    policy: P,
+    trace_json: Option<&str>,
+    real_time: bool,
+) -> Result<RunMetrics, String> {
     let Some(path) = trace_json else {
-        return Ok(match name {
-            "seq" => run_workload(w, SeqPolicy),
-            "ma" => run_workload(w, MaPolicy::default()),
-            "scr" => run_workload(w, ScramblingPolicy::new()),
-            "dse" => run_workload(w, DsePolicy::new()),
-            other => return Err(format!("unknown strategy {other:?} (seq|ma|scr|dse)")),
-        });
+        return if real_time {
+            run_workload_realtime(w, policy).map_err(|e| e.to_string())
+        } else {
+            Ok(run_workload(w, policy))
+        };
     };
     let file = std::fs::File::create(path).map_err(|e| format!("cannot create {path}: {e}"))?;
     let mut sink = JsonLinesSink::new(std::io::BufWriter::new(file));
-    let m = match name {
-        "seq" => run_workload_observed(w, SeqPolicy, &mut sink),
-        "ma" => run_workload_observed(w, MaPolicy::default(), &mut sink),
-        "scr" => run_workload_observed(w, ScramblingPolicy::new(), &mut sink),
-        "dse" => run_workload_observed(w, DsePolicy::new(), &mut sink),
-        other => return Err(format!("unknown strategy {other:?} (seq|ma|scr|dse)")),
+    let result = if real_time {
+        run_workload_realtime_observed(w, policy, &mut sink).map_err(|e| e.to_string())
+    } else {
+        Ok(run_workload_observed(w, policy, &mut sink))
     };
     sink.finish()
         .and_then(|mut out| out.flush())
         .map_err(|e| format!("cannot write {path}: {e}"))?;
-    Ok(m)
+    result
+}
+
+fn run_strategy(
+    w: &Workload,
+    name: &str,
+    trace_json: Option<&str>,
+    real_time: bool,
+) -> Result<RunMetrics, String> {
+    match name {
+        "seq" => dispatch(w, SeqPolicy, trace_json, real_time),
+        "ma" => dispatch(w, MaPolicy::default(), trace_json, real_time),
+        "scr" => dispatch(w, ScramblingPolicy::new(), trace_json, real_time),
+        "dse" => dispatch(w, DsePolicy::new(), trace_json, real_time),
+        other => Err(format!("unknown strategy {other:?} (seq|ma|scr|dse)")),
+    }
 }
 
 fn print_metrics(m: &RunMetrics) {
@@ -172,11 +192,12 @@ fn main() -> ExitCode {
             if trace_json.as_deref() == Some("") {
                 return usage();
             }
+            let real_time = args.iter().any(|a| a == "--real-time");
             if args.iter().any(|a| a == "--all") {
                 for s in ["seq", "ma", "scr", "dse"] {
                     // One trace file per strategy: `<path>.<strategy>`.
                     let per_strategy = trace_json.as_ref().map(|p| format!("{p}.{s}"));
-                    match run_strategy(&workload, s, per_strategy.as_deref()) {
+                    match run_strategy(&workload, s, per_strategy.as_deref(), real_time) {
                         Ok(m) => {
                             print_metrics(&m);
                             println!();
@@ -195,7 +216,7 @@ fn main() -> ExitCode {
                 .and_then(|i| args.get(i + 1))
                 .map(String::as_str)
                 .unwrap_or("dse");
-            match run_strategy(&workload, strategy, trace_json.as_deref()) {
+            match run_strategy(&workload, strategy, trace_json.as_deref(), real_time) {
                 Ok(m) => {
                     print_metrics(&m);
                     ExitCode::SUCCESS

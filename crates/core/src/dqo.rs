@@ -4,7 +4,7 @@
 //! available memory without generating paging ... the query scheduler
 //! suspends execution when a PC is discovered to be not M-schedulable and
 //! informs the dynamic optimizer which must change the query execution
-//! plan. ... One simple solution is to use the technique devised in [4]. It
+//! plan. ... One simple solution is to use the technique devised in \[4\]. It
 //! consists of modifying the QEP by replacing p by two fragments. This
 //! involves inserting a materialize operator at the highest possible point
 //! in p ... A remarkable feature is that the first created fragment is

@@ -11,7 +11,7 @@
 //! and memory constraints (i.e., ensures that the scheduling plan fits in
 //! the available memory) to extract a scheduling plan."
 //!
-//! The heuristics the paper defers to its tech report [6] are made concrete
+//! The heuristics the paper defers to its tech report \[6\] are made concrete
 //! here and documented inline:
 //!
 //! * priority = critical degree, descending; ties break toward the lower

@@ -14,7 +14,7 @@
 //! * [`dqo`] — the dynamic optimizer's memory-overflow module: the §4.2
 //!   chain split that inserts a materialization at the highest possible
 //!   point;
-//! * [`lwb`] — the analytic response-time lower bound of §5.1.2.
+//! * [`lwb`](mod@lwb) — the analytic response-time lower bound of §5.1.2.
 //!
 //! # Quick start
 //!

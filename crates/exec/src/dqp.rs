@@ -9,15 +9,15 @@
 //! DQP scans the second queue in the list and so on. After each batch
 //! processing, the DQP returns to the highest priority queue."
 
-use dqs_relop::Tuple;
 use dqs_sim::SimTime;
 
+use crate::driver::{Driver, Signal};
 use crate::frag::{FragId, FragSink, FragSource, FragStatus};
 use crate::observe::{EngineEvent, EngineObserver};
 use crate::policy::{Interrupt, Policy};
-use crate::runtime::{Engine, Event, Inflight};
+use crate::runtime::{Engine, Inflight};
 
-impl<P: Policy, O: EngineObserver> Engine<P, O> {
+impl<P: Policy, O: EngineObserver, D: Driver> Engine<P, O, D> {
     /// Scan the scheduling plan for the next runnable batch and start it;
     /// finalizes completed fragments and loops until a batch is on the CPU,
     /// the query finished, or nothing is runnable (stall).
@@ -97,7 +97,7 @@ impl<P: Policy, O: EngineObserver> Engine<P, O> {
                 None => {
                     // Nothing runnable: make sure pending temp reads are in
                     // flight — their completion is what will wake us.
-                    let now = self.events.now();
+                    let now = self.driver.now();
                     self.arm_all_readahead();
                     // Stall (§3.2): nothing schedulable has data.
                     if !self.stalled {
@@ -107,8 +107,8 @@ impl<P: Policy, O: EngineObserver> Engine<P, O> {
                     if self.timeout_ev.is_none() && !self.cfg.timeout.is_zero() {
                         self.timeout_gen += 1;
                         let id = self
-                            .events
-                            .schedule(now + self.cfg.timeout, Event::Timeout(self.timeout_gen));
+                            .driver
+                            .schedule(now + self.cfg.timeout, Signal::Timeout(self.timeout_gen));
                         self.timeout_ev = Some(id);
                     }
                     return;
@@ -120,7 +120,7 @@ impl<P: Policy, O: EngineObserver> Engine<P, O> {
     /// Start one batch of `f`. Returns false if a memory reservation failed
     /// (a `MemoryOverflow` planning phase was run instead).
     pub(crate) fn start_batch(&mut self, f: FragId) -> bool {
-        let now = self.events.now();
+        let now = self.driver.now();
 
         // Reserve hash-table memory before the fragment's first build.
         if let FragSink::Build(ht) = self.frags.get(f).sink {
@@ -131,19 +131,21 @@ impl<P: Policy, O: EngineObserver> Engine<P, O> {
 
         self.stalled = false;
         if let Some(id) = self.timeout_ev.take() {
-            self.events.cancel(id);
+            self.driver.cancel(id);
         }
 
-        // Pull the input batch.
+        // Pull the input batch into the reusable scratch buffer.
         let batch = self.cfg.batch_size;
         let source = self.frags.get(f).source;
-        let (input, read_wait, read_instr): (Vec<Tuple>, Option<SimTime>, u64) = match source {
+        let mut input = std::mem::take(&mut self.in_buf);
+        input.clear();
+        let (read_wait, read_instr): (Option<SimTime>, u64) = match source {
             FragSource::Queue(rel) => {
-                let tuples = self.world.cm.consume(rel, batch);
+                self.world.cm.consume_into(rel, batch, &mut input);
                 if let Some(at) = self.world.cm.after_consume(rel, now) {
-                    self.events.schedule(at, Event::Arrival(rel));
+                    self.driver.schedule(at, Signal::Arrival(rel));
                 }
-                (tuples, None, 0)
+                (None, 0)
             }
             FragSource::Temp { temp, cursor, .. } => {
                 let world = &mut self.world;
@@ -157,7 +159,7 @@ impl<P: Policy, O: EngineObserver> Engine<P, O> {
                     *cursor += tuples.len() as u64;
                 }
                 if let Some(at) = wake {
-                    self.events.schedule(at.max(now), Event::TempReady);
+                    self.driver.schedule(at.max(now), Signal::TempReady);
                 }
                 self.emit(
                     now,
@@ -166,9 +168,10 @@ impl<P: Policy, O: EngineObserver> Engine<P, O> {
                         tuples: tuples.len() as u64,
                     },
                 );
+                input.extend(tuples);
                 // Reads are asynchronous (§4.4): the DQP only consumes
                 // resident pages and never blocks on the device.
-                (tuples, None, instr)
+                (None, instr)
             }
         };
         assert!(!input.is_empty(), "dispatched a fragment without input");
@@ -183,10 +186,11 @@ impl<P: Policy, O: EngineObserver> Engine<P, O> {
         let frag = self.frags.get_mut(f);
         frag.started = true;
         frag.tuples_in += input.len() as u64;
-        let result = frag
-            .chain
-            .run_batch(&input, &mut self.world.arena, &self.world.params);
-        let mut instr = result.instr + read_instr;
+        let mut out = std::mem::take(&mut self.out_buf);
+        let run_instr =
+            frag.chain
+                .run_batch_into(&input, &mut out, &mut self.world.arena, &self.world.params);
+        let mut instr = run_instr + read_instr;
         let mut sink_wait: Option<SimTime> = None;
         let mut output = 0u64;
 
@@ -194,21 +198,22 @@ impl<P: Policy, O: EngineObserver> Engine<P, O> {
             FragSink::Build(ht) => {
                 self.grow_ht_if_needed(f, ht, now);
                 if self.aborted.is_some() {
+                    self.in_buf = input;
+                    self.out_buf = out;
                     return true; // batch charged; abort surfaces next loop
                 }
             }
             FragSink::Mat(temp) => {
                 // The mat operator moves each tuple into the I/O buffer.
-                instr += result.out.len() as u64 * self.world.params.instr_move_tuple;
+                instr += out.len() as u64 * self.world.params.instr_move_tuple;
                 let world = &mut self.world;
-                let charge =
-                    world.temps[temp.0 as usize].append_batch(&result.out, now, &mut world.disk);
+                let charge = world.temps[temp.0 as usize].append_batch(&out, now, &mut world.disk);
                 instr += charge.cpu_instr;
                 self.emit(
                     now,
                     EngineEvent::TempWrite {
                         temp,
-                        tuples: result.out.len() as u64,
+                        tuples: out.len() as u64,
                     },
                 );
                 if self.frags.get(f).sync_mat_io {
@@ -220,9 +225,11 @@ impl<P: Policy, O: EngineObserver> Engine<P, O> {
                 }
             }
             FragSink::Output => {
-                output = result.out.len() as u64;
+                output = out.len() as u64;
             }
         }
+        self.in_buf = input;
+        self.out_buf = out;
 
         let grant = self
             .world
@@ -232,7 +239,7 @@ impl<P: Policy, O: EngineObserver> Engine<P, O> {
             .into_iter()
             .flatten()
             .fold(grant.finish, SimTime::max);
-        self.events.schedule(done_at, Event::BatchDone);
+        self.driver.schedule(done_at, Signal::BatchDone);
         self.inflight = Some(Inflight { frag: f, output });
         true
     }
@@ -244,7 +251,7 @@ impl<P: Policy, O: EngineObserver> Engine<P, O> {
     /// Issue asynchronous read-ahead for every active temp-sourced
     /// fragment, scheduling wake-ups for newly in-flight windows.
     pub(crate) fn arm_all_readahead(&mut self) {
-        let now = self.events.now();
+        let now = self.driver.now();
         let temp_frags: Vec<FragId> = self
             .frags
             .iter()
@@ -263,7 +270,7 @@ impl<P: Policy, O: EngineObserver> Engine<P, O> {
                     world.cpu.acquire(now, t);
                 }
                 if let Some(at) = wake {
-                    self.events.schedule(at.max(now), Event::TempReady);
+                    self.driver.schedule(at.max(now), Signal::TempReady);
                 }
             }
         }
@@ -298,7 +305,7 @@ impl<P: Policy, O: EngineObserver> Engine<P, O> {
         match self.frags.get(f).source {
             FragSource::Queue(rel) => self.world.cm.available(rel) as u64,
             FragSource::Temp { temp, cursor, .. } => {
-                self.world.temp(temp).available(cursor, self.events.now())
+                self.world.temp(temp).available(cursor, self.driver.now())
             }
         }
     }
@@ -352,7 +359,7 @@ impl<P: Policy, O: EngineObserver> Engine<P, O> {
     }
 
     pub(crate) fn finalize(&mut self, f: FragId) {
-        let now = self.events.now();
+        let now = self.driver.now();
         self.frags.get_mut(f).status = FragStatus::Done;
         self.emit(now, EngineEvent::InterruptRaised(Interrupt::EndOfQf(f)));
         match self.frags.get(f).sink {

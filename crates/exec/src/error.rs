@@ -1,0 +1,121 @@
+//! Typed run-abort reasons.
+//!
+//! A run that cannot make progress ends in a [`RunError`] instead of a
+//! panic or an opaque string: the engine surfaces it both as the `Err` of
+//! [`Engine::try_run`](crate::Engine::try_run) and as a final
+//! [`EngineEvent::Aborted`](crate::EngineEvent::Aborted) on the observer
+//! stack — so a stuck real-time run degrades into a diagnosable trace
+//! rather than taking the process down.
+
+use std::fmt;
+
+use dqs_relop::HtId;
+
+use crate::frag::FragId;
+
+/// Why a query execution aborted.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RunError {
+    /// The driver ran out of events with output chains still pending —
+    /// the scheduler wedged itself.
+    Deadlock {
+        /// The scheduling plan in force when events ran dry.
+        sp: Vec<FragId>,
+    },
+    /// The event-count ceiling tripped — a runaway loop, not progress.
+    EventLimit {
+        /// The ceiling that was exceeded.
+        limit: u64,
+    },
+    /// A fragment could not reserve hash-table memory and the policy's
+    /// `MemoryOverflow` planning phase freed nothing (§4.2: the fragment
+    /// is not M-schedulable and cannot be made so).
+    MemoryUnresolvable {
+        /// The fragment that failed to reserve.
+        frag: FragId,
+        /// The allocator's account of the failure.
+        detail: String,
+    },
+    /// A hash table outgrew query memory mid-build; estimates were wrong
+    /// in a way no planning phase can undo.
+    MemoryGrowth {
+        /// The hash table being built.
+        ht: HtId,
+        /// Its actual footprint in bytes.
+        needed: u64,
+        /// Query memory still free.
+        free: u64,
+    },
+}
+
+impl fmt::Display for RunError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RunError::Deadlock { sp } => {
+                write!(
+                    f,
+                    "deadlock: no events pending, query incomplete (sp={sp:?})"
+                )
+            }
+            RunError::EventLimit { limit } => {
+                write!(
+                    f,
+                    "runaway simulation: event limit exceeded ({limit} events)"
+                )
+            }
+            RunError::MemoryUnresolvable { frag, detail } => write!(
+                f,
+                "fragment {frag:?} is not M-schedulable and the policy \
+                 could not resolve it: {detail}"
+            ),
+            RunError::MemoryGrowth { ht, needed, free } => write!(
+                f,
+                "hash table {ht:?} outgrew query memory mid-build \
+                 ({needed} bytes needed, {free} free)"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for RunError {}
+
+/// A short machine-readable tag for each abort kind (used by the JSON
+/// event sink).
+impl RunError {
+    /// Stable snake_case discriminant name.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            RunError::Deadlock { .. } => "deadlock",
+            RunError::EventLimit { .. } => "event_limit",
+            RunError::MemoryUnresolvable { .. } => "memory_unresolvable",
+            RunError::MemoryGrowth { .. } => "memory_growth",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_preserves_diagnostic_substrings() {
+        let d = RunError::Deadlock {
+            sp: vec![FragId(1)],
+        };
+        assert!(d.to_string().contains("deadlock"));
+        let l = RunError::EventLimit { limit: 10 };
+        assert!(l.to_string().contains("runaway"));
+        let m = RunError::MemoryUnresolvable {
+            frag: FragId(2),
+            detail: "out of memory".into(),
+        };
+        assert!(m.to_string().contains("M-schedulable"));
+        let g = RunError::MemoryGrowth {
+            ht: HtId(0),
+            needed: 100,
+            free: 10,
+        };
+        assert!(g.to_string().contains("outgrew"));
+        assert_eq!(g.kind(), "memory_growth");
+    }
+}

@@ -10,6 +10,10 @@
 //!   [`runtime`] (event loop), [`dqp`] (batch-interleaved processing over
 //!   the scheduling plan, §3.2), [`mem`] (hash-table memory accounting,
 //!   §4.2) and [`replan`] (planning phases and interrupt handling, §3.1);
+//! * [`driver`] — the sans-io substrate: the engine runs unchanged on the
+//!   discrete-event [`SimDriver`] or the threaded wall-clock
+//!   [`RealTimeDriver`];
+//! * [`error`] — typed [`RunError`] abort reasons;
 //! * [`observe`] — structured, typed engine events ([`EngineEvent`]) and the
 //!   [`EngineObserver`] trait, with text-trace, metrics and JSON-lines sinks;
 //! * [`policy::Policy`] — the DQS interface: scheduling plans recomputed at
@@ -39,6 +43,8 @@
 #![forbid(unsafe_code)]
 
 pub mod dqp;
+pub mod driver;
+pub mod error;
 pub mod frag;
 pub mod mem;
 pub mod metrics;
@@ -51,6 +57,8 @@ pub mod strategies;
 pub mod workload;
 pub mod world;
 
+pub use driver::{Driver, RealTimeDriver, Signal, SimDriver};
+pub use error::RunError;
 pub use frag::{FragId, FragKind, FragSink, FragSource, FragStatus, FragTable, TempId};
 pub use metrics::RunMetrics;
 pub use multi::{combine, SingleQuery};
@@ -58,7 +66,10 @@ pub use observe::{
     EngineEvent, EngineObserver, JsonLinesSink, MetricsObserver, NullObserver, TextTrace,
 };
 pub use policy::{Interrupt, PlanCtx, Policy};
-pub use runtime::{run_workload, run_workload_observed, Engine};
+pub use runtime::{
+    run_workload, run_workload_observed, run_workload_realtime, run_workload_realtime_observed,
+    Engine,
+};
 pub use strategies::{MaPolicy, ScramblingPolicy, SeqPolicy};
 pub use workload::{EngineConfig, Workload};
 pub use world::World;

@@ -10,18 +10,20 @@
 use dqs_relop::HtId;
 use dqs_sim::SimTime;
 
+use crate::driver::Driver;
+use crate::error::RunError;
 use crate::frag::FragId;
 use crate::observe::{EngineEvent, EngineObserver};
 use crate::policy::{Interrupt, Policy};
 use crate::runtime::Engine;
 
-impl<P: Policy, O: EngineObserver> Engine<P, O> {
+impl<P: Policy, O: EngineObserver, D: Driver> Engine<P, O, D> {
     /// Reserve `ht`'s estimated footprint before fragment `f` first builds
     /// into it. On failure, raises `MemoryOverflow` — unless the same
     /// fragment already failed with no memory freed since, in which case
     /// the policy cannot make progress and the run aborts.
     pub(crate) fn reserve_ht(&mut self, f: FragId, ht: HtId) -> bool {
-        let now = self.events.now();
+        let now = self.driver.now();
         let pc = self.frags.get(f).pc;
         let bytes = self.plan.info(pc).mem_bytes;
         match self.world.memory.reserve(bytes, format!("ht:{}", ht.0)) {
@@ -41,10 +43,10 @@ impl<P: Policy, O: EngineObserver> Engine<P, O> {
                     },
                 );
                 if self.last_overflow == Some((f, e.free)) {
-                    self.aborted = Some(format!(
-                        "fragment {f:?} is not M-schedulable and the policy \
-                         could not resolve it: {e}"
-                    ));
+                    self.aborted = Some(RunError::MemoryUnresolvable {
+                        frag: f,
+                        detail: e.to_string(),
+                    });
                     return false;
                 }
                 self.last_overflow = Some((f, e.free));
@@ -82,10 +84,11 @@ impl<P: Policy, O: EngineObserver> Engine<P, O> {
                     free,
                 },
             );
-            self.aborted = Some(format!(
-                "hash table {ht:?} outgrew query memory mid-build \
-                 ({fp} bytes needed, {free} free)"
-            ));
+            self.aborted = Some(RunError::MemoryGrowth {
+                ht,
+                needed: fp,
+                free,
+            });
             return;
         }
         self.ht_mem.insert(ht, (res, fp));
@@ -96,8 +99,8 @@ impl<P: Policy, O: EngineObserver> Engine<P, O> {
     /// `f` was their sole consumer.
     pub(crate) fn release_probe_memory(&mut self, f: FragId) {
         for ht in self.frags.get(f).chain.probe_targets() {
-            self.world.arena.discard(ht);
-            if let Some((res, _)) = self.ht_mem.remove(&ht) {
+            self.world.arena.discard(*ht);
+            if let Some((res, _)) = self.ht_mem.remove(ht) {
                 self.world.memory.release(res);
             }
         }

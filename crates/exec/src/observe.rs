@@ -26,6 +26,7 @@ use dqs_plan::PcId;
 use dqs_relop::{HtId, RelId};
 use dqs_sim::{SimTime, Trace, TraceKind};
 
+use crate::error::RunError;
 use crate::frag::{FragId, TempId};
 use crate::metrics::MetricsAcc;
 use crate::policy::Interrupt;
@@ -128,6 +129,11 @@ pub enum EngineEvent<'a> {
     },
     /// The DQP found nothing schedulable with data (§3.2 stall).
     Stalled,
+    /// The run aborted; this is the final event of the stream.
+    Aborted {
+        /// Why the run could not complete.
+        reason: &'a RunError,
+    },
 }
 
 /// Receives engine events as they happen, in virtual-time order.
@@ -185,7 +191,8 @@ impl EngineObserver for MetricsObserver {
             | EngineEvent::MatCancelled { .. }
             | EngineEvent::MemoryGranted { .. }
             | EngineEvent::TempWrite { .. }
-            | EngineEvent::TempRead { .. } => {}
+            | EngineEvent::TempRead { .. }
+            | EngineEvent::Aborted { .. } => {}
         }
     }
 }
@@ -286,6 +293,7 @@ impl EngineObserver for TextTrace {
                 format!("temp {} read {tuples} tuples", temp.0),
             ),
             EngineEvent::Stalled => (TraceKind::Other, "stall".into()),
+            EngineEvent::Aborted { reason } => (TraceKind::Other, format!("abort: {reason}")),
         };
         self.trace.emit(at, kind, || detail);
     }
@@ -328,6 +336,23 @@ impl<W: Write> JsonLinesSink<W> {
             self.error = Some(e);
         }
     }
+}
+
+/// Minimal JSON string escaping (quotes, backslashes, control bytes).
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
 }
 
 fn interrupt_json(why: Interrupt) -> String {
@@ -413,6 +438,11 @@ impl<W: Write> EngineObserver for JsonLinesSink<W> {
                 )
             }
             EngineEvent::Stalled => "\"type\":\"stall\"".to_string(),
+            EngineEvent::Aborted { reason } => format!(
+                "\"type\":\"abort\",\"kind\":\"{}\",\"reason\":\"{}\"",
+                reason.kind(),
+                json_escape(&reason.to_string())
+            ),
         };
         self.write_line(at, &body);
     }

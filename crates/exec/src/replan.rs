@@ -5,16 +5,17 @@
 //! concurrently — so a replanning request raised mid-batch is deferred to
 //! the batch boundary.
 
+use crate::driver::Driver;
 use crate::frag::FragStatus;
 use crate::observe::{EngineEvent, EngineObserver};
 use crate::policy::{Interrupt, PlanCtx, Policy};
 use crate::runtime::Engine;
 
-impl<P: Policy, O: EngineObserver> Engine<P, O> {
+impl<P: Policy, O: EngineObserver, D: Driver> Engine<P, O, D> {
     /// Run a planning phase now: hand the fragment table, world and
     /// observer to the policy and install the scheduling plan it returns.
     pub(crate) fn replan(&mut self, why: Interrupt) {
-        let now = self.events.now();
+        let now = self.driver.now();
         self.world.cm.mark_rates();
         let mut ctx = PlanCtx {
             now,
@@ -51,7 +52,7 @@ impl<P: Policy, O: EngineObserver> Engine<P, O> {
         if gen != self.timeout_gen || self.inflight.is_some() || self.output_done_at.is_some() {
             return;
         }
-        let now = self.events.now();
+        let now = self.driver.now();
         self.emit(now, EngineEvent::InterruptRaised(Interrupt::Timeout));
         self.replan(Interrupt::Timeout);
         self.try_dispatch();

@@ -3,7 +3,7 @@
 //! [`Engine`] is split across four modules, each an `impl` extension of the
 //! same struct:
 //!
-//! * here — the simulation event loop and the arrival/batch-done handlers;
+//! * here — the signal loop and the arrival/batch-done handlers;
 //! * [`crate::dqp`] — fragment lifecycle and batch processing (§3.2);
 //! * [`crate::mem`] — hash-table memory accounting (§4.2);
 //! * [`crate::replan`] — planning phases and interrupt handling (§3.1).
@@ -13,37 +13,30 @@
 //! different strategies use the same lower-level code, the performance
 //! difference can only stem from the execution strategies").
 //!
-//! Everything runs on the simulated clock: batch CPU time and message
-//! receive costs queue on the single mediator CPU, materialization and temp
-//! scans queue on the single disk. Every state transition is reported as a
-//! structured [`EngineEvent`] to the observer stack (see [`crate::observe`]).
+//! It is also substrate-agnostic (sans-io): time, timers and tuple delivery
+//! come from a [`Driver`]. Under the default [`SimDriver`] everything runs
+//! on the simulated clock — batch CPU time and message receive costs queue
+//! on the single mediator CPU, materialization and temp scans queue on the
+//! single disk — exactly as before the driver split. Under
+//! [`RealTimeDriver`] the same loop runs against a wall clock with threaded
+//! wrappers. Every state transition is reported as a structured
+//! [`EngineEvent`] to the observer stack (see [`crate::observe`]).
 
 use std::collections::HashMap;
 
 use dqs_plan::AnnotatedPlan;
-use dqs_relop::{HtId, RelId};
-use dqs_sim::{EventId, EventQueue, SimTime};
+use dqs_relop::{HtId, RelId, Tuple};
+use dqs_sim::SimTime;
 use dqs_storage::ReservationId;
 
+use crate::driver::{Driver, RealTimeDriver, Signal, SimDriver};
+use crate::error::RunError;
 use crate::frag::{FragId, FragTable};
 use crate::metrics::RunMetrics;
 use crate::observe::{EngineEvent, EngineObserver, NullObserver, Observers, TextTrace};
 use crate::policy::{Interrupt, Policy};
 use crate::workload::{EngineConfig, Workload};
 use crate::world::World;
-
-/// Events driving the engine.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub(crate) enum Event {
-    /// A tuple from this wrapper reaches the communication manager.
-    Arrival(RelId),
-    /// The in-flight DQP batch completes.
-    BatchDone,
-    /// A temp relation's prefetched pages became resident.
-    TempReady,
-    /// The stall timer expired (generation guards staleness).
-    Timeout(u64),
-}
 
 /// The batch currently on the CPU.
 #[derive(Debug, Clone, Copy)]
@@ -53,27 +46,29 @@ pub(crate) struct Inflight {
     pub(crate) output: u64,
 }
 
-/// Hard ceiling on simulation events — a runaway loop trips this rather
+/// Hard ceiling on delivered signals — a runaway loop trips this rather
 /// than hanging the benchmark harness.
 const MAX_EVENTS: u64 = 500_000_000;
 
-/// One query execution: world + fragments + policy + event loop.
+/// One query execution: world + fragments + policy + signal loop.
 ///
-/// The observer type parameter defaults to [`NullObserver`], so existing
-/// `Engine::new(..)` call sites are unchanged; [`Engine::with_observer`]
-/// installs a custom [`EngineObserver`] with static dispatch.
-pub struct Engine<P: Policy, O: EngineObserver = NullObserver> {
+/// The observer type parameter defaults to [`NullObserver`] and the driver
+/// to [`SimDriver`], so existing `Engine::new(..)` call sites are
+/// unchanged; [`Engine::with_observer`] installs a custom
+/// [`EngineObserver`] with static dispatch, and [`Engine::with_driver`]
+/// additionally picks the execution substrate.
+pub struct Engine<P: Policy, O: EngineObserver = NullObserver, D: Driver = SimDriver> {
     pub(crate) world: World,
     pub(crate) plan: AnnotatedPlan,
     pub(crate) frags: FragTable,
     pub(crate) policy: P,
     pub(crate) cfg: EngineConfig,
-    pub(crate) events: EventQueue<Event>,
+    pub(crate) driver: D,
     /// Current scheduling plan, highest priority first.
     pub(crate) sp: Vec<FragId>,
     pub(crate) inflight: Option<Inflight>,
     pub(crate) pending_replan: Option<Interrupt>,
-    pub(crate) timeout_ev: Option<EventId>,
+    pub(crate) timeout_ev: Option<D::Timer>,
     pub(crate) timeout_gen: u64,
     /// Memory reservation per built hash table: (grant, reserved bytes).
     pub(crate) ht_mem: HashMap<HtId, (ReservationId, u64)>,
@@ -87,7 +82,11 @@ pub struct Engine<P: Policy, O: EngineObserver = NullObserver> {
     pub(crate) output_done_at: Option<SimTime>,
     /// True while the DQP is stalled (dedups `Stalled` events).
     pub(crate) stalled: bool,
-    pub(crate) aborted: Option<String>,
+    pub(crate) aborted: Option<RunError>,
+    /// Reusable batch-input scratch (avoids a Vec per batch).
+    pub(crate) in_buf: Vec<Tuple>,
+    /// Reusable batch-output scratch.
+    pub(crate) out_buf: Vec<Tuple>,
     pub(crate) obs: Observers<O>,
 }
 
@@ -102,7 +101,16 @@ impl<P: Policy, O: EngineObserver> Engine<P, O> {
     /// Build an engine that reports every [`EngineEvent`] to `observer`
     /// (in addition to the built-in metrics and optional text trace).
     pub fn with_observer(workload: &Workload, policy: P, observer: O) -> Self {
-        let (world, plan) = World::build(workload);
+        Engine::with_driver(workload, policy, observer, SimDriver::new())
+    }
+}
+
+impl<P: Policy, O: EngineObserver, D: Driver> Engine<P, O, D> {
+    /// Build an engine running on `driver` — the fully general constructor.
+    pub fn with_driver(workload: &Workload, policy: P, observer: O, mut driver: D) -> Self {
+        let sources = driver.sources(workload);
+        let queue_capacity = driver.queue_capacity(&workload.config);
+        let (world, plan) = World::build_with_sources(workload, sources, queue_capacity);
         let frags = FragTable::from_plan(&plan);
         let outputs_pending = plan
             .chains
@@ -117,7 +125,7 @@ impl<P: Policy, O: EngineObserver> Engine<P, O> {
             policy,
             obs: Observers::new(workload.config.trace, observer),
             cfg: workload.config.clone(),
-            events: EventQueue::new(),
+            driver,
             sp: Vec::new(),
             inflight: None,
             pending_replan: None,
@@ -130,6 +138,8 @@ impl<P: Policy, O: EngineObserver> Engine<P, O> {
             output_done_at: None,
             stalled: false,
             aborted: None,
+            in_buf: Vec::new(),
+            out_buf: Vec::new(),
         }
     }
 
@@ -150,44 +160,44 @@ impl<P: Policy, O: EngineObserver> Engine<P, O> {
     }
 
     /// Execute to completion and report metrics, or the abort reason.
-    pub fn try_run(self) -> Result<RunMetrics, String> {
+    pub fn try_run(self) -> Result<RunMetrics, RunError> {
         self.try_run_traced().map(|(m, _)| m)
     }
 
     /// Like [`Engine::try_run`], also returning the execution trace (empty
     /// unless the workload's config enabled tracing).
-    pub fn try_run_traced(mut self) -> Result<(RunMetrics, dqs_sim::Trace), String> {
-        let (arrivals, start_instr) = self.world.cm.start(SimTime::ZERO);
+    pub fn try_run_traced(mut self) -> Result<(RunMetrics, dqs_sim::Trace), RunError> {
+        let start = self.driver.now();
+        let (arrivals, start_instr) = self.world.cm.start(start);
         if start_instr > 0 {
             let t = self.world.params.instr_time(start_instr);
-            self.world.cpu.acquire(SimTime::ZERO, t);
+            self.world.cpu.acquire(start, t);
         }
         for (rel, at) in arrivals {
-            self.events.schedule(at, Event::Arrival(rel));
+            self.driver.schedule(at, Signal::Arrival(rel));
         }
         self.replan(Interrupt::Start);
         self.try_dispatch();
 
         while self.output_done_at.is_none() && self.aborted.is_none() {
-            let Some((t, ev)) = self.events.pop() else {
-                self.aborted = Some(format!(
-                    "deadlock: no events pending, query incomplete (sp={:?})",
-                    self.sp
-                ));
+            let Some((t, ev)) = self.driver.next() else {
+                self.aborted = Some(RunError::Deadlock {
+                    sp: self.sp.clone(),
+                });
                 break;
             };
             match ev {
-                Event::Arrival(rel) => self.on_arrival(rel, t),
-                Event::BatchDone => self.on_batch_done(),
-                Event::TempReady => {
+                Signal::Arrival(rel) => self.on_arrival(rel, t),
+                Signal::BatchDone => self.on_batch_done(),
+                Signal::TempReady => {
                     if self.inflight.is_none() {
                         self.try_dispatch();
                     }
                 }
-                Event::Timeout(gen) => self.on_timeout(gen),
+                Signal::Timeout(gen) => self.on_timeout(gen),
             }
-            if self.events.fired() > MAX_EVENTS {
-                self.aborted = Some("runaway simulation: event limit exceeded".into());
+            if self.driver.fired() > MAX_EVENTS {
+                self.aborted = Some(RunError::EventLimit { limit: MAX_EVENTS });
             }
         }
         self.finish_metrics()
@@ -204,7 +214,7 @@ impl<P: Policy, O: EngineObserver> Engine<P, O> {
             self.world.cpu.acquire(now, t);
         }
         if let Some(at) = out.next_arrival {
-            self.events.schedule(at, Event::Arrival(rel));
+            self.driver.schedule(at, Signal::Arrival(rel));
         }
         if out.rate_change {
             self.emit(now, EngineEvent::InterruptRaised(Interrupt::RateChange));
@@ -224,7 +234,7 @@ impl<P: Policy, O: EngineObserver> Engine<P, O> {
 
     fn on_batch_done(&mut self) {
         let inf = self.inflight.take().expect("BatchDone without inflight");
-        let now = self.events.now();
+        let now = self.driver.now();
         // Keep every temp scan's asynchronous read-ahead window warm while
         // the CPU is busy elsewhere (§4.4: CF I/O overlaps CPU) — this is
         // what lets a complement fragment start from resident pages instead
@@ -247,8 +257,10 @@ impl<P: Policy, O: EngineObserver> Engine<P, O> {
         self.try_dispatch();
     }
 
-    fn finish_metrics(mut self) -> Result<(RunMetrics, dqs_sim::Trace), String> {
-        if let Some(reason) = self.aborted {
+    fn finish_metrics(mut self) -> Result<(RunMetrics, dqs_sim::Trace), RunError> {
+        if let Some(reason) = self.aborted.take() {
+            let at = self.driver.now();
+            self.emit(at, EngineEvent::Aborted { reason: &reason });
             return Err(reason);
         }
         let trace = self
@@ -257,7 +269,7 @@ impl<P: Policy, O: EngineObserver> Engine<P, O> {
             .take()
             .map(TextTrace::into_trace)
             .unwrap_or_default();
-        let end = self.output_done_at.unwrap_or(self.events.now());
+        let end = self.output_done_at.unwrap_or(self.driver.now());
         self.obs.metrics.acc.stall_end(end);
         let mut m = self.obs.metrics.acc.m;
         m.strategy = self.policy.name();
@@ -269,7 +281,7 @@ impl<P: Policy, O: EngineObserver> Engine<P, O> {
         m.pages_read = self.world.disk.pages_read();
         m.seeks = self.world.disk.seeks();
         m.memory_high_water = self.world.memory.high_water();
-        m.events = self.events.fired();
+        m.events = self.driver.fired();
         m.query_responses = {
             let mut v: Vec<(u32, dqs_sim::SimDuration)> = self
                 .output_times
@@ -296,4 +308,26 @@ pub fn run_workload_observed<P: Policy, O: EngineObserver>(
     observer: O,
 ) -> RunMetrics {
     Engine::with_observer(workload, policy, observer).run()
+}
+
+/// Run `workload` on the wall clock: wrappers are real threads delivering
+/// tuples through bounded channels, timeouts are real deadlines.
+///
+/// Unlike simulation this is not deterministic wall-clock-wise, but the
+/// deterministic parts — wrapper payloads, join fan-out, output
+/// cardinality — match the simulated run for the same seed.
+pub fn run_workload_realtime<P: Policy>(
+    workload: &Workload,
+    policy: P,
+) -> Result<RunMetrics, RunError> {
+    run_workload_realtime_observed(workload, policy, NullObserver)
+}
+
+/// Like [`run_workload_realtime`], reporting engine events to `observer`.
+pub fn run_workload_realtime_observed<P: Policy, O: EngineObserver>(
+    workload: &Workload,
+    policy: P,
+    observer: O,
+) -> Result<RunMetrics, RunError> {
+    Engine::with_driver(workload, policy, observer, RealTimeDriver::new()).try_run()
 }

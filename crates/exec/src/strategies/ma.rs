@@ -1,7 +1,7 @@
-//! MA: the Materialize-All strategy of [1] (§5.1.2).
+//! MA: the Materialize-All strategy of \[1\] (§5.1.2).
 //!
 //! "The last strategy is the fairly simple Materialize All, denoted by MA
-//! and proposed in [1] which proceeds in two phases. In the first phase, MA
+//! and proposed in \[1\] which proceeds in two phases. In the first phase, MA
 //! materializes simultaneously on the disk of the mediator all the remote
 //! relations. Then, in the second phase, it executes the query with local
 //! data stored on disk. Therefore, MA can overlap the delays of several

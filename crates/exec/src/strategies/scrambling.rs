@@ -1,4 +1,4 @@
-//! SCR: query scrambling, the timeout-reactive strategy of [1]/[2] that the
+//! SCR: query scrambling, the timeout-reactive strategy of \[1\]/\[2\] that the
 //! paper argues against (§1.2).
 //!
 //! "The different scrambling techniques are all based on the same concept:
@@ -17,7 +17,7 @@
 //!   iterator order is the only scheduled fragment;
 //! * each `TimeOut` interruption is one *scrambling step*: schedule the
 //!   next C-schedulable chain not yet running; if none exists, start
-//!   materializing one blocked wrapper (raw spooling, as [1]'s
+//!   materializing one blocked wrapper (raw spooling, as \[1\]'s
 //!   materialization steps do);
 //! * the current chain keeps the highest priority, so it "resumes as soon
 //!   as data arrives"; scrambled work runs during its silences.
@@ -32,7 +32,7 @@ use dqs_plan::ChainSource;
 use crate::frag::{FragId, FragStatus};
 use crate::policy::{Interrupt, PlanCtx, Policy};
 
-/// The query-scrambling baseline (phase 1 of [1]).
+/// The query-scrambling baseline (phase 1 of \[1\]).
 #[derive(Debug, Default)]
 pub struct ScramblingPolicy {
     /// Fragments activated by scrambling steps, in activation order.

@@ -3,11 +3,31 @@
 use dqs_plan::{AnnotatedPlan, ChainSet};
 use dqs_relop::{HashTableArena, RelId, Tuple};
 use dqs_sim::{FifoResource, SeedSplitter, SimParams};
-use dqs_source::{CommManager, Wrapper};
+use dqs_source::{BoxSource, CommManager, Wrapper};
 use dqs_storage::{Disk, MemoryManager, StreamId, TempRelation};
 
 use crate::frag::TempId;
 use crate::workload::Workload;
+
+/// The simulated pull-paced wrappers for `workload`, seeded exactly as the
+/// pre-driver engine seeded them (one ChaCha8 stream per wrapper name).
+/// Shared by [`World::build`] and `SimDriver` so both construct
+/// bit-identical sources.
+pub(crate) fn sim_sources(workload: &Workload) -> Vec<BoxSource> {
+    let seeds = SeedSplitter::new(workload.config.seed);
+    workload
+        .catalog
+        .iter()
+        .map(|(rel, spec)| {
+            Box::new(Wrapper::new(
+                rel,
+                workload.actual_cardinality(rel),
+                workload.delays[rel.0 as usize].clone(),
+                seeds.stream(&format!("wrapper:{}", spec.name)),
+            )) as BoxSource
+        })
+        .collect()
+}
 
 /// All mutable simulated state shared by the engine and the policies.
 #[derive(Debug)]
@@ -29,26 +49,28 @@ pub struct World {
 }
 
 impl World {
-    /// Build a world for `workload`, returning it with the annotated plan.
+    /// Build a world for `workload` with the default simulated sources,
+    /// returning it with the annotated plan.
     pub fn build(workload: &Workload) -> (World, AnnotatedPlan) {
+        World::build_with_sources(
+            workload,
+            sim_sources(workload),
+            workload.config.queue_capacity,
+        )
+    }
+
+    /// Build a world for `workload` around driver-provided `sources` and
+    /// communication-manager `queue_capacity`.
+    pub fn build_with_sources(
+        workload: &Workload,
+        sources: Vec<BoxSource>,
+        queue_capacity: usize,
+    ) -> (World, AnnotatedPlan) {
         let params = workload.config.params.clone();
         let chains = ChainSet::decompose(&workload.qep);
         let plan = AnnotatedPlan::annotate(chains, &workload.catalog, &params);
 
-        let seeds = SeedSplitter::new(workload.config.seed);
-        let wrappers: Vec<Wrapper> = workload
-            .catalog
-            .iter()
-            .map(|(rel, spec)| {
-                Wrapper::new(
-                    rel,
-                    workload.actual_cardinality(rel),
-                    workload.delays[rel.0 as usize].clone(),
-                    seeds.stream(&format!("wrapper:{}", spec.name)),
-                )
-            })
-            .collect();
-        let mut cm = CommManager::new(wrappers, workload.config.queue_capacity, params.clone());
+        let mut cm = CommManager::from_boxed(sources, queue_capacity, params.clone());
         if let Some(t) = workload.config.rate_change_threshold {
             cm.set_rate_change_threshold(t);
         }

@@ -1,6 +1,6 @@
 //! Random query generation.
 //!
-//! §5.1.1: "The query was generated using the algorithm of [14]" — Swami &
+//! §5.1.1: "The query was generated using the algorithm of \[14\]" — Swami &
 //! Iyer-style random bushy join-tree generation. Given a relation count and
 //! parameter ranges, the generator draws cardinalities, a random bushy tree
 //! shape, and per-join fan-outs, producing a catalog plus QEP that the

@@ -9,7 +9,7 @@
 //!   (ancestor) relation, and the sequential iterator order, §2.2/§4.1;
 //! * [`annotate`] — the annotated plan the scheduler consumes: `mem(op)`,
 //!   result-size estimates and per-tuple cost `c_p`, §3.3;
-//! * [`generator`] — random bushy queries ("the algorithm of [14]", §5.1.1);
+//! * [`generator`] — random bushy queries ("the algorithm of \[14\]", §5.1.1);
 //! * [`optimizer`] — the classical dynamic-programming optimizer, §5.1.1;
 //! * [`experiment`] — the reconstructed Figure 5 experiment plan.
 //!

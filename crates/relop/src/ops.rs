@@ -127,6 +127,11 @@ pub struct BatchResult {
 pub struct PhysChain {
     ops: Vec<RunOp>,
     spec: Vec<OpSpec>,
+    /// Tables probed anywhere in the chain, precomputed at compile time so
+    /// the scheduler's hot C-schedulability checks never allocate.
+    probe_targets: Vec<HtId>,
+    /// Reusable ping-pong buffer for the batch path.
+    scratch: Vec<Tuple>,
     consumed: u64,
     emitted: u64,
 }
@@ -163,6 +168,14 @@ impl PhysChain {
         PhysChain {
             ops,
             spec: spec.to_vec(),
+            probe_targets: spec
+                .iter()
+                .filter_map(|s| match s {
+                    OpSpec::Probe { table, .. } => Some(*table),
+                    _ => None,
+                })
+                .collect(),
+            scratch: Vec::new(),
             consumed: 0,
             emitted: 0,
         }
@@ -192,9 +205,13 @@ impl PhysChain {
         spec.extend(back.spec);
         let mut ops = front.ops;
         ops.extend(back.ops);
+        let mut probe_targets = front.probe_targets;
+        probe_targets.extend(back.probe_targets);
         PhysChain {
             ops,
             spec,
+            probe_targets,
+            scratch: front.scratch,
             // The merged chain continues the *source-side* stream: tuples
             // the front already consumed went to the temp relation and are
             // replayed through the back separately.
@@ -221,38 +238,53 @@ impl PhysChain {
         }
     }
 
-    /// Hash tables this chain probes.
-    pub fn probe_targets(&self) -> Vec<HtId> {
-        self.spec
-            .iter()
-            .filter_map(|s| match s {
-                OpSpec::Probe { table, .. } => Some(*table),
-                _ => None,
-            })
-            .collect()
+    /// Hash tables this chain probes (precomputed at compile time).
+    pub fn probe_targets(&self) -> &[HtId] {
+        &self.probe_targets
     }
 
     /// Push `input` through the chain, inserting into / probing tables in
-    /// `arena`, charging instructions per `params`.
+    /// `arena`, charging instructions per `params`. Collects survivors of
+    /// the open end into `out` (cleared first) and returns the instruction
+    /// count; together with the chain's internal scratch buffer this makes
+    /// the steady-state batch path allocation-free.
     ///
     /// # Panics
     /// Panics if a probed table is not complete — the scheduler must never
     /// run a chain whose blocking inputs are unfinished (C-schedulability).
-    pub fn run_batch(
+    pub fn run_batch_into(
         &mut self,
         input: &[Tuple],
+        out: &mut Vec<Tuple>,
         arena: &mut HashTableArena,
         params: &SimParams,
-    ) -> BatchResult {
+    ) -> u64 {
         self.consumed += input.len() as u64;
-        let mut current: Vec<Tuple> = input.to_vec();
+        out.clear();
         let mut instr: u64 = 0;
+        if self.ops.is_empty() {
+            out.extend_from_slice(input);
+            self.emitted += out.len() as u64;
+            return instr;
+        }
 
-        for op in &mut self.ops {
+        let mut spare = std::mem::take(&mut self.scratch);
+        for (i, op) in self.ops.iter_mut().enumerate() {
+            // The first operator reads the caller's slice directly; later
+            // ones ping-pong between `out` and `spare`.
             match op {
                 RunOp::Select { acc } => {
-                    instr += current.len() as u64 * params.instr_move_tuple;
-                    current.retain(|_| acc.next() > 0);
+                    if i == 0 {
+                        instr += input.len() as u64 * params.instr_move_tuple;
+                        for t in input {
+                            if acc.next() > 0 {
+                                out.push(*t);
+                            }
+                        }
+                    } else {
+                        instr += out.len() as u64 * params.instr_move_tuple;
+                        out.retain(|_| acc.next() > 0);
+                    }
                 }
                 RunOp::Probe { table, acc, picked } => {
                     let ht = arena.get(*table);
@@ -260,9 +292,15 @@ impl PhysChain {
                         ht.is_complete(),
                         "probe of incomplete hash table {table:?} — C-schedulability violated"
                     );
-                    instr += current.len() as u64 * params.instr_hash_search;
-                    let mut next: Vec<Tuple> = Vec::new();
-                    for t in &current {
+                    let src: &[Tuple] = if i == 0 {
+                        input
+                    } else {
+                        std::mem::swap(out, &mut spare);
+                        out.clear();
+                        &spare
+                    };
+                    instr += src.len() as u64 * params.instr_hash_search;
+                    for t in src {
                         // An empty build side matches nothing, whatever the
                         // estimated fan-out says.
                         let k = if ht.is_empty() { 0 } else { acc.next() };
@@ -272,26 +310,43 @@ impl PhysChain {
                             // the output carries the probe tuple's identity.
                             let _build = ht.pick(*picked);
                             *picked += 1;
-                            next.push(*t);
+                            out.push(*t);
                         }
                     }
-                    current = next;
                 }
                 RunOp::Build { table } => {
-                    instr += current.len() as u64 * params.instr_move_tuple;
+                    let pending = if i == 0 { input.len() } else { out.len() };
+                    instr += pending as u64 * params.instr_move_tuple;
                     let ht = arena.get_mut(*table);
-                    for t in current.drain(..) {
-                        ht.insert(t);
+                    if i == 0 {
+                        for t in input {
+                            ht.insert(*t);
+                        }
+                    } else {
+                        for t in out.drain(..) {
+                            ht.insert(t);
+                        }
                     }
                 }
             }
         }
+        spare.clear();
+        self.scratch = spare;
 
-        self.emitted += current.len() as u64;
-        BatchResult {
-            out: current,
-            instr,
-        }
+        self.emitted += out.len() as u64;
+        instr
+    }
+
+    /// Allocating convenience form of [`PhysChain::run_batch_into`].
+    pub fn run_batch(
+        &mut self,
+        input: &[Tuple],
+        arena: &mut HashTableArena,
+        params: &SimParams,
+    ) -> BatchResult {
+        let mut out = Vec::new();
+        let instr = self.run_batch_into(input, &mut out, arena, params);
+        BatchResult { out, instr }
     }
 }
 
@@ -427,6 +482,36 @@ mod tests {
         let r = c.run_batch(&tuples(1000), &mut arena, &p);
         assert_eq!(r.out.len(), 1500);
         assert_eq!(r.instr as f64, est.instr_per_source_tuple * 1000.0);
+    }
+
+    #[test]
+    fn run_batch_into_matches_run_batch() {
+        let p = SimParams::default();
+        let mut arena = HashTableArena::new();
+        let ht = arena.alloc();
+        for t in tuples(6) {
+            arena.get_mut(ht).insert(t);
+        }
+        arena.get_mut(ht).complete();
+        let spec = [
+            OpSpec::Select { selectivity: 0.7 },
+            OpSpec::Probe {
+                table: ht,
+                fanout: 2.5,
+            },
+            OpSpec::Select { selectivity: 0.9 },
+        ];
+        let mut a = PhysChain::compile(&spec);
+        let mut b = PhysChain::compile(&spec);
+        let mut out = Vec::new();
+        for chunk in tuples(500).chunks(64) {
+            let r = a.run_batch(chunk, &mut arena, &p);
+            let instr = b.run_batch_into(chunk, &mut out, &mut arena, &p);
+            assert_eq!(r.instr, instr);
+            assert_eq!(r.out, out);
+        }
+        assert_eq!(a.consumed(), b.consumed());
+        assert_eq!(a.emitted(), b.emitted());
     }
 
     #[test]

@@ -30,6 +30,7 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod clock;
 pub mod event;
 pub mod params;
 pub mod resource;
@@ -38,6 +39,7 @@ pub mod stats;
 pub mod time;
 pub mod trace;
 
+pub use clock::{Clock, TimerHeap, TimerId, WallClock};
 pub use event::{EventId, EventQueue};
 pub use params::SimParams;
 pub use resource::{FifoResource, Grant};

@@ -21,7 +21,7 @@ use dqs_relop::{RelId, Tuple};
 use dqs_sim::{Ewma, SimDuration, SimParams, SimTime};
 
 use crate::queue::TupleQueue;
-use crate::wrapper::Wrapper;
+use crate::source::{BoxSource, TupleSource};
 
 /// Default EWMA weight for delivery-rate estimation.
 pub const DEFAULT_RATE_ALPHA: f64 = 0.05;
@@ -53,7 +53,7 @@ pub struct ArrivalOutcome {
 /// Per-wrapper bookkeeping.
 #[derive(Debug)]
 struct Port {
-    wrapper: Wrapper,
+    wrapper: BoxSource,
     queue: TupleQueue,
     rate: Ewma,
     last_arrival: Option<SimTime>,
@@ -76,7 +76,24 @@ pub struct CommManager {
 
 impl CommManager {
     /// Build a CM over `wrappers` with per-queue `capacity` tuples.
-    pub fn new(wrappers: Vec<Wrapper>, capacity: usize, params: SimParams) -> Self {
+    pub fn new<S: TupleSource + Send + 'static>(
+        wrappers: Vec<S>,
+        capacity: usize,
+        params: SimParams,
+    ) -> Self {
+        Self::from_boxed(
+            wrappers
+                .into_iter()
+                .map(|w| Box::new(w) as BoxSource)
+                .collect(),
+            capacity,
+            params,
+        )
+    }
+
+    /// Build a CM over already type-erased sources (what a driver hands
+    /// over when the source kind is chosen at runtime).
+    pub fn from_boxed(wrappers: Vec<BoxSource>, capacity: usize, params: SimParams) -> Self {
         let ports = wrappers
             .into_iter()
             .map(|w| Port {
@@ -122,10 +139,12 @@ impl CommManager {
 
     /// Kick off execution: sends each wrapper its sub-query and returns the
     /// first arrival times, plus the CPU instructions for the sub-query
-    /// messages (one send per wrapper).
+    /// messages (one send per wrapper). Push-paced sources start producing
+    /// here and contribute no pre-scheduled arrival.
     pub fn start(&mut self, now: SimTime) -> (Vec<(RelId, SimTime)>, u64) {
         let mut arrivals = Vec::new();
         for (i, port) in self.ports.iter_mut().enumerate() {
+            port.wrapper.start();
             if let Some(gap) = port.wrapper.next_gap() {
                 arrivals.push((RelId(i as u16), now + gap));
             }
@@ -209,6 +228,15 @@ impl CommManager {
         batch
     }
 
+    /// Dequeue up to `max` tuples of `rel` into `out` (appended),
+    /// returning how many were moved — the allocation-free batch path.
+    pub fn consume_into(&mut self, rel: RelId, max: usize, out: &mut Vec<Tuple>) -> usize {
+        let port = self.port_mut(rel);
+        let n = port.queue.pop_batch_into(max, out);
+        port.queue.note_dequeued(n as u64);
+        n
+    }
+
     /// After consumption, resume a suspended wrapper if the queue has room.
     /// Returns the resumed wrapper's next arrival time to schedule.
     pub fn after_consume(&mut self, rel: RelId, now: SimTime) -> Option<SimTime> {
@@ -280,6 +308,7 @@ impl CommManager {
 mod tests {
     use super::*;
     use crate::delay::DelayModel;
+    use crate::wrapper::Wrapper;
     use dqs_sim::SeedSplitter;
 
     fn cm(total: u64, capacity: usize, w_us: u64) -> CommManager {

@@ -4,8 +4,12 @@
 //!
 //! * [`delay::DelayModel`] — the paper's delay taxonomy (§1.2: initial,
 //!   bursty, slow) plus the §5.1.3 uniform `[0, 2w]` methodology;
+//! * [`source::TupleSource`] — the wrapper contract the CM drives, so the
+//!   delivery substrate (simulated or real) is pluggable;
 //! * [`wrapper::Wrapper`] — black-box remote sources producing synthetic
 //!   tuples at the modelled pace;
+//! * [`threaded::ThreadedWrapper`] — the same contract realized by a real
+//!   producer thread sleeping actual gaps into a bounded channel;
 //! * [`queue::TupleQueue`] — the bounded communication queues of §2.1;
 //! * [`comm::CommManager`] — receives tuples, enforces the window protocol,
 //!   charges per-message CPU, estimates delivery rates (EWMA) and raises
@@ -27,6 +31,8 @@
 pub mod comm;
 pub mod delay;
 pub mod queue;
+pub mod source;
+pub mod threaded;
 pub mod wrapper;
 
 pub use comm::{
@@ -35,4 +41,6 @@ pub use comm::{
 };
 pub use delay::DelayModel;
 pub use queue::TupleQueue;
+pub use source::{BoxSource, TupleSource};
+pub use threaded::ThreadedWrapper;
 pub use wrapper::Wrapper;

@@ -72,6 +72,14 @@ impl TupleQueue {
         self.buf.drain(..n).collect()
     }
 
+    /// Dequeue up to `max` tuples into `out` (appended), returning how
+    /// many were moved — the allocation-free batch path.
+    pub fn pop_batch_into(&mut self, max: usize, out: &mut Vec<Tuple>) -> usize {
+        let n = max.min(self.buf.len());
+        out.extend(self.buf.drain(..n));
+        n
+    }
+
     /// Total tuples ever enqueued.
     pub fn total_enqueued(&self) -> u64 {
         self.enqueued
@@ -133,6 +141,20 @@ mod tests {
         let out = q.pop_batch(10);
         assert_eq!(out.len(), 1);
         assert!(q.pop_batch(10).is_empty());
+    }
+
+    #[test]
+    fn pop_batch_into_appends_and_reports_count() {
+        let mut q = TupleQueue::new(5);
+        q.push(t(1));
+        q.push(t(2));
+        q.push(t(3));
+        let mut out = vec![t(9)];
+        assert_eq!(q.pop_batch_into(2, &mut out), 2);
+        assert_eq!(out.iter().map(|x| x.key).collect::<Vec<_>>(), vec![9, 1, 2]);
+        assert_eq!(q.pop_batch_into(10, &mut out), 1);
+        assert_eq!(q.pop_batch_into(10, &mut out), 0);
+        assert_eq!(out.len(), 4);
     }
 
     #[test]

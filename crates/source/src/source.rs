@@ -1,0 +1,62 @@
+//! The `TupleSource` abstraction — what the communication manager needs
+//! from a wrapper, independent of *how* tuples come to exist.
+//!
+//! §2.1 treats wrappers as black boxes that stream result tuples to the
+//! mediator. The simulated [`crate::Wrapper`] realizes that contract by
+//! drawing inter-tuple gaps from a [`crate::DelayModel`]; the
+//! [`crate::ThreadedWrapper`] realizes it with a real producer thread and
+//! a bounded channel. The CM drives either through this trait and cannot
+//! tell them apart.
+
+use dqs_relop::{RelId, Tuple};
+use dqs_sim::SimDuration;
+
+/// A wrapper delivering one relation's tuples to the mediator.
+///
+/// Pull-paced sources (the simulator) report the gap before their next
+/// tuple from [`TupleSource::next_gap`] and the caller schedules the
+/// arrival; push-paced sources (threads, sockets) return `None` and the
+/// driver learns of arrivals out-of-band, calling [`TupleSource::emit`]
+/// only when a tuple is known to be ready.
+pub trait TupleSource: std::fmt::Debug {
+    /// The relation this source serves.
+    fn rel(&self) -> RelId;
+
+    /// Total tuples this source will deliver.
+    fn total(&self) -> u64;
+
+    /// Tuples delivered so far.
+    fn produced(&self) -> u64;
+
+    /// True when every tuple has been delivered.
+    fn exhausted(&self) -> bool {
+        self.produced() >= self.total()
+    }
+
+    /// Whether the window protocol has suspended this source.
+    fn is_suspended(&self) -> bool;
+
+    /// Suspend delivery (destination queue full).
+    fn suspend(&mut self);
+
+    /// Resume after the consumer drained the queue.
+    fn resume(&mut self);
+
+    /// Begin producing (sends the sub-query to the wrapper). Pull-paced
+    /// sources need no setup; push-paced sources spawn their producer
+    /// here, so construction stays side-effect free.
+    fn start(&mut self) {}
+
+    /// The gap before the *next* tuple. `None` when exhausted — or always,
+    /// for push-paced sources whose arrivals are signalled out-of-band.
+    fn next_gap(&mut self) -> Option<SimDuration>;
+
+    /// Take delivery of the next tuple.
+    ///
+    /// # Panics
+    /// Panics when exhausted.
+    fn emit(&mut self) -> Tuple;
+}
+
+/// An owned, type-erased tuple source.
+pub type BoxSource = Box<dyn TupleSource + Send>;

@@ -1,0 +1,207 @@
+//! Real-time wrappers: a producer thread per source.
+//!
+//! Where the simulated [`crate::Wrapper`] *describes* delivery delays, a
+//! [`ThreadedWrapper`] *performs* them: a detached thread draws gaps from
+//! the same [`DelayModel`] (same seeded stream, same deterministic keys),
+//! actually sleeps them, and sends each tuple through a bounded
+//! [`std::sync::mpsc::sync_channel`]. The channel bound is the transport
+//! half of the paper's window protocol (§2.1): a producer that outruns the
+//! consumer blocks in `send` exactly as a suspended wrapper would stop
+//! shipping tuples.
+//!
+//! After each data send the thread posts the relation id on a shared
+//! *notify* channel; the real-time driver blocks on that channel and turns
+//! each notification into an `Arrival` for the scheduler. Data is sent
+//! before its notification, so by the time the CM calls
+//! [`TupleSource::emit`] the matching tuple is guaranteed to be waiting
+//! and the `recv` never blocks.
+
+use std::sync::mpsc::{sync_channel, Receiver, Sender, SyncSender};
+use std::thread;
+use std::time::Duration;
+
+use dqs_relop::{synth_key, RelId, Tuple};
+use dqs_sim::SimDuration;
+use rand_chacha::ChaCha8Rng;
+
+use crate::delay::DelayModel;
+use crate::source::TupleSource;
+
+/// A wrapper whose tuples are produced by a real thread with real sleeps.
+#[derive(Debug)]
+pub struct ThreadedWrapper {
+    rel: RelId,
+    total: u64,
+    produced: u64,
+    suspended: bool,
+    delay: Option<(DelayModel, ChaCha8Rng)>,
+    notify: Option<Sender<RelId>>,
+    data_tx: Option<SyncSender<Tuple>>,
+    data_rx: Receiver<Tuple>,
+}
+
+impl ThreadedWrapper {
+    /// A wrapper that will deliver `total` tuples for `rel`, pacing them
+    /// with `delay` driven by `rng`, holding at most `window` tuples in
+    /// flight, and announcing each delivery on `notify`.
+    ///
+    /// Nothing runs until [`TupleSource::start`] spawns the producer.
+    pub fn new(
+        rel: RelId,
+        total: u64,
+        delay: DelayModel,
+        rng: ChaCha8Rng,
+        window: usize,
+        notify: Sender<RelId>,
+    ) -> Self {
+        assert!(window > 0, "window must be positive");
+        let (data_tx, data_rx) = sync_channel(window);
+        ThreadedWrapper {
+            rel,
+            total,
+            produced: 0,
+            suspended: false,
+            delay: Some((delay, rng)),
+            notify: Some(notify),
+            data_tx: Some(data_tx),
+            data_rx,
+        }
+    }
+}
+
+impl TupleSource for ThreadedWrapper {
+    fn rel(&self) -> RelId {
+        self.rel
+    }
+
+    fn total(&self) -> u64 {
+        self.total
+    }
+
+    fn produced(&self) -> u64 {
+        self.produced
+    }
+
+    fn is_suspended(&self) -> bool {
+        self.suspended
+    }
+
+    fn suspend(&mut self) {
+        self.suspended = true;
+    }
+
+    fn resume(&mut self) {
+        self.suspended = false;
+    }
+
+    fn start(&mut self) {
+        let (delay, mut rng) = self.delay.take().expect("started twice");
+        let notify = self.notify.take().expect("started twice");
+        let tx = self.data_tx.take().expect("started twice");
+        let (rel, total) = (self.rel, self.total);
+        // Detached: the thread exits on its own when the run finishes
+        // (all tuples sent) or is abandoned (receiver dropped → send errs).
+        thread::spawn(move || {
+            for i in 0..total {
+                let gap: SimDuration = delay.gap(i, &mut rng);
+                thread::sleep(Duration::from_nanos(gap.as_nanos()));
+                let t = Tuple::new(synth_key(rel, i), rel);
+                if tx.send(t).is_err() {
+                    return;
+                }
+                if notify.send(rel).is_err() {
+                    return;
+                }
+            }
+        });
+    }
+
+    /// Push-paced: arrivals are announced on the notify channel, so there
+    /// is never a gap to pre-schedule.
+    fn next_gap(&mut self) -> Option<SimDuration> {
+        None
+    }
+
+    fn emit(&mut self) -> Tuple {
+        assert!(self.produced < self.total, "emit from exhausted wrapper");
+        // Data is sent before its notification, so this never blocks when
+        // called in response to a notify.
+        let t = self
+            .data_rx
+            .recv()
+            .expect("producer thread died before delivering all tuples");
+        self.produced += 1;
+        t
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dqs_sim::SeedSplitter;
+    use std::sync::mpsc::channel;
+
+    fn mk(total: u64) -> (ThreadedWrapper, Receiver<RelId>) {
+        let (ntx, nrx) = channel();
+        let w = ThreadedWrapper::new(
+            RelId(2),
+            total,
+            DelayModel::Constant {
+                w: SimDuration::from_nanos(100),
+            },
+            SeedSplitter::new(9).stream("threaded-test"),
+            8,
+            ntx,
+        );
+        (w, nrx)
+    }
+
+    #[test]
+    fn delivers_all_tuples_with_deterministic_keys() {
+        let (mut w, nrx) = mk(20);
+        w.start();
+        let mut keys = Vec::new();
+        for _ in 0..20 {
+            let rel = nrx.recv().expect("notify");
+            assert_eq!(rel, RelId(2));
+            keys.push(w.emit().key);
+        }
+        assert!(w.exhausted());
+        let expected: Vec<u64> = (0..20).map(|i| synth_key(RelId(2), i)).collect();
+        assert_eq!(keys, expected, "same keys as the simulated wrapper");
+    }
+
+    #[test]
+    fn push_paced_sources_report_no_gap() {
+        let (mut w, _nrx) = mk(5);
+        assert_eq!(w.next_gap(), None);
+        assert_eq!(w.total(), 5);
+        assert_eq!(w.produced(), 0);
+    }
+
+    #[test]
+    fn bounded_channel_blocks_producer_not_consumer() {
+        // Window of 8 with 100 tuples: the producer must block until we
+        // drain; everything still arrives.
+        let (mut w, nrx) = mk(100);
+        w.start();
+        let mut got = 0;
+        while got < 100 {
+            let _ = nrx.recv().expect("notify");
+            let _ = w.emit();
+            got += 1;
+        }
+        assert!(w.exhausted());
+        assert!(nrx.try_recv().is_err(), "no stray notifications");
+    }
+
+    #[test]
+    fn suspension_state_toggles() {
+        let (mut w, _nrx) = mk(1);
+        assert!(!w.is_suspended());
+        w.suspend();
+        assert!(w.is_suspended());
+        w.resume();
+        assert!(!w.is_suspended());
+    }
+}

@@ -99,6 +99,40 @@ impl Wrapper {
     }
 }
 
+impl crate::source::TupleSource for Wrapper {
+    fn rel(&self) -> RelId {
+        Wrapper::rel(self)
+    }
+
+    fn total(&self) -> u64 {
+        Wrapper::total(self)
+    }
+
+    fn produced(&self) -> u64 {
+        Wrapper::produced(self)
+    }
+
+    fn is_suspended(&self) -> bool {
+        Wrapper::is_suspended(self)
+    }
+
+    fn suspend(&mut self) {
+        Wrapper::suspend(self)
+    }
+
+    fn resume(&mut self) {
+        Wrapper::resume(self)
+    }
+
+    fn next_gap(&mut self) -> Option<SimDuration> {
+        Wrapper::next_gap(self)
+    }
+
+    fn emit(&mut self) -> Tuple {
+        Wrapper::emit(self)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

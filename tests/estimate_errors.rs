@@ -64,9 +64,10 @@ fn underestimate_that_busts_the_budget_fails_loudly() {
         .try_run()
         .expect_err("a 100x underestimate cannot fit");
     assert!(
-        err.contains("outgrew"),
+        err.to_string().contains("outgrew"),
         "diagnosis should blame the growing table: {err}"
     );
+    assert_eq!(err.kind(), "memory_growth");
 }
 
 #[test]

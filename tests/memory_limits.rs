@@ -51,9 +51,10 @@ fn seq_aborts_when_not_m_schedulable() {
         .try_run()
         .expect_err("SEQ has no answer to memory overflow");
     assert!(
-        err.contains("M-schedulable"),
+        err.to_string().contains("M-schedulable"),
         "abort reason should cite M-schedulability: {err}"
     );
+    assert_eq!(err.kind(), "memory_unresolvable");
 }
 
 #[test]
@@ -90,7 +91,7 @@ fn single_oversized_chain_is_reported() {
     let err = Engine::new(&w, DsePolicy::new())
         .try_run()
         .expect_err("an oversized build side cannot succeed");
-    assert!(!err.is_empty());
+    assert!(!err.to_string().is_empty());
 }
 
 #[test]
