@@ -1,0 +1,64 @@
+//! Micro-benchmarks of the mediator wire codec: frame encode/decode must
+//! stay negligible next to the per-tuple delay models it carries — the
+//! §2.1 window protocol on the wire is only faithful if the protocol
+//! machinery itself adds no measurable pacing.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+
+use dqs_relop::RelId;
+use dqs_sim::SimDuration;
+use dqs_source::net::{read_frame, Frame};
+use dqs_source::DelayModel;
+
+const BATCH: usize = 256;
+
+fn tuple_batch() -> Frame {
+    Frame::TupleBatch {
+        rel: RelId(3),
+        keys: (0..BATCH as u64)
+            .map(|i| i.wrapping_mul(2654435761))
+            .collect(),
+    }
+}
+
+fn bench_encode(c: &mut Criterion) {
+    let mut g = c.benchmark_group("net_codec");
+    g.throughput(Throughput::Elements(BATCH as u64));
+    let frame = tuple_batch();
+    g.bench_function("encode_tuple_batch_256", |b| {
+        b.iter(|| black_box(frame.encode()))
+    });
+    let wire = frame.encode();
+    g.bench_function("decode_tuple_batch_256", |b| {
+        b.iter(|| {
+            let f = read_frame(&mut wire.as_slice()).unwrap();
+            black_box(f)
+        })
+    });
+    g.finish();
+}
+
+fn bench_open_round_trip(c: &mut Criterion) {
+    let mut g = c.benchmark_group("net_codec");
+    let open = Frame::Open {
+        rel: RelId(0),
+        total: 150_000,
+        window: 512,
+        seed: 42,
+        stream: "wrapper:orders".into(),
+        delay: DelayModel::Uniform {
+            mean: SimDuration::from_micros(100),
+        },
+    };
+    g.bench_function("open_round_trip", |b| {
+        b.iter(|| {
+            let wire = open.encode();
+            black_box(read_frame(&mut wire.as_slice()).unwrap())
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_encode, bench_open_round_trip);
+criterion_main!(benches);

@@ -1,9 +1,8 @@
-//! # dqs-cli — JSON workload specifications and the `dqs` binary
+//! # dqs-cli — the `dqs` binary's library face
 //!
-//! The external interface a deployment would feed the engine: a JSON file
-//! naming the remote relations (cardinality estimates, actual deliveries,
-//! delay behaviour), the join graph, and engine knobs. The classical DP
-//! optimizer plans it; `dqs run` executes it under any strategy.
+//! The JSON workload-spec machinery moved into `dqs-exec` (so the mediator
+//! service can parse submissions without depending on the CLI); this crate
+//! re-exports it under the old paths and keeps the `dqs` binary.
 //!
 //! ```
 //! use dqs_cli::spec::WorkloadSpec;
@@ -22,7 +21,6 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
-pub mod json;
-pub mod spec;
+pub use dqs_exec::{json, spec};
 
-pub use spec::{ConfigSpec, DelaySpec, JoinSpec, RelationSpec, SpecError, WorkloadSpec};
+pub use dqs_exec::spec::{ConfigSpec, DelaySpec, JoinSpec, RelationSpec, SpecError, WorkloadSpec};

@@ -1,10 +1,14 @@
-//! `dqs` — run, explain and bound JSON-specified integration workloads.
+//! `dqs` — run, explain, bound and serve JSON-specified integration
+//! workloads.
 //!
 //! ```text
 //! dqs explain <spec.json>                 show plan, chains, annotations
 //! dqs run <spec.json> [--strategy X] [--seed N] [--all]
 //! dqs lwb <spec.json>                     analytic lower bound
 //! dqs validate <spec.json>                parse + plan, report problems
+//! dqs wrapper --listen ADDR               serve relations to a mediator
+//! dqs serve --listen ADDR [--wrappers A]  the concurrent mediator service
+//! dqs submit <spec.json> --connect ADDR   run a query on a mediator
 //! ```
 
 use std::io::Write;
@@ -16,20 +20,160 @@ use dqs_exec::{
     run_workload, run_workload_observed, run_workload_realtime, run_workload_realtime_observed,
     JsonLinesSink, MaPolicy, Policy, RunMetrics, ScramblingPolicy, SeqPolicy, Workload,
 };
+use dqs_mediator::{MediatorServer, Progress, ServeOpts, SubmitOpts, WrapperServer};
 use dqs_plan::{AnnotatedPlan, ChainSet};
 
 fn usage() -> ExitCode {
     eprint!(
-        "usage: dqs <command> <spec.json> [options]\n\
+        "usage: dqs <command> [<spec.json>] [options]\n\
          commands:\n\
          \u{20} explain   show the optimized plan, pipeline chains and annotations\n\
          \u{20} run       execute (options: --strategy seq|ma|scr|dse, --seed N, --all,\n\
          \u{20}           --real-time: threaded wall-clock execution instead of simulation,\n\
          \u{20}           --trace-json <path>: write structured engine events as JSON lines)\n\
          \u{20} lwb       print the analytic response-time lower bound\n\
-         \u{20} validate  parse and plan without executing\n"
+         \u{20} validate  parse and plan without executing\n\
+         \u{20} wrapper   serve simulated relations over TCP (--listen ADDR)\n\
+         \u{20} serve     run the mediator service (--listen ADDR, --wrappers A,B,\n\
+         \u{20}           --max-concurrent N, --backlog N, --memory-mb M)\n\
+         \u{20} submit    run a spec on a mediator (--connect ADDR, --strategy X,\n\
+         \u{20}           --seed N, --trace)\n"
     );
     ExitCode::from(2)
+}
+
+/// `--flag VALUE` lookup.
+fn flag_value<'a>(args: &'a [String], flag: &str) -> Option<&'a str> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str)
+}
+
+/// `dqs wrapper --listen ADDR`: a foreground wrapper-server process.
+fn cmd_wrapper(args: &[String]) -> ExitCode {
+    let Some(listen) = flag_value(args, "--listen") else {
+        eprintln!("error: wrapper requires --listen ADDR (e.g. 127.0.0.1:7401)");
+        return ExitCode::from(2);
+    };
+    match WrapperServer::bind(listen) {
+        Ok(server) => {
+            // Printed on its own line so scripts can scrape the port.
+            println!("wrapper listening on {}", server.local_addr());
+            server.run_forever();
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("error: cannot bind {listen}: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// `dqs serve --listen ADDR [--wrappers A,B] [...]`: the mediator service.
+fn cmd_serve(args: &[String]) -> ExitCode {
+    let Some(listen) = flag_value(args, "--listen") else {
+        eprintln!("error: serve requires --listen ADDR (e.g. 127.0.0.1:7400)");
+        return ExitCode::from(2);
+    };
+    let mut opts = ServeOpts::default();
+    if let Some(w) = flag_value(args, "--wrappers") {
+        opts.wrappers = w.split(',').map(str::to_string).collect();
+    }
+    if let Some(n) = flag_value(args, "--max-concurrent") {
+        match n.parse() {
+            Ok(n) => opts.max_concurrent = n,
+            Err(_) => {
+                eprintln!("error: --max-concurrent wants an integer, got {n:?}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    if let Some(n) = flag_value(args, "--backlog") {
+        match n.parse() {
+            Ok(n) => opts.backlog = n,
+            Err(_) => {
+                eprintln!("error: --backlog wants an integer, got {n:?}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    if let Some(n) = flag_value(args, "--memory-mb") {
+        match n.parse::<u64>() {
+            Ok(mb) => opts.memory_bytes = mb << 20,
+            Err(_) => {
+                eprintln!("error: --memory-mb wants an integer, got {n:?}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    match MediatorServer::bind(listen, opts) {
+        Ok(server) => {
+            println!("mediator listening on {}", server.local_addr());
+            server.run_forever();
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("error: cannot bind {listen}: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// `dqs submit <spec.json> --connect ADDR [...]`: run a query remotely.
+fn cmd_submit(args: &[String]) -> ExitCode {
+    let Some(path) = args.first().filter(|a| !a.starts_with("--")) else {
+        eprintln!("error: submit requires a spec path");
+        return ExitCode::from(2);
+    };
+    let Some(addr) = flag_value(args, "--connect") else {
+        eprintln!("error: submit requires --connect ADDR");
+        return ExitCode::from(2);
+    };
+    let spec_json = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("error: cannot read {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut opts = SubmitOpts {
+        strategy: flag_value(args, "--strategy").unwrap_or("dse").to_string(),
+        seed: None,
+        trace: args.iter().any(|a| a == "--trace"),
+    };
+    if let Some(s) = flag_value(args, "--seed") {
+        match s.parse() {
+            Ok(seed) => opts.seed = Some(seed),
+            Err(_) => {
+                eprintln!("error: --seed wants an integer, got {s:?}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    let result = dqs_mediator::submit(addr, &spec_json, &opts, |p| match p {
+        Progress::Queued(pos) => eprintln!("queued at position {pos}"),
+        Progress::Accepted {
+            session,
+            memory_bytes,
+        } => eprintln!(
+            "accepted as session {session} ({:.2} MB memory partition)",
+            memory_bytes as f64 / (1024.0 * 1024.0)
+        ),
+        Progress::TraceLine(line) => println!("{line}"),
+    });
+    match result {
+        Ok(m) => {
+            println!("strategy       {}", m.strategy);
+            println!("response       {:.6} s", m.response_secs);
+            println!("output tuples  {}", m.output_tuples);
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
 }
 
 fn load(path: &str) -> Result<Workload, String> {
@@ -140,7 +284,17 @@ fn explain(w: &Workload) {
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let (Some(cmd), Some(path)) = (args.first(), args.get(1)) else {
+    let Some(cmd) = args.first() else {
+        return usage();
+    };
+    // The networked subcommands take flags, not a leading spec path.
+    match cmd.as_str() {
+        "wrapper" => return cmd_wrapper(&args[1..]),
+        "serve" => return cmd_serve(&args[1..]),
+        "submit" => return cmd_submit(&args[1..]),
+        _ => {}
+    }
+    let Some(path) = args.get(1) else {
         return usage();
     };
     let mut workload = match load(path) {

@@ -39,6 +39,18 @@ fn slow_source_runs_under_every_strategy() {
 }
 
 #[test]
+fn concurrent_spec_runs_and_fits_its_declared_memory() {
+    // The spec shipped for `dqs submit` demos: three relations, two joins,
+    // paced slowly enough that two submissions visibly interleave.
+    let w = load("concurrent.json").into_workload().unwrap();
+    assert_eq!(w.catalog.len(), 3);
+    assert_eq!(w.config.memory_bytes, 32 << 20);
+    let m = run_workload(&w, DsePolicy::new());
+    assert!(m.output_tuples > 0);
+    assert_eq!(m.memory_overflows, 0, "sized to fit its declared budget");
+}
+
+#[test]
 fn wrong_estimates_spec_reflects_actuals() {
     let spec = load("wrong_estimates.json");
     let w = spec.into_workload().unwrap();

@@ -14,7 +14,9 @@
 //! * [`dqo`] — the dynamic optimizer's memory-overflow module: the §4.2
 //!   chain split that inserts a materialization at the highest possible
 //!   point;
-//! * [`lwb`](mod@lwb) — the analytic response-time lower bound of §5.1.2.
+//! * [`lwb`](mod@lwb) — the analytic response-time lower bound of §5.1.2;
+//! * [`session`] — admission control for the concurrent mediator: who
+//!   runs, who waits, and under what share of the global memory budget.
 //!
 //! # Quick start
 //!
@@ -35,7 +37,9 @@ pub mod dqo;
 pub mod dqs;
 pub mod lwb;
 pub mod metrics;
+pub mod session;
 
 pub use dqs::{DseConfig, DsePolicy};
 pub use lwb::{lwb, Lwb};
 pub use metrics::{bmi, critical_degree, is_critical, DEFAULT_BMT};
+pub use session::{Decision, SessionConfig, SessionStats, SessionTable};

@@ -1,0 +1,338 @@
+//! Session admission for the concurrent mediator.
+//!
+//! The paper schedules *one* query well; a serving mediator must also
+//! decide *which* queries run at all. [`SessionTable`] is that decision as
+//! a sans-io state machine: up to `max_concurrent` sessions run at once,
+//! each under an equal partition of the global memory budget (the §4
+//! memory bound `M` becomes `M / max_concurrent` per query, so every
+//! admitted query plans against a budget that cannot be revoked
+//! mid-run); excess submissions wait in a bounded FIFO backlog and
+//! anything past the backlog is rejected outright.
+//!
+//! The table has no threads and no sockets — the mediator server holds it
+//! behind a mutex and drives it from connection handlers — so its
+//! invariants are testable without a single byte of I/O:
+//!
+//! * running sessions never exceed `max_concurrent`;
+//! * memory in use is exactly `running × partition` and never exceeds the
+//!   global budget;
+//! * the backlog is FIFO: a finishing session promotes the oldest queued
+//!   submission.
+
+use std::collections::VecDeque;
+
+/// Admission-control configuration.
+#[derive(Debug, Clone)]
+pub struct SessionConfig {
+    /// Sessions allowed to execute simultaneously (min 1).
+    pub max_concurrent: usize,
+    /// Submissions allowed to wait beyond the running set.
+    pub backlog: usize,
+    /// Global memory budget partitioned across running sessions, bytes.
+    pub memory_bytes: u64,
+}
+
+impl Default for SessionConfig {
+    fn default() -> Self {
+        SessionConfig {
+            max_concurrent: 2,
+            backlog: 8,
+            memory_bytes: 64 << 20,
+        }
+    }
+}
+
+/// What the mediator should do with a submission.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Decision {
+    /// Run it now, under this memory partition.
+    Admit {
+        /// The new session's id.
+        session: u64,
+        /// The memory budget the session's query must plan within.
+        memory_bytes: u64,
+    },
+    /// Hold it; it will be promoted when a slot frees.
+    Queue {
+        /// The new session's id.
+        session: u64,
+        /// Position in the backlog (0 = next to be promoted).
+        position: usize,
+    },
+    /// Refuse it; the backlog is full.
+    Reject {
+        /// Why.
+        reason: String,
+    },
+}
+
+/// Load and accounting counters, for observability and tests.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SessionStats {
+    /// Sessions currently executing.
+    pub running: usize,
+    /// Sessions currently queued.
+    pub queued: usize,
+    /// Memory currently reserved by running sessions, bytes.
+    pub mem_in_use: u64,
+    /// High-water mark of `mem_in_use` over the table's lifetime.
+    pub mem_peak: u64,
+    /// Most sessions ever running at once.
+    pub max_active_seen: usize,
+    /// Total submissions admitted (directly or via promotion).
+    pub admitted: u64,
+    /// Total submissions rejected.
+    pub rejected: u64,
+}
+
+/// The mediator's admission state: who runs, who waits, under how much
+/// memory.
+#[derive(Debug)]
+pub struct SessionTable {
+    cfg: SessionConfig,
+    next_id: u64,
+    running: Vec<u64>,
+    queue: VecDeque<u64>,
+    stats: SessionStats,
+}
+
+impl SessionTable {
+    /// An empty table under `cfg` (a zero `max_concurrent` is clamped
+    /// to 1 — a mediator that can run nothing is a configuration error,
+    /// not a useful state).
+    pub fn new(mut cfg: SessionConfig) -> SessionTable {
+        cfg.max_concurrent = cfg.max_concurrent.max(1);
+        SessionTable {
+            cfg,
+            next_id: 1,
+            running: Vec::new(),
+            queue: VecDeque::new(),
+            stats: SessionStats::default(),
+        }
+    }
+
+    /// The per-session memory partition: the global budget split evenly
+    /// across the concurrency limit, so admission never has to claw
+    /// memory back from a running query.
+    pub fn partition_bytes(&self) -> u64 {
+        self.cfg.memory_bytes / self.cfg.max_concurrent as u64
+    }
+
+    /// Decide a new submission's fate.
+    pub fn submit(&mut self) -> Decision {
+        let session = self.next_id;
+        self.next_id += 1;
+        if self.running.len() < self.cfg.max_concurrent {
+            self.admit(session);
+            Decision::Admit {
+                session,
+                memory_bytes: self.partition_bytes(),
+            }
+        } else if self.queue.len() < self.cfg.backlog {
+            self.queue.push_back(session);
+            self.stats.queued = self.queue.len();
+            Decision::Queue {
+                session,
+                position: self.queue.len() - 1,
+            }
+        } else {
+            self.stats.rejected += 1;
+            Decision::Reject {
+                reason: format!(
+                    "overloaded: {} running, backlog of {} full",
+                    self.running.len(),
+                    self.cfg.backlog
+                ),
+            }
+        }
+    }
+
+    fn admit(&mut self, session: u64) {
+        self.running.push(session);
+        self.stats.admitted += 1;
+        self.stats.running = self.running.len();
+        self.stats.max_active_seen = self.stats.max_active_seen.max(self.running.len());
+        self.stats.mem_in_use = self.running.len() as u64 * self.partition_bytes();
+        self.stats.mem_peak = self.stats.mem_peak.max(self.stats.mem_in_use);
+    }
+
+    /// True while `session` holds an execution slot (queued sessions wait
+    /// on this turning true).
+    pub fn is_running(&self, session: u64) -> bool {
+        self.running.contains(&session)
+    }
+
+    /// A queued session's current backlog position (0 = next), or `None`
+    /// once it runs or was never queued.
+    pub fn queue_position(&self, session: u64) -> Option<usize> {
+        self.queue.iter().position(|&s| s == session)
+    }
+
+    /// Release `session`'s slot and memory; promotes (and returns) the
+    /// oldest queued session, which is running when this returns. Unknown
+    /// or queued ids release nothing.
+    pub fn finish(&mut self, session: u64) -> Option<u64> {
+        let Some(i) = self.running.iter().position(|&s| s == session) else {
+            // A queued client that gave up: just drop it from the backlog.
+            if let Some(q) = self.queue_position(session) {
+                self.queue.remove(q);
+                self.stats.queued = self.queue.len();
+            }
+            return None;
+        };
+        self.running.remove(i);
+        self.stats.running = self.running.len();
+        self.stats.mem_in_use = self.running.len() as u64 * self.partition_bytes();
+        let promoted = self.queue.pop_front();
+        if let Some(next) = promoted {
+            self.admit(next);
+            self.stats.queued = self.queue.len();
+        }
+        promoted
+    }
+
+    /// Current counters.
+    pub fn stats(&self) -> SessionStats {
+        self.stats
+    }
+
+    /// The configuration the table was built with (after clamping).
+    pub fn config(&self) -> &SessionConfig {
+        &self.cfg
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg(max_concurrent: usize, backlog: usize, memory_bytes: u64) -> SessionConfig {
+        SessionConfig {
+            max_concurrent,
+            backlog,
+            memory_bytes,
+        }
+    }
+
+    #[test]
+    fn admits_up_to_the_limit_then_queues_then_rejects() {
+        let mut t = SessionTable::new(cfg(2, 1, 100));
+        let a = t.submit();
+        let b = t.submit();
+        assert!(matches!(
+            a,
+            Decision::Admit {
+                memory_bytes: 50,
+                ..
+            }
+        ));
+        assert!(matches!(
+            b,
+            Decision::Admit {
+                memory_bytes: 50,
+                ..
+            }
+        ));
+        let c = t.submit();
+        assert!(matches!(c, Decision::Queue { position: 0, .. }), "{c:?}");
+        let d = t.submit();
+        assert!(matches!(d, Decision::Reject { .. }), "{d:?}");
+        assert_eq!(t.stats().running, 2);
+        assert_eq!(t.stats().queued, 1);
+        assert_eq!(t.stats().rejected, 1);
+    }
+
+    #[test]
+    fn memory_partition_is_budget_over_concurrency() {
+        let t = SessionTable::new(cfg(4, 0, 64 << 20));
+        assert_eq!(t.partition_bytes(), 16 << 20);
+        let t = SessionTable::new(cfg(0, 0, 100)); // clamped to 1
+        assert_eq!(t.partition_bytes(), 100);
+        assert_eq!(t.config().max_concurrent, 1);
+    }
+
+    #[test]
+    fn memory_in_use_tracks_running_sessions_and_never_exceeds_budget() {
+        let mut t = SessionTable::new(cfg(3, 10, 90));
+        let mut ids = Vec::new();
+        for _ in 0..8 {
+            match t.submit() {
+                Decision::Admit { session, .. } | Decision::Queue { session, .. } => {
+                    ids.push(session)
+                }
+                Decision::Reject { .. } => {}
+            }
+            assert!(t.stats().mem_in_use <= 90);
+        }
+        assert_eq!(t.stats().mem_in_use, 90, "3 running × 30");
+        for id in ids {
+            t.finish(id);
+            assert!(t.stats().mem_in_use <= 90);
+            assert_eq!(t.stats().mem_in_use, t.stats().running as u64 * 30);
+        }
+        assert_eq!(t.stats().running, 0);
+        assert_eq!(t.stats().mem_in_use, 0);
+        assert_eq!(t.stats().mem_peak, 90);
+        assert_eq!(t.stats().max_active_seen, 3);
+    }
+
+    #[test]
+    fn finish_promotes_the_oldest_queued_session() {
+        let mut t = SessionTable::new(cfg(1, 3, 10));
+        let a = match t.submit() {
+            Decision::Admit { session, .. } => session,
+            d => panic!("{d:?}"),
+        };
+        let b = match t.submit() {
+            Decision::Queue { session, .. } => session,
+            d => panic!("{d:?}"),
+        };
+        let c = match t.submit() {
+            Decision::Queue { session, .. } => session,
+            d => panic!("{d:?}"),
+        };
+        assert_eq!(t.queue_position(b), Some(0));
+        assert_eq!(t.queue_position(c), Some(1));
+        assert!(!t.is_running(b));
+        assert_eq!(t.finish(a), Some(b), "FIFO: b before c");
+        assert!(t.is_running(b));
+        assert_eq!(t.queue_position(c), Some(0), "c moved up");
+        assert_eq!(t.finish(b), Some(c));
+        assert_eq!(t.finish(c), None, "backlog empty");
+        assert_eq!(t.stats().admitted, 3);
+    }
+
+    #[test]
+    fn finishing_a_queued_session_abandons_it_without_promotion() {
+        let mut t = SessionTable::new(cfg(1, 2, 10));
+        let _a = t.submit();
+        let b = match t.submit() {
+            Decision::Queue { session, .. } => session,
+            d => panic!("{d:?}"),
+        };
+        assert_eq!(t.finish(b), None);
+        assert_eq!(t.stats().queued, 0);
+        assert_eq!(t.stats().running, 1, "the running session is untouched");
+    }
+
+    #[test]
+    fn unknown_session_finish_is_a_no_op() {
+        let mut t = SessionTable::new(cfg(1, 1, 10));
+        assert_eq!(t.finish(999), None);
+        assert_eq!(t.stats().running, 0);
+    }
+
+    #[test]
+    fn session_ids_are_unique_and_monotonic() {
+        let mut t = SessionTable::new(cfg(2, 100, 10));
+        let mut last = 0;
+        for _ in 0..20 {
+            let id = match t.submit() {
+                Decision::Admit { session, .. } | Decision::Queue { session, .. } => session,
+                d => panic!("{d:?}"),
+            };
+            assert!(id > last);
+            last = id;
+        }
+    }
+}

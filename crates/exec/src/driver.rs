@@ -22,7 +22,7 @@ use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender};
 use dqs_relop::RelId;
 use dqs_sim::clock::until;
 use dqs_sim::{Clock, EventId, EventQueue, SimTime, TimerHeap, TimerId, WallClock};
-use dqs_source::{BoxSource, ThreadedWrapper};
+use dqs_source::{BoxSource, Notice, SourceError, ThreadedWrapper};
 
 use crate::workload::{EngineConfig, Workload};
 use crate::world::sim_sources;
@@ -38,6 +38,9 @@ pub enum Signal {
     TempReady,
     /// The stall timer expired (generation guards staleness).
     Timeout(u64),
+    /// A source failed terminally (remote wrapper died, timed out, or
+    /// broke protocol); the details wait in [`Driver::take_fault`].
+    SourceFault(RelId),
 }
 
 /// The substrate a scheduler run executes on: time, timers, and sources.
@@ -70,6 +73,12 @@ pub trait Driver {
 
     /// Signals delivered so far (the runaway-loop guard).
     fn fired(&self) -> u64;
+
+    /// The failure behind the most recent [`Signal::SourceFault`], if any.
+    /// Simulated drivers never fault.
+    fn take_fault(&mut self) -> Option<(RelId, SourceError)> {
+        None
+    }
 }
 
 /// The discrete-event driver: virtual time from the [`EventQueue`].
@@ -124,11 +133,17 @@ impl Driver for SimDriver {
 pub struct RealTimeDriver {
     clock: WallClock,
     timers: TimerHeap<Signal>,
-    notify_rx: Receiver<RelId>,
+    notify_rx: Receiver<Notice>,
     /// Held only until [`Driver::sources`] hands clones to the wrappers;
     /// dropping it afterwards lets `notify_rx` disconnect when every
     /// producer thread finishes.
-    notify_tx: Option<Sender<RelId>>,
+    notify_tx: Option<Sender<Notice>>,
+    /// Sources built ahead of the run (remote wrappers a mediator
+    /// connected eagerly); [`Driver::sources`] returns these when present
+    /// instead of spawning in-process threads.
+    prebuilt: Option<Vec<BoxSource>>,
+    /// The failure behind the last [`Signal::SourceFault`] delivered.
+    fault: Option<(RelId, SourceError)>,
     fired: u64,
 }
 
@@ -141,7 +156,35 @@ impl RealTimeDriver {
             timers: TimerHeap::new(),
             notify_rx,
             notify_tx: Some(notify_tx),
+            prebuilt: None,
+            fault: None,
             fired: 0,
+        }
+    }
+
+    /// A driver whose sources are built by `connect` — which receives the
+    /// driver's notify sender to hand to each source — instead of spawned
+    /// in-process from the workload catalog. Connection errors surface
+    /// here, before any run starts, so a mediator can reject the session
+    /// rather than abort it.
+    pub fn try_with_sources<E>(
+        connect: impl FnOnce(&Sender<Notice>) -> Result<Vec<BoxSource>, E>,
+    ) -> Result<RealTimeDriver, E> {
+        let mut driver = RealTimeDriver::new();
+        let notify = driver.notify_tx.as_ref().expect("fresh driver has sender");
+        driver.prebuilt = Some(connect(notify)?);
+        Ok(driver)
+    }
+
+    /// Turn a notice into the signal the engine loop sees, stashing fault
+    /// details for [`Driver::take_fault`].
+    fn signal_for(&mut self, notice: Notice) -> Signal {
+        match notice {
+            Notice::Arrival(rel) => Signal::Arrival(rel),
+            Notice::Fault { rel, error } => {
+                self.fault = Some((rel, error));
+                Signal::SourceFault(rel)
+            }
         }
     }
 }
@@ -160,6 +203,10 @@ impl Driver for RealTimeDriver {
             .notify_tx
             .take()
             .expect("RealTimeDriver::sources called twice");
+        if let Some(prebuilt) = self.prebuilt.take() {
+            // Remote wrappers already hold their sender clones.
+            return prebuilt;
+        }
         let seeds = dqs_sim::SeedSplitter::new(workload.config.seed);
         workload
             .catalog
@@ -207,9 +254,9 @@ impl Driver for RealTimeDriver {
                 Some(deadline) => {
                     // Wait for an arrival, but no longer than the deadline.
                     match self.notify_rx.recv_timeout(until(now, deadline)) {
-                        Ok(rel) => {
+                        Ok(notice) => {
                             self.fired += 1;
-                            return Some((self.clock.now(), Signal::Arrival(rel)));
+                            return Some((self.clock.now(), self.signal_for(notice)));
                         }
                         Err(RecvTimeoutError::Timeout) => {}
                         Err(RecvTimeoutError::Disconnected) => {
@@ -221,9 +268,9 @@ impl Driver for RealTimeDriver {
                 None => {
                     // No deadlines: only an arrival can wake us.
                     match self.notify_rx.recv() {
-                        Ok(rel) => {
+                        Ok(notice) => {
                             self.fired += 1;
-                            return Some((self.clock.now(), Signal::Arrival(rel)));
+                            return Some((self.clock.now(), self.signal_for(notice)));
                         }
                         // Producers done and nothing scheduled: nothing can
                         // ever happen again.
@@ -236,6 +283,10 @@ impl Driver for RealTimeDriver {
 
     fn fired(&self) -> u64 {
         self.fired
+    }
+
+    fn take_fault(&mut self) -> Option<(RelId, SourceError)> {
+        self.fault.take()
     }
 }
 
@@ -292,5 +343,22 @@ mod tests {
         let mut d = RealTimeDriver::new();
         d.notify_tx = None; // as after sources() + all producers exiting
         assert_eq!(d.next(), None);
+    }
+
+    #[test]
+    fn fault_notice_becomes_source_fault_signal() {
+        let mut d = RealTimeDriver::new();
+        let tx = d.notify_tx.clone().unwrap();
+        tx.send(Notice::Fault {
+            rel: RelId(4),
+            error: SourceError::Timeout { millis: 50 },
+        })
+        .unwrap();
+        let (_, s) = d.next().expect("fault delivered");
+        assert_eq!(s, Signal::SourceFault(RelId(4)));
+        let (rel, err) = d.take_fault().expect("details stashed");
+        assert_eq!(rel, RelId(4));
+        assert_eq!(err.kind(), "timeout");
+        assert!(d.take_fault().is_none(), "take_fault drains");
     }
 }

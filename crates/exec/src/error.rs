@@ -9,7 +9,8 @@
 
 use std::fmt;
 
-use dqs_relop::HtId;
+use dqs_relop::{HtId, RelId};
+use dqs_source::SourceError;
 
 use crate::frag::FragId;
 
@@ -46,6 +47,15 @@ pub enum RunError {
         /// Query memory still free.
         free: u64,
     },
+    /// A wrapper failed terminally mid-query (remote peer died, went
+    /// silent past its read timeout, or broke the wire protocol); the
+    /// relation's remaining tuples will never arrive.
+    Wrapper {
+        /// The failed wrapper's relation.
+        rel: RelId,
+        /// The transport-level failure.
+        error: SourceError,
+    },
 }
 
 impl fmt::Display for RunError {
@@ -73,6 +83,9 @@ impl fmt::Display for RunError {
                 "hash table {ht:?} outgrew query memory mid-build \
                  ({needed} bytes needed, {free} free)"
             ),
+            RunError::Wrapper { rel, error } => {
+                write!(f, "wrapper for relation {} failed: {error}", rel.0)
+            }
         }
     }
 }
@@ -89,6 +102,7 @@ impl RunError {
             RunError::EventLimit { .. } => "event_limit",
             RunError::MemoryUnresolvable { .. } => "memory_unresolvable",
             RunError::MemoryGrowth { .. } => "memory_growth",
+            RunError::Wrapper { .. } => "wrapper",
         }
     }
 }

@@ -46,6 +46,7 @@ pub mod dqp;
 pub mod driver;
 pub mod error;
 pub mod frag;
+pub mod json;
 pub mod mem;
 pub mod metrics;
 pub mod multi;
@@ -53,6 +54,7 @@ pub mod observe;
 pub mod policy;
 pub mod replan;
 pub mod runtime;
+pub mod spec;
 pub mod strategies;
 pub mod workload;
 pub mod world;
@@ -70,6 +72,7 @@ pub use runtime::{
     run_workload, run_workload_observed, run_workload_realtime, run_workload_realtime_observed,
     Engine,
 };
+pub use spec::{ConfigSpec, DelaySpec, JoinSpec, RelationSpec, SpecError, WorkloadSpec};
 pub use strategies::{MaPolicy, ScramblingPolicy, SeqPolicy};
 pub use workload::{EngineConfig, Workload};
 pub use world::World;

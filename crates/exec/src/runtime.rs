@@ -195,6 +195,14 @@ impl<P: Policy, O: EngineObserver, D: Driver> Engine<P, O, D> {
                     }
                 }
                 Signal::Timeout(gen) => self.on_timeout(gen),
+                Signal::SourceFault(rel) => {
+                    let error = self.driver.take_fault().map(|(_, e)| e).unwrap_or_else(|| {
+                        dqs_source::SourceError::Io {
+                            detail: "source fault with no detail".into(),
+                        }
+                    });
+                    self.aborted = Some(RunError::Wrapper { rel, error });
+                }
             }
             if self.driver.fired() > MAX_EVENTS {
                 self.aborted = Some(RunError::EventLimit { limit: MAX_EVENTS });

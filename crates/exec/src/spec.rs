@@ -12,7 +12,7 @@
 
 use crate::json::{self, Json};
 
-use dqs_exec::{EngineConfig, Workload};
+use crate::workload::{EngineConfig, Workload};
 use dqs_plan::{optimize, Catalog, JoinGraph};
 use dqs_sim::SimDuration;
 use dqs_source::DelayModel;

@@ -1,0 +1,37 @@
+//! # dqs-mediator — the engine as a networked service
+//!
+//! The paper's architecture (§2.1) is a mediator talking to *autonomous
+//! remote* wrappers. This crate makes both halves real processes:
+//!
+//! * [`wrapper_server::WrapperServer`] — a standalone server that speaks
+//!   the wrapper side of the wire protocol in `dqs_source::net`, serving
+//!   simulated relations (same delay models, same seeded pacing, same
+//!   synthetic keys as the in-process wrappers) to any mediator that
+//!   connects;
+//! * [`server::MediatorServer`] — the serving mediator: accepts client
+//!   connections submitting JSON workload specs, admits up to a configured
+//!   number of concurrent queries under an evenly partitioned global
+//!   memory budget (backed by `dqs_core::session::SessionTable`), queues
+//!   or rejects excess load, runs each admitted query on its own
+//!   `RealTimeDriver`, and streams trace and result frames back;
+//! * [`client`] — the submitting side, used by `dqs submit`.
+//!
+//! The three pieces compose into the full topology from the shell:
+//!
+//! ```text
+//! dqs wrapper --listen 127.0.0.1:7401          # wrapper process(es)
+//! dqs serve --listen 127.0.0.1:7400 \
+//!           --wrappers 127.0.0.1:7401          # the mediator
+//! dqs submit spec.json --connect 127.0.0.1:7400  # clients
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod client;
+pub mod server;
+pub mod wrapper_server;
+
+pub use client::{submit, ClientError, Progress, RemoteMetrics, SubmitOpts};
+pub use server::{MediatorServer, ServeOpts};
+pub use wrapper_server::WrapperServer;

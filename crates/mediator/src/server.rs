@@ -1,0 +1,477 @@
+//! The serving mediator: admission control + per-session query runs.
+//!
+//! A [`MediatorServer`] accepts client connections. Each connection
+//! submits one query (a `Submit` frame carrying a JSON workload spec) and
+//! gets back the session lifecycle as frames:
+//!
+//! ```text
+//! Submit ─→ Rejected                        (bad spec / backlog full)
+//!        └→ Queued* ─→ Accepted ─→ Trace* ─→ Done | Error
+//! ```
+//!
+//! Admission is the sans-io `dqs_core::session::SessionTable` behind a
+//! mutex: at most `max_concurrent` sessions execute at once, each query
+//! re-planned under `memory_bytes / max_concurrent` — the §4 memory bound
+//! applied per-session so concurrent queries cannot starve each other —
+//! and a bounded FIFO backlog absorbs bursts. Each admitted session runs
+//! a full engine on its own [`RealTimeDriver`]: in-process threaded
+//! wrappers by default, or `RemoteWrapper`s dialled out to the configured
+//! wrapper-server addresses.
+
+use std::io::{self, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::{self, JoinHandle};
+use std::time::Duration;
+
+use dqs_core::session::{Decision, SessionConfig, SessionStats, SessionTable};
+use dqs_core::DsePolicy;
+use dqs_exec::spec::WorkloadSpec;
+use dqs_exec::{
+    Engine, EngineObserver, JsonLinesSink, MaPolicy, Policy, RealTimeDriver, RunError, RunMetrics,
+    ScramblingPolicy, SeqPolicy, Workload,
+};
+use dqs_source::net::{read_frame, write_frame, Frame};
+use dqs_source::{BoxSource, RemoteOpen, RemoteWrapper, SourceError};
+
+/// Mediator service configuration.
+#[derive(Debug, Clone)]
+pub struct ServeOpts {
+    /// Queries allowed to execute simultaneously.
+    pub max_concurrent: usize,
+    /// Submissions allowed to wait beyond the running set.
+    pub backlog: usize,
+    /// Global memory budget partitioned across running sessions, bytes.
+    pub memory_bytes: u64,
+    /// Wrapper-server addresses; empty means in-process threaded wrappers.
+    /// Relation `i` is served by `wrappers[i % len]`.
+    pub wrappers: Vec<String>,
+    /// Read timeout on wrapper sockets (a silent wrapper faults the run).
+    pub read_timeout: Duration,
+}
+
+impl Default for ServeOpts {
+    fn default() -> Self {
+        ServeOpts {
+            max_concurrent: 2,
+            backlog: 8,
+            memory_bytes: 64 << 20,
+            wrappers: Vec::new(),
+            read_timeout: Duration::from_secs(30),
+        }
+    }
+}
+
+struct Shared {
+    table: Mutex<SessionTable>,
+    /// Signalled whenever a slot frees (queued sessions re-check).
+    cond: Condvar,
+    opts: ServeOpts,
+    stop: AtomicBool,
+}
+
+/// The mediator service: accept loop + session threads.
+#[derive(Debug)]
+pub struct MediatorServer {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    accept_thread: Option<JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for Shared {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Shared").field("opts", &self.opts).finish()
+    }
+}
+
+impl MediatorServer {
+    /// Bind and start serving. Port 0 picks an ephemeral port; see
+    /// [`MediatorServer::local_addr`].
+    pub fn bind(addr: impl ToSocketAddrs, opts: ServeOpts) -> io::Result<MediatorServer> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        let shared = Arc::new(Shared {
+            table: Mutex::new(SessionTable::new(SessionConfig {
+                max_concurrent: opts.max_concurrent,
+                backlog: opts.backlog,
+                memory_bytes: opts.memory_bytes,
+            })),
+            cond: Condvar::new(),
+            opts,
+            stop: AtomicBool::new(false),
+        });
+        let accept_shared = Arc::clone(&shared);
+        let accept_thread = thread::spawn(move || {
+            for conn in listener.incoming() {
+                if accept_shared.stop.load(Ordering::SeqCst) {
+                    return;
+                }
+                let Ok(conn) = conn else { continue };
+                conn.set_nodelay(true).ok();
+                let session_shared = Arc::clone(&accept_shared);
+                thread::spawn(move || serve_client(conn, session_shared));
+            }
+        });
+        Ok(MediatorServer {
+            addr,
+            shared,
+            accept_thread: Some(accept_thread),
+        })
+    }
+
+    /// The address actually bound.
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Admission counters (running/queued sessions, memory accounting).
+    pub fn stats(&self) -> SessionStats {
+        self.shared.table.lock().unwrap().stats()
+    }
+
+    /// Stop accepting and join the accept thread. Sessions already
+    /// running finish on their own threads.
+    pub fn shutdown(mut self) {
+        self.shared.stop.store(true, Ordering::SeqCst);
+        TcpStream::connect(self.addr).ok();
+        if let Some(t) = self.accept_thread.take() {
+            t.join().ok();
+        }
+    }
+
+    /// Park the calling thread while the server runs (the `dqs serve`
+    /// foreground loop).
+    pub fn run_forever(mut self) {
+        if let Some(t) = self.accept_thread.take() {
+            t.join().ok();
+        }
+    }
+}
+
+/// Frame-level reply helper; errors mean the client is gone, which never
+/// aborts the server.
+fn reply(conn: &mut TcpStream, frame: &Frame) -> bool {
+    write_frame(conn, frame).is_ok()
+}
+
+/// One client connection: read the submission, walk it through admission,
+/// run it, stream the outcome.
+fn serve_client(mut conn: TcpStream, shared: Arc<Shared>) {
+    // A client that connects and says nothing must not hold a thread
+    // forever.
+    conn.set_read_timeout(Some(Duration::from_secs(60))).ok();
+    let submit = match read_frame(&mut conn) {
+        Ok(Some(Frame::Submit {
+            strategy,
+            trace,
+            seed,
+            spec_json,
+        })) => (strategy, trace, seed, spec_json),
+        Ok(Some(_)) | Ok(None) | Err(_) => return,
+    };
+    let (strategy, trace, seed, spec_json) = submit;
+
+    // Validate before admission: a bad spec must not consume a slot.
+    if !matches!(strategy.as_str(), "seq" | "ma" | "scr" | "dse") {
+        reply(
+            &mut conn,
+            &Frame::Rejected {
+                reason: format!("unknown strategy {strategy:?} (seq|ma|scr|dse)"),
+            },
+        );
+        return;
+    }
+    let mut workload =
+        match WorkloadSpec::from_json(&spec_json).and_then(WorkloadSpec::into_workload) {
+            Ok(w) => w,
+            Err(e) => {
+                reply(
+                    &mut conn,
+                    &Frame::Rejected {
+                        reason: e.to_string(),
+                    },
+                );
+                return;
+            }
+        };
+    if let Some(seed) = seed {
+        workload.config.seed = seed;
+    }
+
+    // Admission.
+    let (session, memory_bytes) = {
+        let mut table = shared.table.lock().unwrap();
+        match table.submit() {
+            Decision::Reject { reason } => {
+                drop(table);
+                reply(&mut conn, &Frame::Rejected { reason });
+                return;
+            }
+            Decision::Admit {
+                session,
+                memory_bytes,
+            } => (session, memory_bytes),
+            Decision::Queue { session, position } => {
+                let memory = table.partition_bytes();
+                // Tell the client it waits, then wait for promotion.
+                drop(table);
+                if !reply(
+                    &mut conn,
+                    &Frame::Queued {
+                        position: position as u32,
+                    },
+                ) {
+                    let mut table = shared.table.lock().unwrap();
+                    table.finish(session);
+                    return;
+                }
+                let mut table = shared.table.lock().unwrap();
+                while !table.is_running(session) {
+                    if shared.stop.load(Ordering::SeqCst) {
+                        table.finish(session);
+                        return;
+                    }
+                    let (t, _) = shared
+                        .cond
+                        .wait_timeout(table, Duration::from_millis(200))
+                        .unwrap();
+                    table = t;
+                }
+                (session, memory)
+            }
+        }
+    };
+
+    // From here on the slot is held: every exit path must release it —
+    // and release it *before* the terminal frame goes out, so a client
+    // that saw the outcome never observes its session still counted as
+    // running.
+    let terminal = run_admitted_session(
+        &mut conn,
+        &shared,
+        session,
+        memory_bytes,
+        &strategy,
+        trace,
+        workload,
+    );
+    {
+        let mut table = shared.table.lock().unwrap();
+        table.finish(session);
+    }
+    shared.cond.notify_all();
+    if let Some(frame) = terminal {
+        reply(&mut conn, &frame);
+    }
+    conn.shutdown(Shutdown::Both).ok();
+}
+
+/// Execute an admitted session, streaming progress frames; returns the
+/// terminal frame the caller sends after releasing the slot.
+fn run_admitted_session(
+    conn: &mut TcpStream,
+    shared: &Shared,
+    session: u64,
+    memory_bytes: u64,
+    strategy: &str,
+    trace: bool,
+    mut workload: Workload,
+) -> Option<Frame> {
+    if !reply(
+        conn,
+        &Frame::Accepted {
+            session,
+            memory_bytes,
+        },
+    ) {
+        return None;
+    }
+    // The session's query plans against its partition, not the global
+    // budget.
+    workload.config.memory_bytes = memory_bytes;
+
+    // Build the driver: remote wrappers when configured, else in-process
+    // threads.
+    let driver = if shared.opts.wrappers.is_empty() {
+        Ok(RealTimeDriver::new())
+    } else {
+        connect_remote_sources(&workload, &shared.opts)
+    };
+    let driver = match driver {
+        Ok(d) => d,
+        Err(e) => {
+            return Some(Frame::Error {
+                code: 2,
+                message: format!("wrapper connect failed: {e}"),
+            });
+        }
+    };
+
+    let sink = JsonLinesSink::new(TraceFrames {
+        conn: conn.try_clone().ok(),
+        enabled: trace,
+        line: Vec::new(),
+    });
+    let result = run_with_strategy(strategy, &workload, sink, driver);
+    Some(match result {
+        Ok(m) => Frame::Done {
+            metrics_json: metrics_json(&m),
+        },
+        Err(e) => Frame::Error {
+            code: 1,
+            message: e.to_string(),
+        },
+    })
+}
+
+/// Dial a `RemoteWrapper` for every catalog relation, spreading relations
+/// round-robin over the configured wrapper addresses.
+fn connect_remote_sources(
+    workload: &Workload,
+    opts: &ServeOpts,
+) -> Result<RealTimeDriver, SourceError> {
+    let wrappers = &opts.wrappers;
+    let timeout = opts.read_timeout;
+    let catalog: Vec<_> = workload
+        .catalog
+        .iter()
+        .map(|(rel, spec)| (rel, spec.name.clone()))
+        .collect();
+    RealTimeDriver::try_with_sources(|notify| {
+        let mut sources: Vec<BoxSource> = Vec::with_capacity(catalog.len());
+        for (rel, name) in &catalog {
+            let addr = &wrappers[rel.0 as usize % wrappers.len()];
+            let open = RemoteOpen {
+                rel: *rel,
+                total: workload.actual_cardinality(*rel),
+                window: workload.config.queue_capacity as u32,
+                seed: workload.config.seed,
+                stream: format!("wrapper:{name}"),
+                delay: workload.delays[rel.0 as usize].clone(),
+            };
+            let w = RemoteWrapper::connect(addr.as_str(), open, notify.clone(), timeout)?;
+            sources.push(Box::new(w));
+        }
+        Ok(sources)
+    })
+}
+
+/// Run `workload` under the named strategy on `driver`, reporting events
+/// to `observer`.
+fn run_with_strategy<O: EngineObserver>(
+    strategy: &str,
+    workload: &Workload,
+    observer: O,
+    driver: RealTimeDriver,
+) -> Result<RunMetrics, RunError> {
+    fn go<P: Policy, O: EngineObserver>(
+        w: &Workload,
+        p: P,
+        o: O,
+        d: RealTimeDriver,
+    ) -> Result<RunMetrics, RunError> {
+        Engine::with_driver(w, p, o, d).try_run()
+    }
+    match strategy {
+        "seq" => go(workload, SeqPolicy, observer, driver),
+        "ma" => go(workload, MaPolicy::default(), observer, driver),
+        "scr" => go(workload, ScramblingPolicy::new(), observer, driver),
+        // Validated at submission; default cannot be reached with other
+        // names.
+        _ => go(workload, DsePolicy::new(), observer, driver),
+    }
+}
+
+/// A `Write` sink that forwards each completed JSON line to the client as
+/// a `Trace` frame (or discards it when tracing is off). Write errors are
+/// swallowed: losing the trace must not abort the query.
+#[derive(Debug)]
+struct TraceFrames {
+    conn: Option<TcpStream>,
+    enabled: bool,
+    line: Vec<u8>,
+}
+
+impl Write for TraceFrames {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        if !self.enabled || self.conn.is_none() {
+            return Ok(buf.len());
+        }
+        for &b in buf {
+            if b == b'\n' {
+                let line = String::from_utf8_lossy(&self.line).into_owned();
+                self.line.clear();
+                if let Some(conn) = &mut self.conn {
+                    if write_frame(conn, &Frame::Trace { line }).is_err() {
+                        self.conn = None; // client gone; stop trying
+                    }
+                }
+            } else {
+                self.line.push(b);
+            }
+        }
+        Ok(buf.len())
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        Ok(())
+    }
+}
+
+/// Flat JSON rendering of a finished run's metrics (the `Done` payload).
+pub fn metrics_json(m: &RunMetrics) -> String {
+    let queries: Vec<String> = m
+        .query_responses
+        .iter()
+        .map(|(q, t)| format!("[{q},{}]", t.as_secs_f64()))
+        .collect();
+    format!(
+        "{{\"strategy\":\"{}\",\"seed\":{},\"response_secs\":{},\
+         \"output_tuples\":{},\"cpu_busy_secs\":{},\"stall_secs\":{},\
+         \"batches\":{},\"plans\":{},\"end_of_qf\":{},\"rate_changes\":{},\
+         \"timeouts\":{},\"memory_overflows\":{},\"degradations\":{},\
+         \"memory_high_water\":{},\"events\":{},\"query_responses\":[{}]}}",
+        m.strategy,
+        m.seed,
+        m.response_secs(),
+        m.output_tuples,
+        m.cpu_busy.as_secs_f64(),
+        m.stall_time.as_secs_f64(),
+        m.batches,
+        m.plans,
+        m.end_of_qf,
+        m.rate_changes,
+        m.timeouts,
+        m.memory_overflows,
+        m.degradations,
+        m.memory_high_water,
+        m.events,
+        queries.join(",")
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn metrics_json_is_parseable_and_carries_the_cardinality() {
+        let mut m = RunMetrics {
+            strategy: "dse",
+            seed: 42,
+            ..RunMetrics::default()
+        };
+        m.output_tuples = 90_000;
+        let text = metrics_json(&m);
+        let v = dqs_exec::json::parse(&text).expect("valid JSON");
+        let obj = v.as_object().unwrap();
+        let get = |k: &str| obj.iter().find(|(n, _)| n == k).map(|(_, v)| v);
+        assert_eq!(get("output_tuples").and_then(|v| v.as_u64()), Some(90_000));
+        assert_eq!(
+            get("strategy").and_then(|v| v.as_str()),
+            Some("dse"),
+            "{text}"
+        );
+    }
+}

@@ -1,0 +1,336 @@
+//! The standalone wrapper-server: the remote half of the window protocol.
+//!
+//! A [`WrapperServer`] listens for mediator connections. Each connection
+//! carries one or more `Open` frames; every `Open` starts a producer
+//! thread that serves that relation — drawing inter-tuple gaps from the
+//! requested delay model with the requested seeded stream (so a remote
+//! run delivers byte-for-byte the tuples and pacing an in-process
+//! `ThreadedWrapper` would), sleeping them for real, and shipping each
+//! tuple as a `TupleBatch` frame while respecting the flow-control
+//! window: the producer holds at most `window` unacknowledged tuples and
+//! waits for `WindowGrant` credits beyond that, which is the paper's
+//! §2.1 suspension performed by the *source* side of the wire.
+//!
+//! The server keeps a registry of live connections so tests (and the
+//! mediator-kill scenario) can sever every peer at once with
+//! [`WrapperServer::drop_connections`].
+
+use std::collections::HashMap;
+use std::io;
+use std::net::{Shutdown, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::{self, JoinHandle};
+use std::time::Duration;
+
+use dqs_relop::{synth_key, RelId};
+use dqs_sim::SeedSplitter;
+use dqs_source::net::{read_frame, write_frame, Frame};
+use dqs_source::DelayModel;
+
+/// Per-connection flow-control state: available credits per opened
+/// relation, plus a poison flag the reader raises when the socket dies.
+#[derive(Debug, Default)]
+struct Credits {
+    by_rel: HashMap<RelId, u64>,
+    dead: bool,
+}
+
+/// A serving wrapper process (minus the process): listener + producers.
+#[derive(Debug)]
+pub struct WrapperServer {
+    addr: std::net::SocketAddr,
+    stop: Arc<AtomicBool>,
+    conns: Arc<Mutex<Vec<TcpStream>>>,
+    accept_thread: Option<JoinHandle<()>>,
+}
+
+impl WrapperServer {
+    /// Bind and start accepting. `addr` may use port 0 for an ephemeral
+    /// port; [`WrapperServer::local_addr`] reports what was bound.
+    pub fn bind(addr: impl ToSocketAddrs) -> io::Result<WrapperServer> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let conns: Arc<Mutex<Vec<TcpStream>>> = Arc::new(Mutex::new(Vec::new()));
+        let accept_stop = Arc::clone(&stop);
+        let accept_conns = Arc::clone(&conns);
+        let accept_thread = thread::spawn(move || {
+            for conn in listener.incoming() {
+                if accept_stop.load(Ordering::SeqCst) {
+                    return;
+                }
+                let Ok(conn) = conn else { continue };
+                conn.set_nodelay(true).ok();
+                if let Ok(clone) = conn.try_clone() {
+                    accept_conns.lock().unwrap().push(clone);
+                }
+                let conn_stop = Arc::clone(&accept_stop);
+                thread::spawn(move || serve_connection(conn, conn_stop));
+            }
+        });
+        Ok(WrapperServer {
+            addr,
+            stop,
+            conns,
+            accept_thread: Some(accept_thread),
+        })
+    }
+
+    /// The address actually bound (resolves `--port 0`).
+    pub fn local_addr(&self) -> std::net::SocketAddr {
+        self.addr
+    }
+
+    /// Sever every live mediator connection — the "kill the wrapper
+    /// mid-query" lever: peers observe an immediate disconnect, not a
+    /// silence.
+    pub fn drop_connections(&self) {
+        let mut conns = self.conns.lock().unwrap();
+        for c in conns.drain(..) {
+            c.shutdown(Shutdown::Both).ok();
+        }
+    }
+
+    /// Stop accepting, sever connections, and join the accept thread.
+    pub fn shutdown(mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        // Self-connect to unblock the accept loop.
+        TcpStream::connect(self.addr).ok();
+        self.drop_connections();
+        if let Some(t) = self.accept_thread.take() {
+            t.join().ok();
+        }
+    }
+
+    /// Park the calling thread while the server runs (the `dqs wrapper`
+    /// foreground loop). Returns only if the accept thread dies.
+    pub fn run_forever(mut self) {
+        if let Some(t) = self.accept_thread.take() {
+            t.join().ok();
+        }
+    }
+}
+
+/// One mediator connection: route `Open`s to producers and `WindowGrant`s
+/// to their credit pools until the peer goes away.
+fn serve_connection(conn: TcpStream, stop: Arc<AtomicBool>) {
+    let credits = Arc::new((Mutex::new(Credits::default()), Condvar::new()));
+    let writer = Arc::new(Mutex::new(match conn.try_clone() {
+        Ok(w) => w,
+        Err(_) => return,
+    }));
+    let mut reader = conn;
+    // A read that yields a clean close, reset, or garbage means this
+    // connection is done; fall through to poison the credit pool so
+    // producers exit.
+    while let Ok(Some(frame)) = read_frame(&mut reader) {
+        match frame {
+            Frame::Open {
+                rel,
+                total,
+                window,
+                seed,
+                stream,
+                delay,
+            } => {
+                {
+                    let (lock, _) = &*credits;
+                    lock.lock().unwrap().by_rel.insert(rel, u64::from(window));
+                }
+                let producer_credits = Arc::clone(&credits);
+                let producer_writer = Arc::clone(&writer);
+                let producer_stop = Arc::clone(&stop);
+                thread::spawn(move || {
+                    produce(
+                        rel,
+                        total,
+                        seed,
+                        &stream,
+                        delay,
+                        producer_credits,
+                        producer_writer,
+                        producer_stop,
+                    )
+                });
+            }
+            Frame::WindowGrant { rel, credits: c } => {
+                let (lock, cond) = &*credits;
+                let mut pool = lock.lock().unwrap();
+                *pool.by_rel.entry(rel).or_insert(0) += u64::from(c);
+                cond.notify_all();
+            }
+            // Anything else is a protocol error from the peer; drop it.
+            _ => break,
+        }
+    }
+    // Poison: wake every producer so none waits forever on credits.
+    reader.shutdown(Shutdown::Both).ok();
+    let (lock, cond) = &*credits;
+    lock.lock().unwrap().dead = true;
+    cond.notify_all();
+}
+
+/// Serve one relation: sleep the modelled gap, wait for window credit,
+/// ship the tuple. Exits when done, when the connection dies, or when the
+/// server stops.
+#[allow(clippy::too_many_arguments)]
+fn produce(
+    rel: RelId,
+    total: u64,
+    seed: u64,
+    stream: &str,
+    delay: DelayModel,
+    credits: Arc<(Mutex<Credits>, Condvar)>,
+    writer: Arc<Mutex<TcpStream>>,
+    stop: Arc<AtomicBool>,
+) {
+    let mut rng = SeedSplitter::new(seed).stream(stream);
+    for i in 0..total {
+        let gap = delay.gap(i, &mut rng);
+        thread::sleep(Duration::from_nanos(gap.as_nanos()));
+        // Wait for a window credit (the remote suspension).
+        {
+            let (lock, cond) = &*credits;
+            let mut pool = lock.lock().unwrap();
+            loop {
+                if pool.dead || stop.load(Ordering::SeqCst) {
+                    return;
+                }
+                let available = pool.by_rel.get(&rel).copied().unwrap_or(0);
+                if available > 0 {
+                    *pool.by_rel.get_mut(&rel).unwrap() = available - 1;
+                    break;
+                }
+                let (p, _) = cond.wait_timeout(pool, Duration::from_millis(100)).unwrap();
+                pool = p;
+            }
+        }
+        let batch = Frame::TupleBatch {
+            rel,
+            keys: vec![synth_key(rel, i)],
+        };
+        let mut w = writer.lock().unwrap();
+        if write_frame(&mut *w, &batch).is_err() {
+            return; // peer gone; the mediator sees the disconnect
+        }
+    }
+    let mut w = writer.lock().unwrap();
+    write_frame(&mut *w, &Frame::Eof { rel }).ok();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dqs_sim::SimDuration;
+    use std::sync::mpsc::channel;
+    use std::time::Duration;
+
+    use dqs_source::{Notice, RemoteOpen, RemoteWrapper, TupleSource};
+
+    fn open(rel: u16, total: u64, window: u32) -> RemoteOpen {
+        RemoteOpen {
+            rel: RelId(rel),
+            total,
+            window,
+            seed: 42,
+            stream: format!("wrapper:r{rel}"),
+            delay: DelayModel::Constant {
+                w: SimDuration::from_nanos(100),
+            },
+        }
+    }
+
+    /// Drain one RemoteWrapper to completion, returning its keys.
+    fn drain(mut w: RemoteWrapper, nrx: std::sync::mpsc::Receiver<Notice>) -> Vec<u64> {
+        let mut keys = Vec::new();
+        while !w.exhausted() {
+            match nrx.recv_timeout(Duration::from_secs(30)).expect("notice") {
+                Notice::Arrival(_) => keys.push(w.emit().key),
+                Notice::Fault { error, .. } => panic!("fault: {error}"),
+            }
+        }
+        keys
+    }
+
+    #[test]
+    fn serves_a_relation_end_to_end_with_the_windowed_protocol() {
+        let server = WrapperServer::bind("127.0.0.1:0").unwrap();
+        let (ntx, nrx) = channel();
+        // Window of 4 forces many grant round-trips for 50 tuples.
+        let w = RemoteWrapper::connect(
+            server.local_addr(),
+            open(5, 50, 4),
+            ntx,
+            Duration::from_secs(10),
+        )
+        .unwrap();
+        let mut w = w;
+        w.start();
+        let keys = drain(w, nrx);
+        let expected: Vec<u64> = (0..50).map(|i| synth_key(RelId(5), i)).collect();
+        assert_eq!(keys, expected);
+        server.shutdown();
+    }
+
+    #[test]
+    fn serves_two_relations_on_one_connection_worth_of_server() {
+        let server = WrapperServer::bind("127.0.0.1:0").unwrap();
+        let mut handles = Vec::new();
+        for rel in [1u16, 2u16] {
+            let addr = server.local_addr();
+            handles.push(thread::spawn(move || {
+                let (ntx, nrx) = channel();
+                let mut w =
+                    RemoteWrapper::connect(addr, open(rel, 30, 8), ntx, Duration::from_secs(10))
+                        .unwrap();
+                w.start();
+                drain(w, nrx)
+            }));
+        }
+        let keys: Vec<Vec<u64>> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        for (i, rel) in [1u16, 2u16].iter().enumerate() {
+            let expected: Vec<u64> = (0..30).map(|j| synth_key(RelId(*rel), j)).collect();
+            assert_eq!(keys[i], expected);
+        }
+        server.shutdown();
+    }
+
+    #[test]
+    fn dropping_connections_faults_the_client_side() {
+        let server = WrapperServer::bind("127.0.0.1:0").unwrap();
+        let (ntx, nrx) = channel();
+        // Slow delivery so the kill lands mid-stream.
+        let mut spec = open(7, 10_000, 16);
+        spec.delay = DelayModel::Constant {
+            w: SimDuration::from_micros(500),
+        };
+        let mut w = RemoteWrapper::connect(server.local_addr(), spec, ntx, Duration::from_secs(10))
+            .unwrap();
+        w.start();
+        // Take a few tuples, then sever.
+        let mut got = 0;
+        while got < 3 {
+            match nrx.recv_timeout(Duration::from_secs(30)).expect("notice") {
+                Notice::Arrival(_) => {
+                    w.emit();
+                    got += 1;
+                }
+                Notice::Fault { error, .. } => panic!("premature fault: {error}"),
+            }
+        }
+        server.drop_connections();
+        loop {
+            match nrx.recv_timeout(Duration::from_secs(30)).expect("notice") {
+                Notice::Arrival(_) => {
+                    w.emit();
+                }
+                Notice::Fault { error, .. } => {
+                    assert_eq!(error.kind(), "disconnected", "{error}");
+                    break;
+                }
+            }
+        }
+        server.shutdown();
+    }
+}

@@ -10,6 +10,10 @@
 //!   tuples at the modelled pace;
 //! * [`threaded::ThreadedWrapper`] — the same contract realized by a real
 //!   producer thread sleeping actual gaps into a bounded channel;
+//! * [`net::Frame`] — the length-prefixed binary wire protocol that carries
+//!   the §2.1 window protocol (and query submission) over TCP;
+//! * [`remote::RemoteWrapper`] — the same contract again, fed by a
+//!   wrapper-server on the far side of a socket;
 //! * [`queue::TupleQueue`] — the bounded communication queues of §2.1;
 //! * [`comm::CommManager`] — receives tuples, enforces the window protocol,
 //!   charges per-message CPU, estimates delivery rates (EWMA) and raises
@@ -30,7 +34,9 @@
 
 pub mod comm;
 pub mod delay;
+pub mod net;
 pub mod queue;
+pub mod remote;
 pub mod source;
 pub mod threaded;
 pub mod wrapper;
@@ -40,7 +46,9 @@ pub use comm::{
     DEFAULT_RATE_CHANGE_THRESHOLD,
 };
 pub use delay::DelayModel;
+pub use net::{read_frame, write_frame, Frame, FrameError, MAX_FRAME_BYTES};
 pub use queue::TupleQueue;
-pub use source::{BoxSource, TupleSource};
+pub use remote::{RemoteOpen, RemoteWrapper};
+pub use source::{BoxSource, Notice, SourceError, TupleSource};
 pub use threaded::ThreadedWrapper;
 pub use wrapper::Wrapper;

@@ -1,0 +1,828 @@
+//! The mediator wire protocol: a length-prefixed binary frame codec.
+//!
+//! §2.1's window protocol made real: the mediator and its wrappers — and
+//! the clients submitting queries to the mediator — exchange [`Frame`]s
+//! over TCP. Every frame is `u32` big-endian body length followed by the
+//! body (`u8` tag + fields); strings are `u32` length + UTF-8; integers
+//! are big-endian. The codec is `std`-only and panic-free: malformed,
+//! truncated or oversized input decodes to a typed [`FrameError`].
+//!
+//! Wrapper-facing frames (the paper's window protocol):
+//!
+//! | frame           | direction          | meaning                               |
+//! |-----------------|--------------------|---------------------------------------|
+//! | [`Frame::Open`] | mediator → wrapper | subscribe to a relation with a window |
+//! | [`Frame::TupleBatch`] | wrapper → mediator | one or more result tuples       |
+//! | [`Frame::WindowGrant`] | mediator → wrapper | return consumed window credits |
+//! | [`Frame::Eof`]  | wrapper → mediator | all tuples delivered                  |
+//! | [`Frame::Error`]| either             | abort with a reason                   |
+//!
+//! Client-facing frames (query submission):
+//!
+//! | frame               | direction          | meaning                          |
+//! |---------------------|--------------------|----------------------------------|
+//! | [`Frame::Submit`]   | client → mediator  | run this JSON workload spec      |
+//! | [`Frame::Accepted`] | mediator → client  | session admitted, memory granted |
+//! | [`Frame::Queued`]   | mediator → client  | backlogged at this position      |
+//! | [`Frame::Rejected`] | mediator → client  | refused (overload / bad spec)    |
+//! | [`Frame::Trace`]    | mediator → client  | one JSON engine-event line       |
+//! | [`Frame::Done`]     | mediator → client  | final metrics, session over      |
+
+use std::fmt;
+use std::io::{ErrorKind, Read, Write};
+
+use dqs_relop::RelId;
+use dqs_sim::SimDuration;
+
+use crate::delay::DelayModel;
+
+/// Hard ceiling on a frame body; a decoder that reads the length prefix
+/// refuses anything larger before allocating.
+pub const MAX_FRAME_BYTES: usize = 4 * 1024 * 1024;
+
+/// One protocol message.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Frame {
+    /// Mediator → wrapper: serve `total` tuples of `rel`, keeping at most
+    /// `window` unacknowledged tuples in flight. The delay model and the
+    /// seeded stream name make the remote wrapper's pacing reproduce the
+    /// in-process [`crate::ThreadedWrapper`] exactly.
+    Open {
+        /// Relation id in the mediator's catalog (also keys the tuples).
+        rel: RelId,
+        /// Tuples to deliver.
+        total: u64,
+        /// Flow-control window in tuples.
+        window: u32,
+        /// Master seed for the wrapper's delay stream.
+        seed: u64,
+        /// Seed-splitter stream label (e.g. `wrapper:orders`).
+        stream: String,
+        /// Delivery pacing.
+        delay: DelayModel,
+    },
+    /// Wrapper → mediator: result tuples, identified by their synthetic
+    /// join keys (the receiver reconstructs `Tuple { key, origin: rel }`).
+    TupleBatch {
+        /// The producing relation.
+        rel: RelId,
+        /// Synthetic join keys, in delivery order.
+        keys: Vec<u64>,
+    },
+    /// Mediator → wrapper: the consumer drained `credits` tuples; the
+    /// wrapper may ship that many more.
+    WindowGrant {
+        /// The relation being granted.
+        rel: RelId,
+        /// Window credits returned.
+        credits: u32,
+    },
+    /// Wrapper → mediator: every tuple of `rel` has been delivered.
+    Eof {
+        /// The finished relation.
+        rel: RelId,
+    },
+    /// Either direction: abort with a machine code and human reason.
+    Error {
+        /// Machine-readable error code.
+        code: u16,
+        /// Human-readable reason.
+        message: String,
+    },
+    /// Client → mediator: run this workload.
+    Submit {
+        /// Strategy name (`seq` | `ma` | `scr` | `dse`).
+        strategy: String,
+        /// Stream JSON engine-event trace lines back as [`Frame::Trace`].
+        trace: bool,
+        /// Optional seed override (wins over the spec's `config.seed`).
+        seed: Option<u64>,
+        /// The JSON workload spec (the `examples/specs/` format).
+        spec_json: String,
+    },
+    /// Mediator → client: the session was admitted and is running.
+    Accepted {
+        /// Server-assigned session id.
+        session: u64,
+        /// The memory partition this session runs under, in bytes.
+        memory_bytes: u64,
+    },
+    /// Mediator → client: all execution slots busy; waiting in the backlog.
+    Queued {
+        /// Position in the backlog (0 = next to run).
+        position: u32,
+    },
+    /// Mediator → client: the submission was refused.
+    Rejected {
+        /// Why (bad spec, overload, wrapper unreachable).
+        reason: String,
+    },
+    /// Mediator → client: one JSON engine-event line (see
+    /// `dqs_exec::observe::JsonLinesSink`).
+    Trace {
+        /// The JSON object, without trailing newline.
+        line: String,
+    },
+    /// Mediator → client: the query finished; metrics as a JSON object.
+    Done {
+        /// Flat JSON rendering of the run metrics.
+        metrics_json: String,
+    },
+}
+
+/// Why a frame could not be decoded (or read).
+#[derive(Debug)]
+pub enum FrameError {
+    /// The transport failed mid-frame.
+    Io {
+        /// The I/O error kind (distinguishes timeouts from disconnects).
+        kind: ErrorKind,
+        /// The transport's message.
+        detail: String,
+    },
+    /// The length prefix exceeds [`MAX_FRAME_BYTES`].
+    TooLarge {
+        /// Declared body length.
+        len: usize,
+        /// The ceiling it exceeded.
+        max: usize,
+    },
+    /// The body ended before the field being decoded.
+    Truncated {
+        /// Which field was being decoded.
+        field: &'static str,
+    },
+    /// The tag byte names no known frame.
+    UnknownTag(u8),
+    /// A field decoded but its value is invalid.
+    Malformed {
+        /// What was wrong.
+        detail: String,
+    },
+    /// The body is longer than its frame's fields.
+    TrailingBytes {
+        /// Unconsumed bytes after the last field.
+        extra: usize,
+    },
+}
+
+impl fmt::Display for FrameError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FrameError::Io { kind, detail } => write!(f, "i/o error ({kind:?}): {detail}"),
+            FrameError::TooLarge { len, max } => {
+                write!(f, "frame body of {len} bytes exceeds the {max} byte cap")
+            }
+            FrameError::Truncated { field } => write!(f, "frame truncated decoding {field}"),
+            FrameError::UnknownTag(t) => write!(f, "unknown frame tag {t}"),
+            FrameError::Malformed { detail } => write!(f, "malformed frame: {detail}"),
+            FrameError::TrailingBytes { extra } => {
+                write!(f, "{extra} trailing bytes after frame body")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+impl FrameError {
+    /// True when this error is a read timeout (no bytes within the
+    /// socket's read-timeout window) rather than a peer failure.
+    pub fn is_timeout(&self) -> bool {
+        matches!(
+            self,
+            FrameError::Io {
+                kind: ErrorKind::WouldBlock | ErrorKind::TimedOut,
+                ..
+            }
+        )
+    }
+
+    fn io(e: std::io::Error) -> FrameError {
+        FrameError::Io {
+            kind: e.kind(),
+            detail: e.to_string(),
+        }
+    }
+}
+
+// --- frame tags -------------------------------------------------------------
+
+const TAG_OPEN: u8 = 1;
+const TAG_TUPLE_BATCH: u8 = 2;
+const TAG_WINDOW_GRANT: u8 = 3;
+const TAG_EOF: u8 = 4;
+const TAG_ERROR: u8 = 5;
+const TAG_SUBMIT: u8 = 6;
+const TAG_ACCEPTED: u8 = 7;
+const TAG_QUEUED: u8 = 8;
+const TAG_REJECTED: u8 = 9;
+const TAG_TRACE: u8 = 10;
+const TAG_DONE: u8 = 11;
+
+// --- encoding ---------------------------------------------------------------
+
+fn put_u16(buf: &mut Vec<u8>, v: u16) {
+    buf.extend_from_slice(&v.to_be_bytes());
+}
+
+fn put_u32(buf: &mut Vec<u8>, v: u32) {
+    buf.extend_from_slice(&v.to_be_bytes());
+}
+
+fn put_u64(buf: &mut Vec<u8>, v: u64) {
+    buf.extend_from_slice(&v.to_be_bytes());
+}
+
+fn put_str(buf: &mut Vec<u8>, s: &str) {
+    put_u32(buf, s.len() as u32);
+    buf.extend_from_slice(s.as_bytes());
+}
+
+fn put_delay(buf: &mut Vec<u8>, d: &DelayModel) {
+    match d {
+        DelayModel::Constant { w } => {
+            buf.push(0);
+            put_u64(buf, w.as_nanos());
+        }
+        DelayModel::Uniform { mean } => {
+            buf.push(1);
+            put_u64(buf, mean.as_nanos());
+        }
+        DelayModel::Initial { initial, mean } => {
+            buf.push(2);
+            put_u64(buf, initial.as_nanos());
+            put_u64(buf, mean.as_nanos());
+        }
+        DelayModel::Bursty {
+            burst,
+            within,
+            pause,
+        } => {
+            buf.push(3);
+            put_u64(buf, *burst);
+            put_u64(buf, within.as_nanos());
+            put_u64(buf, pause.as_nanos());
+        }
+    }
+}
+
+impl Frame {
+    /// Encode the frame body (tag + fields), without the length prefix.
+    pub fn encode_body(&self) -> Vec<u8> {
+        let mut b = Vec::with_capacity(32);
+        match self {
+            Frame::Open {
+                rel,
+                total,
+                window,
+                seed,
+                stream,
+                delay,
+            } => {
+                b.push(TAG_OPEN);
+                put_u16(&mut b, rel.0);
+                put_u64(&mut b, *total);
+                put_u32(&mut b, *window);
+                put_u64(&mut b, *seed);
+                put_str(&mut b, stream);
+                put_delay(&mut b, delay);
+            }
+            Frame::TupleBatch { rel, keys } => {
+                b.push(TAG_TUPLE_BATCH);
+                put_u16(&mut b, rel.0);
+                put_u32(&mut b, keys.len() as u32);
+                for k in keys {
+                    put_u64(&mut b, *k);
+                }
+            }
+            Frame::WindowGrant { rel, credits } => {
+                b.push(TAG_WINDOW_GRANT);
+                put_u16(&mut b, rel.0);
+                put_u32(&mut b, *credits);
+            }
+            Frame::Eof { rel } => {
+                b.push(TAG_EOF);
+                put_u16(&mut b, rel.0);
+            }
+            Frame::Error { code, message } => {
+                b.push(TAG_ERROR);
+                put_u16(&mut b, *code);
+                put_str(&mut b, message);
+            }
+            Frame::Submit {
+                strategy,
+                trace,
+                seed,
+                spec_json,
+            } => {
+                b.push(TAG_SUBMIT);
+                put_str(&mut b, strategy);
+                b.push(u8::from(*trace));
+                match seed {
+                    Some(s) => {
+                        b.push(1);
+                        put_u64(&mut b, *s);
+                    }
+                    None => b.push(0),
+                }
+                put_str(&mut b, spec_json);
+            }
+            Frame::Accepted {
+                session,
+                memory_bytes,
+            } => {
+                b.push(TAG_ACCEPTED);
+                put_u64(&mut b, *session);
+                put_u64(&mut b, *memory_bytes);
+            }
+            Frame::Queued { position } => {
+                b.push(TAG_QUEUED);
+                put_u32(&mut b, *position);
+            }
+            Frame::Rejected { reason } => {
+                b.push(TAG_REJECTED);
+                put_str(&mut b, reason);
+            }
+            Frame::Trace { line } => {
+                b.push(TAG_TRACE);
+                put_str(&mut b, line);
+            }
+            Frame::Done { metrics_json } => {
+                b.push(TAG_DONE);
+                put_str(&mut b, metrics_json);
+            }
+        }
+        b
+    }
+
+    /// Encode the whole frame: length prefix + body.
+    pub fn encode(&self) -> Vec<u8> {
+        let body = self.encode_body();
+        let mut out = Vec::with_capacity(4 + body.len());
+        put_u32(&mut out, body.len() as u32);
+        out.extend_from_slice(&body);
+        out
+    }
+
+    /// Decode a frame body (tag + fields, no length prefix). Rejects
+    /// unknown tags, short bodies and trailing bytes with a typed error —
+    /// never panics on adversarial input.
+    pub fn decode_body(body: &[u8]) -> Result<Frame, FrameError> {
+        let mut c = Cursor { b: body, pos: 0 };
+        let tag = c.take_u8("tag")?;
+        let frame = match tag {
+            TAG_OPEN => Frame::Open {
+                rel: RelId(c.take_u16("open.rel")?),
+                total: c.take_u64("open.total")?,
+                window: c.take_u32("open.window")?,
+                seed: c.take_u64("open.seed")?,
+                stream: c.take_str("open.stream")?,
+                delay: c.take_delay()?,
+            },
+            TAG_TUPLE_BATCH => {
+                let rel = RelId(c.take_u16("batch.rel")?);
+                let n = c.take_u32("batch.count")? as usize;
+                // The count must be consistent with the bytes actually
+                // present before any allocation happens.
+                if c.remaining() != n * 8 {
+                    return Err(FrameError::Malformed {
+                        detail: format!(
+                            "tuple batch claims {n} keys but carries {} bytes",
+                            c.remaining()
+                        ),
+                    });
+                }
+                let mut keys = Vec::with_capacity(n);
+                for _ in 0..n {
+                    keys.push(c.take_u64("batch.key")?);
+                }
+                Frame::TupleBatch { rel, keys }
+            }
+            TAG_WINDOW_GRANT => Frame::WindowGrant {
+                rel: RelId(c.take_u16("grant.rel")?),
+                credits: c.take_u32("grant.credits")?,
+            },
+            TAG_EOF => Frame::Eof {
+                rel: RelId(c.take_u16("eof.rel")?),
+            },
+            TAG_ERROR => Frame::Error {
+                code: c.take_u16("error.code")?,
+                message: c.take_str("error.message")?,
+            },
+            TAG_SUBMIT => Frame::Submit {
+                strategy: c.take_str("submit.strategy")?,
+                trace: c.take_u8("submit.trace")? != 0,
+                seed: match c.take_u8("submit.seed_tag")? {
+                    0 => None,
+                    1 => Some(c.take_u64("submit.seed")?),
+                    t => {
+                        return Err(FrameError::Malformed {
+                            detail: format!("submit.seed_tag must be 0|1, got {t}"),
+                        })
+                    }
+                },
+                spec_json: c.take_str("submit.spec")?,
+            },
+            TAG_ACCEPTED => Frame::Accepted {
+                session: c.take_u64("accepted.session")?,
+                memory_bytes: c.take_u64("accepted.memory")?,
+            },
+            TAG_QUEUED => Frame::Queued {
+                position: c.take_u32("queued.position")?,
+            },
+            TAG_REJECTED => Frame::Rejected {
+                reason: c.take_str("rejected.reason")?,
+            },
+            TAG_TRACE => Frame::Trace {
+                line: c.take_str("trace.line")?,
+            },
+            TAG_DONE => Frame::Done {
+                metrics_json: c.take_str("done.metrics")?,
+            },
+            other => return Err(FrameError::UnknownTag(other)),
+        };
+        if c.remaining() != 0 {
+            return Err(FrameError::TrailingBytes {
+                extra: c.remaining(),
+            });
+        }
+        Ok(frame)
+    }
+}
+
+// --- decoding cursor --------------------------------------------------------
+
+struct Cursor<'a> {
+    b: &'a [u8],
+    pos: usize,
+}
+
+impl Cursor<'_> {
+    fn remaining(&self) -> usize {
+        self.b.len() - self.pos
+    }
+
+    fn take(&mut self, n: usize, field: &'static str) -> Result<&[u8], FrameError> {
+        if self.remaining() < n {
+            return Err(FrameError::Truncated { field });
+        }
+        let s = &self.b[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    fn take_u8(&mut self, field: &'static str) -> Result<u8, FrameError> {
+        Ok(self.take(1, field)?[0])
+    }
+
+    fn take_u16(&mut self, field: &'static str) -> Result<u16, FrameError> {
+        Ok(u16::from_be_bytes(self.take(2, field)?.try_into().unwrap()))
+    }
+
+    fn take_u32(&mut self, field: &'static str) -> Result<u32, FrameError> {
+        Ok(u32::from_be_bytes(self.take(4, field)?.try_into().unwrap()))
+    }
+
+    fn take_u64(&mut self, field: &'static str) -> Result<u64, FrameError> {
+        Ok(u64::from_be_bytes(self.take(8, field)?.try_into().unwrap()))
+    }
+
+    fn take_str(&mut self, field: &'static str) -> Result<String, FrameError> {
+        let len = self.take_u32(field)? as usize;
+        if len > self.remaining() {
+            return Err(FrameError::Truncated { field });
+        }
+        let bytes = self.take(len, field)?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| FrameError::Malformed {
+            detail: format!("{field}: invalid UTF-8"),
+        })
+    }
+
+    fn take_delay(&mut self) -> Result<DelayModel, FrameError> {
+        let ns = SimDuration::from_nanos;
+        match self.take_u8("delay.tag")? {
+            0 => Ok(DelayModel::Constant {
+                w: ns(self.take_u64("delay.w")?),
+            }),
+            1 => Ok(DelayModel::Uniform {
+                mean: ns(self.take_u64("delay.mean")?),
+            }),
+            2 => Ok(DelayModel::Initial {
+                initial: ns(self.take_u64("delay.initial")?),
+                mean: ns(self.take_u64("delay.mean")?),
+            }),
+            3 => Ok(DelayModel::Bursty {
+                burst: self.take_u64("delay.burst")?,
+                within: ns(self.take_u64("delay.within")?),
+                pause: ns(self.take_u64("delay.pause")?),
+            }),
+            t => Err(FrameError::Malformed {
+                detail: format!("unknown delay tag {t}"),
+            }),
+        }
+    }
+}
+
+// --- stream I/O -------------------------------------------------------------
+
+/// Write one frame to `w` (a single `write_all`, so concurrent writers
+/// serializing on a lock interleave only whole frames).
+pub fn write_frame(w: &mut impl Write, frame: &Frame) -> Result<(), FrameError> {
+    w.write_all(&frame.encode()).map_err(FrameError::io)
+}
+
+/// Read one frame from `r`. `Ok(None)` means the peer closed cleanly at a
+/// frame boundary; EOF mid-frame, an oversized length prefix, a decode
+/// failure or a read timeout are all errors.
+pub fn read_frame(r: &mut impl Read) -> Result<Option<Frame>, FrameError> {
+    let mut prefix = [0u8; 4];
+    // Distinguish clean EOF (zero bytes) from mid-prefix truncation.
+    let mut got = 0;
+    while got < 4 {
+        match r.read(&mut prefix[got..]) {
+            Ok(0) => {
+                return if got == 0 {
+                    Ok(None)
+                } else {
+                    Err(FrameError::Truncated {
+                        field: "length prefix",
+                    })
+                };
+            }
+            Ok(n) => got += n,
+            Err(e) if e.kind() == ErrorKind::Interrupted => {}
+            Err(e) => return Err(FrameError::io(e)),
+        }
+    }
+    let len = u32::from_be_bytes(prefix) as usize;
+    if len > MAX_FRAME_BYTES {
+        return Err(FrameError::TooLarge {
+            len,
+            max: MAX_FRAME_BYTES,
+        });
+    }
+    let mut body = vec![0u8; len];
+    r.read_exact(&mut body).map_err(|e| {
+        if e.kind() == ErrorKind::UnexpectedEof {
+            FrameError::Truncated { field: "body" }
+        } else {
+            FrameError::io(e)
+        }
+    })?;
+    Frame::decode_body(&body).map(Some)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::collection::vec;
+    use proptest::prelude::*;
+
+    fn samples() -> Vec<Frame> {
+        vec![
+            Frame::Open {
+                rel: RelId(3),
+                total: 10_000,
+                window: 816,
+                seed: 42,
+                stream: "wrapper:orders".into(),
+                delay: DelayModel::Bursty {
+                    burst: 100,
+                    within: SimDuration::from_micros(20),
+                    pause: SimDuration::from_millis(50),
+                },
+            },
+            Frame::TupleBatch {
+                rel: RelId(1),
+                keys: vec![7, u64::MAX, 0],
+            },
+            Frame::WindowGrant {
+                rel: RelId(0),
+                credits: 408,
+            },
+            Frame::Eof { rel: RelId(9) },
+            Frame::Error {
+                code: 2,
+                message: "wrapper unreachable".into(),
+            },
+            Frame::Submit {
+                strategy: "dse".into(),
+                trace: true,
+                seed: Some(7),
+                spec_json: "{\"relations\":[]}".into(),
+            },
+            Frame::Accepted {
+                session: 1,
+                memory_bytes: 32 << 20,
+            },
+            Frame::Queued { position: 2 },
+            Frame::Rejected {
+                reason: "backlog full".into(),
+            },
+            Frame::Trace {
+                line: "{\"at_us\":0,\"type\":\"stall\"}".into(),
+            },
+            Frame::Done {
+                metrics_json: "{\"output_tuples\":90000}".into(),
+            },
+        ]
+    }
+
+    #[test]
+    fn every_variant_round_trips() {
+        for f in samples() {
+            let body = f.encode_body();
+            assert_eq!(Frame::decode_body(&body).unwrap(), f, "{f:?}");
+            // And through the stream path.
+            let mut wire = Vec::new();
+            write_frame(&mut wire, &f).unwrap();
+            let mut r = wire.as_slice();
+            assert_eq!(read_frame(&mut r).unwrap(), Some(f));
+            assert_eq!(read_frame(&mut r).unwrap(), None, "clean EOF after");
+        }
+    }
+
+    #[test]
+    fn truncated_bodies_decode_to_typed_errors() {
+        for f in samples() {
+            let body = f.encode_body();
+            for cut in 0..body.len() {
+                let e = Frame::decode_body(&body[..cut])
+                    .expect_err(&format!("{f:?} truncated at {cut} must not decode"));
+                assert!(
+                    matches!(
+                        e,
+                        FrameError::Truncated { .. } | FrameError::Malformed { .. }
+                    ),
+                    "{f:?} cut at {cut}: {e}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn trailing_bytes_rejected() {
+        let mut body = Frame::Eof { rel: RelId(1) }.encode_body();
+        body.push(0xFF);
+        assert!(matches!(
+            Frame::decode_body(&body),
+            Err(FrameError::TrailingBytes { extra: 1 })
+        ));
+    }
+
+    #[test]
+    fn oversized_length_prefix_rejected_before_allocation() {
+        let mut wire = Vec::new();
+        put_u32(&mut wire, (MAX_FRAME_BYTES + 1) as u32);
+        wire.extend_from_slice(&[0; 16]);
+        let e = read_frame(&mut wire.as_slice()).unwrap_err();
+        assert!(matches!(e, FrameError::TooLarge { .. }), "{e}");
+    }
+
+    #[test]
+    fn unknown_tag_rejected() {
+        assert!(matches!(
+            Frame::decode_body(&[200]),
+            Err(FrameError::UnknownTag(200))
+        ));
+    }
+
+    #[test]
+    fn mid_frame_eof_is_not_clean() {
+        let wire = Frame::Eof { rel: RelId(1) }.encode();
+        for cut in 1..wire.len() {
+            let e = read_frame(&mut &wire[..cut]).unwrap_err();
+            assert!(matches!(e, FrameError::Truncated { .. }), "cut {cut}: {e}");
+        }
+    }
+
+    #[test]
+    fn tuple_batch_count_must_match_payload() {
+        // Claims 1000 keys, carries one.
+        let mut body = vec![TAG_TUPLE_BATCH];
+        put_u16(&mut body, 0);
+        put_u32(&mut body, 1000);
+        put_u64(&mut body, 99);
+        assert!(matches!(
+            Frame::decode_body(&body),
+            Err(FrameError::Malformed { .. })
+        ));
+    }
+
+    // --- property tests -----------------------------------------------------
+
+    fn arb_string() -> impl Strategy<Value = String> {
+        vec(0u32..128, 0..24).prop_map(|cs| {
+            cs.into_iter()
+                .filter_map(|c| char::from_u32(c + 32))
+                .collect()
+        })
+    }
+
+    fn arb_delay() -> impl Strategy<Value = DelayModel> {
+        let ns = SimDuration::from_nanos;
+        prop_oneof![
+            (0u64..1 << 40).prop_map(move |w| DelayModel::Constant { w: ns(w) }),
+            (0u64..1 << 40).prop_map(move |m| DelayModel::Uniform { mean: ns(m) }),
+            (0u64..1 << 40, 0u64..1 << 40).prop_map(move |(i, m)| DelayModel::Initial {
+                initial: ns(i),
+                mean: ns(m)
+            }),
+            (1u64..1 << 20, 0u64..1 << 30, 0u64..1 << 30).prop_map(move |(b, w, p)| {
+                DelayModel::Bursty {
+                    burst: b,
+                    within: ns(w),
+                    pause: ns(p),
+                }
+            }),
+        ]
+    }
+
+    fn arb_frame() -> impl Strategy<Value = Frame> {
+        prop_oneof![
+            (
+                any::<u16>(),
+                any::<u64>(),
+                any::<u32>(),
+                any::<u64>(),
+                arb_string(),
+                arb_delay()
+            )
+                .prop_map(|(r, t, w, s, stream, delay)| Frame::Open {
+                    rel: RelId(r),
+                    total: t,
+                    window: w,
+                    seed: s,
+                    stream,
+                    delay,
+                }),
+            (any::<u16>(), vec(any::<u64>(), 0..64)).prop_map(|(r, keys)| Frame::TupleBatch {
+                rel: RelId(r),
+                keys
+            }),
+            (any::<u16>(), any::<u32>()).prop_map(|(r, c)| Frame::WindowGrant {
+                rel: RelId(r),
+                credits: c
+            }),
+            any::<u16>().prop_map(|r| Frame::Eof { rel: RelId(r) }),
+            (any::<u16>(), arb_string()).prop_map(|(c, m)| Frame::Error {
+                code: c,
+                message: m
+            }),
+            (
+                arb_string(),
+                any::<bool>(),
+                any::<u64>(),
+                any::<bool>(),
+                arb_string()
+            )
+                .prop_map(|(strategy, trace, seed, has_seed, spec_json)| {
+                    Frame::Submit {
+                        strategy,
+                        trace,
+                        seed: has_seed.then_some(seed),
+                        spec_json,
+                    }
+                }),
+            (any::<u64>(), any::<u64>()).prop_map(|(s, m)| Frame::Accepted {
+                session: s,
+                memory_bytes: m
+            }),
+            any::<u32>().prop_map(|p| Frame::Queued { position: p }),
+            arb_string().prop_map(|reason| Frame::Rejected { reason }),
+            arb_string().prop_map(|line| Frame::Trace { line }),
+            arb_string().prop_map(|metrics_json| Frame::Done { metrics_json }),
+        ]
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig { cases: 256, ..ProptestConfig::default() })]
+
+        /// encode → decode is the identity, both body-wise and stream-wise.
+        #[test]
+        fn encode_decode_identity(f in arb_frame()) {
+            prop_assert_eq!(&Frame::decode_body(&f.encode_body()).unwrap(), &f);
+            let wire = f.encode();
+            let decoded = read_frame(&mut wire.as_slice()).unwrap();
+            prop_assert_eq!(decoded, Some(f));
+        }
+
+        /// Any prefix of a valid body fails with a typed error, not a panic.
+        #[test]
+        fn prefixes_never_panic(f in arb_frame(), frac in 0.0f64..1.0) {
+            let body = f.encode_body();
+            let cut = ((body.len() as f64) * frac) as usize;
+            if cut < body.len() {
+                prop_assert!(Frame::decode_body(&body[..cut]).is_err());
+            }
+        }
+
+        /// Arbitrary bytes never panic the decoder.
+        #[test]
+        fn garbage_never_panics(bytes in vec(any::<u8>(), 0..256)) {
+            let _ = Frame::decode_body(&bytes);
+            let _ = read_frame(&mut bytes.as_slice());
+        }
+    }
+}

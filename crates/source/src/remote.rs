@@ -1,0 +1,490 @@
+//! A wrapper on the far side of a socket.
+//!
+//! [`RemoteWrapper`] is the mediator's half of the wire protocol in
+//! [`crate::net`]: it opens a TCP connection to a wrapper-server, sends
+//! [`Frame::Open`], and runs a reader thread that turns incoming
+//! [`Frame::TupleBatch`]es into tuples on a bounded channel — the same
+//! shape as [`crate::ThreadedWrapper`], so the real-time driver cannot
+//! tell a thread from a network peer. Consumed tuples are acknowledged
+//! back as [`Frame::WindowGrant`]s, closing the paper's §2.1 window loop
+//! across the wire.
+//!
+//! Failure is a first-class outcome here: a peer disconnect, a read
+//! timeout or a protocol violation becomes a terminal
+//! [`Notice::Fault`] on the driver's notify channel, so the engine aborts
+//! with a typed reason instead of waiting forever on a silent socket.
+
+use std::io::ErrorKind;
+use std::net::{TcpStream, ToSocketAddrs};
+use std::sync::mpsc::{sync_channel, Receiver, Sender, SyncSender};
+use std::thread;
+use std::time::Duration;
+
+use dqs_relop::{RelId, Tuple};
+use dqs_sim::SimDuration;
+
+use crate::delay::DelayModel;
+use crate::net::{read_frame, write_frame, Frame, FrameError};
+use crate::source::{Notice, SourceError, TupleSource};
+
+/// Everything the wrapper-server needs to start serving one relation.
+#[derive(Debug, Clone)]
+pub struct RemoteOpen {
+    /// The relation to serve.
+    pub rel: RelId,
+    /// Tuples to deliver.
+    pub total: u64,
+    /// Flow-control window in tuples (also the local channel bound).
+    pub window: u32,
+    /// Master seed for the server's delay stream.
+    pub seed: u64,
+    /// Seed-splitter stream label (e.g. `wrapper:orders`), so the remote
+    /// pacing reproduces the in-process `ThreadedWrapper` exactly.
+    pub stream: String,
+    /// Delivery pacing the server should perform.
+    pub delay: DelayModel,
+}
+
+/// A [`TupleSource`] fed by a remote wrapper-server over TCP.
+#[derive(Debug)]
+pub struct RemoteWrapper {
+    open: RemoteOpen,
+    produced: u64,
+    suspended: bool,
+    /// Tuples consumed since the last window grant.
+    ungranted: u32,
+    reader: Option<TcpStream>,
+    writer: TcpStream,
+    notify: Option<Sender<Notice>>,
+    data_tx: Option<SyncSender<Tuple>>,
+    data_rx: Receiver<Tuple>,
+}
+
+fn sock_err(e: std::io::Error, what: &str) -> SourceError {
+    SourceError::Io {
+        detail: format!("{what}: {e}"),
+    }
+}
+
+/// Classify a failed frame read into the source-level failure taxonomy.
+fn frame_err(e: FrameError, timeout: Duration) -> SourceError {
+    if e.is_timeout() {
+        return SourceError::Timeout {
+            millis: timeout.as_millis() as u64,
+        };
+    }
+    match e {
+        FrameError::Io {
+            kind: ErrorKind::ConnectionReset | ErrorKind::ConnectionAborted | ErrorKind::BrokenPipe,
+            detail,
+        } => SourceError::Disconnected { detail },
+        FrameError::Io { detail, .. } => SourceError::Io { detail },
+        other => SourceError::Protocol {
+            detail: other.to_string(),
+        },
+    }
+}
+
+impl RemoteWrapper {
+    /// Connect to the wrapper-server at `addr` and prepare (but do not
+    /// start) a source for `open`. The read half gets `read_timeout` so a
+    /// silent peer surfaces as a [`SourceError::Timeout`] fault instead of
+    /// a hang. Connection failures are returned, not deferred: a mediator
+    /// admitting a session finds out immediately that a wrapper is down.
+    pub fn connect(
+        addr: impl ToSocketAddrs,
+        open: RemoteOpen,
+        notify: Sender<Notice>,
+        read_timeout: Duration,
+    ) -> Result<Self, SourceError> {
+        assert!(open.window > 0, "window must be positive");
+        let writer = TcpStream::connect(addr).map_err(|e| sock_err(e, "connect"))?;
+        writer.set_nodelay(true).ok();
+        let reader = writer
+            .try_clone()
+            .map_err(|e| sock_err(e, "clone socket"))?;
+        reader
+            .set_read_timeout(Some(read_timeout))
+            .map_err(|e| sock_err(e, "set read timeout"))?;
+        let (data_tx, data_rx) = sync_channel(open.window as usize);
+        Ok(RemoteWrapper {
+            open,
+            produced: 0,
+            suspended: false,
+            ungranted: 0,
+            reader: Some(reader),
+            writer,
+            notify: Some(notify),
+            data_tx: Some(data_tx),
+            data_rx,
+        })
+    }
+
+    /// The reader-thread body: decode frames until EOF-of-relation, a
+    /// failure, or abandonment (engine dropped its receiver).
+    fn pump(
+        mut reader: TcpStream,
+        open: RemoteOpen,
+        tx: SyncSender<Tuple>,
+        notify: Sender<Notice>,
+        timeout: Duration,
+    ) {
+        let fault = |notify: &Sender<Notice>, error: SourceError| {
+            notify
+                .send(Notice::Fault {
+                    rel: open.rel,
+                    error,
+                })
+                .ok();
+        };
+        let mut seen: u64 = 0;
+        loop {
+            let frame = match read_frame(&mut reader) {
+                Ok(Some(f)) => f,
+                Ok(None) => {
+                    fault(
+                        &notify,
+                        SourceError::Disconnected {
+                            detail: format!("wrapper closed after {seen} of {} tuples", open.total),
+                        },
+                    );
+                    return;
+                }
+                Err(e) => {
+                    fault(&notify, frame_err(e, timeout));
+                    return;
+                }
+            };
+            match frame {
+                Frame::TupleBatch { rel, keys } => {
+                    if rel != open.rel {
+                        fault(
+                            &notify,
+                            SourceError::Protocol {
+                                detail: format!(
+                                    "batch for relation {} on a stream opened for {}",
+                                    rel.0, open.rel.0
+                                ),
+                            },
+                        );
+                        return;
+                    }
+                    for key in keys {
+                        seen += 1;
+                        if seen > open.total {
+                            fault(
+                                &notify,
+                                SourceError::Protocol {
+                                    detail: format!(
+                                        "wrapper sent more than the {} tuples opened",
+                                        open.total
+                                    ),
+                                },
+                            );
+                            return;
+                        }
+                        // Data before notice: emit() must never block.
+                        if tx.send(Tuple::new(key, rel)).is_err() {
+                            return; // run abandoned
+                        }
+                        if notify.send(Notice::Arrival(rel)).is_err() {
+                            return;
+                        }
+                    }
+                }
+                Frame::Eof { rel } => {
+                    if rel != open.rel || seen != open.total {
+                        fault(
+                            &notify,
+                            SourceError::Protocol {
+                                detail: format!(
+                                    "eof for relation {} after {seen} of {} tuples",
+                                    rel.0, open.total
+                                ),
+                            },
+                        );
+                    }
+                    return;
+                }
+                Frame::Error { code, message } => {
+                    fault(
+                        &notify,
+                        SourceError::Protocol {
+                            detail: format!("wrapper error {code}: {message}"),
+                        },
+                    );
+                    return;
+                }
+                other => {
+                    fault(
+                        &notify,
+                        SourceError::Protocol {
+                            detail: format!("unexpected frame on data stream: {other:?}"),
+                        },
+                    );
+                    return;
+                }
+            }
+        }
+    }
+}
+
+impl TupleSource for RemoteWrapper {
+    fn rel(&self) -> RelId {
+        self.open.rel
+    }
+
+    fn total(&self) -> u64 {
+        self.open.total
+    }
+
+    fn produced(&self) -> u64 {
+        self.produced
+    }
+
+    fn is_suspended(&self) -> bool {
+        self.suspended
+    }
+
+    fn suspend(&mut self) {
+        self.suspended = true;
+    }
+
+    fn resume(&mut self) {
+        self.suspended = false;
+    }
+
+    fn start(&mut self) {
+        let reader = self.reader.take().expect("started twice");
+        let notify = self.notify.take().expect("started twice");
+        let tx = self.data_tx.take().expect("started twice");
+        let open = self.open.clone();
+        let timeout = reader
+            .read_timeout()
+            .ok()
+            .flatten()
+            .unwrap_or(Duration::from_secs(30));
+        // The sub-query: tell the wrapper what to serve and how.
+        let open_frame = Frame::Open {
+            rel: open.rel,
+            total: open.total,
+            window: open.window,
+            seed: open.seed,
+            stream: open.stream.clone(),
+            delay: open.delay.clone(),
+        };
+        if let Err(e) = write_frame(&mut self.writer, &open_frame) {
+            notify
+                .send(Notice::Fault {
+                    rel: open.rel,
+                    error: frame_err(e, timeout),
+                })
+                .ok();
+            return;
+        }
+        thread::spawn(move || Self::pump(reader, open, tx, notify, timeout));
+    }
+
+    /// Push-paced: arrivals are announced on the notify channel.
+    fn next_gap(&mut self) -> Option<SimDuration> {
+        None
+    }
+
+    fn emit(&mut self) -> Tuple {
+        assert!(
+            self.produced < self.open.total,
+            "emit from exhausted wrapper"
+        );
+        // Data is sent before its notification, so this never blocks when
+        // called in response to a notify.
+        let t = self
+            .data_rx
+            .recv()
+            .expect("reader thread died before delivering all tuples");
+        self.produced += 1;
+        self.ungranted += 1;
+        // Return credits once half the window is consumed; a write failure
+        // is not fatal here — the reader thread will observe the broken
+        // connection and raise the fault.
+        if u64::from(self.ungranted) * 2 >= u64::from(self.open.window)
+            || self.produced == self.open.total
+        {
+            let grant = Frame::WindowGrant {
+                rel: self.open.rel,
+                credits: self.ungranted,
+            };
+            if write_frame(&mut self.writer, &grant).is_ok() {
+                self.ungranted = 0;
+            }
+        }
+        t
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dqs_relop::synth_key;
+    use std::net::TcpListener;
+    use std::sync::mpsc::channel;
+
+    /// A hand-rolled single-shot wrapper peer for exercising the client
+    /// side without the full wrapper-server.
+    fn one_shot_server(listener: TcpListener, behave: impl FnOnce(TcpStream) + Send + 'static) {
+        thread::spawn(move || {
+            let (conn, _) = listener.accept().expect("accept");
+            behave(conn);
+        });
+    }
+
+    fn mk_open(total: u64) -> RemoteOpen {
+        RemoteOpen {
+            rel: RelId(3),
+            total,
+            window: 8,
+            seed: 42,
+            stream: "wrapper:test".into(),
+            delay: DelayModel::Constant {
+                w: SimDuration::from_nanos(1),
+            },
+        }
+    }
+
+    #[test]
+    fn delivers_remote_tuples_and_grants_windows() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        one_shot_server(listener, |mut conn| {
+            let open = read_frame(&mut conn).unwrap().unwrap();
+            let (rel, total, window) = match open {
+                Frame::Open {
+                    rel, total, window, ..
+                } => (rel, total, window),
+                other => panic!("expected Open, got {other:?}"),
+            };
+            let mut credits = u64::from(window);
+            let mut sent = 0u64;
+            while sent < total {
+                while credits == 0 {
+                    match read_frame(&mut conn).unwrap().unwrap() {
+                        Frame::WindowGrant { credits: c, .. } => credits += u64::from(c),
+                        other => panic!("expected grant, got {other:?}"),
+                    }
+                }
+                let batch = Frame::TupleBatch {
+                    rel,
+                    keys: vec![synth_key(rel, sent)],
+                };
+                write_frame(&mut conn, &batch).unwrap();
+                sent += 1;
+                credits -= 1;
+            }
+            write_frame(&mut conn, &Frame::Eof { rel }).unwrap();
+        });
+
+        let (ntx, nrx) = channel();
+        let mut w =
+            RemoteWrapper::connect(addr, mk_open(40), ntx, Duration::from_secs(10)).unwrap();
+        w.start();
+        let mut keys = Vec::new();
+        for _ in 0..40 {
+            match nrx.recv().expect("notify") {
+                Notice::Arrival(rel) => assert_eq!(rel, RelId(3)),
+                Notice::Fault { error, .. } => panic!("unexpected fault: {error}"),
+            }
+            keys.push(w.emit().key);
+        }
+        assert!(w.exhausted());
+        let expected: Vec<u64> = (0..40).map(|i| synth_key(RelId(3), i)).collect();
+        assert_eq!(keys, expected, "same keys as the in-process wrappers");
+    }
+
+    #[test]
+    fn peer_disconnect_becomes_a_fault_not_a_hang() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        one_shot_server(listener, |mut conn| {
+            let _ = read_frame(&mut conn); // consume Open
+            let batch = Frame::TupleBatch {
+                rel: RelId(3),
+                keys: vec![1, 2],
+            };
+            write_frame(&mut conn, &batch).unwrap();
+            // Drop the connection with 38 tuples still owed.
+        });
+
+        let (ntx, nrx) = channel();
+        let mut w =
+            RemoteWrapper::connect(addr, mk_open(40), ntx, Duration::from_secs(10)).unwrap();
+        w.start();
+        let mut arrivals = 0;
+        loop {
+            match nrx.recv_timeout(Duration::from_secs(20)).expect("notice") {
+                Notice::Arrival(_) => {
+                    let _ = w.emit();
+                    arrivals += 1;
+                }
+                Notice::Fault { rel, error } => {
+                    assert_eq!(rel, RelId(3));
+                    assert_eq!(error.kind(), "disconnected", "{error}");
+                    break;
+                }
+            }
+        }
+        assert_eq!(arrivals, 2);
+    }
+
+    #[test]
+    fn silent_peer_times_out_into_a_fault() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        one_shot_server(listener, |mut conn| {
+            let _ = read_frame(&mut conn); // consume Open, then say nothing
+            thread::sleep(Duration::from_secs(2));
+        });
+
+        let (ntx, nrx) = channel();
+        let mut w =
+            RemoteWrapper::connect(addr, mk_open(4), ntx, Duration::from_millis(80)).unwrap();
+        w.start();
+        match nrx.recv_timeout(Duration::from_secs(20)).expect("notice") {
+            Notice::Fault { error, .. } => assert_eq!(error.kind(), "timeout", "{error}"),
+            other => panic!("expected fault, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn protocol_violation_becomes_a_fault() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        one_shot_server(listener, |mut conn| {
+            let _ = read_frame(&mut conn);
+            // A batch for the wrong relation.
+            let batch = Frame::TupleBatch {
+                rel: RelId(99),
+                keys: vec![1],
+            };
+            write_frame(&mut conn, &batch).unwrap();
+            thread::sleep(Duration::from_millis(200));
+        });
+
+        let (ntx, nrx) = channel();
+        let mut w = RemoteWrapper::connect(addr, mk_open(4), ntx, Duration::from_secs(10)).unwrap();
+        w.start();
+        match nrx.recv_timeout(Duration::from_secs(20)).expect("notice") {
+            Notice::Fault { error, .. } => assert_eq!(error.kind(), "protocol", "{error}"),
+            other => panic!("expected fault, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn connect_to_dead_address_errors_immediately() {
+        // Bind then drop to get a port that refuses connections.
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        drop(listener);
+        let (ntx, _nrx) = channel();
+        let r = RemoteWrapper::connect(addr, mk_open(4), ntx, Duration::from_secs(1));
+        assert!(r.is_err(), "connect must fail eagerly");
+    }
+}

@@ -8,8 +8,87 @@
 //! a bounded channel. The CM drives either through this trait and cannot
 //! tell them apart.
 
+use std::fmt;
+
 use dqs_relop::{RelId, Tuple};
 use dqs_sim::SimDuration;
+
+/// Why a push-paced source stopped delivering before its last tuple.
+///
+/// Threaded wrappers cannot fail (their producer is in-process); remote
+/// wrappers can, in all the ways sockets do. The producer side reports the
+/// failure out-of-band as a [`Notice::Fault`] so the engine can abort the
+/// run with a typed reason instead of hanging on a queue that will never
+/// fill.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SourceError {
+    /// The peer closed or reset the connection mid-stream.
+    Disconnected {
+        /// What the transport reported.
+        detail: String,
+    },
+    /// No bytes arrived within the read timeout — the source went silent.
+    Timeout {
+        /// The timeout that elapsed, in milliseconds.
+        millis: u64,
+    },
+    /// The peer spoke, but not the wrapper protocol.
+    Protocol {
+        /// What was wrong with the stream.
+        detail: String,
+    },
+    /// Any other transport-level I/O failure.
+    Io {
+        /// What the transport reported.
+        detail: String,
+    },
+}
+
+impl SourceError {
+    /// Stable snake_case discriminant name (used by JSON event sinks).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            SourceError::Disconnected { .. } => "disconnected",
+            SourceError::Timeout { .. } => "timeout",
+            SourceError::Protocol { .. } => "protocol",
+            SourceError::Io { .. } => "io",
+        }
+    }
+}
+
+impl fmt::Display for SourceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SourceError::Disconnected { detail } => write!(f, "peer disconnected: {detail}"),
+            SourceError::Timeout { millis } => {
+                write!(f, "no data within the {millis} ms read timeout")
+            }
+            SourceError::Protocol { detail } => write!(f, "protocol violation: {detail}"),
+            SourceError::Io { detail } => write!(f, "transport error: {detail}"),
+        }
+    }
+}
+
+impl std::error::Error for SourceError {}
+
+/// What a push-paced source announces on the driver's notify channel.
+///
+/// Data always precedes its notice: by the time the engine sees
+/// [`Notice::Arrival`] the matching tuple is waiting in the source's data
+/// channel, so [`TupleSource::emit`] never blocks. A [`Notice::Fault`] is
+/// terminal for its source — no further notices follow from it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Notice {
+    /// A tuple from this wrapper is ready to be taken.
+    Arrival(RelId),
+    /// The source failed; the run cannot complete.
+    Fault {
+        /// The failed wrapper's relation.
+        rel: RelId,
+        /// What went wrong.
+        error: SourceError,
+    },
+}
 
 /// A wrapper delivering one relation's tuples to the mediator.
 ///

@@ -9,7 +9,7 @@
 //! consumer blocks in `send` exactly as a suspended wrapper would stop
 //! shipping tuples.
 //!
-//! After each data send the thread posts the relation id on a shared
+//! After each data send the thread posts a [`Notice::Arrival`] on a shared
 //! *notify* channel; the real-time driver blocks on that channel and turns
 //! each notification into an `Arrival` for the scheduler. Data is sent
 //! before its notification, so by the time the CM calls
@@ -25,7 +25,7 @@ use dqs_sim::SimDuration;
 use rand_chacha::ChaCha8Rng;
 
 use crate::delay::DelayModel;
-use crate::source::TupleSource;
+use crate::source::{Notice, TupleSource};
 
 /// A wrapper whose tuples are produced by a real thread with real sleeps.
 #[derive(Debug)]
@@ -35,7 +35,7 @@ pub struct ThreadedWrapper {
     produced: u64,
     suspended: bool,
     delay: Option<(DelayModel, ChaCha8Rng)>,
-    notify: Option<Sender<RelId>>,
+    notify: Option<Sender<Notice>>,
     data_tx: Option<SyncSender<Tuple>>,
     data_rx: Receiver<Tuple>,
 }
@@ -52,7 +52,7 @@ impl ThreadedWrapper {
         delay: DelayModel,
         rng: ChaCha8Rng,
         window: usize,
-        notify: Sender<RelId>,
+        notify: Sender<Notice>,
     ) -> Self {
         assert!(window > 0, "window must be positive");
         let (data_tx, data_rx) = sync_channel(window);
@@ -109,7 +109,7 @@ impl TupleSource for ThreadedWrapper {
                 if tx.send(t).is_err() {
                     return;
                 }
-                if notify.send(rel).is_err() {
+                if notify.send(Notice::Arrival(rel)).is_err() {
                     return;
                 }
             }
@@ -141,7 +141,7 @@ mod tests {
     use dqs_sim::SeedSplitter;
     use std::sync::mpsc::channel;
 
-    fn mk(total: u64) -> (ThreadedWrapper, Receiver<RelId>) {
+    fn mk(total: u64) -> (ThreadedWrapper, Receiver<Notice>) {
         let (ntx, nrx) = channel();
         let w = ThreadedWrapper::new(
             RelId(2),
@@ -162,8 +162,8 @@ mod tests {
         w.start();
         let mut keys = Vec::new();
         for _ in 0..20 {
-            let rel = nrx.recv().expect("notify");
-            assert_eq!(rel, RelId(2));
+            let notice = nrx.recv().expect("notify");
+            assert_eq!(notice, Notice::Arrival(RelId(2)));
             keys.push(w.emit().key);
         }
         assert!(w.exhausted());

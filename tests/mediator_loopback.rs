@@ -1,0 +1,285 @@
+//! Loopback integration tests for the networked mediator: wrapper-server
+//! and mediator in one process on ephemeral ports, real TCP in between.
+//!
+//! The deterministic parts of a run — wrapper payloads, join fan-out,
+//! output cardinality — depend only on the seed, not on timing, so a
+//! query answered across sockets must produce exactly the tuples the
+//! in-process real-time engine produces.
+
+use std::sync::mpsc::channel;
+use std::time::Duration;
+
+use dqs_core::DsePolicy;
+use dqs_exec::spec::WorkloadSpec;
+use dqs_exec::{run_workload_realtime, Engine, JsonLinesSink, RealTimeDriver, RunError, Workload};
+use dqs_mediator::{submit, MediatorServer, Progress, ServeOpts, SubmitOpts, WrapperServer};
+use dqs_source::{BoxSource, RemoteOpen, RemoteWrapper, SourceError};
+
+fn quickstart_json() -> String {
+    std::fs::read_to_string(concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../../examples/specs/quickstart.json"
+    ))
+    .expect("quickstart spec readable")
+}
+
+fn quickstart_workload() -> Workload {
+    WorkloadSpec::from_json(&quickstart_json())
+        .and_then(WorkloadSpec::into_workload)
+        .expect("quickstart spec valid")
+}
+
+/// The tentpole acceptance check: wrapper-server + mediator + client on
+/// loopback return the same cardinality as the in-process real-time run
+/// of the same spec and seed.
+#[test]
+fn loopback_flow_matches_in_process_realtime_run() {
+    let wrapper = WrapperServer::bind("127.0.0.1:0").expect("bind wrapper");
+    let mediator = MediatorServer::bind(
+        "127.0.0.1:0",
+        ServeOpts {
+            wrappers: vec![wrapper.local_addr().to_string()],
+            ..ServeOpts::default()
+        },
+    )
+    .expect("bind mediator");
+
+    let mut workload = quickstart_workload();
+    // The mediator partitions its budget; give the local baseline the
+    // same partition so the runs are configured identically.
+    workload.config.memory_bytes = (64 << 20) / 2;
+    let local = run_workload_realtime(&workload, DsePolicy::new()).expect("local run");
+
+    let mut saw_accept = false;
+    let remote = submit(
+        mediator.local_addr(),
+        &quickstart_json(),
+        &SubmitOpts::default(),
+        |p| {
+            if matches!(p, Progress::Accepted { .. }) {
+                saw_accept = true;
+            }
+        },
+    )
+    .expect("remote run");
+
+    assert!(saw_accept, "lifecycle must pass through Accepted");
+    assert_eq!(
+        remote.output_tuples, local.output_tuples,
+        "networked and in-process runs must agree on the answer"
+    );
+    assert_eq!(remote.strategy, "DSE");
+    assert!(remote.response_secs > 0.0);
+
+    mediator.shutdown();
+    wrapper.shutdown();
+}
+
+/// Tracing streams engine events back as frames, ending in the same
+/// JSON-lines shapes the in-process sink writes.
+#[test]
+fn trace_frames_stream_engine_events_to_the_client() {
+    let mediator =
+        MediatorServer::bind("127.0.0.1:0", ServeOpts::default()).expect("bind mediator");
+    let mut lines = Vec::new();
+    let remote = submit(
+        mediator.local_addr(),
+        &quickstart_json(),
+        &SubmitOpts {
+            trace: true,
+            ..SubmitOpts::default()
+        },
+        |p| {
+            if let Progress::TraceLine(l) = p {
+                lines.push(l);
+            }
+        },
+    )
+    .expect("traced run");
+    assert!(remote.output_tuples > 0);
+    assert!(!lines.is_empty(), "trace requested but no lines arrived");
+    for l in &lines {
+        let v = dqs_exec::json::parse(l).expect("each trace line is valid JSON");
+        assert!(v.as_object().is_some());
+    }
+    assert!(
+        lines.iter().any(|l| l.contains("\"type\":\"arrival\"")),
+        "a run always has arrivals"
+    );
+    mediator.shutdown();
+}
+
+/// A bad spec is rejected without consuming an execution slot.
+#[test]
+fn malformed_spec_is_rejected_not_run() {
+    let mediator =
+        MediatorServer::bind("127.0.0.1:0", ServeOpts::default()).expect("bind mediator");
+    let err = submit(
+        mediator.local_addr(),
+        "{\"relations\": []}",
+        &SubmitOpts::default(),
+        |_| {},
+    )
+    .expect_err("empty relation list cannot plan");
+    assert!(
+        matches!(err, dqs_mediator::ClientError::Rejected(_)),
+        "{err}"
+    );
+    let stats = mediator.stats();
+    assert_eq!(stats.admitted, 0, "no slot consumed");
+    mediator.shutdown();
+}
+
+/// An unknown strategy is likewise rejected up front.
+#[test]
+fn unknown_strategy_is_rejected() {
+    let mediator =
+        MediatorServer::bind("127.0.0.1:0", ServeOpts::default()).expect("bind mediator");
+    let err = submit(
+        mediator.local_addr(),
+        &quickstart_json(),
+        &SubmitOpts {
+            strategy: "greedy".into(),
+            ..SubmitOpts::default()
+        },
+        |_| {},
+    )
+    .expect_err("unknown strategy");
+    assert!(
+        matches!(err, dqs_mediator::ClientError::Rejected(_)),
+        "{err}"
+    );
+    mediator.shutdown();
+}
+
+/// A slow workload spec: few enough tuples to finish fast when drained,
+/// but paced slowly enough that a mid-query kill reliably lands.
+fn slow_workload() -> Workload {
+    WorkloadSpec::from_json(
+        r#"{
+            "relations": [
+                {"name": "r", "cardinality": 20000, "delay": {"constant_us": 400}},
+                {"name": "s", "cardinality": 20000, "delay": {"constant_us": 400}}
+            ],
+            "joins": [{"left": "r", "right": "s", "selectivity": 0.0001}]
+        }"#,
+    )
+    .and_then(WorkloadSpec::into_workload)
+    .expect("slow spec valid")
+}
+
+/// Kill the wrapper mid-query at the engine level: the run must abort
+/// with a typed `RunError::Wrapper`, not hang — and the abort must appear
+/// as an `EngineEvent::Aborted` JSON trace line.
+#[test]
+fn killing_the_wrapper_mid_query_aborts_cleanly() {
+    let wrapper = WrapperServer::bind("127.0.0.1:0").expect("bind wrapper");
+    let addr = wrapper.local_addr();
+    let workload = slow_workload();
+
+    // Dial a RemoteWrapper per relation, exactly as the mediator does.
+    let driver = RealTimeDriver::try_with_sources(|notify| {
+        workload
+            .catalog
+            .iter()
+            .map(|(rel, spec)| {
+                let open = RemoteOpen {
+                    rel,
+                    total: workload.actual_cardinality(rel),
+                    window: workload.config.queue_capacity as u32,
+                    seed: workload.config.seed,
+                    stream: format!("wrapper:{}", spec.name),
+                    delay: workload.delays[rel.0 as usize].clone(),
+                };
+                RemoteWrapper::connect(addr, open, notify.clone(), Duration::from_secs(10))
+                    .map(|w| Box::new(w) as BoxSource)
+            })
+            .collect::<Result<Vec<_>, SourceError>>()
+    })
+    .expect("wrappers reachable");
+
+    let (done_tx, done_rx) = channel();
+    let run_workload = workload;
+    std::thread::spawn(move || {
+        let mut trace = Vec::new();
+        let sink = JsonLinesSink::new(&mut trace);
+        let result = Engine::with_driver(&run_workload, DsePolicy::new(), sink, driver).try_run();
+        done_tx
+            .send((result, String::from_utf8(trace).unwrap()))
+            .ok();
+    });
+
+    // Let the query get going, then sever every wrapper connection.
+    std::thread::sleep(Duration::from_millis(500));
+    wrapper.drop_connections();
+
+    let (result, trace) = done_rx
+        .recv_timeout(Duration::from_secs(30))
+        .expect("the run must abort, not hang");
+    match result {
+        Err(RunError::Wrapper { error, .. }) => {
+            assert_eq!(error.kind(), "disconnected", "{error}");
+        }
+        other => panic!("expected a wrapper abort, got {other:?}"),
+    }
+    assert!(
+        trace.contains("\"type\":\"abort\",\"kind\":\"wrapper\""),
+        "the abort must surface as an EngineEvent::Aborted trace line:\n{}",
+        trace.lines().last().unwrap_or("")
+    );
+    wrapper.shutdown();
+}
+
+/// The same kill, end to end: a submitting client gets a terminal Error
+/// frame naming the wrapper failure.
+#[test]
+fn killing_the_wrapper_surfaces_to_the_client() {
+    let wrapper = WrapperServer::bind("127.0.0.1:0").expect("bind wrapper");
+    let mediator = MediatorServer::bind(
+        "127.0.0.1:0",
+        ServeOpts {
+            wrappers: vec![wrapper.local_addr().to_string()],
+            ..ServeOpts::default()
+        },
+    )
+    .expect("bind mediator");
+
+    let slow_spec = r#"{
+        "relations": [
+            {"name": "r", "cardinality": 20000, "delay": {"constant_us": 400}},
+            {"name": "s", "cardinality": 20000, "delay": {"constant_us": 400}}
+        ],
+        "joins": [{"left": "r", "right": "s", "selectivity": 0.0001}]
+    }"#;
+
+    let (kill_tx, kill_rx) = channel();
+    let addr = mediator.local_addr();
+    let client = std::thread::spawn(move || {
+        submit(addr, slow_spec, &SubmitOpts::default(), |p| {
+            if matches!(p, Progress::Accepted { .. }) {
+                kill_tx.send(()).ok();
+            }
+        })
+    });
+    kill_rx
+        .recv_timeout(Duration::from_secs(30))
+        .expect("session accepted");
+    std::thread::sleep(Duration::from_millis(400));
+    wrapper.drop_connections();
+
+    let err = client
+        .join()
+        .expect("client thread")
+        .expect_err("the query must fail");
+    match err {
+        dqs_mediator::ClientError::Server(msg) => {
+            assert!(
+                msg.contains("wrapper") && msg.contains("disconnected"),
+                "{msg}"
+            );
+        }
+        other => panic!("expected a server-side abort, got {other}"),
+    }
+    mediator.shutdown();
+    wrapper.shutdown();
+}

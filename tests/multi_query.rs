@@ -1,10 +1,15 @@
 //! Multi-query (§6) integration tests: packing independent queries into a
 //! forest must preserve every per-query answer, and the throughput /
-//! response-time tradeoff must point the way the paper predicts.
+//! response-time tradeoff must point the way the paper predicts — and,
+//! since PR 3, the *concurrent* path: independent sessions admitted
+//! together by the mediator service must answer exactly as they do alone,
+//! under a shared memory budget that is never exceeded.
 
 use dqs_bench::experiments::tenth_scale_fig5;
 use dqs_bench::{run_once, StrategyKind};
-use dqs_exec::{combine, SingleQuery, Workload};
+use dqs_exec::spec::WorkloadSpec;
+use dqs_exec::{combine, run_workload_realtime, SingleQuery, Workload};
+use dqs_mediator::{submit, MediatorServer, Progress, ServeOpts, SubmitOpts};
 use dqs_plan::{Catalog, QepBuilder};
 use dqs_sim::SimDuration;
 use dqs_source::DelayModel;
@@ -101,4 +106,164 @@ fn forest_with_one_slow_query_shields_the_others_under_dse() {
         q_fast.as_secs_f64() < q_slow.as_secs_f64() / 2.0,
         "the fast query ({q_fast}) must not wait for the slow one ({q_slow})"
     );
+}
+
+// ---------------------------------------------------------------------------
+// Concurrent sessions through the mediator service
+// ---------------------------------------------------------------------------
+
+/// A ~200 ms two-relation query spec, sized differently per index so each
+/// session has a distinguishable answer.
+fn session_spec(i: u64) -> String {
+    format!(
+        r#"{{
+            "relations": [
+                {{"name": "r", "cardinality": {r}, "delay": {{"uniform_us": 100}}}},
+                {{"name": "s", "cardinality": {s}, "delay": {{"uniform_us": 80}}}}
+            ],
+            "joins": [{{"left": "r", "right": "s", "selectivity": 0.0005}}],
+            "config": {{"seed": {seed}}}
+        }}"#,
+        r = 1_500 + 500 * i,
+        s = 2_000 + 300 * i,
+        seed = 42 + i
+    )
+}
+
+#[test]
+fn concurrent_mediator_sessions_match_sequential_results() {
+    const N: u64 = 3;
+    const BUDGET: u64 = 64 << 20;
+    const MAX_CONCURRENT: usize = 2;
+
+    // Baseline: each query alone, in-process, under the same memory
+    // partition the mediator will grant.
+    let mut solo = Vec::new();
+    for i in 0..N {
+        let mut w = WorkloadSpec::from_json(&session_spec(i))
+            .and_then(WorkloadSpec::into_workload)
+            .expect("spec valid");
+        w.config.memory_bytes = BUDGET / MAX_CONCURRENT as u64;
+        let m = run_workload_realtime(&w, dqs_core::DsePolicy::new()).expect("solo run");
+        solo.push(m.output_tuples);
+    }
+
+    let mediator = MediatorServer::bind(
+        "127.0.0.1:0",
+        ServeOpts {
+            max_concurrent: MAX_CONCURRENT,
+            backlog: 8,
+            memory_bytes: BUDGET,
+            ..ServeOpts::default()
+        },
+    )
+    .expect("bind mediator");
+    let addr = mediator.local_addr();
+
+    // Submit all N together from independent client threads.
+    let handles: Vec<_> = (0..N)
+        .map(|i| {
+            std::thread::spawn(move || {
+                submit(addr, &session_spec(i), &SubmitOpts::default(), |_| {})
+            })
+        })
+        .collect();
+    let results: Vec<_> = handles
+        .into_iter()
+        .map(|h| h.join().expect("client thread").expect("remote run"))
+        .collect();
+
+    for (i, m) in results.iter().enumerate() {
+        assert_eq!(
+            m.output_tuples, solo[i],
+            "session {i}: concurrent answer must match the solo run"
+        );
+    }
+
+    let stats = mediator.stats();
+    assert!(
+        stats.max_active_seen >= 2,
+        "with {N} ~200 ms queries and {MAX_CONCURRENT} slots, concurrency \
+         must actually happen (saw {})",
+        stats.max_active_seen
+    );
+    assert!(
+        stats.max_active_seen <= MAX_CONCURRENT,
+        "admission must cap concurrency"
+    );
+    assert!(
+        stats.mem_peak <= BUDGET,
+        "peak shared-memory accounting ({}) must never exceed the global \
+         budget ({BUDGET})",
+        stats.mem_peak
+    );
+    assert_eq!(stats.mem_peak, (BUDGET / MAX_CONCURRENT as u64) * 2);
+    assert_eq!(stats.running, 0, "all sessions released their slots");
+    assert_eq!(stats.admitted, N);
+    mediator.shutdown();
+}
+
+#[test]
+fn backlog_overflow_is_rejected_while_excess_load_queues() {
+    // One slot, backlog of one: the second submission queues, the third
+    // bounces.
+    let mediator = MediatorServer::bind(
+        "127.0.0.1:0",
+        ServeOpts {
+            max_concurrent: 1,
+            backlog: 1,
+            ..ServeOpts::default()
+        },
+    )
+    .expect("bind mediator");
+    let addr = mediator.local_addr();
+
+    // First session: hold the slot until we've probed the other two.
+    let (started_tx, started_rx) = std::sync::mpsc::channel();
+    let first = std::thread::spawn(move || {
+        submit(addr, &session_spec(0), &SubmitOpts::default(), |p| {
+            if matches!(p, Progress::Accepted { .. }) {
+                started_tx.send(()).ok();
+            }
+        })
+    });
+    started_rx
+        .recv_timeout(std::time::Duration::from_secs(30))
+        .expect("first session admitted");
+
+    // Second: must be told it is queued (and eventually complete).
+    let (queued_tx, queued_rx) = std::sync::mpsc::channel();
+    let second = std::thread::spawn(move || {
+        submit(addr, &session_spec(1), &SubmitOpts::default(), |p| {
+            if let Progress::Queued(pos) = p {
+                queued_tx.send(pos).ok();
+            }
+        })
+    });
+    let pos = queued_rx
+        .recv_timeout(std::time::Duration::from_secs(30))
+        .expect("second session queued");
+    assert_eq!(pos, 0, "first in the backlog");
+
+    // Third: backlog full, must be rejected immediately.
+    let err = submit(addr, &session_spec(2), &SubmitOpts::default(), |_| {})
+        .expect_err("backlog of 1 is already full");
+    assert!(
+        matches!(err, dqs_mediator::ClientError::Rejected(_)),
+        "{err}"
+    );
+
+    let m1 = first.join().unwrap().expect("first run");
+    let m2 = second
+        .join()
+        .unwrap()
+        .expect("queued run promoted and finished");
+    assert!(m1.output_tuples > 0 && m2.output_tuples > 0);
+    let stats = mediator.stats();
+    assert_eq!(stats.rejected, 1);
+    assert_eq!(
+        stats.max_active_seen, 1,
+        "one slot means strict serialization"
+    );
+    mediator.shutdown();
 }
