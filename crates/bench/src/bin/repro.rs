@@ -13,6 +13,7 @@
 //!   delay-taxonomy  initial / bursty / slow delays (§1.2) under all strategies
 //!   memory          shrinking memory budgets (§4.1/§4.2)
 //!   multi-query     N concurrent queries: throughput vs response (§6)
+//!   cache           wrapper result cache cold vs warm (writes BENCH_cache.json)
 //!   scrambling      query scrambling baseline + timeout sweep (§1.2)
 //!   ablate-bmt      benefit-materialization threshold sweep (A1)
 //!   ablate-batch    DQP batch-size sweep (A2)
@@ -74,6 +75,16 @@ fn run(cmd: &str) -> bool {
         "delay-taxonomy" => print!("{}", ex::delay_taxonomy()),
         "memory" => print!("{}", ex::memory_pressure()),
         "multi-query" => print!("{}", ex::multi_query()),
+        "cache" => {
+            let report = ex::cache_experiment();
+            print!("{}", ex::render_cache(&report));
+            let path = csv.unwrap_or_else(|| "BENCH_cache.json".into());
+            std::fs::write(&path, ex::cache_json(&report)).unwrap_or_else(|e| {
+                eprintln!("failed to write {path}: {e}");
+                std::process::exit(1);
+            });
+            eprintln!("json written to {path}");
+        }
         "scrambling" => print!("{}", ex::scrambling()),
         "ablate-bmt" => print!("{}", ex::ablate_bmt()),
         "ablate-batch" => print!("{}", ex::ablate_batch()),
@@ -92,6 +103,7 @@ fn run(cmd: &str) -> bool {
                 "delay-taxonomy",
                 "memory",
                 "multi-query",
+                "cache",
                 "scrambling",
                 "ablate-bmt",
                 "ablate-batch",
@@ -115,7 +127,7 @@ fn main() {
         eprint!(
             "usage: repro <command>\n\
              commands: table1 figure5 headline figure6 figure7 figure6-all figure8\n\
-             \u{20}         delay-taxonomy memory multi-query scrambling ablate-bmt ablate-batch\n\
+             \u{20}         delay-taxonomy memory multi-query cache scrambling ablate-bmt ablate-batch\n\
              \u{20}         ablate-queue\n\
              \u{20}         ablate-dse ablate-rate all\n"
         );

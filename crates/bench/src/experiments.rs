@@ -681,6 +681,152 @@ pub fn tenth_scale_fig5() -> Workload {
     Workload::new(cat, qb.finish(j6).unwrap())
 }
 
+/// The cold-vs-warm measurements of the wrapper-result-cache repro.
+#[derive(Debug, Clone)]
+pub struct CacheReport {
+    /// Cold-run response time reported by the mediator, seconds.
+    pub cold_secs: f64,
+    /// Warm-run response time reported by the mediator, seconds.
+    pub warm_secs: f64,
+    /// Wall-clock time of the cold submit, seconds.
+    pub cold_wall_secs: f64,
+    /// Wall-clock time of the warm submit, seconds.
+    pub warm_wall_secs: f64,
+    /// Cache hits during the warm run (one per cached relation).
+    pub cache_hits: u64,
+    /// Cache misses during the cold run (one per relation).
+    pub cache_misses: u64,
+    /// Tuple bytes the warm run served from the cache.
+    pub cache_bytes_served: u64,
+    /// Output cardinality — identical across both runs by construction.
+    pub output_tuples: u64,
+    /// Whether the warm answer matched the cold one bit-for-bit.
+    pub answers_match: bool,
+}
+
+/// The workload the cache repro submits: two slow-ish wrappers whose
+/// retrieval dominates the cold run, so the warm replay's speedup is the
+/// wrapper time saved.
+pub const CACHE_SPEC: &str = r#"{
+    "relations": [
+        {"name": "r", "cardinality": 8000, "delay": {"constant_us": 60}},
+        {"name": "s", "cardinality": 8000, "delay": {"constant_us": 60}}
+    ],
+    "joins": [{"left": "r", "right": "s", "selectivity": 0.001}]
+}"#;
+
+/// Run the wrapper-result-cache repro: one mediator with an 8 MB cache,
+/// the same spec submitted cold then warm, counters lifted from the
+/// reported metrics.
+pub fn cache_experiment() -> CacheReport {
+    use dqs_mediator::{submit, MediatorServer, ServeOpts, SubmitOpts};
+    use std::time::Instant;
+
+    let mediator = MediatorServer::bind(
+        "127.0.0.1:0",
+        ServeOpts {
+            cache_bytes: 8 << 20,
+            ..ServeOpts::default()
+        },
+    )
+    .expect("bind mediator");
+
+    let run = |label: &str| {
+        let t0 = Instant::now();
+        let m = submit(
+            mediator.local_addr(),
+            CACHE_SPEC,
+            &SubmitOpts::default(),
+            |_| {},
+        )
+        .unwrap_or_else(|e| panic!("{label} run failed: {e}"));
+        (m, t0.elapsed().as_secs_f64())
+    };
+    let (cold, cold_wall) = run("cold");
+    let (warm, warm_wall) = run("warm");
+    mediator.shutdown();
+
+    let counter = |raw: &str, key: &str| -> u64 {
+        dqs_exec::json::parse(raw)
+            .ok()
+            .and_then(|v| {
+                v.as_object().and_then(|obj| {
+                    obj.iter()
+                        .find(|(n, _)| n == key)
+                        .and_then(|(_, v)| v.as_u64())
+                })
+            })
+            .unwrap_or(0)
+    };
+    CacheReport {
+        cold_secs: cold.response_secs,
+        warm_secs: warm.response_secs,
+        cold_wall_secs: cold_wall,
+        warm_wall_secs: warm_wall,
+        cache_hits: counter(&warm.raw, "cache_hits"),
+        cache_misses: counter(&cold.raw, "cache_misses"),
+        cache_bytes_served: counter(&warm.raw, "cache_bytes_served"),
+        output_tuples: cold.output_tuples,
+        answers_match: cold.output_tuples == warm.output_tuples,
+    }
+}
+
+/// Render the cache repro as a human-readable table.
+pub fn render_cache(r: &CacheReport) -> String {
+    let mut out = String::from("Wrapper result cache: cold vs warm submission of the same spec\n");
+    let speedup = if r.warm_secs > 0.0 {
+        r.cold_secs / r.warm_secs
+    } else {
+        f64::INFINITY
+    };
+    let _ = writeln!(
+        out,
+        "{:>6} {:>12} {:>10} {:>8} {:>8} {:>14}",
+        "run", "response[s]", "wall[s]", "hits", "misses", "bytes served"
+    );
+    let _ = writeln!(
+        out,
+        "{:>6} {:>12.3} {:>10.3} {:>8} {:>8} {:>14}",
+        "cold", r.cold_secs, r.cold_wall_secs, 0, r.cache_misses, 0
+    );
+    let _ = writeln!(
+        out,
+        "{:>6} {:>12.3} {:>10.3} {:>8} {:>8} {:>14}",
+        "warm", r.warm_secs, r.warm_wall_secs, r.cache_hits, 0, r.cache_bytes_served
+    );
+    let _ = writeln!(
+        out,
+        "speedup: {speedup:.1}x   answers match: {}",
+        r.answers_match
+    );
+    out
+}
+
+/// Render the cache repro as the machine-readable `BENCH_cache.json`.
+pub fn cache_json(r: &CacheReport) -> String {
+    let speedup = if r.warm_secs > 0.0 {
+        r.cold_secs / r.warm_secs
+    } else {
+        0.0
+    };
+    format!(
+        "{{\"experiment\":\"wrapper_result_cache\",\"cold_secs\":{},\"warm_secs\":{},\
+         \"cold_wall_secs\":{},\"warm_wall_secs\":{},\"speedup\":{},\
+         \"cache_hits\":{},\"cache_misses\":{},\"cache_bytes_served\":{},\
+         \"output_tuples\":{},\"answers_match\":{}}}\n",
+        r.cold_secs,
+        r.warm_secs,
+        r.cold_wall_secs,
+        r.warm_wall_secs,
+        speedup,
+        r.cache_hits,
+        r.cache_misses,
+        r.cache_bytes_served,
+        r.output_tuples,
+        r.answers_match
+    )
+}
+
 /// Metrics snapshot helper used by the memory experiment test.
 pub fn run_dse_with_memory(mb: u64) -> Result<RunMetrics, dqs_exec::RunError> {
     let (mut w, _) = Workload::fig5();

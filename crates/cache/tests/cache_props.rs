@@ -1,0 +1,172 @@
+//! Property tests for the cache invariants the mediator relies on:
+//!
+//! 1. resident bytes never exceed the configured budget, across any
+//!    sequence of inserts, lookups, invalidations and clock advances;
+//! 2. eviction is LRU — survivors of an eviction were all used more
+//!    recently than every victim (checked against a reference model);
+//! 3. no lookup after `invalidate` or TTL expiry ever returns the stale
+//!    entry.
+
+use std::collections::HashMap;
+
+use dqs_cache::{payload_bytes, CacheConfig, CacheKey, ScanCache, ENTRY_OVERHEAD_BYTES};
+use dqs_relop::RelId;
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+/// One scripted cache operation.
+#[derive(Debug, Clone)]
+enum Op {
+    /// Insert `tuples` keys under key index `k` at the current clock.
+    Insert { k: u16, tuples: usize },
+    /// Look key index `k` up at the current clock.
+    Lookup { k: u16 },
+    /// Invalidate one relation (or all when 0).
+    Invalidate { rel: u16 },
+    /// Advance the clock.
+    Advance { ms: u64 },
+}
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0u16..8, 0usize..64).prop_map(|(k, tuples)| Op::Insert { k, tuples }),
+        (0u16..8).prop_map(|k| Op::Lookup { k }),
+        (0u16..4).prop_map(|rel| Op::Invalidate { rel }),
+        (0u64..40).prop_map(|ms| Op::Advance { ms }),
+    ]
+}
+
+fn key(k: u16) -> CacheKey {
+    // Spread keys across two relations so invalidation hits subsets.
+    CacheKey::for_scan("local", RelId(k % 3), u64::from(k), 42, "wrapper:prop")
+}
+
+/// Reference model entry: what we believe the cache holds.
+#[derive(Debug, Clone)]
+struct ModelEntry {
+    payload: Vec<u64>,
+    expires_at: u64,
+    last_used: u64,
+}
+
+fn run_script(budget: u64, ttl: Option<u64>, ops: &[Op]) -> Result<(), TestCaseError> {
+    let mut c = ScanCache::new(CacheConfig {
+        budget_bytes: budget,
+        ttl_ms: ttl,
+    });
+    let mut model: HashMap<u16, ModelEntry> = HashMap::new();
+    let mut now = 0u64;
+    let mut tick = 0u64;
+
+    for op in ops {
+        match *op {
+            Op::Insert { k, tuples } => {
+                let payload: Vec<u64> = (0..tuples as u64).map(|i| i * 31 + u64::from(k)).collect();
+                let bytes = payload_bytes(tuples) + ENTRY_OVERHEAD_BYTES;
+                let accepted = c.insert(key(k), payload.clone(), now);
+                prop_assert_eq!(
+                    accepted,
+                    bytes <= budget,
+                    "insert accepted iff the entry alone fits the budget"
+                );
+                if accepted {
+                    tick += 1;
+                    model.insert(
+                        k,
+                        ModelEntry {
+                            payload,
+                            expires_at: ttl.map_or(u64::MAX, |t| now + t),
+                            last_used: tick,
+                        },
+                    );
+                    // Mirror LRU eviction: drop least-recently-used model
+                    // entries until everything fits.
+                    let resident = |m: &HashMap<u16, ModelEntry>| -> u64 {
+                        m.values()
+                            .map(|e| payload_bytes(e.payload.len()) + ENTRY_OVERHEAD_BYTES)
+                            .sum()
+                    };
+                    while resident(&model) > budget {
+                        let victim = *model
+                            .iter()
+                            .min_by_key(|(_, e)| e.last_used)
+                            .map(|(k, _)| k)
+                            .expect("over budget implies entries");
+                        prop_assert!(victim != k, "the newcomer itself is never evicted");
+                        model.remove(&victim);
+                    }
+                }
+            }
+            Op::Lookup { k } => {
+                let got = c.lookup(&key(k), now);
+                let expect = match model.get(&k) {
+                    Some(e) if now < e.expires_at => Some(e.payload.clone()),
+                    _ => None,
+                };
+                match (&got, &expect) {
+                    (Some(g), Some(e)) => prop_assert_eq!(g.as_slice(), e.as_slice()),
+                    (None, None) => {}
+                    _ => {
+                        return Err(TestCaseError::fail(format!(
+                            "lookup({k}) at {now}: cache {:?} vs model {:?}",
+                            got.as_ref().map(|v| v.len()),
+                            expect.as_ref().map(|v| v.len())
+                        )))
+                    }
+                }
+                if got.is_some() {
+                    tick += 1;
+                    model.get_mut(&k).expect("hit implies modeled").last_used = tick;
+                } else if model.get(&k).is_some_and(|e| now >= e.expires_at) {
+                    model.remove(&k); // the cache drops expired entries at lookup
+                }
+            }
+            Op::Invalidate { rel } => {
+                if rel == 0 {
+                    c.invalidate(None);
+                    model.clear();
+                } else {
+                    let r = RelId(rel % 3);
+                    c.invalidate(Some(r));
+                    model.retain(|&k, _| key(k).rel != r);
+                }
+            }
+            Op::Advance { ms } => now += ms,
+        }
+        // Invariant 1: the budget is a hard ceiling after every step.
+        prop_assert!(
+            c.resident_bytes() <= budget,
+            "resident {} > budget {budget}",
+            c.resident_bytes()
+        );
+        prop_assert_eq!(c.stats().entries, model.len() as u64, "entry count drift");
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 96, ..ProptestConfig::default() })]
+
+    /// The full model check without TTL: budget ceiling, LRU survivor
+    /// sets, exact payloads, invalidation.
+    #[test]
+    fn lru_budget_and_invalidation_match_the_model(
+        ops in vec(arb_op(), 1..120),
+        budget_entries in 1u64..6,
+    ) {
+        // Budget expressed in "mid-size entries" so eviction is exercised
+        // constantly: 32 tuples + overhead each.
+        let budget = budget_entries * (payload_bytes(32) + ENTRY_OVERHEAD_BYTES);
+        run_script(budget, None, &ops)?;
+    }
+
+    /// The same model with a short TTL racing the script clock: expired
+    /// entries are never served.
+    #[test]
+    fn ttl_expiry_never_serves_stale_entries(
+        ops in vec(arb_op(), 1..120),
+        ttl in 1u64..80,
+    ) {
+        run_script(4096, Some(ttl), &ops)?;
+    }
+}

@@ -9,10 +9,12 @@
 //! dqs wrapper --listen ADDR               serve relations to a mediator
 //! dqs serve --listen ADDR [--wrappers A]  the concurrent mediator service
 //! dqs submit <spec.json> --connect ADDR   run a query on a mediator
+//! dqs invalidate --connect ADDR [--rel N] drop the mediator's cached scans
 //! ```
 
 use std::io::Write;
 use std::process::ExitCode;
+use std::time::Duration;
 
 use dqs_cli::spec::WorkloadSpec;
 use dqs_core::{lwb, DsePolicy};
@@ -35,9 +37,12 @@ fn usage() -> ExitCode {
          \u{20} validate  parse and plan without executing\n\
          \u{20} wrapper   serve simulated relations over TCP (--listen ADDR)\n\
          \u{20} serve     run the mediator service (--listen ADDR, --wrappers A,B,\n\
-         \u{20}           --max-concurrent N, --backlog N, --memory-mb M)\n\
+         \u{20}           --max-concurrent N, --backlog N, --memory-mb M,\n\
+         \u{20}           --cache-mb M: result-cache budget, --cache-ttl-ms T)\n\
          \u{20} submit    run a spec on a mediator (--connect ADDR, --strategy X,\n\
-         \u{20}           --seed N, --trace)\n"
+         \u{20}           --seed N, --trace, --no-cache, --connect-timeout MS)\n\
+         \u{20} invalidate  drop the mediator's cached scans (--connect ADDR,\n\
+         \u{20}           --rel N: one relation only, --connect-timeout MS)\n"
     );
     ExitCode::from(2)
 }
@@ -58,8 +63,12 @@ fn cmd_wrapper(args: &[String]) -> ExitCode {
     };
     match WrapperServer::bind(listen) {
         Ok(server) => {
-            // Printed on its own line so scripts can scrape the port.
+            // Printed on its own line so scripts can scrape the port —
+            // flushed explicitly because piped stdout is block-buffered,
+            // and with `--listen 127.0.0.1:0` the scraped line is the only
+            // way to learn the ephemeral port.
             println!("wrapper listening on {}", server.local_addr());
+            std::io::stdout().flush().ok();
             server.run_forever();
             ExitCode::SUCCESS
         }
@@ -107,9 +116,30 @@ fn cmd_serve(args: &[String]) -> ExitCode {
             }
         }
     }
+    if let Some(n) = flag_value(args, "--cache-mb") {
+        match n.parse::<u64>() {
+            Ok(mb) => opts.cache_bytes = mb << 20,
+            Err(_) => {
+                eprintln!("error: --cache-mb wants an integer, got {n:?}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    if let Some(n) = flag_value(args, "--cache-ttl-ms") {
+        match n.parse::<u64>() {
+            Ok(ms) => opts.cache_ttl = Some(Duration::from_millis(ms)),
+            Err(_) => {
+                eprintln!("error: --cache-ttl-ms wants an integer, got {n:?}");
+                return ExitCode::from(2);
+            }
+        }
+    }
     match MediatorServer::bind(listen, opts) {
         Ok(server) => {
+            // Flushed for the same reason as the wrapper: ephemeral-port
+            // scripts scrape this line through a pipe.
             println!("mediator listening on {}", server.local_addr());
+            std::io::stdout().flush().ok();
             server.run_forever();
             ExitCode::SUCCESS
         }
@@ -141,12 +171,25 @@ fn cmd_submit(args: &[String]) -> ExitCode {
         strategy: flag_value(args, "--strategy").unwrap_or("dse").to_string(),
         seed: None,
         trace: args.iter().any(|a| a == "--trace"),
+        no_cache: args.iter().any(|a| a == "--no-cache"),
+        // Default to retrying for a while: lets the quickstart launch
+        // `serve` and `submit` together without a sleep in between.
+        connect_timeout: Duration::from_millis(10_000),
     };
     if let Some(s) = flag_value(args, "--seed") {
         match s.parse() {
             Ok(seed) => opts.seed = Some(seed),
             Err(_) => {
                 eprintln!("error: --seed wants an integer, got {s:?}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    if let Some(ms) = flag_value(args, "--connect-timeout") {
+        match ms.parse::<u64>() {
+            Ok(ms) => opts.connect_timeout = Duration::from_millis(ms),
+            Err(_) => {
+                eprintln!("error: --connect-timeout wants milliseconds, got {ms:?}");
                 return ExitCode::from(2);
             }
         }
@@ -167,6 +210,45 @@ fn cmd_submit(args: &[String]) -> ExitCode {
             println!("strategy       {}", m.strategy);
             println!("response       {:.6} s", m.response_secs);
             println!("output tuples  {}", m.output_tuples);
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// `dqs invalidate --connect ADDR [--rel N]`: refresh the mediator's
+/// result cache by dropping entries (one relation's, or all of them).
+fn cmd_invalidate(args: &[String]) -> ExitCode {
+    let Some(addr) = flag_value(args, "--connect") else {
+        eprintln!("error: invalidate requires --connect ADDR");
+        return ExitCode::from(2);
+    };
+    let rel = match flag_value(args, "--rel") {
+        Some(n) => match n.parse::<u16>() {
+            Ok(r) => Some(dqs_relop::RelId(r)),
+            Err(_) => {
+                eprintln!("error: --rel wants a relation id, got {n:?}");
+                return ExitCode::from(2);
+            }
+        },
+        None => None,
+    };
+    let timeout = match flag_value(args, "--connect-timeout") {
+        Some(ms) => match ms.parse::<u64>() {
+            Ok(ms) => Duration::from_millis(ms),
+            Err(_) => {
+                eprintln!("error: --connect-timeout wants milliseconds, got {ms:?}");
+                return ExitCode::from(2);
+            }
+        },
+        None => Duration::from_millis(10_000),
+    };
+    match dqs_mediator::invalidate(addr, rel, timeout) {
+        Ok((entries, bytes)) => {
+            println!("invalidated {entries} cached scans ({bytes} bytes released)");
             ExitCode::SUCCESS
         }
         Err(e) => {
@@ -292,6 +374,7 @@ fn main() -> ExitCode {
         "wrapper" => return cmd_wrapper(&args[1..]),
         "serve" => return cmd_serve(&args[1..]),
         "submit" => return cmd_submit(&args[1..]),
+        "invalidate" => return cmd_invalidate(&args[1..]),
         _ => {}
     }
     let Some(path) = args.get(1) else {

@@ -41,6 +41,14 @@ pub struct RunMetrics {
     pub degradations: u64,
     /// Peak query-memory reservation.
     pub memory_high_water: u64,
+    /// Relations served from the mediator's result cache instead of a
+    /// wrapper (zero when no cache is configured).
+    pub cache_hits: u64,
+    /// Relations that had to go to a wrapper (and were recorded if a
+    /// cache is configured).
+    pub cache_misses: u64,
+    /// Payload bytes served from the result cache.
+    pub cache_bytes_served: u64,
     /// Simulation events fired.
     pub events: u64,
     /// Per-query response times (query index, completion time), sorted by

@@ -127,6 +127,22 @@ pub enum EngineEvent<'a> {
         /// Tuples read.
         tuples: u64,
     },
+    /// Relation `rel`'s scan is being served from the mediator's result
+    /// cache: no wrapper is dialed, the recording replays at memory speed.
+    CacheHit {
+        /// The cached relation.
+        rel: RelId,
+        /// Tuples the replay will deliver.
+        tuples: u64,
+        /// Payload bytes served from cache.
+        bytes: u64,
+    },
+    /// Relation `rel` was not servable from the result cache; the scan
+    /// goes to its wrapper (and is recorded when a cache is configured).
+    CacheMiss {
+        /// The uncached relation.
+        rel: RelId,
+    },
     /// The DQP found nothing schedulable with data (§3.2 stall).
     Stalled,
     /// The run aborted; this is the final event of the stream.
@@ -186,6 +202,11 @@ impl EngineObserver for MetricsObserver {
             // fragment with a (materializing, consuming) pair.
             EngineEvent::Degraded { .. } | EngineEvent::Split { .. } => m.degradations += 1,
             EngineEvent::MemoryDenied { .. } => m.memory_overflows += 1,
+            EngineEvent::CacheHit { bytes, .. } => {
+                m.cache_hits += 1;
+                m.cache_bytes_served += bytes;
+            }
+            EngineEvent::CacheMiss { .. } => m.cache_misses += 1,
             EngineEvent::Stalled => self.acc.stall_begin(at),
             EngineEvent::Arrival { .. }
             | EngineEvent::MatCancelled { .. }
@@ -292,6 +313,13 @@ impl EngineObserver for TextTrace {
                 TraceKind::Io,
                 format!("temp {} read {tuples} tuples", temp.0),
             ),
+            EngineEvent::CacheHit { rel, tuples, bytes } => (
+                TraceKind::Other,
+                format!("cache hit rel {} ({tuples} tuples, {bytes} bytes)", rel.0),
+            ),
+            EngineEvent::CacheMiss { rel } => {
+                (TraceKind::Other, format!("cache miss rel {}", rel.0))
+            }
             EngineEvent::Stalled => (TraceKind::Other, "stall".into()),
             EngineEvent::Aborted { reason } => (TraceKind::Other, format!("abort: {reason}")),
         };
@@ -436,6 +464,13 @@ impl<W: Write> EngineObserver for JsonLinesSink<W> {
                     "\"type\":\"temp_read\",\"temp\":{},\"tuples\":{tuples}",
                     temp.0
                 )
+            }
+            EngineEvent::CacheHit { rel, tuples, bytes } => format!(
+                "\"type\":\"cache_hit\",\"rel\":{},\"tuples\":{tuples},\"bytes\":{bytes}",
+                rel.0
+            ),
+            EngineEvent::CacheMiss { rel } => {
+                format!("\"type\":\"cache_miss\",\"rel\":{}", rel.0)
             }
             EngineEvent::Stalled => "\"type\":\"stall\"".to_string(),
             EngineEvent::Aborted { reason } => format!(

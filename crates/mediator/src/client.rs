@@ -7,8 +7,10 @@
 
 use std::fmt;
 use std::net::{TcpStream, ToSocketAddrs};
+use std::time::{Duration, Instant};
 
 use dqs_exec::json;
+use dqs_relop::RelId;
 use dqs_source::net::{read_frame, write_frame, Frame};
 
 /// Submission options.
@@ -20,6 +22,12 @@ pub struct SubmitOpts {
     pub seed: Option<u64>,
     /// Ask the mediator to stream JSON trace lines back.
     pub trace: bool,
+    /// Ask the mediator to bypass its result cache for this session.
+    pub no_cache: bool,
+    /// How long to keep retrying the initial connect (exponential
+    /// backoff) before giving up. [`Duration::ZERO`] means one attempt —
+    /// fail immediately if the mediator isn't listening.
+    pub connect_timeout: Duration,
 }
 
 impl Default for SubmitOpts {
@@ -28,6 +36,38 @@ impl Default for SubmitOpts {
             strategy: "dse".into(),
             seed: None,
             trace: false,
+            no_cache: false,
+            connect_timeout: Duration::ZERO,
+        }
+    }
+}
+
+/// First retry delay; doubles per attempt up to [`BACKOFF_CAP`].
+const BACKOFF_START: Duration = Duration::from_millis(50);
+/// Ceiling on the per-attempt backoff delay.
+const BACKOFF_CAP: Duration = Duration::from_secs(1);
+
+/// Dial `addr`, retrying with exponential backoff until `timeout` has
+/// elapsed. A zero timeout is a single attempt. This is what makes the
+/// 3-process quickstart scriptable: `dqs submit` can be launched in the
+/// same breath as `dqs serve` without a `sleep` between them.
+fn connect_with_retry(
+    addr: impl ToSocketAddrs,
+    timeout: Duration,
+) -> Result<TcpStream, ClientError> {
+    let deadline = Instant::now() + timeout;
+    let mut backoff = BACKOFF_START;
+    loop {
+        match TcpStream::connect(&addr) {
+            Ok(conn) => return Ok(conn),
+            Err(e) => {
+                let now = Instant::now();
+                if now >= deadline {
+                    return Err(ClientError::Io(e.to_string()));
+                }
+                std::thread::sleep(backoff.min(deadline - now));
+                backoff = (backoff * 2).min(BACKOFF_CAP);
+            }
         }
     }
 }
@@ -95,13 +135,14 @@ pub fn submit(
     opts: &SubmitOpts,
     mut on_progress: impl FnMut(Progress),
 ) -> Result<RemoteMetrics, ClientError> {
-    let mut conn = TcpStream::connect(addr).map_err(|e| ClientError::Io(e.to_string()))?;
+    let mut conn = connect_with_retry(addr, opts.connect_timeout)?;
     conn.set_nodelay(true).ok();
     write_frame(
         &mut conn,
         &Frame::Submit {
             strategy: opts.strategy.clone(),
             trace: opts.trace,
+            no_cache: opts.no_cache,
             seed: opts.seed,
             spec_json: spec_json.to_string(),
         },
@@ -136,6 +177,30 @@ pub fn submit(
             }
             Err(e) => return Err(ClientError::Io(e.to_string())),
         }
+    }
+}
+
+/// Ask the mediator at `addr` to drop cached scans — all of them, or one
+/// relation's. Returns `(entries_removed, bytes_released)`; a mediator
+/// with no cache configured reports `(0, 0)`.
+pub fn invalidate(
+    addr: impl ToSocketAddrs,
+    rel: Option<RelId>,
+    connect_timeout: Duration,
+) -> Result<(u64, u64), ClientError> {
+    let mut conn = connect_with_retry(addr, connect_timeout)?;
+    conn.set_nodelay(true).ok();
+    write_frame(&mut conn, &Frame::Invalidate { rel })
+        .map_err(|e| ClientError::Io(e.to_string()))?;
+    match read_frame(&mut conn) {
+        Ok(Some(Frame::Invalidated { entries, bytes })) => Ok((entries, bytes)),
+        Ok(Some(other)) => Err(ClientError::Protocol(format!(
+            "unexpected frame from mediator: {other:?}"
+        ))),
+        Ok(None) => Err(ClientError::Protocol(
+            "mediator closed the connection without replying".into(),
+        )),
+        Err(e) => Err(ClientError::Io(e.to_string())),
     }
 }
 

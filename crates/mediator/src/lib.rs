@@ -32,6 +32,6 @@ pub mod client;
 pub mod server;
 pub mod wrapper_server;
 
-pub use client::{submit, ClientError, Progress, RemoteMetrics, SubmitOpts};
+pub use client::{invalidate, submit, ClientError, Progress, RemoteMetrics, SubmitOpts};
 pub use server::{MediatorServer, ServeOpts};
 pub use wrapper_server::WrapperServer;

@@ -25,15 +25,21 @@ use std::sync::{Arc, Condvar, Mutex};
 use std::thread::{self, JoinHandle};
 use std::time::Duration;
 
+use dqs_cache::{payload_bytes, CacheConfig, CacheKey, CacheStats, SharedCache};
 use dqs_core::session::{Decision, SessionConfig, SessionStats, SessionTable};
 use dqs_core::DsePolicy;
 use dqs_exec::spec::WorkloadSpec;
 use dqs_exec::{
-    Engine, EngineObserver, JsonLinesSink, MaPolicy, Policy, RealTimeDriver, RunError, RunMetrics,
-    ScramblingPolicy, SeqPolicy, Workload,
+    Engine, EngineEvent, EngineObserver, JsonLinesSink, MaPolicy, Policy, RealTimeDriver, RunError,
+    RunMetrics, ScramblingPolicy, SeqPolicy, Workload,
 };
+use dqs_relop::RelId;
+use dqs_sim::{SeedSplitter, SimTime};
 use dqs_source::net::{read_frame, write_frame, Frame};
-use dqs_source::{BoxSource, RemoteOpen, RemoteWrapper, SourceError};
+use dqs_source::{
+    BoxSource, RecordingSource, RemoteOpen, RemoteWrapper, ReplaySource, SourceError,
+    ThreadedWrapper,
+};
 
 /// Mediator service configuration.
 #[derive(Debug, Clone)]
@@ -49,6 +55,13 @@ pub struct ServeOpts {
     pub wrappers: Vec<String>,
     /// Read timeout on wrapper sockets (a silent wrapper faults the run).
     pub read_timeout: Duration,
+    /// Result-cache budget in bytes; 0 disables the cache. The budget is
+    /// carved out of `memory_bytes`, so sessions partition what remains —
+    /// §4.2 M-schedulability stays honest about total mediator memory.
+    pub cache_bytes: u64,
+    /// Per-entry TTL for cached scans; `None` means entries only leave by
+    /// LRU eviction or an explicit `Invalidate`.
+    pub cache_ttl: Option<Duration>,
 }
 
 impl Default for ServeOpts {
@@ -59,6 +72,8 @@ impl Default for ServeOpts {
             memory_bytes: 64 << 20,
             wrappers: Vec::new(),
             read_timeout: Duration::from_secs(30),
+            cache_bytes: 0,
+            cache_ttl: None,
         }
     }
 }
@@ -68,6 +83,8 @@ struct Shared {
     /// Signalled whenever a slot frees (queued sessions re-check).
     cond: Condvar,
     opts: ServeOpts,
+    /// The wrapper result cache all sessions share; `None` when disabled.
+    cache: Option<Arc<SharedCache>>,
     stop: AtomicBool,
 }
 
@@ -89,16 +106,35 @@ impl MediatorServer {
     /// Bind and start serving. Port 0 picks an ephemeral port; see
     /// [`MediatorServer::local_addr`].
     pub fn bind(addr: impl ToSocketAddrs, opts: ServeOpts) -> io::Result<MediatorServer> {
+        // The cache budget comes out of the global memory budget; sessions
+        // partition the remainder. A cache that leaves no session memory is
+        // a configuration error, not something to discover at first Submit.
+        if opts.cache_bytes >= opts.memory_bytes {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                format!(
+                    "cache budget ({} bytes) must leave session memory within the global budget ({} bytes)",
+                    opts.cache_bytes, opts.memory_bytes
+                ),
+            ));
+        }
+        let cache = (opts.cache_bytes > 0).then(|| {
+            SharedCache::new(CacheConfig {
+                budget_bytes: opts.cache_bytes,
+                ttl_ms: opts.cache_ttl.map(|d| d.as_millis() as u64),
+            })
+        });
         let listener = TcpListener::bind(addr)?;
         let addr = listener.local_addr()?;
         let shared = Arc::new(Shared {
             table: Mutex::new(SessionTable::new(SessionConfig {
                 max_concurrent: opts.max_concurrent,
                 backlog: opts.backlog,
-                memory_bytes: opts.memory_bytes,
+                memory_bytes: opts.memory_bytes - opts.cache_bytes,
             })),
             cond: Condvar::new(),
             opts,
+            cache,
             stop: AtomicBool::new(false),
         });
         let accept_shared = Arc::clone(&shared);
@@ -128,6 +164,11 @@ impl MediatorServer {
     /// Admission counters (running/queued sessions, memory accounting).
     pub fn stats(&self) -> SessionStats {
         self.shared.table.lock().unwrap().stats()
+    }
+
+    /// Result-cache counters, when a cache is configured.
+    pub fn cache_stats(&self) -> Option<CacheStats> {
+        self.shared.cache.as_ref().map(|c| c.stats())
     }
 
     /// Stop accepting and join the accept thread. Sessions already
@@ -165,12 +206,24 @@ fn serve_client(mut conn: TcpStream, shared: Arc<Shared>) {
         Ok(Some(Frame::Submit {
             strategy,
             trace,
+            no_cache,
             seed,
             spec_json,
-        })) => (strategy, trace, seed, spec_json),
+        })) => (strategy, trace, no_cache, seed, spec_json),
+        // A refresh request is a complete conversation of its own: drop
+        // the named scans (or everything) and report what was freed.
+        Ok(Some(Frame::Invalidate { rel })) => {
+            let (entries, bytes) = match &shared.cache {
+                Some(cache) => cache.invalidate(rel),
+                None => (0, 0),
+            };
+            reply(&mut conn, &Frame::Invalidated { entries, bytes });
+            conn.shutdown(Shutdown::Both).ok();
+            return;
+        }
         Ok(Some(_)) | Ok(None) | Err(_) => return,
     };
-    let (strategy, trace, seed, spec_json) = submit;
+    let (strategy, trace, no_cache, seed, spec_json) = submit;
 
     // Validate before admission: a bad spec must not consume a slot.
     if !matches!(strategy.as_str(), "seq" | "ma" | "scr" | "dse") {
@@ -254,6 +307,7 @@ fn serve_client(mut conn: TcpStream, shared: Arc<Shared>) {
         memory_bytes,
         &strategy,
         trace,
+        no_cache,
         workload,
     );
     {
@@ -269,6 +323,7 @@ fn serve_client(mut conn: TcpStream, shared: Arc<Shared>) {
 
 /// Execute an admitted session, streaming progress frames; returns the
 /// terminal frame the caller sends after releasing the slot.
+#[allow(clippy::too_many_arguments)]
 fn run_admitted_session(
     conn: &mut TcpStream,
     shared: &Shared,
@@ -276,6 +331,7 @@ fn run_admitted_session(
     memory_bytes: u64,
     strategy: &str,
     trace: bool,
+    no_cache: bool,
     mut workload: Workload,
 ) -> Option<Frame> {
     if !reply(
@@ -291,15 +347,16 @@ fn run_admitted_session(
     // budget.
     workload.config.memory_bytes = memory_bytes;
 
-    // Build the driver: remote wrappers when configured, else in-process
-    // threads.
-    let driver = if shared.opts.wrappers.is_empty() {
-        Ok(RealTimeDriver::new())
+    // Build the driver: cached replays where the shared cache can serve a
+    // relation, live sources (remote wrappers or in-process threads,
+    // recorded on the way through) everywhere else.
+    let cache = if no_cache {
+        None
     } else {
-        connect_remote_sources(&workload, &shared.opts)
+        shared.cache.as_ref()
     };
-    let driver = match driver {
-        Ok(d) => d,
+    let (driver, outcomes) = match build_driver(&workload, &shared.opts, cache) {
+        Ok(pair) => pair,
         Err(e) => {
             return Some(Frame::Error {
                 code: 2,
@@ -308,16 +365,42 @@ fn run_admitted_session(
         }
     };
 
-    let sink = JsonLinesSink::new(TraceFrames {
+    let mut sink = JsonLinesSink::new(TraceFrames {
         conn: conn.try_clone().ok(),
         enabled: trace,
         line: Vec::new(),
     });
+    // Cache outcomes are decided before the engine runs (at source build
+    // time), so they lead the trace at t=0. The engine's own metrics
+    // observer never sees these events; the counters are patched into the
+    // final metrics below.
+    for o in &outcomes {
+        let ev = match o.served {
+            Some((tuples, bytes)) => EngineEvent::CacheHit {
+                rel: o.rel,
+                tuples,
+                bytes,
+            },
+            None => EngineEvent::CacheMiss { rel: o.rel },
+        };
+        sink.on_event(SimTime::ZERO, &ev);
+    }
     let result = run_with_strategy(strategy, &workload, sink, driver);
     Some(match result {
-        Ok(m) => Frame::Done {
-            metrics_json: metrics_json(&m),
-        },
+        Ok(mut m) => {
+            for o in &outcomes {
+                match o.served {
+                    Some((_, bytes)) => {
+                        m.cache_hits += 1;
+                        m.cache_bytes_served += bytes;
+                    }
+                    None => m.cache_misses += 1,
+                }
+            }
+            Frame::Done {
+                metrics_json: metrics_json(&m),
+            }
+        }
         Err(e) => Frame::Error {
             code: 1,
             message: e.to_string(),
@@ -325,36 +408,97 @@ fn run_admitted_session(
     })
 }
 
-/// Dial a `RemoteWrapper` for every catalog relation, spreading relations
-/// round-robin over the configured wrapper addresses.
-fn connect_remote_sources(
+/// How one relation's scan was sourced: served from cache (`tuples`,
+/// payload `bytes`) or fetched live.
+struct CacheOutcome {
+    rel: RelId,
+    served: Option<(u64, u64)>,
+}
+
+/// Build the session's driver: one source per catalog relation. With a
+/// cache, resident scans become [`ReplaySource`]s — no wrapper connection
+/// is even dialed for them — and live scans are wrapped in a
+/// [`RecordingSource`] so their completion populates the cache. Without
+/// one, sources are exactly the pre-cache topology: `RemoteWrapper`s when
+/// wrapper addresses are configured, in-process [`ThreadedWrapper`]s
+/// otherwise (relation `i` maps to `wrappers[i % len]`).
+fn build_driver(
     workload: &Workload,
     opts: &ServeOpts,
-) -> Result<RealTimeDriver, SourceError> {
-    let wrappers = &opts.wrappers;
-    let timeout = opts.read_timeout;
+    cache: Option<&Arc<SharedCache>>,
+) -> Result<(RealTimeDriver, Vec<CacheOutcome>), SourceError> {
     let catalog: Vec<_> = workload
         .catalog
         .iter()
         .map(|(rel, spec)| (rel, spec.name.clone()))
         .collect();
-    RealTimeDriver::try_with_sources(|notify| {
+    let seeds = SeedSplitter::new(workload.config.seed);
+    let mut outcomes = Vec::new();
+    let driver = RealTimeDriver::try_with_sources(|notify| {
         let mut sources: Vec<BoxSource> = Vec::with_capacity(catalog.len());
         for (rel, name) in &catalog {
-            let addr = &wrappers[rel.0 as usize % wrappers.len()];
-            let open = RemoteOpen {
-                rel: *rel,
-                total: workload.actual_cardinality(*rel),
-                window: workload.config.queue_capacity as u32,
-                seed: workload.config.seed,
-                stream: format!("wrapper:{name}"),
-                delay: workload.delays[rel.0 as usize].clone(),
+            let total = workload.actual_cardinality(*rel);
+            let stream = format!("wrapper:{name}");
+            let wrapper_id = if opts.wrappers.is_empty() {
+                "local"
+            } else {
+                opts.wrappers[rel.0 as usize % opts.wrappers.len()].as_str()
             };
-            let w = RemoteWrapper::connect(addr.as_str(), open, notify.clone(), timeout)?;
-            sources.push(Box::new(w));
+            let key = cache.map(|_| {
+                CacheKey::for_scan(wrapper_id, *rel, total, workload.config.seed, &stream)
+            });
+            if let (Some(cache), Some(key)) = (cache, &key) {
+                if let Some(keys) = cache.lookup(key) {
+                    let tuples = keys.len() as u64;
+                    let bytes = payload_bytes(keys.len());
+                    outcomes.push(CacheOutcome {
+                        rel: *rel,
+                        served: Some((tuples, bytes)),
+                    });
+                    sources.push(Box::new(ReplaySource::new(*rel, keys)) as BoxSource);
+                    continue;
+                }
+                outcomes.push(CacheOutcome {
+                    rel: *rel,
+                    served: None,
+                });
+            }
+            let live: BoxSource = if opts.wrappers.is_empty() {
+                Box::new(ThreadedWrapper::new(
+                    *rel,
+                    total,
+                    workload.delays[rel.0 as usize].clone(),
+                    seeds.stream(&stream),
+                    workload.config.queue_capacity,
+                    notify.clone(),
+                ))
+            } else {
+                let open = RemoteOpen {
+                    rel: *rel,
+                    total,
+                    window: workload.config.queue_capacity as u32,
+                    seed: workload.config.seed,
+                    stream: stream.clone(),
+                    delay: workload.delays[rel.0 as usize].clone(),
+                };
+                Box::new(RemoteWrapper::connect(
+                    wrapper_id,
+                    open,
+                    notify.clone(),
+                    opts.read_timeout,
+                )?)
+            };
+            let source = match (cache, key) {
+                (Some(cache), Some(key)) => {
+                    Box::new(RecordingSource::new(live, Arc::clone(cache), key)) as BoxSource
+                }
+                _ => live,
+            };
+            sources.push(source);
         }
         Ok(sources)
-    })
+    })?;
+    Ok((driver, outcomes))
 }
 
 /// Run `workload` under the named strategy on `driver`, reporting events
@@ -431,7 +575,8 @@ pub fn metrics_json(m: &RunMetrics) -> String {
          \"output_tuples\":{},\"cpu_busy_secs\":{},\"stall_secs\":{},\
          \"batches\":{},\"plans\":{},\"end_of_qf\":{},\"rate_changes\":{},\
          \"timeouts\":{},\"memory_overflows\":{},\"degradations\":{},\
-         \"memory_high_water\":{},\"events\":{},\"query_responses\":[{}]}}",
+         \"memory_high_water\":{},\"events\":{},\"cache_hits\":{},\
+         \"cache_misses\":{},\"cache_bytes_served\":{},\"query_responses\":[{}]}}",
         m.strategy,
         m.seed,
         m.response_secs(),
@@ -447,6 +592,9 @@ pub fn metrics_json(m: &RunMetrics) -> String {
         m.degradations,
         m.memory_high_water,
         m.events,
+        m.cache_hits,
+        m.cache_misses,
+        m.cache_bytes_served,
         queries.join(",")
     )
 }

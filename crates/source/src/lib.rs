@@ -10,6 +10,9 @@
 //!   tuples at the modelled pace;
 //! * [`threaded::ThreadedWrapper`] — the same contract realized by a real
 //!   producer thread sleeping actual gaps into a bounded channel;
+//! * [`cached::ReplaySource`] / [`cached::RecordingSource`] — the cache
+//!   adapters: instant replay of a completed scan, tee-on-miss recording
+//!   of a live one (see `dqs-cache`);
 //! * [`net::Frame`] — the length-prefixed binary wire protocol that carries
 //!   the §2.1 window protocol (and query submission) over TCP;
 //! * [`remote::RemoteWrapper`] — the same contract again, fed by a
@@ -32,6 +35,7 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod cached;
 pub mod comm;
 pub mod delay;
 pub mod net;
@@ -41,6 +45,7 @@ pub mod source;
 pub mod threaded;
 pub mod wrapper;
 
+pub use cached::{RecordingSource, ReplaySource};
 pub use comm::{
     ArrivalOutcome, CommManager, DEFAULT_QUEUE_CAPACITY, DEFAULT_RATE_ALPHA,
     DEFAULT_RATE_CHANGE_THRESHOLD,

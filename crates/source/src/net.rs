@@ -27,6 +27,8 @@
 //! | [`Frame::Rejected`] | mediator → client  | refused (overload / bad spec)    |
 //! | [`Frame::Trace`]    | mediator → client  | one JSON engine-event line       |
 //! | [`Frame::Done`]     | mediator → client  | final metrics, session over      |
+//! | [`Frame::Invalidate`] | client → mediator | drop cached scans (refresh)     |
+//! | [`Frame::Invalidated`] | mediator → client | how much the invalidate freed  |
 
 use std::fmt;
 use std::io::{ErrorKind, Read, Write};
@@ -95,6 +97,9 @@ pub enum Frame {
         strategy: String,
         /// Stream JSON engine-event trace lines back as [`Frame::Trace`].
         trace: bool,
+        /// Bypass the mediator's result cache: neither serve this session
+        /// from cached scans nor record its scans.
+        no_cache: bool,
         /// Optional seed override (wins over the spec's `config.seed`).
         seed: Option<u64>,
         /// The JSON workload spec (the `examples/specs/` format).
@@ -127,6 +132,19 @@ pub enum Frame {
     Done {
         /// Flat JSON rendering of the run metrics.
         metrics_json: String,
+    },
+    /// Client → mediator: drop cached scans so the next session re-fetches
+    /// fresh data (the refresh lever of the cache subsystem).
+    Invalidate {
+        /// Only this relation's entries, or every entry when `None`.
+        rel: Option<RelId>,
+    },
+    /// Mediator → client: what an [`Frame::Invalidate`] removed.
+    Invalidated {
+        /// Entries dropped.
+        entries: u64,
+        /// Bytes released (payload + accounting overhead).
+        bytes: u64,
     },
 }
 
@@ -219,6 +237,8 @@ const TAG_QUEUED: u8 = 8;
 const TAG_REJECTED: u8 = 9;
 const TAG_TRACE: u8 = 10;
 const TAG_DONE: u8 = 11;
+const TAG_INVALIDATE: u8 = 12;
+const TAG_INVALIDATED: u8 = 13;
 
 // --- encoding ---------------------------------------------------------------
 
@@ -313,12 +333,14 @@ impl Frame {
             Frame::Submit {
                 strategy,
                 trace,
+                no_cache,
                 seed,
                 spec_json,
             } => {
                 b.push(TAG_SUBMIT);
                 put_str(&mut b, strategy);
                 b.push(u8::from(*trace));
+                b.push(u8::from(*no_cache));
                 match seed {
                     Some(s) => {
                         b.push(1);
@@ -351,6 +373,21 @@ impl Frame {
             Frame::Done { metrics_json } => {
                 b.push(TAG_DONE);
                 put_str(&mut b, metrics_json);
+            }
+            Frame::Invalidate { rel } => {
+                b.push(TAG_INVALIDATE);
+                match rel {
+                    Some(r) => {
+                        b.push(1);
+                        put_u16(&mut b, r.0);
+                    }
+                    None => b.push(0),
+                }
+            }
+            Frame::Invalidated { entries, bytes } => {
+                b.push(TAG_INVALIDATED);
+                put_u64(&mut b, *entries);
+                put_u64(&mut b, *bytes);
             }
         }
         b
@@ -413,6 +450,7 @@ impl Frame {
             TAG_SUBMIT => Frame::Submit {
                 strategy: c.take_str("submit.strategy")?,
                 trace: c.take_u8("submit.trace")? != 0,
+                no_cache: c.take_u8("submit.no_cache")? != 0,
                 seed: match c.take_u8("submit.seed_tag")? {
                     0 => None,
                     1 => Some(c.take_u64("submit.seed")?),
@@ -439,6 +477,21 @@ impl Frame {
             },
             TAG_DONE => Frame::Done {
                 metrics_json: c.take_str("done.metrics")?,
+            },
+            TAG_INVALIDATE => Frame::Invalidate {
+                rel: match c.take_u8("invalidate.rel_tag")? {
+                    0 => None,
+                    1 => Some(RelId(c.take_u16("invalidate.rel")?)),
+                    t => {
+                        return Err(FrameError::Malformed {
+                            detail: format!("invalidate.rel_tag must be 0|1, got {t}"),
+                        })
+                    }
+                },
+            },
+            TAG_INVALIDATED => Frame::Invalidated {
+                entries: c.take_u64("invalidated.entries")?,
+                bytes: c.take_u64("invalidated.bytes")?,
             },
             other => return Err(FrameError::UnknownTag(other)),
         };
@@ -609,6 +662,7 @@ mod tests {
             Frame::Submit {
                 strategy: "dse".into(),
                 trace: true,
+                no_cache: true,
                 seed: Some(7),
                 spec_json: "{\"relations\":[]}".into(),
             },
@@ -625,6 +679,14 @@ mod tests {
             },
             Frame::Done {
                 metrics_json: "{\"output_tuples\":90000}".into(),
+            },
+            Frame::Invalidate { rel: None },
+            Frame::Invalidate {
+                rel: Some(RelId(4)),
+            },
+            Frame::Invalidated {
+                entries: 3,
+                bytes: 8_392,
             },
         ]
     }
@@ -773,14 +835,16 @@ mod tests {
             (
                 arb_string(),
                 any::<bool>(),
+                any::<bool>(),
                 any::<u64>(),
                 any::<bool>(),
                 arb_string()
             )
-                .prop_map(|(strategy, trace, seed, has_seed, spec_json)| {
+                .prop_map(|(strategy, trace, no_cache, seed, has_seed, spec_json)| {
                     Frame::Submit {
                         strategy,
                         trace,
+                        no_cache,
                         seed: has_seed.then_some(seed),
                         spec_json,
                     }
@@ -793,6 +857,11 @@ mod tests {
             arb_string().prop_map(|reason| Frame::Rejected { reason }),
             arb_string().prop_map(|line| Frame::Trace { line }),
             arb_string().prop_map(|metrics_json| Frame::Done { metrics_json }),
+            (any::<bool>(), any::<u16>()).prop_map(|(some, r)| Frame::Invalidate {
+                rel: some.then_some(RelId(r)),
+            }),
+            (any::<u64>(), any::<u64>())
+                .prop_map(|(entries, bytes)| Frame::Invalidated { entries, bytes }),
         ]
     }
 

@@ -12,8 +12,22 @@ use std::time::Duration;
 use dqs_core::DsePolicy;
 use dqs_exec::spec::WorkloadSpec;
 use dqs_exec::{run_workload_realtime, Engine, JsonLinesSink, RealTimeDriver, RunError, Workload};
-use dqs_mediator::{submit, MediatorServer, Progress, ServeOpts, SubmitOpts, WrapperServer};
+use dqs_mediator::{
+    invalidate, submit, MediatorServer, Progress, ServeOpts, SubmitOpts, WrapperServer,
+};
 use dqs_source::{BoxSource, RemoteOpen, RemoteWrapper, SourceError};
+
+/// Lift one integer counter out of the raw metrics JSON a run reports.
+fn metric_u64(raw: &str, key: &str) -> u64 {
+    let v = dqs_exec::json::parse(raw).expect("metrics JSON parses");
+    v.as_object()
+        .and_then(|obj| {
+            obj.iter()
+                .find(|(n, _)| n == key)
+                .and_then(|(_, v)| v.as_u64())
+        })
+        .unwrap_or_else(|| panic!("metrics JSON lacks {key}: {raw}"))
+}
 
 fn quickstart_json() -> String {
     std::fs::read_to_string(concat!(
@@ -73,6 +87,165 @@ fn loopback_flow_matches_in_process_realtime_run() {
 
     mediator.shutdown();
     wrapper.shutdown();
+}
+
+/// The cache acceptance check: a warm resubmission of the same spec is
+/// answered bit-identically *after the wrapper processes are gone* — the
+/// replay sends zero `Open` frames, so nothing is left to refuse them.
+#[test]
+fn warm_submission_replays_from_cache_without_touching_wrappers() {
+    let wrapper = WrapperServer::bind("127.0.0.1:0").expect("bind wrapper");
+    let mediator = MediatorServer::bind(
+        "127.0.0.1:0",
+        ServeOpts {
+            wrappers: vec![wrapper.local_addr().to_string()],
+            cache_bytes: 8 << 20,
+            ..ServeOpts::default()
+        },
+    )
+    .expect("bind mediator");
+
+    let traced = SubmitOpts {
+        trace: true,
+        ..SubmitOpts::default()
+    };
+    let mut cold_lines = Vec::new();
+    let cold = submit(mediator.local_addr(), &quickstart_json(), &traced, |p| {
+        if let Progress::TraceLine(l) = p {
+            cold_lines.push(l);
+        }
+    })
+    .expect("cold run");
+    assert!(
+        cold_lines
+            .iter()
+            .any(|l| l.contains("\"type\":\"cache_miss\"")),
+        "a cold run must trace its cache misses"
+    );
+    assert!(metric_u64(&cold.raw, "cache_misses") >= 1);
+    assert_eq!(metric_u64(&cold.raw, "cache_hits"), 0);
+
+    // Kill every wrapper: a warm run can only succeed via the cache.
+    wrapper.shutdown();
+
+    let mut warm_lines = Vec::new();
+    let warm = submit(mediator.local_addr(), &quickstart_json(), &traced, |p| {
+        if let Progress::TraceLine(l) = p {
+            warm_lines.push(l);
+        }
+    })
+    .expect("warm run must not need the wrappers");
+    assert_eq!(
+        warm.output_tuples, cold.output_tuples,
+        "warm answer must be bit-identical to cold"
+    );
+    assert!(
+        warm_lines
+            .iter()
+            .any(|l| l.contains("\"type\":\"cache_hit\"")),
+        "a warm run must trace its cache hits"
+    );
+    assert!(metric_u64(&warm.raw, "cache_hits") >= 1);
+    assert_eq!(metric_u64(&warm.raw, "cache_misses"), 0);
+    assert!(metric_u64(&warm.raw, "cache_bytes_served") > 0);
+
+    let stats = mediator.cache_stats().expect("cache configured");
+    assert!(stats.hits >= 1 && stats.insertions >= 1);
+    mediator.shutdown();
+}
+
+/// `--no-cache` bypasses both lookup and recording: two opted-out runs
+/// never hit, and leave nothing behind for an opted-in run to find.
+#[test]
+fn no_cache_submissions_bypass_the_cache_entirely() {
+    let mediator = MediatorServer::bind(
+        "127.0.0.1:0",
+        ServeOpts {
+            cache_bytes: 8 << 20,
+            ..ServeOpts::default()
+        },
+    )
+    .expect("bind mediator");
+    let opted_out = SubmitOpts {
+        no_cache: true,
+        ..SubmitOpts::default()
+    };
+    for _ in 0..2 {
+        let m = submit(
+            mediator.local_addr(),
+            &quickstart_json(),
+            &opted_out,
+            |_| {},
+        )
+        .expect("opted-out run");
+        assert_eq!(metric_u64(&m.raw, "cache_hits"), 0);
+        assert_eq!(metric_u64(&m.raw, "cache_misses"), 0);
+    }
+    let stats = mediator.cache_stats().expect("cache configured");
+    assert_eq!(stats.insertions, 0, "no-cache runs must not record");
+    mediator.shutdown();
+}
+
+/// An `Invalidate` frame drops cached entries, so the next submission
+/// misses and re-retrieves from the wrappers.
+#[test]
+fn invalidation_forces_the_next_submission_to_miss() {
+    let mediator = MediatorServer::bind(
+        "127.0.0.1:0",
+        ServeOpts {
+            cache_bytes: 8 << 20,
+            ..ServeOpts::default()
+        },
+    )
+    .expect("bind mediator");
+    let addr = mediator.local_addr();
+
+    let cold = submit(addr, &quickstart_json(), &SubmitOpts::default(), |_| {}).expect("cold run");
+    let warm = submit(addr, &quickstart_json(), &SubmitOpts::default(), |_| {}).expect("warm run");
+    assert!(metric_u64(&warm.raw, "cache_hits") >= 1);
+
+    let (entries, bytes) = invalidate(addr, None, Duration::ZERO).expect("invalidate round-trip");
+    assert!(entries >= 1, "a populated cache reports what it dropped");
+    assert!(bytes > 0);
+
+    let recold =
+        submit(addr, &quickstart_json(), &SubmitOpts::default(), |_| {}).expect("re-cold run");
+    assert_eq!(metric_u64(&recold.raw, "cache_hits"), 0);
+    assert!(metric_u64(&recold.raw, "cache_misses") >= 1);
+    assert_eq!(recold.output_tuples, cold.output_tuples);
+    mediator.shutdown();
+}
+
+/// `connect_timeout` retries the dial with backoff: a submit launched
+/// before the mediator is listening still lands once it comes up.
+#[test]
+fn submit_retries_the_connect_until_the_mediator_is_up() {
+    // Reserve a port, then free it for the late-starting mediator.
+    let placeholder = std::net::TcpListener::bind("127.0.0.1:0").expect("reserve port");
+    let addr = placeholder.local_addr().expect("reserved addr");
+    drop(placeholder);
+
+    let server = std::thread::spawn(move || {
+        std::thread::sleep(Duration::from_millis(300));
+        MediatorServer::bind(addr, ServeOpts::default()).expect("bind mediator late")
+    });
+
+    let patient = SubmitOpts {
+        connect_timeout: Duration::from_secs(30),
+        ..SubmitOpts::default()
+    };
+    let m = submit(addr, &quickstart_json(), &patient, |_| {})
+        .expect("retrying submit reaches the late mediator");
+    assert!(m.output_tuples > 0);
+    server.join().expect("server thread").shutdown();
+
+    // And a zero timeout is a single attempt: nobody listens, it fails now.
+    let placeholder = std::net::TcpListener::bind("127.0.0.1:0").expect("reserve port");
+    let dead = placeholder.local_addr().expect("reserved addr");
+    drop(placeholder);
+    let err = submit(dead, &quickstart_json(), &SubmitOpts::default(), |_| {})
+        .expect_err("no listener, no retry budget");
+    assert!(matches!(err, dqs_mediator::ClientError::Io(_)), "{err}");
 }
 
 /// Tracing streams engine events back as frames, ending in the same
