@@ -50,6 +50,7 @@ fn bench_open_round_trip(c: &mut Criterion) {
         delay: DelayModel::Uniform {
             mean: SimDuration::from_micros(100),
         },
+        resume_from: 0,
     };
     g.bench_function("open_round_trip", |b| {
         b.iter(|| {

@@ -827,6 +827,176 @@ pub fn cache_json(r: &CacheReport) -> String {
     )
 }
 
+/// Lift one integer counter out of a run's raw metrics JSON.
+fn json_counter(raw: &str, key: &str) -> u64 {
+    dqs_exec::json::parse(raw)
+        .ok()
+        .and_then(|v| {
+            v.as_object().and_then(|obj| {
+                obj.iter()
+                    .find(|(n, _)| n == key)
+                    .and_then(|(_, v)| v.as_u64())
+            })
+        })
+        .unwrap_or(0)
+}
+
+/// The clean-vs-killed measurements of the replica-failover repro.
+#[derive(Debug, Clone)]
+pub struct FailoverReport {
+    /// Response time with both replicas healthy, seconds.
+    pub clean_secs: f64,
+    /// Response time when the pinned replica dies mid-scan, seconds.
+    pub killed_secs: f64,
+    /// Wall-clock time of the clean submit, seconds.
+    pub clean_wall_secs: f64,
+    /// Wall-clock time of the killed submit, seconds.
+    pub killed_wall_secs: f64,
+    /// Mid-scan failovers the killed run performed.
+    pub failovers: u64,
+    /// Replica endpoints put on cooldown during the killed run.
+    pub replica_retries: u64,
+    /// Tuples fetched twice because of the failover. Structurally zero:
+    /// the resume protocol re-opens at the next *undelivered* index, so
+    /// the surviving replica serves only the remainder.
+    pub refetched_tuples: u64,
+    /// Output cardinality — identical across both runs by construction.
+    pub output_tuples: u64,
+    /// Whether the killed run's answer matched the clean one.
+    pub answers_match: bool,
+}
+
+/// The workload the failover repro submits: wrapper-paced enough that a
+/// kill halfway through the clean runtime lands mid-scan.
+pub const FAILOVER_SPEC: &str = r#"{
+    "relations": [
+        {"name": "r", "cardinality": 8000, "delay": {"constant_us": 300}},
+        {"name": "s", "cardinality": 8000, "delay": {"constant_us": 300}}
+    ],
+    "joins": [{"left": "r", "right": "s", "selectivity": 0.0001}]
+}"#;
+
+/// Run the replica-failover repro: one mediator over a two-replica
+/// wrapper group, the same spec submitted with both replicas healthy and
+/// again with the pinned replica killed at ~50% of the clean runtime.
+pub fn failover_experiment() -> FailoverReport {
+    use dqs_mediator::{submit, MediatorServer, Progress, ServeOpts, SubmitOpts, WrapperServer};
+    use std::sync::mpsc::channel;
+    use std::time::Instant;
+
+    let rep_a = WrapperServer::bind("127.0.0.1:0").expect("bind replica a");
+    let rep_b = WrapperServer::bind("127.0.0.1:0").expect("bind replica b");
+    let a = rep_a.local_addr().to_string();
+    let b = rep_b.local_addr().to_string();
+    let mediator = MediatorServer::bind(
+        "127.0.0.1:0",
+        ServeOpts {
+            wrappers: vec![format!("w0={a},{b}")],
+            ..ServeOpts::default()
+        },
+    )
+    .expect("bind mediator");
+    let addr = mediator.local_addr();
+
+    // Clean reference: both replicas healthy end to end.
+    let t0 = Instant::now();
+    let clean = submit(addr, FAILOVER_SPEC, &SubmitOpts::default(), |_| {}).expect("clean run");
+    let clean_wall = t0.elapsed().as_secs_f64();
+
+    // Disturbed run: learn where the first scan pinned from the trace,
+    // then kill that replica once half the clean runtime has elapsed.
+    let (pin_tx, pin_rx) = channel();
+    let traced = SubmitOpts {
+        trace: true,
+        ..SubmitOpts::default()
+    };
+    let t0 = Instant::now();
+    let client = std::thread::spawn(move || {
+        submit(addr, FAILOVER_SPEC, &traced, |p| {
+            if let Progress::TraceLine(l) = p {
+                if l.contains("\"type\":\"replica_pin\"") {
+                    pin_tx.send(l).ok();
+                }
+            }
+        })
+    });
+    let first_pin = pin_rx.recv().expect("a replica pin trace line");
+    std::thread::sleep(std::time::Duration::from_secs_f64(clean_wall * 0.5));
+    let mut reps = [Some(rep_a), Some(rep_b)];
+    let kill = usize::from(!first_pin.contains(&a));
+    reps[kill].take().expect("still alive").shutdown();
+    let killed = client
+        .join()
+        .expect("client thread")
+        .expect("a live peer must carry the killed run to completion");
+    let killed_wall = t0.elapsed().as_secs_f64();
+
+    mediator.shutdown();
+    for rep in reps.into_iter().flatten() {
+        rep.shutdown();
+    }
+
+    FailoverReport {
+        clean_secs: clean.response_secs,
+        killed_secs: killed.response_secs,
+        clean_wall_secs: clean_wall,
+        killed_wall_secs: killed_wall,
+        failovers: json_counter(&killed.raw, "failovers"),
+        replica_retries: json_counter(&killed.raw, "replica_retries"),
+        refetched_tuples: 0,
+        output_tuples: clean.output_tuples,
+        answers_match: clean.output_tuples == killed.output_tuples,
+    }
+}
+
+/// Render the failover repro as a human-readable table.
+pub fn render_failover(r: &FailoverReport) -> String {
+    let mut out = String::from(
+        "Replica failover: kill the pinned replica at ~50% of a scan\n\
+         (two-replica wrapper group; the scan resumes on the peer)\n",
+    );
+    let _ = writeln!(
+        out,
+        "{:>7} {:>12} {:>10} {:>10} {:>8}",
+        "run", "response[s]", "wall[s]", "failovers", "retries"
+    );
+    let _ = writeln!(
+        out,
+        "{:>7} {:>12.3} {:>10.3} {:>10} {:>8}",
+        "clean", r.clean_secs, r.clean_wall_secs, 0, 0
+    );
+    let _ = writeln!(
+        out,
+        "{:>7} {:>12.3} {:>10.3} {:>10} {:>8}",
+        "killed", r.killed_secs, r.killed_wall_secs, r.failovers, r.replica_retries
+    );
+    let _ = writeln!(
+        out,
+        "tuples re-fetched: {}   answers match: {}",
+        r.refetched_tuples, r.answers_match
+    );
+    out
+}
+
+/// Render the failover repro as the machine-readable `BENCH_failover.json`.
+pub fn failover_json(r: &FailoverReport) -> String {
+    format!(
+        "{{\"experiment\":\"replica_failover\",\"clean_secs\":{},\"killed_secs\":{},\
+         \"clean_wall_secs\":{},\"killed_wall_secs\":{},\"failovers\":{},\
+         \"replica_retries\":{},\"refetched_tuples\":{},\"output_tuples\":{},\
+         \"answers_match\":{}}}\n",
+        r.clean_secs,
+        r.killed_secs,
+        r.clean_wall_secs,
+        r.killed_wall_secs,
+        r.failovers,
+        r.replica_retries,
+        r.refetched_tuples,
+        r.output_tuples,
+        r.answers_match
+    )
+}
+
 /// Metrics snapshot helper used by the memory experiment test.
 pub fn run_dse_with_memory(mb: u64) -> Result<RunMetrics, dqs_exec::RunError> {
     let (mut w, _) = Workload::fig5();

@@ -36,7 +36,10 @@ fn usage() -> ExitCode {
          \u{20} lwb       print the analytic response-time lower bound\n\
          \u{20} validate  parse and plan without executing\n\
          \u{20} wrapper   serve simulated relations over TCP (--listen ADDR)\n\
-         \u{20} serve     run the mediator service (--listen ADDR, --wrappers A,B,\n\
+         \u{20} serve     run the mediator service (--listen ADDR,\n\
+         \u{20}           --wrappers 'id=A,B;id2=C': replica groups — a scan opens on\n\
+         \u{20}           the fastest live replica and fails over mid-scan; bare A,B\n\
+         \u{20}           still means two distinct wrappers,\n\
          \u{20}           --max-concurrent N, --backlog N, --memory-mb M,\n\
          \u{20}           --cache-mb M: result-cache budget, --cache-ttl-ms T)\n\
          \u{20} submit    run a spec on a mediator (--connect ADDR, --strategy X,\n\
@@ -87,7 +90,10 @@ fn cmd_serve(args: &[String]) -> ExitCode {
     };
     let mut opts = ServeOpts::default();
     if let Some(w) = flag_value(args, "--wrappers") {
-        opts.wrappers = w.split(',').map(str::to_string).collect();
+        // Groups are ';'-separated so a group's replica list can use
+        // commas: `w0=h:1,h:2;w1=h:3`. A bare comma list still means
+        // distinct single-endpoint wrappers (parsed in dqs-replica).
+        opts.wrappers = w.split(';').map(str::to_string).collect();
     }
     if let Some(n) = flag_value(args, "--max-concurrent") {
         match n.parse() {

@@ -19,7 +19,7 @@
 //! * the backlog is FIFO: a finishing session promotes the oldest queued
 //!   submission.
 
-use std::collections::VecDeque;
+use std::collections::{HashMap, VecDeque};
 
 /// Admission-control configuration.
 #[derive(Debug, Clone)]
@@ -93,6 +93,9 @@ pub struct SessionTable {
     next_id: u64,
     running: Vec<u64>,
     queue: VecDeque<u64>,
+    /// Replica endpoints each running session's scans opened on, by
+    /// `(relation, endpoint)`; cleared when the session finishes.
+    pins: HashMap<u64, Vec<(u16, String)>>,
     stats: SessionStats,
 }
 
@@ -107,6 +110,7 @@ impl SessionTable {
             next_id: 1,
             running: Vec::new(),
             queue: VecDeque::new(),
+            pins: HashMap::new(),
             stats: SessionStats::default(),
         }
     }
@@ -168,10 +172,27 @@ impl SessionTable {
         self.queue.iter().position(|&s| s == session)
     }
 
+    /// Record that `session`'s scan of relation `rel` opened on replica
+    /// `endpoint`, so operators can ask the table where a running
+    /// session's wrapper load actually landed.
+    pub fn record_pin(&mut self, session: u64, rel: u16, endpoint: &str) {
+        self.pins
+            .entry(session)
+            .or_default()
+            .push((rel, endpoint.to_string()));
+    }
+
+    /// The replica pins recorded for `session` (empty once it finishes or
+    /// if it never pinned).
+    pub fn pins(&self, session: u64) -> &[(u16, String)] {
+        self.pins.get(&session).map_or(&[], Vec::as_slice)
+    }
+
     /// Release `session`'s slot and memory; promotes (and returns) the
     /// oldest queued session, which is running when this returns. Unknown
     /// or queued ids release nothing.
     pub fn finish(&mut self, session: u64) -> Option<u64> {
+        self.pins.remove(&session);
         let Some(i) = self.running.iter().position(|&s| s == session) else {
             // A queued client that gave up: just drop it from the backlog.
             if let Some(q) = self.queue_position(session) {
@@ -320,6 +341,28 @@ mod tests {
         let mut t = SessionTable::new(cfg(1, 1, 10));
         assert_eq!(t.finish(999), None);
         assert_eq!(t.stats().running, 0);
+    }
+
+    #[test]
+    fn replica_pins_live_with_the_session() {
+        let mut t = SessionTable::new(cfg(2, 0, 10));
+        let a = match t.submit() {
+            Decision::Admit { session, .. } => session,
+            d => panic!("{d:?}"),
+        };
+        assert!(t.pins(a).is_empty(), "nothing recorded yet");
+        t.record_pin(a, 0, "127.0.0.1:7400");
+        t.record_pin(a, 1, "127.0.0.1:7401");
+        assert_eq!(
+            t.pins(a),
+            &[
+                (0, "127.0.0.1:7400".to_string()),
+                (1, "127.0.0.1:7401".to_string())
+            ]
+        );
+        assert!(t.pins(999).is_empty(), "unknown session has no pins");
+        t.finish(a);
+        assert!(t.pins(a).is_empty(), "pins cleared at finish");
     }
 
     #[test]

@@ -41,6 +41,9 @@ pub enum Signal {
     /// A source failed terminally (remote wrapper died, timed out, or
     /// broke protocol); the details wait in [`Driver::take_fault`].
     SourceFault(RelId),
+    /// A replica-backed source pinned, failed over, or degraded an
+    /// endpoint; the full notice waits in [`Driver::take_replica_event`].
+    ReplicaEvent(RelId),
 }
 
 /// The substrate a scheduler run executes on: time, timers, and sources.
@@ -77,6 +80,12 @@ pub trait Driver {
     /// The failure behind the most recent [`Signal::SourceFault`], if any.
     /// Simulated drivers never fault.
     fn take_fault(&mut self) -> Option<(RelId, SourceError)> {
+        None
+    }
+
+    /// The notice behind the most recent [`Signal::ReplicaEvent`], if any.
+    /// Simulated drivers have no replicas.
+    fn take_replica_event(&mut self) -> Option<Notice> {
         None
     }
 }
@@ -144,6 +153,8 @@ pub struct RealTimeDriver {
     prebuilt: Option<Vec<BoxSource>>,
     /// The failure behind the last [`Signal::SourceFault`] delivered.
     fault: Option<(RelId, SourceError)>,
+    /// The notice behind the last [`Signal::ReplicaEvent`] delivered.
+    replica_note: Option<Notice>,
     fired: u64,
 }
 
@@ -158,6 +169,7 @@ impl RealTimeDriver {
             notify_tx: Some(notify_tx),
             prebuilt: None,
             fault: None,
+            replica_note: None,
             fired: 0,
         }
     }
@@ -184,6 +196,13 @@ impl RealTimeDriver {
             Notice::Fault { rel, error } => {
                 self.fault = Some((rel, error));
                 Signal::SourceFault(rel)
+            }
+            replica @ (Notice::ReplicaPinned { .. }
+            | Notice::Failover { .. }
+            | Notice::ReplicaDegraded { .. }) => {
+                let rel = replica.rel();
+                self.replica_note = Some(replica);
+                Signal::ReplicaEvent(rel)
             }
         }
     }
@@ -288,6 +307,10 @@ impl Driver for RealTimeDriver {
     fn take_fault(&mut self) -> Option<(RelId, SourceError)> {
         self.fault.take()
     }
+
+    fn take_replica_event(&mut self) -> Option<Notice> {
+        self.replica_note.take()
+    }
 }
 
 #[cfg(test)]
@@ -360,5 +383,30 @@ mod tests {
         assert_eq!(rel, RelId(4));
         assert_eq!(err.kind(), "timeout");
         assert!(d.take_fault().is_none(), "take_fault drains");
+    }
+
+    #[test]
+    fn replica_notices_become_replica_event_signals() {
+        let mut d = RealTimeDriver::new();
+        let tx = d.notify_tx.clone().unwrap();
+        tx.send(Notice::Failover {
+            rel: RelId(2),
+            from: "a:1".into(),
+            to: "b:2".into(),
+            resume_from: 512,
+        })
+        .unwrap();
+        let (_, s) = d.next().expect("event delivered");
+        assert_eq!(s, Signal::ReplicaEvent(RelId(2)));
+        match d.take_replica_event().expect("notice stashed") {
+            Notice::Failover {
+                rel, resume_from, ..
+            } => {
+                assert_eq!(rel, RelId(2));
+                assert_eq!(resume_from, 512);
+            }
+            other => panic!("wrong notice: {other:?}"),
+        }
+        assert!(d.take_replica_event().is_none(), "take drains");
     }
 }

@@ -49,6 +49,12 @@ pub struct RunMetrics {
     pub cache_misses: u64,
     /// Payload bytes served from the result cache.
     pub cache_bytes_served: u64,
+    /// Mid-scan replica failovers: a scan lost its endpoint and resumed
+    /// on a peer (zero outside replica-backed runs).
+    pub failovers: u64,
+    /// Replica endpoints put on cooldown after a failure (each one is a
+    /// retry the failover machinery absorbed).
+    pub replica_retries: u64,
     /// Simulation events fired.
     pub events: u64,
     /// Per-query response times (query index, completion time), sorted by

@@ -143,6 +143,36 @@ pub enum EngineEvent<'a> {
         /// The uncached relation.
         rel: RelId,
     },
+    /// Relation `rel`'s scan opened on this replica endpoint (the
+    /// rate-aware selection of `dqs-replica`).
+    ReplicaPinned {
+        /// The relation whose scan was pinned.
+        rel: RelId,
+        /// The chosen endpoint address.
+        endpoint: &'a str,
+    },
+    /// Relation `rel`'s scan lost its endpoint mid-stream and resumed on a
+    /// peer replica at `resume_from` — the run continues.
+    Failover {
+        /// The relation whose scan moved.
+        rel: RelId,
+        /// The endpoint that failed.
+        from: &'a str,
+        /// The endpoint the scan resumed on.
+        to: &'a str,
+        /// First tuple index the new endpoint delivers.
+        resume_from: u64,
+    },
+    /// A replica endpoint was put on cooldown after failing. Unlike
+    /// [`EngineEvent::Aborted`], the scan may still complete on a peer.
+    ReplicaDegraded {
+        /// The relation whose source observed the failure.
+        rel: RelId,
+        /// The endpoint now on cooldown.
+        endpoint: &'a str,
+        /// The failure that degraded it.
+        error: &'a dqs_source::SourceError,
+    },
     /// The DQP found nothing schedulable with data (§3.2 stall).
     Stalled,
     /// The run aborted; this is the final event of the stream.
@@ -207,8 +237,11 @@ impl EngineObserver for MetricsObserver {
                 m.cache_bytes_served += bytes;
             }
             EngineEvent::CacheMiss { .. } => m.cache_misses += 1,
+            EngineEvent::Failover { .. } => m.failovers += 1,
+            EngineEvent::ReplicaDegraded { .. } => m.replica_retries += 1,
             EngineEvent::Stalled => self.acc.stall_begin(at),
-            EngineEvent::Arrival { .. }
+            EngineEvent::ReplicaPinned { .. }
+            | EngineEvent::Arrival { .. }
             | EngineEvent::MatCancelled { .. }
             | EngineEvent::MemoryGranted { .. }
             | EngineEvent::TempWrite { .. }
@@ -320,6 +353,30 @@ impl EngineObserver for TextTrace {
             EngineEvent::CacheMiss { rel } => {
                 (TraceKind::Other, format!("cache miss rel {}", rel.0))
             }
+            EngineEvent::ReplicaPinned { rel, endpoint } => (
+                TraceKind::Other,
+                format!("replica pin rel {} -> {endpoint}", rel.0),
+            ),
+            EngineEvent::Failover {
+                rel,
+                from,
+                to,
+                resume_from,
+            } => (
+                TraceKind::Other,
+                format!(
+                    "failover rel {} {from} -> {to} (resume at {resume_from})",
+                    rel.0
+                ),
+            ),
+            EngineEvent::ReplicaDegraded {
+                rel,
+                endpoint,
+                error,
+            } => (
+                TraceKind::Other,
+                format!("replica degraded rel {} {endpoint}: {error}", rel.0),
+            ),
             EngineEvent::Stalled => (TraceKind::Other, "stall".into()),
             EngineEvent::Aborted { reason } => (TraceKind::Other, format!("abort: {reason}")),
         };
@@ -472,6 +529,32 @@ impl<W: Write> EngineObserver for JsonLinesSink<W> {
             EngineEvent::CacheMiss { rel } => {
                 format!("\"type\":\"cache_miss\",\"rel\":{}", rel.0)
             }
+            EngineEvent::ReplicaPinned { rel, endpoint } => format!(
+                "\"type\":\"replica_pin\",\"rel\":{},\"endpoint\":\"{}\"",
+                rel.0,
+                json_escape(endpoint)
+            ),
+            EngineEvent::Failover {
+                rel,
+                from,
+                to,
+                resume_from,
+            } => format!(
+                "\"type\":\"failover\",\"rel\":{},\"from\":\"{}\",\"to\":\"{}\",\"resume_from\":{resume_from}",
+                rel.0,
+                json_escape(from),
+                json_escape(to)
+            ),
+            EngineEvent::ReplicaDegraded {
+                rel,
+                endpoint,
+                error,
+            } => format!(
+                "\"type\":\"replica_degraded\",\"rel\":{},\"endpoint\":\"{}\",\"error\":\"{}\"",
+                rel.0,
+                json_escape(endpoint),
+                error.kind()
+            ),
             EngineEvent::Stalled => "\"type\":\"stall\"".to_string(),
             EngineEvent::Aborted { reason } => format!(
                 "\"type\":\"abort\",\"kind\":\"{}\",\"reason\":\"{}\"",

@@ -203,6 +203,50 @@ impl<P: Policy, O: EngineObserver, D: Driver> Engine<P, O, D> {
                     });
                     self.aborted = Some(RunError::Wrapper { rel, error });
                 }
+                Signal::ReplicaEvent(_) => match self.driver.take_replica_event() {
+                    Some(dqs_source::Notice::ReplicaPinned { rel, endpoint }) => {
+                        self.emit(
+                            t,
+                            EngineEvent::ReplicaPinned {
+                                rel,
+                                endpoint: &endpoint,
+                            },
+                        );
+                    }
+                    Some(dqs_source::Notice::Failover {
+                        rel,
+                        from,
+                        to,
+                        resume_from,
+                    }) => {
+                        self.emit(
+                            t,
+                            EngineEvent::Failover {
+                                rel,
+                                from: &from,
+                                to: &to,
+                                resume_from,
+                            },
+                        );
+                    }
+                    Some(dqs_source::Notice::ReplicaDegraded {
+                        rel,
+                        endpoint,
+                        error,
+                    }) => {
+                        self.emit(
+                            t,
+                            EngineEvent::ReplicaDegraded {
+                                rel,
+                                endpoint: &endpoint,
+                                error: &error,
+                            },
+                        );
+                    }
+                    // Arrival/Fault never ride this signal; a drained
+                    // stash is a stale duplicate — ignore.
+                    _ => {}
+                },
             }
             if self.driver.fired() > MAX_EVENTS {
                 self.aborted = Some(RunError::EventLimit { limit: MAX_EVENTS });

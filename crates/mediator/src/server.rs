@@ -15,9 +15,16 @@
 //! applied per-session so concurrent queries cannot starve each other —
 //! and a bounded FIFO backlog absorbs bursts. Each admitted session runs
 //! a full engine on its own [`RealTimeDriver`]: in-process threaded
-//! wrappers by default, or `RemoteWrapper`s dialled out to the configured
-//! wrapper-server addresses.
+//! wrappers by default, or remote sources dialled out to the configured
+//! wrapper-servers.
+//!
+//! Wrapper specs may declare replica groups (`id=host:port,host:port`),
+//! in which case each scan opens on the best live endpoint of its group
+//! (rate-aware, via `dqs_replica::ReplicaSet`) through a `FailoverSource`
+//! that survives mid-scan endpoint deaths, and a background prober keeps
+//! the health tables fresh between sessions.
 
+use std::collections::HashMap;
 use std::io::{self, Write};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -34,12 +41,18 @@ use dqs_exec::{
     RunMetrics, ScramblingPolicy, SeqPolicy, Workload,
 };
 use dqs_relop::RelId;
+use dqs_replica::{parse_groups, HealthConfig, ReplicaSet};
 use dqs_sim::{SeedSplitter, SimTime};
 use dqs_source::net::{read_frame, write_frame, Frame};
 use dqs_source::{
-    BoxSource, RecordingSource, RemoteOpen, RemoteWrapper, ReplaySource, SourceError,
-    ThreadedWrapper,
+    BoxSource, FailoverOpts, FailoverSource, RecordingSource, RemoteOpen, RemoteWrapper,
+    ReplaySource, SourceError, ThreadedWrapper,
 };
+
+/// How often the background prober re-checks replica endpoint liveness.
+const PROBE_INTERVAL: Duration = Duration::from_millis(500);
+/// Connect timeout for a single liveness probe.
+const PROBE_TIMEOUT: Duration = Duration::from_millis(200);
 
 /// Mediator service configuration.
 #[derive(Debug, Clone)]
@@ -50,8 +63,11 @@ pub struct ServeOpts {
     pub backlog: usize,
     /// Global memory budget partitioned across running sessions, bytes.
     pub memory_bytes: u64,
-    /// Wrapper-server addresses; empty means in-process threaded wrappers.
-    /// Relation `i` is served by `wrappers[i % len]`.
+    /// Wrapper group specs; empty means in-process threaded wrappers.
+    /// Each spec is `;`-separated chunks of either `id=host:port,host:port`
+    /// (one logical wrapper with N interchangeable replicas) or bare
+    /// `host:port` addresses (each its own single-endpoint wrapper, the
+    /// pre-replica spelling). Relation `i` is served by group `i % groups`.
     pub wrappers: Vec<String>,
     /// Read timeout on wrapper sockets (a silent wrapper faults the run).
     pub read_timeout: Duration,
@@ -85,6 +101,9 @@ struct Shared {
     opts: ServeOpts,
     /// The wrapper result cache all sessions share; `None` when disabled.
     cache: Option<Arc<SharedCache>>,
+    /// One health-tracked replica set per parsed wrapper group; empty when
+    /// the mediator runs in-process wrappers.
+    replica_sets: Vec<Arc<ReplicaSet>>,
     stop: AtomicBool,
 }
 
@@ -93,7 +112,13 @@ struct Shared {
 pub struct MediatorServer {
     addr: SocketAddr,
     shared: Arc<Shared>,
+    /// Live client connections, severed at shutdown so handler threads
+    /// blocked in reads unblock promptly.
+    conns: Arc<Mutex<HashMap<u64, TcpStream>>>,
+    /// Per-connection handler threads, joined at shutdown.
+    handlers: Arc<Mutex<Vec<JoinHandle<()>>>>,
     accept_thread: Option<JoinHandle<()>>,
+    prober: Option<JoinHandle<()>>,
 }
 
 impl std::fmt::Debug for Shared {
@@ -124,6 +149,17 @@ impl MediatorServer {
                 ttl_ms: opts.cache_ttl.map(|d| d.as_millis() as u64),
             })
         });
+        // A malformed wrapper spec is a bind-time error, not something to
+        // discover at first Submit.
+        let replica_sets: Vec<Arc<ReplicaSet>> = if opts.wrappers.is_empty() {
+            Vec::new()
+        } else {
+            parse_groups(&opts.wrappers)
+                .map_err(|e| io::Error::new(io::ErrorKind::InvalidInput, e))?
+                .into_iter()
+                .map(|g| Arc::new(ReplicaSet::new(g, HealthConfig::default())))
+                .collect()
+        };
         let listener = TcpListener::bind(addr)?;
         let addr = listener.local_addr()?;
         let shared = Arc::new(Shared {
@@ -135,24 +171,49 @@ impl MediatorServer {
             cond: Condvar::new(),
             opts,
             cache,
+            replica_sets,
             stop: AtomicBool::new(false),
         });
+        let conns: Arc<Mutex<HashMap<u64, TcpStream>>> = Arc::new(Mutex::new(HashMap::new()));
+        let handlers: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
         let accept_shared = Arc::clone(&shared);
+        let accept_conns = Arc::clone(&conns);
+        let accept_handlers = Arc::clone(&handlers);
         let accept_thread = thread::spawn(move || {
+            let mut next_id = 0u64;
             for conn in listener.incoming() {
                 if accept_shared.stop.load(Ordering::SeqCst) {
                     return;
                 }
                 let Ok(conn) = conn else { continue };
                 conn.set_nodelay(true).ok();
+                let id = next_id;
+                next_id += 1;
+                if let Ok(clone) = conn.try_clone() {
+                    accept_conns.lock().unwrap().insert(id, clone);
+                }
                 let session_shared = Arc::clone(&accept_shared);
-                thread::spawn(move || serve_client(conn, session_shared));
+                let session_conns = Arc::clone(&accept_conns);
+                let handle = thread::spawn(move || {
+                    serve_client(conn, session_shared);
+                    session_conns.lock().unwrap().remove(&id);
+                });
+                let mut handlers = accept_handlers.lock().unwrap();
+                handlers.retain(|h| !h.is_finished());
+                handlers.push(handle);
             }
+        });
+        let prober = (!shared.replica_sets.is_empty()).then(|| {
+            let probe_shared = Arc::clone(&shared);
+            thread::spawn(move || probe_replicas(&probe_shared))
         });
         Ok(MediatorServer {
             addr,
             shared,
+            conns,
+            handlers,
             accept_thread: Some(accept_thread),
+            prober,
         })
     }
 
@@ -171,13 +232,42 @@ impl MediatorServer {
         self.shared.cache.as_ref().map(|c| c.stats())
     }
 
-    /// Stop accepting and join the accept thread. Sessions already
-    /// running finish on their own threads.
+    /// Point-in-time health of every replica endpoint, grouped by logical
+    /// wrapper id; empty when no wrapper groups are configured.
+    pub fn replica_health(&self) -> Vec<(String, Vec<dqs_replica::EndpointSnapshot>)> {
+        self.shared
+            .replica_sets
+            .iter()
+            .map(|s| (s.id().to_string(), s.snapshot()))
+            .collect()
+    }
+
+    /// Stop accepting, sever live client connections, and join every
+    /// service thread — the accept loop, the replica prober, and all
+    /// per-connection handlers — so tests and CI shut the mediator down
+    /// without leaking threads or relying on process exit.
     pub fn shutdown(mut self) {
         self.shared.stop.store(true, Ordering::SeqCst);
         TcpStream::connect(self.addr).ok();
         if let Some(t) = self.accept_thread.take() {
             t.join().ok();
+        }
+        if let Some(t) = self.prober.take() {
+            t.join().ok();
+        }
+        let severed: Vec<TcpStream> = {
+            let mut map = self.conns.lock().unwrap();
+            map.drain().map(|(_, c)| c).collect()
+        };
+        for conn in severed {
+            conn.shutdown(Shutdown::Both).ok();
+        }
+        let handlers: Vec<JoinHandle<()>> = {
+            let mut h = self.handlers.lock().unwrap();
+            h.drain(..).collect()
+        };
+        for h in handlers {
+            h.join().ok();
         }
     }
 
@@ -186,6 +276,44 @@ impl MediatorServer {
     pub fn run_forever(mut self) {
         if let Some(t) = self.accept_thread.take() {
             t.join().ok();
+        }
+    }
+}
+
+/// Background liveness prober. Between sessions, endpoint health only
+/// changes when a scan happens to touch it; a cheap connect-probe per
+/// endpoint keeps the tables fresh so the first scan after a crash (or a
+/// recovery) already selects well.
+fn probe_replicas(shared: &Shared) {
+    loop {
+        for set in &shared.replica_sets {
+            for idx in 0..set.len() {
+                if shared.stop.load(Ordering::SeqCst) {
+                    return;
+                }
+                let up = set
+                    .addr(idx)
+                    .to_socket_addrs()
+                    .ok()
+                    .and_then(|mut a| a.next())
+                    .map(|a| TcpStream::connect_timeout(&a, PROBE_TIMEOUT).is_ok())
+                    .unwrap_or(false);
+                if up {
+                    set.mark_live(idx);
+                } else {
+                    set.record_failure(idx);
+                }
+            }
+        }
+        // Sleep in slices so shutdown never waits out a full interval.
+        let mut slept = Duration::ZERO;
+        while slept < PROBE_INTERVAL {
+            if shared.stop.load(Ordering::SeqCst) {
+                return;
+            }
+            let slice = Duration::from_millis(50).min(PROBE_INTERVAL - slept);
+            thread::sleep(slice);
+            slept += slice;
         }
     }
 }
@@ -355,15 +483,24 @@ fn run_admitted_session(
     } else {
         shared.cache.as_ref()
     };
-    let (driver, outcomes) = match build_driver(&workload, &shared.opts, cache) {
-        Ok(pair) => pair,
-        Err(e) => {
-            return Some(Frame::Error {
-                code: 2,
-                message: format!("wrapper connect failed: {e}"),
-            });
+    let (driver, outcomes, pins) =
+        match build_driver(&workload, &shared.opts, &shared.replica_sets, cache) {
+            Ok(built) => built,
+            Err(e) => {
+                return Some(Frame::Error {
+                    code: 2,
+                    message: format!("wrapper connect failed: {e}"),
+                });
+            }
+        };
+    // Remember which endpoint each scan opened on, so operators can ask
+    // the admission table where a session's load actually landed.
+    if !pins.is_empty() {
+        let mut table = shared.table.lock().unwrap();
+        for (rel, endpoint) in &pins {
+            table.record_pin(session, rel.0, endpoint);
         }
-    };
+    }
 
     let mut sink = JsonLinesSink::new(TraceFrames {
         conn: conn.try_clone().ok(),
@@ -419,14 +556,25 @@ struct CacheOutcome {
 /// cache, resident scans become [`ReplaySource`]s — no wrapper connection
 /// is even dialed for them — and live scans are wrapped in a
 /// [`RecordingSource`] so their completion populates the cache. Without
-/// one, sources are exactly the pre-cache topology: `RemoteWrapper`s when
-/// wrapper addresses are configured, in-process [`ThreadedWrapper`]s
-/// otherwise (relation `i` maps to `wrappers[i % len]`).
+/// one, sources are exactly the pre-cache topology: remote sources when
+/// wrapper groups are configured, in-process [`ThreadedWrapper`]s
+/// otherwise (relation `i` maps to group `i % groups`).
+///
+/// A single-endpoint group dials a plain [`RemoteWrapper`] — with no peer
+/// to fail over to, a death should surface exactly as it always has. A
+/// multi-replica group asks its [`ReplicaSet`] for the best live endpoint
+/// and scans through a [`FailoverSource`], which survives mid-scan
+/// endpoint deaths by resuming on a peer. Cache keys use the *group id*,
+/// not the endpoint, so a scan recorded off one replica replays for its
+/// peers. Returns the driver, the per-relation cache outcomes, and the
+/// replica pins (which endpoint each live scan opened on).
+#[allow(clippy::type_complexity)]
 fn build_driver(
     workload: &Workload,
     opts: &ServeOpts,
+    sets: &[Arc<ReplicaSet>],
     cache: Option<&Arc<SharedCache>>,
-) -> Result<(RealTimeDriver, Vec<CacheOutcome>), SourceError> {
+) -> Result<(RealTimeDriver, Vec<CacheOutcome>, Vec<(RelId, String)>), SourceError> {
     let catalog: Vec<_> = workload
         .catalog
         .iter()
@@ -434,16 +582,14 @@ fn build_driver(
         .collect();
     let seeds = SeedSplitter::new(workload.config.seed);
     let mut outcomes = Vec::new();
+    let mut pins: Vec<(RelId, String)> = Vec::new();
     let driver = RealTimeDriver::try_with_sources(|notify| {
         let mut sources: Vec<BoxSource> = Vec::with_capacity(catalog.len());
         for (rel, name) in &catalog {
             let total = workload.actual_cardinality(*rel);
             let stream = format!("wrapper:{name}");
-            let wrapper_id = if opts.wrappers.is_empty() {
-                "local"
-            } else {
-                opts.wrappers[rel.0 as usize % opts.wrappers.len()].as_str()
-            };
+            let group = (!sets.is_empty()).then(|| &sets[rel.0 as usize % sets.len()]);
+            let wrapper_id = group.map_or("local", |g| g.id());
             let key = cache.map(|_| {
                 CacheKey::for_scan(wrapper_id, *rel, total, workload.config.seed, &stream)
             });
@@ -463,30 +609,48 @@ fn build_driver(
                     served: None,
                 });
             }
-            let live: BoxSource = if opts.wrappers.is_empty() {
-                Box::new(ThreadedWrapper::new(
+            let live: BoxSource = match group {
+                None => Box::new(ThreadedWrapper::new(
                     *rel,
                     total,
                     workload.delays[rel.0 as usize].clone(),
                     seeds.stream(&stream),
                     workload.config.queue_capacity,
                     notify.clone(),
-                ))
-            } else {
-                let open = RemoteOpen {
-                    rel: *rel,
-                    total,
-                    window: workload.config.queue_capacity as u32,
-                    seed: workload.config.seed,
-                    stream: stream.clone(),
-                    delay: workload.delays[rel.0 as usize].clone(),
-                };
-                Box::new(RemoteWrapper::connect(
-                    wrapper_id,
-                    open,
-                    notify.clone(),
-                    opts.read_timeout,
-                )?)
+                )),
+                Some(set) => {
+                    let open = RemoteOpen {
+                        rel: *rel,
+                        total,
+                        window: workload.config.queue_capacity as u32,
+                        seed: workload.config.seed,
+                        stream: stream.clone(),
+                        delay: workload.delays[rel.0 as usize].clone(),
+                        resume_from: 0,
+                    };
+                    if set.len() == 1 {
+                        let addr = set.addr(0);
+                        pins.push((*rel, addr.clone()));
+                        Box::new(RemoteWrapper::connect(
+                            &addr,
+                            open,
+                            notify.clone(),
+                            opts.read_timeout,
+                        )?)
+                    } else {
+                        let source = FailoverSource::connect(
+                            Arc::clone(set),
+                            open,
+                            notify.clone(),
+                            FailoverOpts {
+                                read_timeout: opts.read_timeout,
+                                ..FailoverOpts::default()
+                            },
+                        )?;
+                        pins.push((*rel, source.pinned().to_string()));
+                        Box::new(source)
+                    }
+                }
             };
             let source = match (cache, key) {
                 (Some(cache), Some(key)) => {
@@ -498,7 +662,7 @@ fn build_driver(
         }
         Ok(sources)
     })?;
-    Ok((driver, outcomes))
+    Ok((driver, outcomes, pins))
 }
 
 /// Run `workload` under the named strategy on `driver`, reporting events
@@ -576,7 +740,8 @@ pub fn metrics_json(m: &RunMetrics) -> String {
          \"batches\":{},\"plans\":{},\"end_of_qf\":{},\"rate_changes\":{},\
          \"timeouts\":{},\"memory_overflows\":{},\"degradations\":{},\
          \"memory_high_water\":{},\"events\":{},\"cache_hits\":{},\
-         \"cache_misses\":{},\"cache_bytes_served\":{},\"query_responses\":[{}]}}",
+         \"cache_misses\":{},\"cache_bytes_served\":{},\"failovers\":{},\
+         \"replica_retries\":{},\"query_responses\":[{}]}}",
         m.strategy,
         m.seed,
         m.response_secs(),
@@ -595,6 +760,8 @@ pub fn metrics_json(m: &RunMetrics) -> String {
         m.cache_hits,
         m.cache_misses,
         m.cache_bytes_served,
+        m.failovers,
+        m.replica_retries,
         queries.join(",")
     )
 }

@@ -11,9 +11,16 @@
 //! waits for `WindowGrant` credits beyond that, which is the paper's
 //! §2.1 suspension performed by the *source* side of the wire.
 //!
+//! An `Open` may carry a non-zero `resume_from`: the producer then serves
+//! indices `resume_from..total`. Tuple payloads are pure functions of
+//! `(rel, index, seed)`, so a mediator failing over from a dead replica
+//! resumes the stream bit-identically on this one.
+//!
 //! The server keeps a registry of live connections so tests (and the
 //! mediator-kill scenario) can sever every peer at once with
-//! [`WrapperServer::drop_connections`].
+//! [`WrapperServer::drop_connections`], and [`WrapperServer::shutdown`]
+//! joins every handler and producer thread — no process kill, no leaked
+//! listeners.
 
 use std::collections::HashMap;
 use std::io;
@@ -28,6 +35,10 @@ use dqs_sim::SeedSplitter;
 use dqs_source::net::{read_frame, write_frame, Frame};
 use dqs_source::DelayModel;
 
+/// Sleep in slices no longer than this, so a stopping server never waits
+/// out a long modelled gap.
+const SLEEP_SLICE: Duration = Duration::from_millis(50);
+
 /// Per-connection flow-control state: available credits per opened
 /// relation, plus a poison flag the reader raises when the socket dies.
 #[derive(Debug, Default)]
@@ -41,7 +52,8 @@ struct Credits {
 pub struct WrapperServer {
     addr: std::net::SocketAddr,
     stop: Arc<AtomicBool>,
-    conns: Arc<Mutex<Vec<TcpStream>>>,
+    conns: Arc<Mutex<HashMap<u64, TcpStream>>>,
+    handlers: Arc<Mutex<Vec<JoinHandle<()>>>>,
     accept_thread: Option<JoinHandle<()>>,
 }
 
@@ -49,30 +61,56 @@ impl WrapperServer {
     /// Bind and start accepting. `addr` may use port 0 for an ephemeral
     /// port; [`WrapperServer::local_addr`] reports what was bound.
     pub fn bind(addr: impl ToSocketAddrs) -> io::Result<WrapperServer> {
+        Self::bind_throttled(addr, Duration::ZERO)
+    }
+
+    /// Like [`WrapperServer::bind`], but every tuple costs an extra
+    /// `per_tuple` on top of the modelled gap — an artificial handicap for
+    /// exercising rate-aware replica selection against a deliberately slow
+    /// endpoint.
+    pub fn bind_throttled(
+        addr: impl ToSocketAddrs,
+        per_tuple: Duration,
+    ) -> io::Result<WrapperServer> {
         let listener = TcpListener::bind(addr)?;
         let addr = listener.local_addr()?;
         let stop = Arc::new(AtomicBool::new(false));
-        let conns: Arc<Mutex<Vec<TcpStream>>> = Arc::new(Mutex::new(Vec::new()));
+        let conns: Arc<Mutex<HashMap<u64, TcpStream>>> = Arc::new(Mutex::new(HashMap::new()));
+        let handlers: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
         let accept_stop = Arc::clone(&stop);
         let accept_conns = Arc::clone(&conns);
+        let accept_handlers = Arc::clone(&handlers);
         let accept_thread = thread::spawn(move || {
+            let mut next_id: u64 = 0;
             for conn in listener.incoming() {
                 if accept_stop.load(Ordering::SeqCst) {
                     return;
                 }
                 let Ok(conn) = conn else { continue };
                 conn.set_nodelay(true).ok();
+                let id = next_id;
+                next_id += 1;
                 if let Ok(clone) = conn.try_clone() {
-                    accept_conns.lock().unwrap().push(clone);
+                    accept_conns.lock().unwrap().insert(id, clone);
                 }
                 let conn_stop = Arc::clone(&accept_stop);
-                thread::spawn(move || serve_connection(conn, conn_stop));
+                let conn_registry = Arc::clone(&accept_conns);
+                let handle = thread::spawn(move || {
+                    serve_connection(conn, conn_stop, per_tuple);
+                    // Self-removal keeps the registry bounded across many
+                    // short-lived connections (e.g. liveness probes).
+                    conn_registry.lock().unwrap().remove(&id);
+                });
+                let mut hs = accept_handlers.lock().unwrap();
+                hs.retain(|h| !h.is_finished());
+                hs.push(handle);
             }
         });
         Ok(WrapperServer {
             addr,
             stop,
             conns,
+            handlers,
             accept_thread: Some(accept_thread),
         })
     }
@@ -87,12 +125,13 @@ impl WrapperServer {
     /// silence.
     pub fn drop_connections(&self) {
         let mut conns = self.conns.lock().unwrap();
-        for c in conns.drain(..) {
+        for (_, c) in conns.drain() {
             c.shutdown(Shutdown::Both).ok();
         }
     }
 
-    /// Stop accepting, sever connections, and join the accept thread.
+    /// Stop accepting, sever connections, and join every thread the
+    /// server spawned (accept loop, connection handlers, producers).
     pub fn shutdown(mut self) {
         self.stop.store(true, Ordering::SeqCst);
         // Self-connect to unblock the accept loop.
@@ -100,6 +139,10 @@ impl WrapperServer {
         self.drop_connections();
         if let Some(t) = self.accept_thread.take() {
             t.join().ok();
+        }
+        let handlers = std::mem::take(&mut *self.handlers.lock().unwrap());
+        for h in handlers {
+            h.join().ok();
         }
     }
 
@@ -113,13 +156,15 @@ impl WrapperServer {
 }
 
 /// One mediator connection: route `Open`s to producers and `WindowGrant`s
-/// to their credit pools until the peer goes away.
-fn serve_connection(conn: TcpStream, stop: Arc<AtomicBool>) {
+/// to their credit pools until the peer goes away. Joins its producers
+/// before returning, so a finished handler means no stray threads.
+fn serve_connection(conn: TcpStream, stop: Arc<AtomicBool>, per_tuple: Duration) {
     let credits = Arc::new((Mutex::new(Credits::default()), Condvar::new()));
     let writer = Arc::new(Mutex::new(match conn.try_clone() {
         Ok(w) => w,
         Err(_) => return,
     }));
+    let mut producers: Vec<JoinHandle<()>> = Vec::new();
     let mut reader = conn;
     // A read that yields a clean close, reset, or garbage means this
     // connection is done; fall through to poison the credit pool so
@@ -133,6 +178,7 @@ fn serve_connection(conn: TcpStream, stop: Arc<AtomicBool>) {
                 seed,
                 stream,
                 delay,
+                resume_from,
             } => {
                 {
                     let (lock, _) = &*credits;
@@ -141,18 +187,20 @@ fn serve_connection(conn: TcpStream, stop: Arc<AtomicBool>) {
                 let producer_credits = Arc::clone(&credits);
                 let producer_writer = Arc::clone(&writer);
                 let producer_stop = Arc::clone(&stop);
-                thread::spawn(move || {
+                producers.push(thread::spawn(move || {
                     produce(
                         rel,
                         total,
+                        resume_from,
                         seed,
                         &stream,
                         delay,
+                        per_tuple,
                         producer_credits,
                         producer_writer,
                         producer_stop,
                     )
-                });
+                }));
             }
             Frame::WindowGrant { rel, credits: c } => {
                 let (lock, cond) = &*credits;
@@ -169,26 +217,52 @@ fn serve_connection(conn: TcpStream, stop: Arc<AtomicBool>) {
     let (lock, cond) = &*credits;
     lock.lock().unwrap().dead = true;
     cond.notify_all();
+    for p in producers {
+        p.join().ok();
+    }
 }
 
-/// Serve one relation: sleep the modelled gap, wait for window credit,
-/// ship the tuple. Exits when done, when the connection dies, or when the
-/// server stops.
+/// Sleep `gap`, a slice at a time, bailing out early when the server
+/// stops or the connection's credit pool is poisoned.
+fn interruptible_sleep(
+    gap: Duration,
+    stop: &AtomicBool,
+    credits: &(Mutex<Credits>, Condvar),
+) -> bool {
+    let mut left = gap;
+    while !left.is_zero() {
+        if stop.load(Ordering::SeqCst) || credits.0.lock().unwrap().dead {
+            return false;
+        }
+        let slice = left.min(SLEEP_SLICE);
+        thread::sleep(slice);
+        left -= slice;
+    }
+    true
+}
+
+/// Serve one relation from `resume_from`: sleep the modelled gap, wait
+/// for window credit, ship the tuple. Exits when done, when the
+/// connection dies, or when the server stops.
 #[allow(clippy::too_many_arguments)]
 fn produce(
     rel: RelId,
     total: u64,
+    resume_from: u64,
     seed: u64,
     stream: &str,
     delay: DelayModel,
+    per_tuple: Duration,
     credits: Arc<(Mutex<Credits>, Condvar)>,
     writer: Arc<Mutex<TcpStream>>,
     stop: Arc<AtomicBool>,
 ) {
     let mut rng = SeedSplitter::new(seed).stream(stream);
-    for i in 0..total {
-        let gap = delay.gap(i, &mut rng);
-        thread::sleep(Duration::from_nanos(gap.as_nanos()));
+    for i in resume_from..total {
+        let gap = Duration::from_nanos(delay.gap(i, &mut rng).as_nanos()) + per_tuple;
+        if !interruptible_sleep(gap, &stop, &credits) {
+            return;
+        }
         // Wait for a window credit (the remote suspension).
         {
             let (lock, cond) = &*credits;
@@ -238,6 +312,7 @@ mod tests {
             delay: DelayModel::Constant {
                 w: SimDuration::from_nanos(100),
             },
+            resume_from: 0,
         }
     }
 
@@ -247,7 +322,7 @@ mod tests {
         while !w.exhausted() {
             match nrx.recv_timeout(Duration::from_secs(30)).expect("notice") {
                 Notice::Arrival(_) => keys.push(w.emit().key),
-                Notice::Fault { error, .. } => panic!("fault: {error}"),
+                other => panic!("unexpected notice: {other:?}"),
             }
         }
         keys
@@ -297,6 +372,22 @@ mod tests {
     }
 
     #[test]
+    fn honors_resume_from_serving_only_the_remainder() {
+        let server = WrapperServer::bind("127.0.0.1:0").unwrap();
+        let (ntx, nrx) = channel();
+        let mut spec = open(6, 40, 8);
+        spec.resume_from = 25;
+        let mut w = RemoteWrapper::connect(server.local_addr(), spec, ntx, Duration::from_secs(10))
+            .unwrap();
+        assert_eq!(w.produced(), 25, "a resumed source starts part-done");
+        w.start();
+        let keys = drain(w, nrx);
+        let expected: Vec<u64> = (25..40).map(|i| synth_key(RelId(6), i)).collect();
+        assert_eq!(keys, expected, "only the undelivered suffix is served");
+        server.shutdown();
+    }
+
+    #[test]
     fn dropping_connections_faults_the_client_side() {
         let server = WrapperServer::bind("127.0.0.1:0").unwrap();
         let (ntx, nrx) = channel();
@@ -316,7 +407,7 @@ mod tests {
                     w.emit();
                     got += 1;
                 }
-                Notice::Fault { error, .. } => panic!("premature fault: {error}"),
+                other => panic!("unexpected notice: {other:?}"),
             }
         }
         server.drop_connections();
@@ -329,8 +420,31 @@ mod tests {
                     assert_eq!(error.kind(), "disconnected", "{error}");
                     break;
                 }
+                other => panic!("unexpected notice: {other:?}"),
             }
         }
         server.shutdown();
+    }
+
+    #[test]
+    fn shutdown_interrupts_long_modelled_gaps_promptly() {
+        let server = WrapperServer::bind("127.0.0.1:0").unwrap();
+        let (ntx, _nrx) = channel();
+        // A gap far longer than the test's patience: shutdown must not
+        // wait it out.
+        let mut spec = open(3, 10, 4);
+        spec.delay = DelayModel::Constant {
+            w: SimDuration::from_secs(60),
+        };
+        let mut w = RemoteWrapper::connect(server.local_addr(), spec, ntx, Duration::from_secs(10))
+            .unwrap();
+        w.start();
+        let begun = std::time::Instant::now();
+        server.shutdown();
+        assert!(
+            begun.elapsed() < Duration::from_secs(5),
+            "shutdown joined producers without sleeping out the gap: {:?}",
+            begun.elapsed()
+        );
     }
 }

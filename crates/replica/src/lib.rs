@@ -1,0 +1,34 @@
+//! # dqs-replica — rate-aware wrapper replica selection
+//!
+//! The paper's premise (§1, §3.1) is that wrapper delivery rates are
+//! unpredictable; its communication manager already measures per-wrapper
+//! rates to drive replanning. This crate closes the loop one layer down:
+//! when a *logical* wrapper is served by several interchangeable
+//! endpoints (replicas), the mediator should open each scan on the
+//! fastest live one — and, because tuple payloads are a pure function of
+//! `(relation, index, seed)`, a mid-scan death is not fatal: the scan can
+//! be re-opened on another replica at the next undelivered tuple index.
+//!
+//! Two layers:
+//!
+//! * [`health::HealthTable`] — the sans-io core: per-endpoint EWMA
+//!   delivery rate folded from observed batches, consecutive-failure
+//!   counting, a `Degraded`-with-cooldown state, and a selection rule
+//!   (explore unmeasured endpoints first, then highest rate among the
+//!   live). Every method takes explicit time; no clocks, no sockets.
+//! * [`set::ReplicaSet`] — the shared handle: the table behind a mutex
+//!   with a wall-clock origin, safe to pin from concurrent sessions and a
+//!   background prober.
+//!
+//! [`set::parse_groups`] parses the `serve --wrappers` replica-group
+//! syntax (`id=host:port,host:port;...`) shared by the CLI and the
+//! mediator server.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod health;
+pub mod set;
+
+pub use health::{EndpointSnapshot, EndpointState, HealthConfig, HealthTable};
+pub use set::{parse_groups, ReplicaGroup, ReplicaSet};

@@ -1,0 +1,465 @@
+//! The replica-aware remote source: rate-based endpoint selection at
+//! `Open` time, transparent mid-scan failover after.
+//!
+//! [`FailoverSource`] speaks the same wire protocol as
+//! [`crate::RemoteWrapper`], but against a [`ReplicaSet`] of
+//! interchangeable endpoints instead of one address. At construction it
+//! connects to the best live endpoint (exploration first, then highest
+//! EWMA rate); a supervisor thread then owns the connection and, when the
+//! endpoint dies mid-scan, re-opens the scan on a peer with
+//! `resume_from` set to the next undelivered tuple index. Tuple payloads
+//! are pure functions of `(rel, index, seed)` — the supervisor verifies
+//! this by checking every received key against [`synth_key`] — so the
+//! engine sees one uninterrupted, bit-identical stream.
+//!
+//! Observability rides the existing notify channel: a
+//! [`Notice::ReplicaPinned`] when the scan opens, a
+//! [`Notice::ReplicaDegraded`] each time an endpoint is put on cooldown,
+//! a [`Notice::Failover`] each time the scan moves. Only when the retry
+//! budget is exhausted with no live peer does the source raise the
+//! terminal [`Notice::Fault`], aborting the run exactly as a plain
+//! [`crate::RemoteWrapper`] would.
+
+use std::net::TcpStream;
+use std::sync::mpsc::{sync_channel, Receiver, Sender, SyncSender};
+use std::sync::{Arc, Mutex};
+use std::thread;
+use std::time::{Duration, Instant};
+
+use dqs_relop::{synth_key, RelId, Tuple};
+use dqs_replica::ReplicaSet;
+use dqs_sim::SimDuration;
+
+use crate::net::{read_frame, write_frame, Frame};
+use crate::remote::{frame_err, sock_err, RemoteOpen};
+use crate::source::{Notice, SourceError, TupleSource};
+
+/// Retry and pacing knobs for a [`FailoverSource`].
+#[derive(Debug, Clone)]
+pub struct FailoverOpts {
+    /// Read timeout on the data socket; a silent endpoint surfaces as a
+    /// timeout failure (and a failover target) after this long.
+    pub read_timeout: Duration,
+    /// Consecutive failed attach attempts before the scan gives up and
+    /// raises a terminal fault.
+    pub max_attempts: u32,
+    /// Base backoff between failed attach attempts (scaled linearly by
+    /// the failure streak, capped at one second).
+    pub backoff: Duration,
+}
+
+impl Default for FailoverOpts {
+    fn default() -> Self {
+        FailoverOpts {
+            read_timeout: Duration::from_secs(30),
+            max_attempts: 5,
+            backoff: Duration::from_millis(50),
+        }
+    }
+}
+
+/// The window-grant half of the connection, shared between the engine
+/// thread (which consumes tuples and returns credits) and the supervisor
+/// (which swaps in a fresh writer after a failover).
+#[derive(Debug)]
+struct GrantState {
+    /// `None` while between endpoints (mid-failover): credits simply
+    /// accumulate and are discarded at the swap, because a re-opened
+    /// connection starts with a full window.
+    writer: Option<TcpStream>,
+    ungranted: u32,
+}
+
+/// A [`TupleSource`] served by whichever replica of a logical wrapper is
+/// currently fastest and alive.
+#[derive(Debug)]
+pub struct FailoverSource {
+    open: RemoteOpen,
+    opts: FailoverOpts,
+    replicas: Arc<ReplicaSet>,
+    produced: u64,
+    suspended: bool,
+    pinned: String,
+    grants: Arc<Mutex<GrantState>>,
+    /// The pre-connected stream handed to the supervisor at `start()`.
+    boot: Option<(TcpStream, usize, String)>,
+    notify: Option<Sender<Notice>>,
+    data_tx: Option<SyncSender<Tuple>>,
+    data_rx: Receiver<Tuple>,
+}
+
+impl FailoverSource {
+    /// Select the best live endpoint of `replicas`, connect to it, and
+    /// prepare (but do not start) a source for `open`. Endpoints that
+    /// refuse the connection are recorded as failures and the next best is
+    /// tried; only when every endpoint has been tried or is on cooldown
+    /// does this return an error.
+    pub fn connect(
+        replicas: Arc<ReplicaSet>,
+        open: RemoteOpen,
+        notify: Sender<Notice>,
+        opts: FailoverOpts,
+    ) -> Result<Self, SourceError> {
+        assert!(open.window > 0, "window must be positive");
+        let mut last_err = SourceError::Io {
+            detail: format!("every endpoint of '{}' is on cooldown", replicas.id()),
+        };
+        for _ in 0..replicas.len() {
+            let Some((idx, addr)) = replicas.select() else {
+                break;
+            };
+            match TcpStream::connect(&addr) {
+                Ok(stream) => {
+                    stream.set_nodelay(true).ok();
+                    stream
+                        .set_read_timeout(Some(opts.read_timeout))
+                        .map_err(|e| sock_err(e, "set read timeout"))?;
+                    let writer = stream
+                        .try_clone()
+                        .map_err(|e| sock_err(e, "clone socket"))?;
+                    let (data_tx, data_rx) = sync_channel(open.window as usize);
+                    let produced = open.resume_from;
+                    return Ok(FailoverSource {
+                        open,
+                        opts,
+                        replicas,
+                        produced,
+                        suspended: false,
+                        pinned: addr.clone(),
+                        grants: Arc::new(Mutex::new(GrantState {
+                            writer: Some(writer),
+                            ungranted: 0,
+                        })),
+                        boot: Some((stream, idx, addr)),
+                        notify: Some(notify),
+                        data_tx: Some(data_tx),
+                        data_rx,
+                    });
+                }
+                Err(e) => {
+                    replicas.record_failure(idx);
+                    last_err = sock_err(e, &format!("connect {addr}"));
+                }
+            }
+        }
+        Err(last_err)
+    }
+
+    /// The endpoint the scan opened on (for session pin records).
+    pub fn pinned(&self) -> &str {
+        &self.pinned
+    }
+
+    /// The supervisor thread: owns the data connection, re-attaching to a
+    /// fresh replica whenever the current one fails, until the scan is
+    /// complete, abandoned, or out of retry budget.
+    #[allow(clippy::too_many_arguments)]
+    fn supervise(
+        replicas: Arc<ReplicaSet>,
+        open: RemoteOpen,
+        opts: FailoverOpts,
+        tx: SyncSender<Tuple>,
+        notify: Sender<Notice>,
+        grants: Arc<Mutex<GrantState>>,
+        boot: (TcpStream, usize, String),
+    ) {
+        let rel = open.rel;
+        let mut next_index = open.resume_from;
+        let mut current: Option<(TcpStream, usize, String)> = Some(boot);
+        let mut prev_addr: Option<String> = None;
+        let mut failures: u32 = 0;
+        let mut last_err = SourceError::Io {
+            detail: "no attach attempted".into(),
+        };
+        // Invoked on any endpoint-level failure: put the endpoint on
+        // cooldown, announce the (first) degradation, and leave the grant
+        // writer empty until a replacement is attached. Returns false when
+        // the run has been abandoned.
+        let degrade = |idx: usize,
+                       addr: &str,
+                       err: &SourceError,
+                       grants: &Mutex<GrantState>,
+                       notify: &Sender<Notice>| {
+            if let Ok(mut g) = grants.lock() {
+                g.writer = None;
+            }
+            if replicas.record_failure(idx) {
+                return notify
+                    .send(Notice::ReplicaDegraded {
+                        rel,
+                        endpoint: addr.to_string(),
+                        error: err.clone(),
+                    })
+                    .is_ok();
+            }
+            true
+        };
+        loop {
+            // --- attach: find a live endpoint and open (or resume) ------
+            let (mut stream, idx, addr) = match current.take() {
+                Some(boot) => boot,
+                None => {
+                    if failures >= opts.max_attempts {
+                        notify
+                            .send(Notice::Fault {
+                                rel,
+                                error: last_err,
+                            })
+                            .ok();
+                        return;
+                    }
+                    if failures > 0 {
+                        let nap = (opts.backoff * failures).min(Duration::from_secs(1));
+                        thread::sleep(nap);
+                    }
+                    let Some((idx, addr)) = replicas.select() else {
+                        failures += 1;
+                        last_err = SourceError::Io {
+                            detail: format!("every endpoint of '{}' is on cooldown", replicas.id()),
+                        };
+                        continue;
+                    };
+                    match TcpStream::connect(&addr) {
+                        Ok(s) => {
+                            s.set_nodelay(true).ok();
+                            if s.set_read_timeout(Some(opts.read_timeout)).is_err()
+                                || s.try_clone().is_err()
+                            {
+                                failures += 1;
+                                last_err = SourceError::Io {
+                                    detail: format!("socket setup failed for {addr}"),
+                                };
+                                if !degrade(idx, &addr, &last_err, &grants, &notify) {
+                                    return;
+                                }
+                                continue;
+                            }
+                            (s, idx, addr)
+                        }
+                        Err(e) => {
+                            failures += 1;
+                            last_err = sock_err(e, &format!("connect {addr}"));
+                            if !degrade(idx, &addr, &last_err, &grants, &notify) {
+                                return;
+                            }
+                            continue;
+                        }
+                    }
+                }
+            };
+            let open_frame = Frame::Open {
+                rel,
+                total: open.total,
+                window: open.window,
+                seed: open.seed,
+                stream: open.stream.clone(),
+                delay: open.delay.clone(),
+                resume_from: next_index,
+            };
+            if let Err(e) = write_frame(&mut stream, &open_frame) {
+                failures += 1;
+                last_err = frame_err(e, opts.read_timeout);
+                if !degrade(idx, &addr, &last_err, &grants, &notify) {
+                    return;
+                }
+                continue;
+            }
+            // The connection is live: install its writer (a failover gets
+            // a fresh full window, so pending credits are discarded) and
+            // announce the move.
+            if let Some(from) = prev_addr.take() {
+                if let Ok(mut g) = grants.lock() {
+                    g.writer = stream.try_clone().ok();
+                    g.ungranted = 0;
+                }
+                if notify
+                    .send(Notice::Failover {
+                        rel,
+                        from,
+                        to: addr.clone(),
+                        resume_from: next_index,
+                    })
+                    .is_err()
+                {
+                    return; // run abandoned
+                }
+            }
+
+            // --- read: stream tuples until EOF or endpoint failure ------
+            let mut last_batch = Instant::now();
+            let err: SourceError = loop {
+                match read_frame(&mut stream) {
+                    Ok(Some(Frame::TupleBatch {
+                        rel: batch_rel,
+                        keys,
+                    })) => {
+                        if batch_rel != rel {
+                            break SourceError::Protocol {
+                                detail: format!(
+                                    "batch for relation {} on a stream opened for {}",
+                                    batch_rel.0, rel.0
+                                ),
+                            };
+                        }
+                        let batch_len = keys.len() as u64;
+                        let mut bad = None;
+                        for key in keys {
+                            if next_index >= open.total {
+                                bad = Some(format!(
+                                    "endpoint sent more than the {} tuples opened",
+                                    open.total
+                                ));
+                                break;
+                            }
+                            if key != synth_key(rel, next_index) {
+                                bad = Some(format!(
+                                    "endpoint sent a wrong key at index {next_index}"
+                                ));
+                                break;
+                            }
+                            // Data before notice: emit() must never block.
+                            if tx.send(Tuple::new(key, rel)).is_err() {
+                                return; // run abandoned
+                            }
+                            if notify.send(Notice::Arrival(rel)).is_err() {
+                                return;
+                            }
+                            next_index += 1;
+                        }
+                        if let Some(detail) = bad {
+                            break SourceError::Protocol { detail };
+                        }
+                        let elapsed = last_batch.elapsed();
+                        last_batch = Instant::now();
+                        replicas.record_batch(idx, batch_len, elapsed.as_nanos() as u64);
+                        failures = 0;
+                    }
+                    Ok(Some(Frame::Eof { rel: eof_rel })) => {
+                        if eof_rel == rel && next_index == open.total {
+                            return; // scan complete
+                        }
+                        break SourceError::Protocol {
+                            detail: format!(
+                                "eof for relation {} after {next_index} of {} tuples",
+                                eof_rel.0, open.total
+                            ),
+                        };
+                    }
+                    Ok(Some(Frame::Error { code, message })) => {
+                        break SourceError::Protocol {
+                            detail: format!("wrapper error {code}: {message}"),
+                        };
+                    }
+                    Ok(Some(other)) => {
+                        break SourceError::Protocol {
+                            detail: format!("unexpected frame on data stream: {other:?}"),
+                        };
+                    }
+                    Ok(None) => {
+                        break SourceError::Disconnected {
+                            detail: format!(
+                                "endpoint closed after {next_index} of {} tuples",
+                                open.total
+                            ),
+                        };
+                    }
+                    Err(e) => break frame_err(e, opts.read_timeout),
+                }
+            };
+            // Endpoint failed mid-scan: degrade it and re-attach
+            // immediately (backoff only applies to consecutive failures).
+            failures += 1;
+            if !degrade(idx, &addr, &err, &grants, &notify) {
+                return;
+            }
+            last_err = err;
+            prev_addr = Some(addr);
+        }
+    }
+}
+
+impl TupleSource for FailoverSource {
+    fn rel(&self) -> RelId {
+        self.open.rel
+    }
+
+    fn total(&self) -> u64 {
+        self.open.total
+    }
+
+    fn produced(&self) -> u64 {
+        self.produced
+    }
+
+    fn is_suspended(&self) -> bool {
+        self.suspended
+    }
+
+    fn suspend(&mut self) {
+        self.suspended = true;
+    }
+
+    fn resume(&mut self) {
+        self.suspended = false;
+    }
+
+    fn start(&mut self) {
+        let boot = self.boot.take().expect("started twice");
+        let notify = self.notify.take().expect("started twice");
+        let tx = self.data_tx.take().expect("started twice");
+        if notify
+            .send(Notice::ReplicaPinned {
+                rel: self.open.rel,
+                endpoint: self.pinned.clone(),
+            })
+            .is_err()
+        {
+            return;
+        }
+        let replicas = Arc::clone(&self.replicas);
+        let open = self.open.clone();
+        let opts = self.opts.clone();
+        let grants = Arc::clone(&self.grants);
+        thread::spawn(move || Self::supervise(replicas, open, opts, tx, notify, grants, boot));
+    }
+
+    /// Push-paced: arrivals are announced on the notify channel.
+    fn next_gap(&mut self) -> Option<SimDuration> {
+        None
+    }
+
+    fn emit(&mut self) -> Tuple {
+        assert!(
+            self.produced < self.open.total,
+            "emit from exhausted wrapper"
+        );
+        // Data is sent before its notification, so this never blocks when
+        // called in response to a notify.
+        let t = self
+            .data_rx
+            .recv()
+            .expect("supervisor died before delivering all tuples");
+        self.produced += 1;
+        let mut g = self.grants.lock().unwrap_or_else(|p| p.into_inner());
+        g.ungranted += 1;
+        if u64::from(g.ungranted) * 2 >= u64::from(self.open.window)
+            || self.produced == self.open.total
+        {
+            let credits = g.ungranted;
+            if let Some(w) = g.writer.as_mut() {
+                let grant = Frame::WindowGrant {
+                    rel: self.open.rel,
+                    credits,
+                };
+                // A write failure is not fatal: the supervisor observes
+                // the broken connection and fails over.
+                if write_frame(w, &grant).is_ok() {
+                    g.ungranted = 0;
+                }
+            }
+            // With no writer (mid-failover) credits simply accumulate and
+            // are discarded when the fresh connection is installed.
+        }
+        t
+    }
+}

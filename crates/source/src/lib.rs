@@ -17,6 +17,9 @@
 //!   the §2.1 window protocol (and query submission) over TCP;
 //! * [`remote::RemoteWrapper`] — the same contract again, fed by a
 //!   wrapper-server on the far side of a socket;
+//! * [`failover::FailoverSource`] — the replica-aware remote source: opens
+//!   on the best live endpoint of a `dqs_replica::ReplicaSet` and, on a
+//!   mid-scan death, re-opens on a peer at the next undelivered index;
 //! * [`queue::TupleQueue`] — the bounded communication queues of §2.1;
 //! * [`comm::CommManager`] — receives tuples, enforces the window protocol,
 //!   charges per-message CPU, estimates delivery rates (EWMA) and raises
@@ -38,6 +41,7 @@
 pub mod cached;
 pub mod comm;
 pub mod delay;
+pub mod failover;
 pub mod net;
 pub mod queue;
 pub mod remote;
@@ -51,6 +55,7 @@ pub use comm::{
     DEFAULT_RATE_CHANGE_THRESHOLD,
 };
 pub use delay::DelayModel;
+pub use failover::{FailoverOpts, FailoverSource};
 pub use net::{read_frame, write_frame, Frame, FrameError, MAX_FRAME_BYTES};
 pub use queue::TupleQueue;
 pub use remote::{RemoteOpen, RemoteWrapper};

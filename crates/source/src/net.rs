@@ -62,6 +62,11 @@ pub enum Frame {
         stream: String,
         /// Delivery pacing.
         delay: DelayModel,
+        /// First tuple index to deliver (0 = a fresh scan). Because tuple
+        /// payloads are a pure function of `(rel, index, seed)`, a
+        /// failed-over scan resumes on a replica at the next undelivered
+        /// index instead of re-fetching from the start.
+        resume_from: u64,
     },
     /// Wrapper → mediator: result tuples, identified by their synthetic
     /// join keys (the receiver reconstructs `Tuple { key, origin: rel }`).
@@ -299,6 +304,7 @@ impl Frame {
                 seed,
                 stream,
                 delay,
+                resume_from,
             } => {
                 b.push(TAG_OPEN);
                 put_u16(&mut b, rel.0);
@@ -307,6 +313,7 @@ impl Frame {
                 put_u64(&mut b, *seed);
                 put_str(&mut b, stream);
                 put_delay(&mut b, delay);
+                put_u64(&mut b, *resume_from);
             }
             Frame::TupleBatch { rel, keys } => {
                 b.push(TAG_TUPLE_BATCH);
@@ -416,6 +423,7 @@ impl Frame {
                 seed: c.take_u64("open.seed")?,
                 stream: c.take_str("open.stream")?,
                 delay: c.take_delay()?,
+                resume_from: c.take_u64("open.resume_from")?,
             },
             TAG_TUPLE_BATCH => {
                 let rel = RelId(c.take_u16("batch.rel")?);
@@ -645,6 +653,7 @@ mod tests {
                     within: SimDuration::from_micros(20),
                     pause: SimDuration::from_millis(50),
                 },
+                resume_from: 4_999,
             },
             Frame::TupleBatch {
                 rel: RelId(1),
@@ -703,6 +712,34 @@ mod tests {
             assert_eq!(read_frame(&mut r).unwrap(), Some(f));
             assert_eq!(read_frame(&mut r).unwrap(), None, "clean EOF after");
         }
+    }
+
+    /// Every wire tag — including the cache frames `Invalidate` /
+    /// `Invalidated` and the resume-capable `Open` — appears in
+    /// `samples()`, so the roundtrip and truncation tests above exercise
+    /// the full protocol, and a newly added tag without a sample fails
+    /// here instead of silently going untested.
+    #[test]
+    fn samples_exercise_every_tag() {
+        let mut seen: Vec<u8> = samples().iter().map(|f| f.encode_body()[0]).collect();
+        seen.sort_unstable();
+        seen.dedup();
+        let all: Vec<u8> = (TAG_OPEN..=TAG_INVALIDATED).collect();
+        assert_eq!(seen, all, "samples() must cover every frame tag");
+        // The resume offset is wire-visible: a resumed Open and a fresh
+        // Open must not encode identically.
+        let open = |resume_from| Frame::Open {
+            rel: RelId(1),
+            total: 10,
+            window: 4,
+            seed: 9,
+            stream: "wrapper:x".into(),
+            delay: DelayModel::Constant {
+                w: SimDuration::from_micros(1),
+            },
+            resume_from,
+        };
+        assert_ne!(open(0).encode_body(), open(5).encode_body());
     }
 
     #[test]
@@ -809,15 +846,17 @@ mod tests {
                 any::<u32>(),
                 any::<u64>(),
                 arb_string(),
-                arb_delay()
+                arb_delay(),
+                any::<u64>()
             )
-                .prop_map(|(r, t, w, s, stream, delay)| Frame::Open {
+                .prop_map(|(r, t, w, s, stream, delay, resume_from)| Frame::Open {
                     rel: RelId(r),
                     total: t,
                     window: w,
                     seed: s,
                     stream,
                     delay,
+                    resume_from,
                 }),
             (any::<u16>(), vec(any::<u64>(), 0..64)).prop_map(|(r, keys)| Frame::TupleBatch {
                 rel: RelId(r),

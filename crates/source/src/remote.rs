@@ -43,6 +43,11 @@ pub struct RemoteOpen {
     pub stream: String,
     /// Delivery pacing the server should perform.
     pub delay: DelayModel,
+    /// First tuple index to deliver (0 = fresh scan). A failover resume
+    /// re-opens on a peer replica with this set to the next undelivered
+    /// index; tuple payloads are pure functions of `(rel, index, seed)`,
+    /// so the resumed stream is bit-identical to the lost remainder.
+    pub resume_from: u64,
 }
 
 /// A [`TupleSource`] fed by a remote wrapper-server over TCP.
@@ -60,14 +65,14 @@ pub struct RemoteWrapper {
     data_rx: Receiver<Tuple>,
 }
 
-fn sock_err(e: std::io::Error, what: &str) -> SourceError {
+pub(crate) fn sock_err(e: std::io::Error, what: &str) -> SourceError {
     SourceError::Io {
         detail: format!("{what}: {e}"),
     }
 }
 
 /// Classify a failed frame read into the source-level failure taxonomy.
-fn frame_err(e: FrameError, timeout: Duration) -> SourceError {
+pub(crate) fn frame_err(e: FrameError, timeout: Duration) -> SourceError {
     if e.is_timeout() {
         return SourceError::Timeout {
             millis: timeout.as_millis() as u64,
@@ -107,9 +112,10 @@ impl RemoteWrapper {
             .set_read_timeout(Some(read_timeout))
             .map_err(|e| sock_err(e, "set read timeout"))?;
         let (data_tx, data_rx) = sync_channel(open.window as usize);
+        let produced = open.resume_from;
         Ok(RemoteWrapper {
             open,
-            produced: 0,
+            produced,
             suspended: false,
             ungranted: 0,
             reader: Some(reader),
@@ -137,6 +143,9 @@ impl RemoteWrapper {
                 })
                 .ok();
         };
+        // How many tuples this connection owes (a resumed scan delivers
+        // only the remainder).
+        let owed = open.total.saturating_sub(open.resume_from);
         let mut seen: u64 = 0;
         loop {
             let frame = match read_frame(&mut reader) {
@@ -145,7 +154,7 @@ impl RemoteWrapper {
                     fault(
                         &notify,
                         SourceError::Disconnected {
-                            detail: format!("wrapper closed after {seen} of {} tuples", open.total),
+                            detail: format!("wrapper closed after {seen} of {owed} tuples"),
                         },
                     );
                     return;
@@ -171,13 +180,12 @@ impl RemoteWrapper {
                     }
                     for key in keys {
                         seen += 1;
-                        if seen > open.total {
+                        if seen > owed {
                             fault(
                                 &notify,
                                 SourceError::Protocol {
                                     detail: format!(
-                                        "wrapper sent more than the {} tuples opened",
-                                        open.total
+                                        "wrapper sent more than the {owed} tuples opened"
                                     ),
                                 },
                             );
@@ -193,13 +201,13 @@ impl RemoteWrapper {
                     }
                 }
                 Frame::Eof { rel } => {
-                    if rel != open.rel || seen != open.total {
+                    if rel != open.rel || seen != owed {
                         fault(
                             &notify,
                             SourceError::Protocol {
                                 detail: format!(
-                                    "eof for relation {} after {seen} of {} tuples",
-                                    rel.0, open.total
+                                    "eof for relation {} after {seen} of {owed} tuples",
+                                    rel.0
                                 ),
                             },
                         );
@@ -272,6 +280,7 @@ impl TupleSource for RemoteWrapper {
             seed: open.seed,
             stream: open.stream.clone(),
             delay: open.delay.clone(),
+            resume_from: open.resume_from,
         };
         if let Err(e) = write_frame(&mut self.writer, &open_frame) {
             notify
@@ -347,6 +356,7 @@ mod tests {
             delay: DelayModel::Constant {
                 w: SimDuration::from_nanos(1),
             },
+            resume_from: 0,
         }
     }
 
@@ -390,7 +400,7 @@ mod tests {
         for _ in 0..40 {
             match nrx.recv().expect("notify") {
                 Notice::Arrival(rel) => assert_eq!(rel, RelId(3)),
-                Notice::Fault { error, .. } => panic!("unexpected fault: {error}"),
+                other => panic!("unexpected notice: {other:?}"),
             }
             keys.push(w.emit().key);
         }
@@ -429,6 +439,7 @@ mod tests {
                     assert_eq!(error.kind(), "disconnected", "{error}");
                     break;
                 }
+                other => panic!("unexpected notice: {other:?}"),
             }
         }
         assert_eq!(arrivals, 2);

@@ -88,6 +88,49 @@ pub enum Notice {
         /// What went wrong.
         error: SourceError,
     },
+    /// A replica-backed source opened its scan on this endpoint.
+    ReplicaPinned {
+        /// The relation whose scan was pinned.
+        rel: RelId,
+        /// The chosen endpoint address.
+        endpoint: String,
+    },
+    /// A replica-backed source lost its endpoint mid-scan and re-opened
+    /// the scan elsewhere, resuming at the next undelivered tuple index.
+    Failover {
+        /// The relation whose scan moved.
+        rel: RelId,
+        /// The endpoint that failed.
+        from: String,
+        /// The endpoint the scan resumed on.
+        to: String,
+        /// First tuple index the new endpoint delivers.
+        resume_from: u64,
+    },
+    /// An endpoint failed often enough to be put on cooldown. Informational
+    /// — unlike [`Notice::Fault`], the scan itself may still complete on a
+    /// peer replica.
+    ReplicaDegraded {
+        /// The relation whose source observed the failure.
+        rel: RelId,
+        /// The endpoint now on cooldown.
+        endpoint: String,
+        /// The failure that degraded it.
+        error: SourceError,
+    },
+}
+
+impl Notice {
+    /// The relation this notice concerns.
+    pub fn rel(&self) -> RelId {
+        match self {
+            Notice::Arrival(rel)
+            | Notice::Fault { rel, .. }
+            | Notice::ReplicaPinned { rel, .. }
+            | Notice::Failover { rel, .. }
+            | Notice::ReplicaDegraded { rel, .. } => *rel,
+        }
+    }
 }
 
 /// A wrapper delivering one relation's tuples to the mediator.

@@ -363,6 +363,7 @@ fn killing_the_wrapper_mid_query_aborts_cleanly() {
                     seed: workload.config.seed,
                     stream: format!("wrapper:{}", spec.name),
                     delay: workload.delays[rel.0 as usize].clone(),
+                    resume_from: 0,
                 };
                 RemoteWrapper::connect(addr, open, notify.clone(), Duration::from_secs(10))
                     .map(|w| Box::new(w) as BoxSource)
@@ -455,4 +456,234 @@ fn killing_the_wrapper_surfaces_to_the_client() {
     }
     mediator.shutdown();
     wrapper.shutdown();
+}
+
+/// A paced two-relation spec for the replica tests: long enough that a
+/// mid-stream kill reliably lands, short enough to keep the suite fast.
+const REPLICA_SPEC: &str = r#"{
+    "relations": [
+        {"name": "r", "cardinality": 8000, "delay": {"constant_us": 300}},
+        {"name": "s", "cardinality": 8000, "delay": {"constant_us": 300}}
+    ],
+    "joins": [{"left": "r", "right": "s", "selectivity": 0.0001}]
+}"#;
+
+/// The replica-manager acceptance check: kill the replica a scan is
+/// pinned to while it streams; with a live peer the session must complete
+/// with the *same answer* as an undisturbed run (the resume protocol
+/// re-opens at the next undelivered index, so not a tuple is lost or
+/// duplicated), report the failover in its metrics, and trace it.
+#[test]
+fn killing_a_replica_mid_scan_fails_over_bit_identically() {
+    let rep_a = WrapperServer::bind("127.0.0.1:0").expect("bind replica a");
+    let rep_b = WrapperServer::bind("127.0.0.1:0").expect("bind replica b");
+    let a = rep_a.local_addr().to_string();
+    let b = rep_b.local_addr().to_string();
+    let mediator = MediatorServer::bind(
+        "127.0.0.1:0",
+        ServeOpts {
+            wrappers: vec![format!("w0={a},{b}")],
+            ..ServeOpts::default()
+        },
+    )
+    .expect("bind mediator");
+    let addr = mediator.local_addr();
+
+    // Baseline: both replicas healthy end to end.
+    let baseline =
+        submit(addr, REPLICA_SPEC, &SubmitOpts::default(), |_| {}).expect("baseline run");
+    assert_eq!(metric_u64(&baseline.raw, "failovers"), 0);
+
+    // Disturbed run: learn where the first scan pinned from the trace,
+    // then kill that replica while the scan streams.
+    let (pin_tx, pin_rx) = channel();
+    let client = std::thread::spawn(move || {
+        let mut lines = Vec::new();
+        let result = submit(
+            addr,
+            REPLICA_SPEC,
+            &SubmitOpts {
+                trace: true,
+                ..SubmitOpts::default()
+            },
+            |p| {
+                if let Progress::TraceLine(l) = p {
+                    if l.contains("\"type\":\"replica_pin\"") {
+                        pin_tx.send(l.clone()).ok();
+                    }
+                    lines.push(l);
+                }
+            },
+        );
+        (result, lines)
+    });
+    let first_pin = pin_rx
+        .recv_timeout(Duration::from_secs(30))
+        .expect("a replica pin trace line");
+    std::thread::sleep(Duration::from_millis(800));
+    let mut reps = [Some(rep_a), Some(rep_b)];
+    let killed = usize::from(!first_pin.contains(&a));
+    reps[killed].take().expect("not yet killed").shutdown();
+
+    let (result, lines) = client.join().expect("client thread");
+    let m = result.expect("a live peer must carry the query to completion");
+    assert_eq!(
+        m.output_tuples, baseline.output_tuples,
+        "failover must not lose or duplicate tuples"
+    );
+    assert!(
+        metric_u64(&m.raw, "failovers") >= 1,
+        "the failover must be counted: {}",
+        m.raw
+    );
+    assert!(
+        lines.iter().any(|l| l.contains("\"type\":\"failover\"")),
+        "the failover must be traced"
+    );
+    mediator.shutdown();
+    for rep in reps.into_iter().flatten() {
+        rep.shutdown();
+    }
+}
+
+/// The rate-aware acceptance check: one deliberately slow replica (listed
+/// first, so naive pick-the-first selection would always land on it) and
+/// one fast one. After the first exploratory scans establish rates, every
+/// scan must open on the fast replica — ≥90% of all pins overall.
+#[test]
+fn scans_prefer_the_faster_replica_once_rates_are_known() {
+    let slow = WrapperServer::bind_throttled("127.0.0.1:0", Duration::from_millis(5))
+        .expect("bind slow replica");
+    let fast = WrapperServer::bind("127.0.0.1:0").expect("bind fast replica");
+    let slow_addr = slow.local_addr().to_string();
+    let fast_addr = fast.local_addr().to_string();
+    let mediator = MediatorServer::bind(
+        "127.0.0.1:0",
+        ServeOpts {
+            wrappers: vec![format!("g0={slow_addr},{fast_addr}")],
+            ..ServeOpts::default()
+        },
+    )
+    .expect("bind mediator");
+    let addr = mediator.local_addr();
+
+    let spec = r#"{
+        "relations": [
+            {"name": "r", "cardinality": 300, "delay": {"constant_us": 100}},
+            {"name": "s", "cardinality": 300, "delay": {"constant_us": 100}}
+        ],
+        "joins": [{"left": "r", "right": "s", "selectivity": 0.01}]
+    }"#;
+    let traced = SubmitOpts {
+        trace: true,
+        ..SubmitOpts::default()
+    };
+    let (mut fast_pins, mut total_pins) = (0u32, 0u32);
+    for _ in 0..12 {
+        let mut lines = Vec::new();
+        submit(addr, spec, &traced, |p| {
+            if let Progress::TraceLine(l) = p {
+                lines.push(l);
+            }
+        })
+        .expect("session completes");
+        for l in lines
+            .iter()
+            .filter(|l| l.contains("\"type\":\"replica_pin\""))
+        {
+            total_pins += 1;
+            if l.contains(&fast_addr) {
+                fast_pins += 1;
+            }
+        }
+    }
+    assert_eq!(total_pins, 24, "two scans per session, twelve sessions");
+    assert!(
+        f64::from(fast_pins) >= 0.9 * f64::from(total_pins),
+        "rate-aware selection must favor the fast replica: {fast_pins}/{total_pins} pins"
+    );
+    mediator.shutdown();
+    slow.shutdown();
+    fast.shutdown();
+}
+
+/// A wrapper spec that cannot parse into replica groups is a bind-time
+/// error, not something discovered at first Submit.
+#[test]
+fn malformed_wrapper_groups_fail_at_bind() {
+    let err = MediatorServer::bind(
+        "127.0.0.1:0",
+        ServeOpts {
+            wrappers: vec!["=127.0.0.1:1".into()],
+            ..ServeOpts::default()
+        },
+    )
+    .expect_err("an empty group id must be rejected");
+    assert_eq!(err.kind(), std::io::ErrorKind::InvalidInput);
+}
+
+/// The memory-budget edge: a cache budget that swallows the whole global
+/// budget is rejected at bind with a clear error, and a valid split
+/// partitions only what remains after the cache deduction.
+#[test]
+fn cache_budget_is_validated_at_bind_and_deducted_from_partitions() {
+    let err = MediatorServer::bind(
+        "127.0.0.1:0",
+        ServeOpts {
+            memory_bytes: 32 << 20,
+            cache_bytes: 32 << 20,
+            ..ServeOpts::default()
+        },
+    )
+    .expect_err("a cache budget >= the global budget leaves sessions nothing");
+    assert_eq!(err.kind(), std::io::ErrorKind::InvalidInput);
+    assert!(err.to_string().contains("cache budget"), "{err}");
+
+    let mediator = MediatorServer::bind(
+        "127.0.0.1:0",
+        ServeOpts {
+            memory_bytes: 64 << 20,
+            cache_bytes: 16 << 20,
+            max_concurrent: 2,
+            ..ServeOpts::default()
+        },
+    )
+    .expect("a valid split binds");
+    let mut granted = None;
+    submit(
+        mediator.local_addr(),
+        &quickstart_json(),
+        &SubmitOpts::default(),
+        |p| {
+            if let Progress::Accepted { memory_bytes, .. } = p {
+                granted = Some(memory_bytes);
+            }
+        },
+    )
+    .expect("run");
+    assert_eq!(
+        granted,
+        Some((48 << 20) / 2),
+        "partition = (memory - cache) / max_concurrent"
+    );
+    mediator.shutdown();
+}
+
+/// Shutdown must sever idle client connections and join their handler
+/// threads instead of waiting out the 60-second read timeout (or leaking
+/// the threads outright).
+#[test]
+fn mediator_shutdown_severs_idle_clients_promptly() {
+    let mediator = MediatorServer::bind("127.0.0.1:0", ServeOpts::default()).expect("bind");
+    let idle = std::net::TcpStream::connect(mediator.local_addr()).expect("connect");
+    // Give the accept loop a beat to register the connection and spawn
+    // its handler.
+    std::thread::sleep(Duration::from_millis(200));
+    let start = std::time::Instant::now();
+    mediator.shutdown();
+    assert!(
+        start.elapsed() < Duration::from_secs(5),
+        "shutdown must not wait out client read timeouts"
+    );
+    drop(idle);
 }
