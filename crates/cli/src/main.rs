@@ -10,6 +10,7 @@
 //! dqs serve --listen ADDR [--wrappers A]  the concurrent mediator service
 //! dqs submit <spec.json> --connect ADDR   run a query on a mediator
 //! dqs invalidate --connect ADDR [--rel N] drop the mediator's cached scans
+//! dqs bench c10k --connect ADDR           open-loop C10K load generator
 //! ```
 
 use std::io::Write;
@@ -22,7 +23,7 @@ use dqs_exec::{
     run_workload, run_workload_observed, run_workload_realtime, run_workload_realtime_observed,
     JsonLinesSink, MaPolicy, Policy, RunMetrics, ScramblingPolicy, SeqPolicy, Workload,
 };
-use dqs_mediator::{MediatorServer, Progress, ServeOpts, SubmitOpts, WrapperServer};
+use dqs_mediator::{C10kOpts, MediatorServer, Progress, ServeOpts, SubmitOpts, WrapperServer};
 use dqs_plan::{AnnotatedPlan, ChainSet};
 
 fn usage() -> ExitCode {
@@ -41,11 +42,16 @@ fn usage() -> ExitCode {
          \u{20}           the fastest live replica and fails over mid-scan; bare A,B\n\
          \u{20}           still means two distinct wrappers,\n\
          \u{20}           --max-concurrent N, --backlog N, --memory-mb M,\n\
-         \u{20}           --cache-mb M: result-cache budget, --cache-ttl-ms T)\n\
+         \u{20}           --cache-mb M: result-cache budget, --cache-ttl-ms T,\n\
+         \u{20}           --io-threads N: reactor event-loop threads (default cores-1),\n\
+         \u{20}           --session-shards N: connection-map lock stripes (default 8))\n\
          \u{20} submit    run a spec on a mediator (--connect ADDR, --strategy X,\n\
          \u{20}           --seed N, --trace, --no-cache, --connect-timeout MS)\n\
          \u{20} invalidate  drop the mediator's cached scans (--connect ADDR,\n\
-         \u{20}           --rel N: one relation only, --connect-timeout MS)\n"
+         \u{20}           --rel N: one relation only, --connect-timeout MS)\n\
+         \u{20} bench c10k  open-loop load generator (--connect ADDR, --sessions N,\n\
+         \u{20}           --batch N: arrival burst size, --strategy X, --spec PATH,\n\
+         \u{20}           --timeout-secs N, --out FILE: default BENCH_c10k.json)\n"
     );
     ExitCode::from(2)
 }
@@ -136,6 +142,24 @@ fn cmd_serve(args: &[String]) -> ExitCode {
             Ok(ms) => opts.cache_ttl = Some(Duration::from_millis(ms)),
             Err(_) => {
                 eprintln!("error: --cache-ttl-ms wants an integer, got {n:?}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    if let Some(n) = flag_value(args, "--io-threads") {
+        match n.parse() {
+            Ok(n) => opts.io_threads = n,
+            Err(_) => {
+                eprintln!("error: --io-threads wants an integer, got {n:?}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    if let Some(n) = flag_value(args, "--session-shards") {
+        match n.parse() {
+            Ok(n) => opts.session_shards = n,
+            Err(_) => {
+                eprintln!("error: --session-shards wants an integer, got {n:?}");
                 return ExitCode::from(2);
             }
         }
@@ -264,6 +288,90 @@ fn cmd_invalidate(args: &[String]) -> ExitCode {
     }
 }
 
+/// `dqs bench c10k --connect ADDR [...]`: the open-loop load generator.
+fn cmd_bench(args: &[String]) -> ExitCode {
+    if args.first().map(String::as_str) != Some("c10k") {
+        eprintln!("error: bench wants a mode; only `bench c10k` exists");
+        return ExitCode::from(2);
+    }
+    let args = &args[1..];
+    let Some(addr) = flag_value(args, "--connect") else {
+        eprintln!("error: bench c10k requires --connect ADDR");
+        return ExitCode::from(2);
+    };
+    let mut opts = C10kOpts {
+        addr: addr.to_string(),
+        ..C10kOpts::default()
+    };
+    if let Some(n) = flag_value(args, "--sessions") {
+        match n.parse() {
+            Ok(n) => opts.sessions = n,
+            Err(_) => {
+                eprintln!("error: --sessions wants an integer, got {n:?}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    if let Some(n) = flag_value(args, "--batch") {
+        match n.parse() {
+            Ok(n) if n > 0 => opts.connect_batch = n,
+            _ => {
+                eprintln!("error: --batch wants a positive integer, got {n:?}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    if let Some(n) = flag_value(args, "--timeout-secs") {
+        match n.parse::<u64>() {
+            Ok(s) => opts.timeout = Duration::from_secs(s),
+            Err(_) => {
+                eprintln!("error: --timeout-secs wants an integer, got {n:?}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    if let Some(s) = flag_value(args, "--strategy") {
+        opts.strategy = s.to_string();
+    }
+    if let Some(path) = flag_value(args, "--spec") {
+        match std::fs::read_to_string(path) {
+            Ok(text) => opts.spec_json = text,
+            Err(e) => {
+                eprintln!("error: cannot read {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    let out = flag_value(args, "--out").unwrap_or("BENCH_c10k.json");
+    let report = match dqs_mediator::run_c10k(&opts) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("error: bench failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let json = report.to_json();
+    if let Err(e) = std::fs::write(out, format!("{json}\n")) {
+        eprintln!("error: cannot write {out}: {e}");
+        return ExitCode::FAILURE;
+    }
+    println!("{json}");
+    println!(
+        "c10k: {}/{} completed, {} errored, peak {} concurrent, p99 {:.2} ms -> {}",
+        report.completed,
+        report.sessions,
+        report.errored,
+        report.peak_concurrent,
+        report.p99_ms,
+        out
+    );
+    if report.errored > 0 {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
 fn load(path: &str) -> Result<Workload, String> {
     let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
     WorkloadSpec::from_json(&text)
@@ -381,6 +489,7 @@ fn main() -> ExitCode {
         "serve" => return cmd_serve(&args[1..]),
         "submit" => return cmd_submit(&args[1..]),
         "invalidate" => return cmd_invalidate(&args[1..]),
+        "bench" => return cmd_bench(&args[1..]),
         _ => {}
     }
     let Some(path) = args.get(1) else {

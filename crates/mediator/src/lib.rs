@@ -28,10 +28,12 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod bench;
 pub mod client;
 pub mod server;
 pub mod wrapper_server;
 
+pub use bench::{run_c10k, C10kOpts, C10kReport};
 pub use client::{invalidate, submit, ClientError, Progress, RemoteMetrics, SubmitOpts};
-pub use server::{MediatorServer, ServeOpts};
+pub use server::{MediatorServer, ServeOpts, ServerMetrics};
 pub use wrapper_server::WrapperServer;

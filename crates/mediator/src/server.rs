@@ -1,4 +1,4 @@
-//! The serving mediator: admission control + per-session query runs.
+//! The serving mediator: an event-driven core + per-session query runs.
 //!
 //! A [`MediatorServer`] accepts client connections. Each connection
 //! submits one query (a `Submit` frame carrying a JSON workload spec) and
@@ -9,14 +9,40 @@
 //!        └→ Queued* ─→ Accepted ─→ Trace* ─→ Done | Error
 //! ```
 //!
+//! # Architecture (C10K)
+//!
+//! Connections are *not* threads. A small set of I/O workers (one
+//! [`dqs_reactor::Poller`] each, `io_threads` of them) owns every client
+//! socket: sockets are non-blocking, reads go through an incremental
+//! [`FrameDecoder`] and writes through a resumable [`WriteBuffer`], so a
+//! partial frame in either direction costs buffered bytes, never a
+//! blocked thread. Connections are assigned to workers by
+//! `conn_id % io_threads`; cross-thread hand-off (engine → socket) goes
+//! through a sharded connection map (`session_shards` lock stripes) plus
+//! a per-worker mailbox and [`dqs_reactor::Waker`].
+//!
+//! Query *execution* stays blocking by design — each admitted session
+//! runs a full engine on its own [`RealTimeDriver`] — but on a fixed pool
+//! of `max_concurrent` executor threads. Since admission already caps
+//! running sessions at `max_concurrent`, the pool is never the
+//! bottleneck, and the other ten thousand connections (queued sessions,
+//! idle clients, slow readers) hold only a file descriptor and a few
+//! hundred bytes of state.
+//!
 //! Admission is the sans-io `dqs_core::session::SessionTable` behind a
-//! mutex: at most `max_concurrent` sessions execute at once, each query
-//! re-planned under `memory_bytes / max_concurrent` — the §4 memory bound
-//! applied per-session so concurrent queries cannot starve each other —
-//! and a bounded FIFO backlog absorbs bursts. Each admitted session runs
-//! a full engine on its own [`RealTimeDriver`]: in-process threaded
-//! wrappers by default, or remote sources dialled out to the configured
-//! wrapper-servers.
+//! single mutex shared by I/O workers (submit, disconnect) and executor
+//! threads (finish, promote): at most `max_concurrent` sessions execute
+//! at once, each query re-planned under `memory_bytes / max_concurrent`
+//! — the §4 memory bound applied per-session so concurrent queries
+//! cannot starve each other — and a bounded FIFO backlog absorbs bursts.
+//! A `backlog_depth` gauge in [`ServerMetrics`] tracks every queue /
+//! dequeue transition.
+//!
+//! Backpressure: a client that stops reading grows its own write buffer
+//! and nothing else. Past a high-water mark its `Trace` frames are
+//! dropped (counted in [`ServerMetrics`]); lifecycle frames are always
+//! queued, and a draining connection that stays stalled is cut by a
+//! timer-wheel deadline.
 //!
 //! Wrapper specs may declare replica groups (`id=host:port,host:port`),
 //! in which case each scan opens on the best live endpoint of its group
@@ -24,13 +50,13 @@
 //! that survives mid-scan endpoint deaths, and a background prober keeps
 //! the health tables fresh between sessions.
 
-use std::collections::HashMap;
-use std::io::{self, Write};
+use std::collections::{HashMap, VecDeque};
+use std::io::{self, Read, Write};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::{self, JoinHandle};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use dqs_cache::{payload_bytes, CacheConfig, CacheKey, CacheStats, SharedCache};
 use dqs_core::session::{Decision, SessionConfig, SessionStats, SessionTable};
@@ -40,10 +66,11 @@ use dqs_exec::{
     Engine, EngineEvent, EngineObserver, JsonLinesSink, MaPolicy, Policy, RealTimeDriver, RunError,
     RunMetrics, ScramblingPolicy, SeqPolicy, Workload,
 };
+use dqs_reactor::{Events, Interest, Poller, TimerId, TimerWheel, Token, Waker};
 use dqs_relop::RelId;
 use dqs_replica::{parse_groups, HealthConfig, ReplicaSet};
 use dqs_sim::{SeedSplitter, SimTime};
-use dqs_source::net::{read_frame, write_frame, Frame};
+use dqs_source::net::{FlushStatus, Frame, FrameDecoder, WriteBuffer};
 use dqs_source::{
     BoxSource, FailoverOpts, FailoverSource, RecordingSource, RemoteOpen, RemoteWrapper,
     ReplaySource, SourceError, ThreadedWrapper,
@@ -53,6 +80,16 @@ use dqs_source::{
 const PROBE_INTERVAL: Duration = Duration::from_millis(500);
 /// Connect timeout for a single liveness probe.
 const PROBE_TIMEOUT: Duration = Duration::from_millis(200);
+/// A connection that says nothing gets this long to send its `Submit`.
+const SUBMIT_TIMEOUT: Duration = Duration::from_secs(60);
+/// A terminal frame queued behind a stalled client waits at most this
+/// long before the connection is cut.
+const DRAIN_TIMEOUT: Duration = Duration::from_secs(30);
+/// Write-buffer high-water mark: past this, `Trace` frames (and only
+/// `Trace` frames) are dropped rather than buffered without bound.
+const WRITE_HWM: usize = 256 * 1024;
+/// Reactor token for the listening socket (owned by I/O worker 0).
+const LISTENER_TOKEN: Token = Token(u64::MAX - 1);
 
 /// Mediator service configuration.
 #[derive(Debug, Clone)]
@@ -78,6 +115,13 @@ pub struct ServeOpts {
     /// Per-entry TTL for cached scans; `None` means entries only leave by
     /// LRU eviction or an explicit `Invalidate`.
     pub cache_ttl: Option<Duration>,
+    /// Reactor I/O workers, each owning a poller and a share of the
+    /// connections. Defaults to cores − 1 (at least 1); 0 is rejected at
+    /// bind.
+    pub io_threads: usize,
+    /// Lock stripes in the connection map engine threads use to route
+    /// outbound frames. Defaults to 8; 0 is rejected at bind.
+    pub session_shards: usize,
 }
 
 impl Default for ServeOpts {
@@ -90,41 +134,206 @@ impl Default for ServeOpts {
             read_timeout: Duration::from_secs(30),
             cache_bytes: 0,
             cache_ttl: None,
+            io_threads: thread::available_parallelism()
+                .map(|n| n.get().saturating_sub(1))
+                .unwrap_or(1)
+                .max(1),
+            session_shards: 8,
         }
     }
 }
 
-struct Shared {
-    table: Mutex<SessionTable>,
-    /// Signalled whenever a slot frees (queued sessions re-check).
+/// Live server gauges and counters — the serving-side metrics sink.
+/// Cheap atomics, readable at any time via [`MediatorServer::metrics`].
+#[derive(Debug, Default)]
+pub struct ServerMetrics {
+    backlog_depth: AtomicU64,
+    backlog_enqueued: AtomicU64,
+    backlog_dequeued: AtomicU64,
+    trace_frames_dropped: AtomicU64,
+    connections_accepted: AtomicU64,
+}
+
+impl ServerMetrics {
+    /// Sessions currently parked in the admission backlog. Updated on
+    /// every `SessionTable` queue and dequeue transition.
+    pub fn backlog_depth(&self) -> u64 {
+        self.backlog_depth.load(Ordering::Relaxed)
+    }
+
+    /// Total sessions ever queued behind the running set.
+    pub fn backlog_enqueued(&self) -> u64 {
+        self.backlog_enqueued.load(Ordering::Relaxed)
+    }
+
+    /// Total sessions that left the backlog (promoted or abandoned).
+    pub fn backlog_dequeued(&self) -> u64 {
+        self.backlog_dequeued.load(Ordering::Relaxed)
+    }
+
+    /// `Trace` frames dropped at the write-buffer high-water mark.
+    pub fn trace_frames_dropped(&self) -> u64 {
+        self.trace_frames_dropped.load(Ordering::Relaxed)
+    }
+
+    /// Client connections accepted since bind.
+    pub fn connections_accepted(&self) -> u64 {
+        self.connections_accepted.load(Ordering::Relaxed)
+    }
+
+    fn queue_push(&self) {
+        self.backlog_depth.fetch_add(1, Ordering::Relaxed);
+        self.backlog_enqueued.fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn queue_pop(&self) {
+        self.backlog_depth.fetch_sub(1, Ordering::Relaxed);
+        self.backlog_dequeued.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+/// An admitted (or queued) submission, ready for an executor thread.
+struct Job {
+    conn_id: u64,
+    session: u64,
+    memory_bytes: u64,
+    strategy: String,
+    trace: bool,
+    no_cache: bool,
+    workload: Workload,
+}
+
+/// Admission state: the sans-io table plus the jobs parked in its
+/// backlog, under ONE mutex so an executor promoting a session and an
+/// I/O worker reaping a disconnected queued client can never double-count
+/// a slot.
+struct Admission {
+    table: SessionTable,
+    queued: HashMap<u64, Job>,
+}
+
+/// Ready-to-run jobs for the executor pool.
+struct ExecQueue {
+    jobs: Mutex<VecDeque<Job>>,
     cond: Condvar,
+}
+
+impl ExecQueue {
+    fn push(&self, job: Job) {
+        self.jobs.lock().unwrap().push_back(job);
+        self.cond.notify_one();
+    }
+
+    /// Next job, or `None` once `stop` is raised.
+    fn pop(&self, stop: &AtomicBool) -> Option<Job> {
+        let mut jobs = self.jobs.lock().unwrap();
+        loop {
+            if let Some(job) = jobs.pop_front() {
+                return Some(job);
+            }
+            if stop.load(Ordering::SeqCst) {
+                return None;
+            }
+            let (j, _) = self
+                .cond
+                .wait_timeout(jobs, Duration::from_millis(200))
+                .unwrap();
+            jobs = j;
+        }
+    }
+}
+
+/// Mailbox messages delivered to an I/O worker (always paired with a
+/// waker ding).
+enum Msg {
+    /// A freshly accepted connection this worker now owns.
+    Adopt(u64, TcpStream),
+    /// Queue a progress frame for a connection.
+    Frame(u64, Frame),
+    /// Queue the terminal frame: flush it, then close the connection.
+    Terminal(u64, Frame),
+}
+
+/// One I/O worker's front door: its mailbox plus the waker that makes its
+/// poller notice the mail.
+#[derive(Clone)]
+struct WorkerHandle {
+    mailbox: Arc<Mutex<VecDeque<Msg>>>,
+    waker: Waker,
+}
+
+impl WorkerHandle {
+    fn send(&self, msg: Msg) {
+        self.mailbox.lock().unwrap().push_back(msg);
+        self.waker.wake();
+    }
+}
+
+/// The sharded connection map: which connections are alive, striped over
+/// `session_shards` locks so engine threads streaming traces for
+/// different sessions never contend on one mutex. Routing is
+/// deterministic (`conn_id % io_threads`); the map's job is liveness.
+struct ConnMap {
+    shards: Vec<Mutex<std::collections::HashSet<u64>>>,
+    workers: Vec<WorkerHandle>,
+}
+
+impl ConnMap {
+    fn shard(&self, conn_id: u64) -> &Mutex<std::collections::HashSet<u64>> {
+        &self.shards[conn_id as usize % self.shards.len()]
+    }
+
+    fn insert(&self, conn_id: u64) {
+        self.shard(conn_id).lock().unwrap().insert(conn_id);
+    }
+
+    fn remove(&self, conn_id: u64) {
+        self.shard(conn_id).lock().unwrap().remove(&conn_id);
+    }
+
+    fn contains(&self, conn_id: u64) -> bool {
+        self.shard(conn_id).lock().unwrap().contains(&conn_id)
+    }
+
+    /// Route a message to the worker owning `conn_id`; `false` if the
+    /// connection is gone (the message is dropped, not queued).
+    fn send(&self, conn_id: u64, msg: Msg) -> bool {
+        if !self.contains(conn_id) {
+            return false;
+        }
+        self.workers[conn_id as usize % self.workers.len()].send(msg);
+        true
+    }
+}
+
+struct Shared {
+    admission: Mutex<Admission>,
+    exec: ExecQueue,
     opts: ServeOpts,
     /// The wrapper result cache all sessions share; `None` when disabled.
     cache: Option<Arc<SharedCache>>,
     /// One health-tracked replica set per parsed wrapper group; empty when
     /// the mediator runs in-process wrappers.
     replica_sets: Vec<Arc<ReplicaSet>>,
+    conns: ConnMap,
+    metrics: Arc<ServerMetrics>,
     stop: AtomicBool,
-}
-
-/// The mediator service: accept loop + session threads.
-#[derive(Debug)]
-pub struct MediatorServer {
-    addr: SocketAddr,
-    shared: Arc<Shared>,
-    /// Live client connections, severed at shutdown so handler threads
-    /// blocked in reads unblock promptly.
-    conns: Arc<Mutex<HashMap<u64, TcpStream>>>,
-    /// Per-connection handler threads, joined at shutdown.
-    handlers: Arc<Mutex<Vec<JoinHandle<()>>>>,
-    accept_thread: Option<JoinHandle<()>>,
-    prober: Option<JoinHandle<()>>,
 }
 
 impl std::fmt::Debug for Shared {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Shared").field("opts", &self.opts).finish()
     }
+}
+
+/// The mediator service: reactor I/O workers + executor pool.
+#[derive(Debug)]
+pub struct MediatorServer {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    io_workers: Vec<JoinHandle<()>>,
+    exec_workers: Vec<JoinHandle<()>>,
+    prober: Option<JoinHandle<()>>,
 }
 
 impl MediatorServer {
@@ -141,6 +350,20 @@ impl MediatorServer {
                     "cache budget ({} bytes) must leave session memory within the global budget ({} bytes)",
                     opts.cache_bytes, opts.memory_bytes
                 ),
+            ));
+        }
+        // Zero workers or zero shards cannot serve anything; reject at
+        // bind, not at first connection.
+        if opts.io_threads == 0 {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                "io_threads must be at least 1",
+            ));
+        }
+        if opts.session_shards == 0 {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                "session_shards must be at least 1",
             ));
         }
         let cache = (opts.cache_bytes > 0).then(|| {
@@ -161,48 +384,81 @@ impl MediatorServer {
                 .collect()
         };
         let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
         let addr = listener.local_addr()?;
+
+        // Build the pollers (and grab their wakers) before the worker
+        // threads exist, so the shared state can hold every handle.
+        let mut pollers = Vec::with_capacity(opts.io_threads);
+        let mut handles = Vec::with_capacity(opts.io_threads);
+        for _ in 0..opts.io_threads {
+            let poller = Poller::new()?;
+            handles.push(WorkerHandle {
+                mailbox: Arc::new(Mutex::new(VecDeque::new())),
+                waker: poller.waker(),
+            });
+            pollers.push(poller);
+        }
         let shared = Arc::new(Shared {
-            table: Mutex::new(SessionTable::new(SessionConfig {
-                max_concurrent: opts.max_concurrent,
-                backlog: opts.backlog,
-                memory_bytes: opts.memory_bytes - opts.cache_bytes,
-            })),
-            cond: Condvar::new(),
+            admission: Mutex::new(Admission {
+                table: SessionTable::new(SessionConfig {
+                    max_concurrent: opts.max_concurrent,
+                    backlog: opts.backlog,
+                    memory_bytes: opts.memory_bytes - opts.cache_bytes,
+                }),
+                queued: HashMap::new(),
+            }),
+            exec: ExecQueue {
+                jobs: Mutex::new(VecDeque::new()),
+                cond: Condvar::new(),
+            },
+            conns: ConnMap {
+                shards: (0..opts.session_shards)
+                    .map(|_| Mutex::new(std::collections::HashSet::new()))
+                    .collect(),
+                workers: handles.clone(),
+            },
+            metrics: Arc::new(ServerMetrics::default()),
             opts,
             cache,
             replica_sets,
             stop: AtomicBool::new(false),
         });
-        let conns: Arc<Mutex<HashMap<u64, TcpStream>>> = Arc::new(Mutex::new(HashMap::new()));
-        let handlers: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
-        let accept_shared = Arc::clone(&shared);
-        let accept_conns = Arc::clone(&conns);
-        let accept_handlers = Arc::clone(&handlers);
-        let accept_thread = thread::spawn(move || {
-            let mut next_id = 0u64;
-            for conn in listener.incoming() {
-                if accept_shared.stop.load(Ordering::SeqCst) {
-                    return;
-                }
-                let Ok(conn) = conn else { continue };
-                conn.set_nodelay(true).ok();
-                let id = next_id;
-                next_id += 1;
-                if let Ok(clone) = conn.try_clone() {
-                    accept_conns.lock().unwrap().insert(id, clone);
-                }
-                let session_shared = Arc::clone(&accept_shared);
-                let session_conns = Arc::clone(&accept_conns);
-                let handle = thread::spawn(move || {
-                    serve_client(conn, session_shared);
-                    session_conns.lock().unwrap().remove(&id);
-                });
-                let mut handlers = accept_handlers.lock().unwrap();
-                handlers.retain(|h| !h.is_finished());
-                handlers.push(handle);
-            }
-        });
+
+        let mut listener = Some(listener);
+        let io_workers: Vec<JoinHandle<()>> = pollers
+            .into_iter()
+            .enumerate()
+            .map(|(idx, poller)| {
+                let worker = IoWorker {
+                    idx,
+                    shared: Arc::clone(&shared),
+                    poller,
+                    listener: listener.take(),
+                    mailbox: Arc::clone(&handles[idx].mailbox),
+                    conns: HashMap::new(),
+                    timers: TimerWheel::new(Duration::from_millis(100), 64),
+                    next_conn_id: 0,
+                };
+                thread::Builder::new()
+                    .name(format!("dqs-io-{idx}"))
+                    .spawn(move || worker.run())
+                    .expect("spawn io worker")
+            })
+            .collect();
+        let exec_workers: Vec<JoinHandle<()>> = (0..shared.opts.max_concurrent.max(1))
+            .map(|idx| {
+                let shared = Arc::clone(&shared);
+                thread::Builder::new()
+                    .name(format!("dqs-exec-{idx}"))
+                    .spawn(move || {
+                        while let Some(job) = shared.exec.pop(&shared.stop) {
+                            run_job(&shared, job);
+                        }
+                    })
+                    .expect("spawn exec worker")
+            })
+            .collect();
         let prober = (!shared.replica_sets.is_empty()).then(|| {
             let probe_shared = Arc::clone(&shared);
             thread::spawn(move || probe_replicas(&probe_shared))
@@ -210,9 +466,8 @@ impl MediatorServer {
         Ok(MediatorServer {
             addr,
             shared,
-            conns,
-            handlers,
-            accept_thread: Some(accept_thread),
+            io_workers,
+            exec_workers,
             prober,
         })
     }
@@ -224,12 +479,18 @@ impl MediatorServer {
 
     /// Admission counters (running/queued sessions, memory accounting).
     pub fn stats(&self) -> SessionStats {
-        self.shared.table.lock().unwrap().stats()
+        self.shared.admission.lock().unwrap().table.stats()
     }
 
     /// Result-cache counters, when a cache is configured.
     pub fn cache_stats(&self) -> Option<CacheStats> {
         self.shared.cache.as_ref().map(|c| c.stats())
+    }
+
+    /// The live serving-side metrics sink (backlog depth gauge, dropped
+    /// trace frames, accepted connections).
+    pub fn metrics(&self) -> Arc<ServerMetrics> {
+        Arc::clone(&self.shared.metrics)
     }
 
     /// Point-in-time health of every replica endpoint, grouped by logical
@@ -243,41 +504,633 @@ impl MediatorServer {
     }
 
     /// Stop accepting, sever live client connections, and join every
-    /// service thread — the accept loop, the replica prober, and all
-    /// per-connection handlers — so tests and CI shut the mediator down
-    /// without leaking threads or relying on process exit.
+    /// service thread — I/O workers, the executor pool, and the replica
+    /// prober — so tests and CI shut the mediator down without leaking
+    /// threads or relying on process exit. Executors finish their current
+    /// query first (an engine run cannot be interrupted mid-flight).
     pub fn shutdown(mut self) {
         self.shared.stop.store(true, Ordering::SeqCst);
-        TcpStream::connect(self.addr).ok();
-        if let Some(t) = self.accept_thread.take() {
-            t.join().ok();
+        for handle in &self.shared.conns.workers {
+            handle.waker.wake();
+        }
+        self.shared.exec.cond.notify_all();
+        for h in self.io_workers.drain(..) {
+            h.join().ok();
+        }
+        for h in self.exec_workers.drain(..) {
+            h.join().ok();
         }
         if let Some(t) = self.prober.take() {
             t.join().ok();
-        }
-        let severed: Vec<TcpStream> = {
-            let mut map = self.conns.lock().unwrap();
-            map.drain().map(|(_, c)| c).collect()
-        };
-        for conn in severed {
-            conn.shutdown(Shutdown::Both).ok();
-        }
-        let handlers: Vec<JoinHandle<()>> = {
-            let mut h = self.handlers.lock().unwrap();
-            h.drain(..).collect()
-        };
-        for h in handlers {
-            h.join().ok();
         }
     }
 
     /// Park the calling thread while the server runs (the `dqs serve`
     /// foreground loop).
     pub fn run_forever(mut self) {
-        if let Some(t) = self.accept_thread.take() {
-            t.join().ok();
+        for h in self.io_workers.drain(..) {
+            h.join().ok();
         }
     }
+}
+
+// --- the I/O worker ---------------------------------------------------------
+
+/// Where one connection is in its lifecycle.
+enum ConnState {
+    /// Waiting for the first frame (`Submit` or `Invalidate`).
+    AwaitSubmit,
+    /// Submitted and owned by a session (queued or running).
+    InSession { session: u64 },
+    /// Conversation over; nothing left but flushing and closing.
+    Closing,
+}
+
+/// Per-connection state machine, owned by exactly one I/O worker.
+struct Conn {
+    stream: TcpStream,
+    decoder: FrameDecoder,
+    wb: WriteBuffer,
+    state: ConnState,
+    /// Currently registered interest (to avoid redundant `modify` calls).
+    interest: Interest,
+    /// Peer's write half is closed; stop asking for readability.
+    eof: bool,
+    /// Close once the write buffer drains.
+    closing: bool,
+    /// Pending submit/drain deadline in the worker's timer wheel.
+    timer: Option<TimerId>,
+}
+
+struct IoWorker {
+    idx: usize,
+    shared: Arc<Shared>,
+    poller: Poller,
+    /// Worker 0 owns the listening socket.
+    listener: Option<TcpListener>,
+    mailbox: Arc<Mutex<VecDeque<Msg>>>,
+    conns: HashMap<u64, Conn>,
+    timers: TimerWheel,
+    next_conn_id: u64,
+}
+
+impl IoWorker {
+    fn run(mut self) {
+        if let Some(listener) = &self.listener {
+            if self
+                .poller
+                .register(listener_fd(listener), LISTENER_TOKEN, Interest::READABLE)
+                .is_err()
+            {
+                return;
+            }
+        }
+        let mut events = Events::new();
+        let mut expired: Vec<Token> = Vec::new();
+        loop {
+            let timeout = self.timers.next_deadline(Instant::now());
+            if self.poller.wait(&mut events, timeout).is_err() {
+                break;
+            }
+            if self.shared.stop.load(Ordering::SeqCst) {
+                break;
+            }
+            // Mailbox first: adopted connections must exist before any
+            // frames routed at them arrive (FIFO per worker guarantees it).
+            let msgs: Vec<Msg> = {
+                let mut mb = self.mailbox.lock().unwrap();
+                mb.drain(..).collect()
+            };
+            for msg in msgs {
+                match msg {
+                    Msg::Adopt(id, stream) => self.adopt(id, stream),
+                    Msg::Frame(id, frame) => self.queue_frame(id, frame),
+                    Msg::Terminal(id, frame) => self.queue_terminal(id, frame),
+                }
+            }
+            for ev in events.iter().copied() {
+                if ev.token == LISTENER_TOKEN {
+                    self.accept_ready();
+                    continue;
+                }
+                let id = ev.token.0;
+                if ev.readable {
+                    self.readable(id);
+                }
+                if ev.writable && self.conns.contains_key(&id) {
+                    self.flush(id);
+                }
+                if ev.hangup && !ev.readable && self.conns.contains_key(&id) {
+                    self.close(id);
+                }
+            }
+            expired.clear();
+            self.timers.advance(Instant::now(), &mut expired);
+            for t in &expired {
+                // Both deadlines — submit and drain — mean "cut it".
+                if self.conns.contains_key(&t.0) {
+                    self.close(t.0);
+                }
+            }
+        }
+        // Shutdown: sever everything this worker owns.
+        let ids: Vec<u64> = self.conns.keys().copied().collect();
+        for id in ids {
+            self.close(id);
+        }
+    }
+
+    /// Drain the accept queue (worker 0 only), assigning each connection
+    /// to a worker round-robin by id.
+    fn accept_ready(&mut self) {
+        let n_workers = self.shared.conns.workers.len();
+        loop {
+            let Some(listener) = &self.listener else {
+                return;
+            };
+            match listener.accept() {
+                Ok((stream, _)) => {
+                    if self.shared.stop.load(Ordering::SeqCst) {
+                        return;
+                    }
+                    stream.set_nodelay(true).ok();
+                    if stream.set_nonblocking(true).is_err() {
+                        continue;
+                    }
+                    let id = self.next_conn_id;
+                    self.next_conn_id += 1;
+                    self.shared
+                        .metrics
+                        .connections_accepted
+                        .fetch_add(1, Ordering::Relaxed);
+                    // Liveness entry first, so engine frames route from the
+                    // first instant the connection can possibly own a session.
+                    self.shared.conns.insert(id);
+                    let target = id as usize % n_workers;
+                    if target == self.idx {
+                        self.adopt(id, stream);
+                    } else {
+                        self.shared.conns.workers[target].send(Msg::Adopt(id, stream));
+                    }
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => return,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(_) => return,
+            }
+        }
+    }
+
+    fn adopt(&mut self, id: u64, stream: TcpStream) {
+        let fd = stream_fd(&stream);
+        if self
+            .poller
+            .register(fd, Token(id), Interest::READABLE)
+            .is_err()
+        {
+            self.shared.conns.remove(id);
+            return;
+        }
+        let timer = self
+            .timers
+            .schedule(Instant::now(), SUBMIT_TIMEOUT, Token(id));
+        self.conns.insert(
+            id,
+            Conn {
+                stream,
+                decoder: FrameDecoder::new(),
+                wb: WriteBuffer::new(),
+                state: ConnState::AwaitSubmit,
+                interest: Interest::READABLE,
+                eof: false,
+                closing: false,
+                timer: Some(timer),
+            },
+        );
+    }
+
+    /// Socket readable: drain it through the incremental decoder and act
+    /// on every complete frame.
+    fn readable(&mut self, id: u64) {
+        let mut buf = [0u8; 16 * 1024];
+        let mut saw_eof = false;
+        loop {
+            let Some(conn) = self.conns.get_mut(&id) else {
+                return;
+            };
+            match conn.stream.read(&mut buf) {
+                Ok(0) => {
+                    saw_eof = true;
+                    break;
+                }
+                Ok(n) => conn.decoder.feed(&buf[..n]),
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(_) => {
+                    self.close(id);
+                    return;
+                }
+            }
+        }
+        loop {
+            let frame = {
+                let Some(conn) = self.conns.get_mut(&id) else {
+                    return;
+                };
+                match conn.decoder.next_frame() {
+                    Ok(Some(frame)) => frame,
+                    Ok(None) => break,
+                    Err(_) => {
+                        // Oversize or malformed: the stream position is
+                        // untrustworthy from here on.
+                        self.close(id);
+                        return;
+                    }
+                }
+            };
+            self.on_frame(id, frame);
+        }
+        if saw_eof {
+            self.on_eof(id);
+        }
+    }
+
+    fn on_frame(&mut self, id: u64, frame: Frame) {
+        let Some(conn) = self.conns.get_mut(&id) else {
+            return;
+        };
+        match conn.state {
+            ConnState::AwaitSubmit => {
+                if let Some(t) = conn.timer.take() {
+                    self.timers.cancel(t);
+                }
+                match frame {
+                    Frame::Submit {
+                        strategy,
+                        trace,
+                        no_cache,
+                        seed,
+                        spec_json,
+                    } => self.on_submit(id, strategy, trace, no_cache, seed, spec_json),
+                    // A refresh request is a complete conversation of its
+                    // own: drop the named scans (or everything) and report
+                    // what was freed.
+                    Frame::Invalidate { rel } => {
+                        let (entries, bytes) = match &self.shared.cache {
+                            Some(cache) => cache.invalidate(rel),
+                            None => (0, 0),
+                        };
+                        self.queue_terminal(id, Frame::Invalidated { entries, bytes });
+                    }
+                    _ => self.close(id),
+                }
+            }
+            // After the submit, inbound bytes only matter as liveness;
+            // stray frames are discarded, exactly as the blocking server
+            // never read them.
+            ConnState::InSession { .. } | ConnState::Closing => {}
+        }
+    }
+
+    /// Validate, parse, and walk a submission through admission.
+    fn on_submit(
+        &mut self,
+        id: u64,
+        strategy: String,
+        trace: bool,
+        no_cache: bool,
+        seed: Option<u64>,
+        spec_json: String,
+    ) {
+        // Validate before admission: a bad spec must not consume a slot.
+        if !matches!(strategy.as_str(), "seq" | "ma" | "scr" | "dse") {
+            self.queue_terminal(
+                id,
+                Frame::Rejected {
+                    reason: format!("unknown strategy {strategy:?} (seq|ma|scr|dse)"),
+                },
+            );
+            return;
+        }
+        let mut workload =
+            match WorkloadSpec::from_json(&spec_json).and_then(WorkloadSpec::into_workload) {
+                Ok(w) => w,
+                Err(e) => {
+                    self.queue_terminal(
+                        id,
+                        Frame::Rejected {
+                            reason: e.to_string(),
+                        },
+                    );
+                    return;
+                }
+            };
+        if let Some(seed) = seed {
+            workload.config.seed = seed;
+        }
+        let mut admission = self.shared.admission.lock().unwrap();
+        match admission.table.submit() {
+            Decision::Reject { reason } => {
+                drop(admission);
+                self.queue_terminal(id, Frame::Rejected { reason });
+            }
+            Decision::Admit {
+                session,
+                memory_bytes,
+            } => {
+                drop(admission);
+                if let Some(conn) = self.conns.get_mut(&id) {
+                    conn.state = ConnState::InSession { session };
+                }
+                self.shared.exec.push(Job {
+                    conn_id: id,
+                    session,
+                    memory_bytes,
+                    strategy,
+                    trace,
+                    no_cache,
+                    workload,
+                });
+            }
+            Decision::Queue { session, position } => {
+                let memory_bytes = admission.table.partition_bytes();
+                admission.queued.insert(
+                    session,
+                    Job {
+                        conn_id: id,
+                        session,
+                        memory_bytes,
+                        strategy,
+                        trace,
+                        no_cache,
+                        workload,
+                    },
+                );
+                drop(admission);
+                self.shared.metrics.queue_push();
+                if let Some(conn) = self.conns.get_mut(&id) {
+                    conn.state = ConnState::InSession { session };
+                }
+                self.queue_frame(
+                    id,
+                    Frame::Queued {
+                        position: position as u32,
+                    },
+                );
+            }
+        }
+    }
+
+    /// The peer closed its write half. A draining connection may still be
+    /// reading our frames — keep flushing under the drain deadline; any
+    /// other state means the client is gone.
+    fn on_eof(&mut self, id: u64) {
+        let Some(conn) = self.conns.get_mut(&id) else {
+            return;
+        };
+        conn.eof = true;
+        if conn.closing && !conn.wb.is_empty() {
+            self.update_interest(id);
+        } else {
+            self.close(id);
+        }
+    }
+
+    /// Stage a progress frame, enforcing the trace high-water mark.
+    fn queue_frame(&mut self, id: u64, frame: Frame) {
+        let Some(conn) = self.conns.get_mut(&id) else {
+            return;
+        };
+        if conn.closing {
+            return;
+        }
+        if matches!(frame, Frame::Trace { .. }) && conn.wb.pending() > WRITE_HWM {
+            self.shared
+                .metrics
+                .trace_frames_dropped
+                .fetch_add(1, Ordering::Relaxed);
+            return;
+        }
+        conn.wb.push(&frame);
+        self.flush(id);
+    }
+
+    /// Stage the terminal frame; the connection closes once it drains
+    /// (or the drain deadline fires).
+    fn queue_terminal(&mut self, id: u64, frame: Frame) {
+        let Some(conn) = self.conns.get_mut(&id) else {
+            return;
+        };
+        if conn.closing {
+            return;
+        }
+        conn.wb.push(&frame);
+        conn.closing = true;
+        conn.state = ConnState::Closing;
+        if let Some(t) = conn.timer.take() {
+            self.timers.cancel(t);
+        }
+        conn.timer = Some(
+            self.timers
+                .schedule(Instant::now(), DRAIN_TIMEOUT, Token(id)),
+        );
+        self.flush(id);
+    }
+
+    /// Push buffered bytes at the socket; close on completion (if
+    /// draining) or on error.
+    fn flush(&mut self, id: u64) {
+        let Some(conn) = self.conns.get_mut(&id) else {
+            return;
+        };
+        match conn.wb.flush(&mut conn.stream) {
+            Ok(FlushStatus::Flushed) => {
+                if conn.closing {
+                    self.close(id);
+                } else {
+                    self.update_interest(id);
+                }
+            }
+            Ok(FlushStatus::Blocked) => self.update_interest(id),
+            Err(_) => self.close(id),
+        }
+    }
+
+    /// Re-register the connection for exactly the readiness it needs now.
+    fn update_interest(&mut self, id: u64) {
+        let Some(conn) = self.conns.get_mut(&id) else {
+            return;
+        };
+        let want = match (!conn.eof, !conn.wb.is_empty()) {
+            (true, true) => Interest::BOTH,
+            (true, false) => Interest::READABLE,
+            (false, true) => Interest::WRITABLE,
+            // Nothing to wait for; the drain deadline or close handles it.
+            (false, false) => Interest::READABLE,
+        };
+        if want != conn.interest {
+            conn.interest = want;
+            let fd = stream_fd(&conn.stream);
+            self.poller.modify(fd, Token(id), want).ok();
+        }
+    }
+
+    /// Tear a connection down: deregister, unmap, reap any queued
+    /// session, sever the socket.
+    fn close(&mut self, id: u64) {
+        let Some(mut conn) = self.conns.remove(&id) else {
+            return;
+        };
+        if let Some(t) = conn.timer.take() {
+            self.timers.cancel(t);
+        }
+        self.poller.deregister(stream_fd(&conn.stream)).ok();
+        self.shared.conns.remove(id);
+        if let ConnState::InSession { session } = conn.state {
+            // A queued session whose client left must not wait for (or
+            // hold) a slot. The single admission lock means an executor
+            // promoting this very session either got there first (the job
+            // is gone from `queued`, the engine runs and the frames drop
+            // harmlessly) or we reap it here and it never runs.
+            let mut admission = self.shared.admission.lock().unwrap();
+            if admission.queued.remove(&session).is_some() {
+                admission.table.finish(session);
+                drop(admission);
+                self.shared.metrics.queue_pop();
+            }
+        }
+        conn.stream.shutdown(Shutdown::Both).ok();
+    }
+}
+
+fn stream_fd(stream: &TcpStream) -> std::os::fd::RawFd {
+    use std::os::fd::AsRawFd;
+    stream.as_raw_fd()
+}
+
+fn listener_fd(listener: &TcpListener) -> std::os::fd::RawFd {
+    use std::os::fd::AsRawFd;
+    listener.as_raw_fd()
+}
+
+// --- the executor pool ------------------------------------------------------
+
+/// Release `session`'s slot and dispatch whatever the table promotes.
+/// Runs under the admission lock so promotion and queued-client
+/// disconnect cannot race.
+fn finish_and_promote(shared: &Shared, session: u64) {
+    let mut admission = shared.admission.lock().unwrap();
+    if let Some(promoted) = admission.table.finish(session) {
+        if let Some(job) = admission.queued.remove(&promoted) {
+            drop(admission);
+            shared.metrics.queue_pop();
+            shared.exec.push(job);
+        }
+    }
+}
+
+/// Execute one admitted session on this executor thread, streaming
+/// progress frames through the connection map.
+fn run_job(shared: &Shared, mut job: Job) {
+    // The client may have left while the job sat in the exec queue (or
+    // the backlog); don't burn an engine run on a dead connection.
+    if !shared.conns.send(
+        job.conn_id,
+        Msg::Frame(
+            job.conn_id,
+            Frame::Accepted {
+                session: job.session,
+                memory_bytes: job.memory_bytes,
+            },
+        ),
+    ) {
+        finish_and_promote(shared, job.session);
+        return;
+    }
+    // The session's query plans against its partition, not the global
+    // budget.
+    job.workload.config.memory_bytes = job.memory_bytes;
+
+    let cache = if job.no_cache {
+        None
+    } else {
+        shared.cache.as_ref()
+    };
+    let (driver, outcomes, pins) =
+        match build_driver(&job.workload, &shared.opts, &shared.replica_sets, cache) {
+            Ok(built) => built,
+            Err(e) => {
+                // Slot released *before* the terminal frame goes out, so a
+                // client that saw the outcome never observes its session
+                // still counted as running.
+                finish_and_promote(shared, job.session);
+                shared.conns.send(
+                    job.conn_id,
+                    Msg::Terminal(
+                        job.conn_id,
+                        Frame::Error {
+                            code: 2,
+                            message: format!("wrapper connect failed: {e}"),
+                        },
+                    ),
+                );
+                return;
+            }
+        };
+    // Remember which endpoint each scan opened on, so operators can ask
+    // the admission table where a session's load actually landed.
+    if !pins.is_empty() {
+        let mut admission = shared.admission.lock().unwrap();
+        for (rel, endpoint) in &pins {
+            admission.table.record_pin(job.session, rel.0, endpoint);
+        }
+    }
+
+    let mut sink = JsonLinesSink::new(TraceFrames {
+        shared,
+        conn_id: job.conn_id,
+        enabled: job.trace,
+        line: Vec::new(),
+    });
+    // Cache outcomes are decided before the engine runs (at source build
+    // time), so they lead the trace at t=0. The engine's own metrics
+    // observer never sees these events; the counters are patched into the
+    // final metrics below.
+    for o in &outcomes {
+        let ev = match o.served {
+            Some((tuples, bytes)) => EngineEvent::CacheHit {
+                rel: o.rel,
+                tuples,
+                bytes,
+            },
+            None => EngineEvent::CacheMiss { rel: o.rel },
+        };
+        sink.on_event(SimTime::ZERO, &ev);
+    }
+    let result = run_with_strategy(&job.strategy, &job.workload, sink, driver);
+    let terminal = match result {
+        Ok(mut m) => {
+            for o in &outcomes {
+                match o.served {
+                    Some((_, bytes)) => {
+                        m.cache_hits += 1;
+                        m.cache_bytes_served += bytes;
+                    }
+                    None => m.cache_misses += 1,
+                }
+            }
+            Frame::Done {
+                metrics_json: metrics_json(&m),
+            }
+        }
+        Err(e) => Frame::Error {
+            code: 1,
+            message: e.to_string(),
+        },
+    };
+    finish_and_promote(shared, job.session);
+    shared
+        .conns
+        .send(job.conn_id, Msg::Terminal(job.conn_id, terminal));
 }
 
 /// Background liveness prober. Between sessions, endpoint health only
@@ -316,233 +1169,6 @@ fn probe_replicas(shared: &Shared) {
             slept += slice;
         }
     }
-}
-
-/// Frame-level reply helper; errors mean the client is gone, which never
-/// aborts the server.
-fn reply(conn: &mut TcpStream, frame: &Frame) -> bool {
-    write_frame(conn, frame).is_ok()
-}
-
-/// One client connection: read the submission, walk it through admission,
-/// run it, stream the outcome.
-fn serve_client(mut conn: TcpStream, shared: Arc<Shared>) {
-    // A client that connects and says nothing must not hold a thread
-    // forever.
-    conn.set_read_timeout(Some(Duration::from_secs(60))).ok();
-    let submit = match read_frame(&mut conn) {
-        Ok(Some(Frame::Submit {
-            strategy,
-            trace,
-            no_cache,
-            seed,
-            spec_json,
-        })) => (strategy, trace, no_cache, seed, spec_json),
-        // A refresh request is a complete conversation of its own: drop
-        // the named scans (or everything) and report what was freed.
-        Ok(Some(Frame::Invalidate { rel })) => {
-            let (entries, bytes) = match &shared.cache {
-                Some(cache) => cache.invalidate(rel),
-                None => (0, 0),
-            };
-            reply(&mut conn, &Frame::Invalidated { entries, bytes });
-            conn.shutdown(Shutdown::Both).ok();
-            return;
-        }
-        Ok(Some(_)) | Ok(None) | Err(_) => return,
-    };
-    let (strategy, trace, no_cache, seed, spec_json) = submit;
-
-    // Validate before admission: a bad spec must not consume a slot.
-    if !matches!(strategy.as_str(), "seq" | "ma" | "scr" | "dse") {
-        reply(
-            &mut conn,
-            &Frame::Rejected {
-                reason: format!("unknown strategy {strategy:?} (seq|ma|scr|dse)"),
-            },
-        );
-        return;
-    }
-    let mut workload =
-        match WorkloadSpec::from_json(&spec_json).and_then(WorkloadSpec::into_workload) {
-            Ok(w) => w,
-            Err(e) => {
-                reply(
-                    &mut conn,
-                    &Frame::Rejected {
-                        reason: e.to_string(),
-                    },
-                );
-                return;
-            }
-        };
-    if let Some(seed) = seed {
-        workload.config.seed = seed;
-    }
-
-    // Admission.
-    let (session, memory_bytes) = {
-        let mut table = shared.table.lock().unwrap();
-        match table.submit() {
-            Decision::Reject { reason } => {
-                drop(table);
-                reply(&mut conn, &Frame::Rejected { reason });
-                return;
-            }
-            Decision::Admit {
-                session,
-                memory_bytes,
-            } => (session, memory_bytes),
-            Decision::Queue { session, position } => {
-                let memory = table.partition_bytes();
-                // Tell the client it waits, then wait for promotion.
-                drop(table);
-                if !reply(
-                    &mut conn,
-                    &Frame::Queued {
-                        position: position as u32,
-                    },
-                ) {
-                    let mut table = shared.table.lock().unwrap();
-                    table.finish(session);
-                    return;
-                }
-                let mut table = shared.table.lock().unwrap();
-                while !table.is_running(session) {
-                    if shared.stop.load(Ordering::SeqCst) {
-                        table.finish(session);
-                        return;
-                    }
-                    let (t, _) = shared
-                        .cond
-                        .wait_timeout(table, Duration::from_millis(200))
-                        .unwrap();
-                    table = t;
-                }
-                (session, memory)
-            }
-        }
-    };
-
-    // From here on the slot is held: every exit path must release it —
-    // and release it *before* the terminal frame goes out, so a client
-    // that saw the outcome never observes its session still counted as
-    // running.
-    let terminal = run_admitted_session(
-        &mut conn,
-        &shared,
-        session,
-        memory_bytes,
-        &strategy,
-        trace,
-        no_cache,
-        workload,
-    );
-    {
-        let mut table = shared.table.lock().unwrap();
-        table.finish(session);
-    }
-    shared.cond.notify_all();
-    if let Some(frame) = terminal {
-        reply(&mut conn, &frame);
-    }
-    conn.shutdown(Shutdown::Both).ok();
-}
-
-/// Execute an admitted session, streaming progress frames; returns the
-/// terminal frame the caller sends after releasing the slot.
-#[allow(clippy::too_many_arguments)]
-fn run_admitted_session(
-    conn: &mut TcpStream,
-    shared: &Shared,
-    session: u64,
-    memory_bytes: u64,
-    strategy: &str,
-    trace: bool,
-    no_cache: bool,
-    mut workload: Workload,
-) -> Option<Frame> {
-    if !reply(
-        conn,
-        &Frame::Accepted {
-            session,
-            memory_bytes,
-        },
-    ) {
-        return None;
-    }
-    // The session's query plans against its partition, not the global
-    // budget.
-    workload.config.memory_bytes = memory_bytes;
-
-    // Build the driver: cached replays where the shared cache can serve a
-    // relation, live sources (remote wrappers or in-process threads,
-    // recorded on the way through) everywhere else.
-    let cache = if no_cache {
-        None
-    } else {
-        shared.cache.as_ref()
-    };
-    let (driver, outcomes, pins) =
-        match build_driver(&workload, &shared.opts, &shared.replica_sets, cache) {
-            Ok(built) => built,
-            Err(e) => {
-                return Some(Frame::Error {
-                    code: 2,
-                    message: format!("wrapper connect failed: {e}"),
-                });
-            }
-        };
-    // Remember which endpoint each scan opened on, so operators can ask
-    // the admission table where a session's load actually landed.
-    if !pins.is_empty() {
-        let mut table = shared.table.lock().unwrap();
-        for (rel, endpoint) in &pins {
-            table.record_pin(session, rel.0, endpoint);
-        }
-    }
-
-    let mut sink = JsonLinesSink::new(TraceFrames {
-        conn: conn.try_clone().ok(),
-        enabled: trace,
-        line: Vec::new(),
-    });
-    // Cache outcomes are decided before the engine runs (at source build
-    // time), so they lead the trace at t=0. The engine's own metrics
-    // observer never sees these events; the counters are patched into the
-    // final metrics below.
-    for o in &outcomes {
-        let ev = match o.served {
-            Some((tuples, bytes)) => EngineEvent::CacheHit {
-                rel: o.rel,
-                tuples,
-                bytes,
-            },
-            None => EngineEvent::CacheMiss { rel: o.rel },
-        };
-        sink.on_event(SimTime::ZERO, &ev);
-    }
-    let result = run_with_strategy(strategy, &workload, sink, driver);
-    Some(match result {
-        Ok(mut m) => {
-            for o in &outcomes {
-                match o.served {
-                    Some((_, bytes)) => {
-                        m.cache_hits += 1;
-                        m.cache_bytes_served += bytes;
-                    }
-                    None => m.cache_misses += 1,
-                }
-            }
-            Frame::Done {
-                metrics_json: metrics_json(&m),
-            }
-        }
-        Err(e) => Frame::Error {
-            code: 1,
-            message: e.to_string(),
-        },
-    })
 }
 
 /// How one relation's scan was sourced: served from cache (`tuples`,
@@ -691,29 +1317,31 @@ fn run_with_strategy<O: EngineObserver>(
     }
 }
 
-/// A `Write` sink that forwards each completed JSON line to the client as
-/// a `Trace` frame (or discards it when tracing is off). Write errors are
-/// swallowed: losing the trace must not abort the query.
-#[derive(Debug)]
-struct TraceFrames {
-    conn: Option<TcpStream>,
+/// A `Write` sink that forwards each completed JSON line to the client's
+/// I/O worker as a `Trace` frame (or discards it when tracing is off).
+/// Routing failures are swallowed: losing the trace must not abort the
+/// query.
+struct TraceFrames<'a> {
+    shared: &'a Shared,
+    conn_id: u64,
     enabled: bool,
     line: Vec<u8>,
 }
 
-impl Write for TraceFrames {
+impl Write for TraceFrames<'_> {
     fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
-        if !self.enabled || self.conn.is_none() {
+        if !self.enabled {
             return Ok(buf.len());
         }
         for &b in buf {
             if b == b'\n' {
                 let line = String::from_utf8_lossy(&self.line).into_owned();
                 self.line.clear();
-                if let Some(conn) = &mut self.conn {
-                    if write_frame(conn, &Frame::Trace { line }).is_err() {
-                        self.conn = None; // client gone; stop trying
-                    }
+                if !self.shared.conns.send(
+                    self.conn_id,
+                    Msg::Frame(self.conn_id, Frame::Trace { line }),
+                ) {
+                    self.enabled = false; // client gone; stop trying
                 }
             } else {
                 self.line.push(b);
@@ -788,5 +1416,22 @@ mod tests {
             Some("dse"),
             "{text}"
         );
+    }
+
+    #[test]
+    fn zero_io_threads_and_zero_shards_are_bind_errors() {
+        for opts in [
+            ServeOpts {
+                io_threads: 0,
+                ..ServeOpts::default()
+            },
+            ServeOpts {
+                session_shards: 0,
+                ..ServeOpts::default()
+            },
+        ] {
+            let err = MediatorServer::bind("127.0.0.1:0", opts).unwrap_err();
+            assert_eq!(err.kind(), io::ErrorKind::InvalidInput);
+        }
     }
 }

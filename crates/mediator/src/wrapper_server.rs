@@ -32,7 +32,7 @@ use std::time::Duration;
 
 use dqs_relop::{synth_key, RelId};
 use dqs_sim::SeedSplitter;
-use dqs_source::net::{read_frame, write_frame, Frame};
+use dqs_source::net::{read_frame, FlushStatus, Frame, WriteBuffer};
 use dqs_source::DelayModel;
 
 /// Sleep in slices no longer than this, so a stopping server never waits
@@ -45,6 +45,29 @@ const SLEEP_SLICE: Duration = Duration::from_millis(50);
 struct Credits {
     by_rel: HashMap<RelId, u64>,
     dead: bool,
+}
+
+/// The connection's shared outbound channel: producers stage whole
+/// frames into the incremental [`WriteBuffer`] and flush through it, so
+/// a short write (or a `WouldBlock` under a send timeout) retains the
+/// remainder and the next flush resumes mid-frame instead of tearing it.
+#[derive(Debug)]
+struct OutChannel {
+    stream: TcpStream,
+    wb: WriteBuffer,
+}
+
+impl OutChannel {
+    /// Stage `frame` and push the buffer at the socket. Returns `false`
+    /// once the peer is unreachable; a blocked socket is not an error —
+    /// the staged bytes ride along with the next send.
+    fn send(&mut self, frame: &Frame) -> bool {
+        self.wb.push(frame);
+        matches!(
+            self.wb.flush(&mut self.stream),
+            Ok(FlushStatus::Flushed | FlushStatus::Blocked)
+        )
+    }
 }
 
 /// A serving wrapper process (minus the process): listener + producers.
@@ -160,9 +183,12 @@ impl WrapperServer {
 /// before returning, so a finished handler means no stray threads.
 fn serve_connection(conn: TcpStream, stop: Arc<AtomicBool>, per_tuple: Duration) {
     let credits = Arc::new((Mutex::new(Credits::default()), Condvar::new()));
-    let writer = Arc::new(Mutex::new(match conn.try_clone() {
-        Ok(w) => w,
-        Err(_) => return,
+    let writer = Arc::new(Mutex::new(OutChannel {
+        stream: match conn.try_clone() {
+            Ok(w) => w,
+            Err(_) => return,
+        },
+        wb: WriteBuffer::new(),
     }));
     let mut producers: Vec<JoinHandle<()>> = Vec::new();
     let mut reader = conn;
@@ -254,7 +280,7 @@ fn produce(
     delay: DelayModel,
     per_tuple: Duration,
     credits: Arc<(Mutex<Credits>, Condvar)>,
-    writer: Arc<Mutex<TcpStream>>,
+    writer: Arc<Mutex<OutChannel>>,
     stop: Arc<AtomicBool>,
 ) {
     let mut rng = SeedSplitter::new(seed).stream(stream);
@@ -284,13 +310,11 @@ fn produce(
             rel,
             keys: vec![synth_key(rel, i)],
         };
-        let mut w = writer.lock().unwrap();
-        if write_frame(&mut *w, &batch).is_err() {
+        if !writer.lock().unwrap().send(&batch) {
             return; // peer gone; the mediator sees the disconnect
         }
     }
-    let mut w = writer.lock().unwrap();
-    write_frame(&mut *w, &Frame::Eof { rel }).ok();
+    writer.lock().unwrap().send(&Frame::Eof { rel });
 }
 
 #[cfg(test)]

@@ -1,0 +1,328 @@
+//! A hashed timer wheel for connection deadlines and backoff.
+//!
+//! Schedule and cancel are O(1); expiry cost is proportional to the
+//! ticks that actually elapsed (capped at one full sweep of the wheel).
+//! Timers further out than one wheel revolution stay parked in their
+//! slot and simply survive sweeps until their absolute tick arrives —
+//! no unbounded slot vectors, no heap.
+//!
+//! All methods take an explicit `now` so the wheel is testable without
+//! sleeping: callers (the mediator's I/O workers) pass one `Instant`
+//! per loop iteration.
+
+use std::collections::HashSet;
+use std::time::{Duration, Instant};
+
+use crate::poller::Token;
+
+/// Handle for cancelling a scheduled timer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TimerId(u64);
+
+#[derive(Debug, Clone, Copy)]
+struct Entry {
+    id: u64,
+    token: Token,
+    /// Absolute tick at which the entry fires.
+    expiry: u64,
+}
+
+/// The wheel: `slots` buckets of `granularity` each.
+#[derive(Debug)]
+pub struct TimerWheel {
+    granularity: Duration,
+    slots: Vec<Vec<Entry>>,
+    anchor: Instant,
+    /// Next absolute tick to sweep.
+    cursor: u64,
+    next_id: u64,
+    cancelled: HashSet<u64>,
+    live: usize,
+    /// Lower bound on the earliest live expiry tick (may be stale after
+    /// cancels; lazily recomputed when exhausted).
+    earliest: u64,
+}
+
+impl TimerWheel {
+    /// A wheel anchored at `Instant::now()`.
+    pub fn new(granularity: Duration, slots: usize) -> TimerWheel {
+        TimerWheel::with_anchor(granularity, slots, Instant::now())
+    }
+
+    /// A wheel anchored at an explicit instant (deterministic tests).
+    pub fn with_anchor(granularity: Duration, slots: usize, anchor: Instant) -> TimerWheel {
+        assert!(slots > 0, "a timer wheel needs at least one slot");
+        assert!(
+            granularity > Duration::ZERO,
+            "a timer wheel needs a positive granularity"
+        );
+        TimerWheel {
+            granularity,
+            slots: (0..slots).map(|_| Vec::new()).collect(),
+            anchor,
+            cursor: 0,
+            next_id: 0,
+            cancelled: HashSet::new(),
+            live: 0,
+            earliest: u64::MAX,
+        }
+    }
+
+    /// Live (scheduled, not yet expired or cancelled) timers.
+    pub fn len(&self) -> usize {
+        self.live
+    }
+
+    /// True when no timer is pending.
+    pub fn is_empty(&self) -> bool {
+        self.live == 0
+    }
+
+    fn tick_of(&self, at: Instant) -> u64 {
+        let elapsed = at.saturating_duration_since(self.anchor);
+        (elapsed.as_nanos() / self.granularity.as_nanos()) as u64
+    }
+
+    /// Schedule `token` to fire `after` from `now`. Deadlines round *up*
+    /// to the next tick, so a timer never fires early.
+    pub fn schedule(&mut self, now: Instant, after: Duration, token: Token) -> TimerId {
+        let deadline = now
+            .checked_add(after)
+            .unwrap_or_else(|| now + Duration::from_secs(u32::MAX as u64));
+        let elapsed = deadline.saturating_duration_since(self.anchor).as_nanos();
+        let gran = self.granularity.as_nanos();
+        let expiry = (elapsed.div_ceil(gran) as u64).max(self.cursor);
+        let id = self.next_id;
+        self.next_id += 1;
+        let slot = (expiry % self.slots.len() as u64) as usize;
+        self.slots[slot].push(Entry { id, token, expiry });
+        self.live += 1;
+        self.earliest = self.earliest.min(expiry);
+        TimerId(id)
+    }
+
+    /// Cancel a scheduled timer. Unknown or already-fired ids are a
+    /// no-op.
+    pub fn cancel(&mut self, id: TimerId) {
+        if self.cancelled.insert(id.0) {
+            self.live = self.live.saturating_sub(1);
+        }
+    }
+
+    /// Sweep every tick up to `now`, appending expired tokens to
+    /// `expired` in tick order.
+    pub fn advance(&mut self, now: Instant, expired: &mut Vec<Token>) {
+        let now_tick = self.tick_of(now);
+        if now_tick < self.cursor {
+            return;
+        }
+        let n = self.slots.len() as u64;
+        if now_tick - self.cursor + 1 >= n {
+            // A full revolution (or more) elapsed: one pass over every
+            // slot catches everything due.
+            for slot in &mut self.slots {
+                Self::drain_slot(slot, now_tick, &mut self.cancelled, &mut self.live, expired);
+            }
+        } else {
+            for tick in self.cursor..=now_tick {
+                let slot = (tick % n) as usize;
+                Self::drain_slot(
+                    &mut self.slots[slot],
+                    tick,
+                    &mut self.cancelled,
+                    &mut self.live,
+                    expired,
+                );
+            }
+        }
+        self.cursor = now_tick + 1;
+        if self.live == 0 {
+            // NOTE: `cancelled` must NOT be cleared here even though no
+            // timer is live — cancelled entries still sit in their slots
+            // (cancellation is lazy) and forgetting them would resurrect
+            // each one at its original expiry tick. The set self-cleans:
+            // `drain_slot` removes an id the moment its tick is swept.
+            self.earliest = u64::MAX;
+        } else if self.earliest < self.cursor {
+            // The bound is exhausted (fired or cancelled): recompute it
+            // exactly. Happens at most once per earliest-miss, not per
+            // wait.
+            self.earliest = self
+                .slots
+                .iter()
+                .flatten()
+                .filter(|e| !self.cancelled.contains(&e.id))
+                .map(|e| e.expiry)
+                .min()
+                .unwrap_or(u64::MAX);
+        }
+    }
+
+    fn drain_slot(
+        slot: &mut Vec<Entry>,
+        tick: u64,
+        cancelled: &mut HashSet<u64>,
+        live: &mut usize,
+        expired: &mut Vec<Token>,
+    ) {
+        slot.retain(|e| {
+            if e.expiry > tick {
+                return true; // parked for a later revolution
+            }
+            if cancelled.remove(&e.id) {
+                return false; // cancelled before firing
+            }
+            expired.push(e.token);
+            *live = live.saturating_sub(1);
+            false
+        });
+    }
+
+    /// How long until the earliest pending timer could fire, from `now`.
+    /// `None` means no timer is pending (wait without a timeout).
+    pub fn next_deadline(&self, now: Instant) -> Option<Duration> {
+        if self.live == 0 {
+            return None;
+        }
+        let target = self.earliest.max(self.cursor);
+        let total = self
+            .granularity
+            .as_nanos()
+            .saturating_mul(u128::from(target));
+        let since_anchor = now.saturating_duration_since(self.anchor).as_nanos();
+        let remaining = total.saturating_sub(since_anchor);
+        Some(Duration::from_nanos(
+            remaining.min(u128::from(u64::MAX)) as u64
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ms(n: u64) -> Duration {
+        Duration::from_millis(n)
+    }
+
+    #[test]
+    fn timers_fire_in_deadline_order() {
+        let t0 = Instant::now();
+        let mut w = TimerWheel::with_anchor(ms(10), 16, t0);
+        w.schedule(t0, ms(50), Token(5));
+        w.schedule(t0, ms(20), Token(2));
+        w.schedule(t0, ms(80), Token(8));
+        let mut fired = Vec::new();
+        w.advance(t0 + ms(100), &mut fired);
+        assert_eq!(fired, vec![Token(2), Token(5), Token(8)]);
+        assert!(w.is_empty());
+    }
+
+    #[test]
+    fn timers_never_fire_early() {
+        let t0 = Instant::now();
+        let mut w = TimerWheel::with_anchor(ms(10), 16, t0);
+        w.schedule(t0, ms(35), Token(1));
+        let mut fired = Vec::new();
+        w.advance(t0 + ms(30), &mut fired);
+        assert!(fired.is_empty(), "a 35ms timer must not fire at 30ms");
+        w.advance(t0 + ms(40), &mut fired);
+        assert_eq!(fired, vec![Token(1)]);
+    }
+
+    #[test]
+    fn cancelled_timers_do_not_fire() {
+        let t0 = Instant::now();
+        let mut w = TimerWheel::with_anchor(ms(10), 16, t0);
+        let a = w.schedule(t0, ms(20), Token(1));
+        w.schedule(t0, ms(20), Token(2));
+        w.cancel(a);
+        assert_eq!(w.len(), 1);
+        let mut fired = Vec::new();
+        w.advance(t0 + ms(50), &mut fired);
+        assert_eq!(fired, vec![Token(2)]);
+        // Cancelling after the fact is a no-op.
+        w.cancel(a);
+        assert!(w.is_empty());
+    }
+
+    #[test]
+    fn far_timers_survive_full_revolutions() {
+        let t0 = Instant::now();
+        // 8 slots of 10ms = an 80ms revolution; 250ms parks 3 laps out.
+        let mut w = TimerWheel::with_anchor(ms(10), 8, t0);
+        w.schedule(t0, ms(250), Token(9));
+        let mut fired = Vec::new();
+        for step in 1..=24 {
+            w.advance(t0 + ms(step * 10), &mut fired);
+        }
+        assert!(fired.is_empty(), "not due before 250ms");
+        w.advance(t0 + ms(251), &mut fired);
+        assert_eq!(fired, vec![Token(9)]);
+    }
+
+    #[test]
+    fn a_giant_idle_gap_costs_one_sweep_and_loses_nothing() {
+        let t0 = Instant::now();
+        let mut w = TimerWheel::with_anchor(ms(1), 32, t0);
+        for i in 0..100 {
+            w.schedule(t0, ms(i), Token(i));
+        }
+        let mut fired = Vec::new();
+        w.advance(t0 + Duration::from_secs(3600), &mut fired);
+        assert_eq!(fired.len(), 100);
+        assert!(w.is_empty());
+    }
+
+    #[test]
+    fn next_deadline_tracks_the_earliest_live_timer() {
+        let t0 = Instant::now();
+        let mut w = TimerWheel::with_anchor(ms(10), 16, t0);
+        assert_eq!(w.next_deadline(t0), None);
+        let early = w.schedule(t0, ms(30), Token(1));
+        w.schedule(t0, ms(90), Token(2));
+        let d = w.next_deadline(t0).unwrap();
+        assert!(d <= ms(40), "earliest is the 30ms timer, got {d:?}");
+        // Cancel the early one; after a sweep the bound recomputes to the
+        // later timer.
+        w.cancel(early);
+        let mut fired = Vec::new();
+        w.advance(t0 + ms(40), &mut fired);
+        assert!(fired.is_empty());
+        let d = w.next_deadline(t0 + ms(40)).unwrap();
+        assert!(d > ms(20) && d <= ms(60), "bound must move to 90ms: {d:?}");
+    }
+
+    #[test]
+    fn a_cancelled_far_timer_stays_dead_after_the_wheel_goes_idle() {
+        // Regression: a long deadline parks several revolutions out; it
+        // is cancelled almost immediately, the wheel goes idle (live ==
+        // 0) and keeps being advanced — exactly a server connection that
+        // submits fast and then waits in a queue. The parked entry must
+        // not resurrect when its original expiry tick finally arrives.
+        let t0 = Instant::now();
+        let mut w = TimerWheel::with_anchor(ms(100), 64, t0);
+        let id = w.schedule(t0, Duration::from_secs(60), Token(1));
+        w.cancel(id);
+        assert!(w.is_empty());
+        let mut fired = Vec::new();
+        for step in 1..=700 {
+            w.advance(t0 + ms(step * 100), &mut fired);
+        }
+        assert!(
+            fired.is_empty(),
+            "a cancelled timer fired after the wheel idled: {fired:?}"
+        );
+    }
+
+    #[test]
+    fn zero_delay_fires_on_the_next_sweep() {
+        let t0 = Instant::now();
+        let mut w = TimerWheel::with_anchor(ms(10), 4, t0);
+        let mut fired = Vec::new();
+        w.advance(t0 + ms(55), &mut fired); // move the cursor forward
+        w.schedule(t0 + ms(55), Duration::ZERO, Token(7));
+        w.advance(t0 + ms(65), &mut fired);
+        assert_eq!(fired, vec![Token(7)]);
+    }
+}

@@ -634,6 +634,164 @@ pub fn read_frame(r: &mut impl Read) -> Result<Option<Frame>, FrameError> {
     Frame::decode_body(&body).map(Some)
 }
 
+// --- incremental (non-blocking) I/O -----------------------------------------
+
+/// Incremental frame decoder for non-blocking sockets: feed whatever
+/// bytes arrived, then drain zero or more complete frames. Partial
+/// prefixes and bodies are buffered across calls, so a reader never
+/// blocks waiting for the rest of a frame.
+///
+/// The oversize check runs as soon as the four prefix bytes are present
+/// — a hostile peer cannot make the decoder allocate more than
+/// [`MAX_FRAME_BYTES`] no matter how it fragments the stream.
+#[derive(Debug, Default)]
+pub struct FrameDecoder {
+    buf: Vec<u8>,
+    /// Bytes of `buf` already consumed by drained frames.
+    head: usize,
+}
+
+impl FrameDecoder {
+    /// An empty decoder.
+    pub fn new() -> FrameDecoder {
+        FrameDecoder::default()
+    }
+
+    /// Append bytes read from the socket.
+    pub fn feed(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Bytes buffered but not yet consumed as frames.
+    pub fn buffered(&self) -> usize {
+        self.buf.len() - self.head
+    }
+
+    /// Try to decode the next complete frame. `Ok(None)` means more
+    /// bytes are needed; errors (oversize, malformed) are sticky in the
+    /// sense that the caller should drop the connection — the stream
+    /// position is no longer trustworthy.
+    pub fn next_frame(&mut self) -> Result<Option<Frame>, FrameError> {
+        let avail = &self.buf[self.head..];
+        if avail.len() < 4 {
+            self.compact();
+            return Ok(None);
+        }
+        let len = u32::from_be_bytes([avail[0], avail[1], avail[2], avail[3]]) as usize;
+        if len > MAX_FRAME_BYTES {
+            return Err(FrameError::TooLarge {
+                len,
+                max: MAX_FRAME_BYTES,
+            });
+        }
+        if avail.len() < 4 + len {
+            self.compact();
+            return Ok(None);
+        }
+        let frame = Frame::decode_body(&avail[4..4 + len])?;
+        self.head += 4 + len;
+        self.compact();
+        Ok(Some(frame))
+    }
+
+    /// Call at EOF: a clean close lands exactly on a frame boundary;
+    /// leftover bytes mean the peer died mid-frame.
+    pub fn finish(&self) -> Result<(), FrameError> {
+        if self.buffered() == 0 {
+            Ok(())
+        } else if self.buffered() < 4 {
+            Err(FrameError::Truncated {
+                field: "length prefix",
+            })
+        } else {
+            Err(FrameError::Truncated { field: "body" })
+        }
+    }
+
+    /// Reclaim consumed prefix space once it dominates the buffer.
+    fn compact(&mut self) {
+        if self.head > 4096 && self.head * 2 >= self.buf.len() {
+            self.buf.drain(..self.head);
+            self.head = 0;
+        }
+    }
+}
+
+/// Did a [`WriteBuffer::flush`] drain everything, or stop at a full
+/// socket buffer?
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FlushStatus {
+    /// Every queued byte went out; write interest can be dropped.
+    Flushed,
+    /// The socket said `WouldBlock` mid-write; the remainder is retained
+    /// and the caller should wait for writability.
+    Blocked,
+}
+
+/// Outbound byte queue with resumable partial writes: frames are staged
+/// with [`WriteBuffer::push`], and [`WriteBuffer::flush`] writes as much
+/// as the socket accepts, keeping the rest for the next writable event.
+/// A short write therefore never blocks an I/O worker and never tears a
+/// frame.
+#[derive(Debug, Default)]
+pub struct WriteBuffer {
+    buf: Vec<u8>,
+    head: usize,
+}
+
+impl WriteBuffer {
+    /// An empty buffer.
+    pub fn new() -> WriteBuffer {
+        WriteBuffer::default()
+    }
+
+    /// Stage one encoded frame behind whatever is already queued.
+    pub fn push(&mut self, frame: &Frame) {
+        self.buf.extend_from_slice(&frame.encode());
+    }
+
+    /// Bytes staged but not yet accepted by the socket.
+    pub fn pending(&self) -> usize {
+        self.buf.len() - self.head
+    }
+
+    /// True when nothing is waiting to be written.
+    pub fn is_empty(&self) -> bool {
+        self.pending() == 0
+    }
+
+    /// Write queued bytes until the buffer empties or the socket blocks.
+    /// `Interrupted` retries; `WouldBlock` returns
+    /// [`FlushStatus::Blocked`] with the remainder retained; a zero-length
+    /// write is reported as `WriteZero`.
+    pub fn flush(&mut self, w: &mut impl Write) -> std::io::Result<FlushStatus> {
+        while self.head < self.buf.len() {
+            match w.write(&self.buf[self.head..]) {
+                Ok(0) => {
+                    return Err(std::io::Error::new(
+                        ErrorKind::WriteZero,
+                        "socket accepted zero bytes",
+                    ))
+                }
+                Ok(n) => {
+                    self.head += n;
+                    if self.head == self.buf.len() {
+                        self.buf.clear();
+                        self.head = 0;
+                    } else if self.head > 64 * 1024 && self.head * 2 >= self.buf.len() {
+                        self.buf.drain(..self.head);
+                        self.head = 0;
+                    }
+                }
+                Err(e) if e.kind() == ErrorKind::Interrupted => {}
+                Err(e) if e.kind() == ErrorKind::WouldBlock => return Ok(FlushStatus::Blocked),
+                Err(e) => return Err(e),
+            }
+        }
+        Ok(FlushStatus::Flushed)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -932,5 +1090,120 @@ mod tests {
             let _ = Frame::decode_body(&bytes);
             let _ = read_frame(&mut bytes.as_slice());
         }
+
+        /// The incremental decoder recovers the exact frame sequence no
+        /// matter how the stream is fragmented — byte-at-a-time, uneven
+        /// chunks, or frames glued together in one read.
+        #[test]
+        fn incremental_decode_survives_any_fragmentation(
+            frames in vec(arb_frame(), 1..6),
+            chunk_seed in vec(1usize..64, 1..64),
+        ) {
+            let mut wire = Vec::new();
+            for f in &frames {
+                wire.extend_from_slice(&f.encode());
+            }
+            let mut dec = FrameDecoder::new();
+            let mut out = Vec::new();
+            let mut offset = 0;
+            let mut i = 0;
+            while offset < wire.len() {
+                let take = chunk_seed[i % chunk_seed.len()].min(wire.len() - offset);
+                i += 1;
+                dec.feed(&wire[offset..offset + take]);
+                offset += take;
+                while let Some(f) = dec.next_frame().unwrap() {
+                    out.push(f);
+                }
+            }
+            prop_assert_eq!(&out, &frames);
+            prop_assert!(dec.finish().is_ok(), "stream ended on a frame boundary");
+            prop_assert_eq!(dec.buffered(), 0);
+        }
+
+        /// A write buffer flushed through a sink that accepts tiny
+        /// amounts per call (and blocks in between) still delivers the
+        /// byte-exact stream.
+        #[test]
+        fn write_buffer_resumes_short_writes_exactly(
+            frames in vec(arb_frame(), 1..5),
+            caps in vec(1usize..48, 1..32),
+        ) {
+            struct Dribble {
+                caps: Vec<usize>,
+                call: usize,
+                sunk: Vec<u8>,
+            }
+            impl Write for Dribble {
+                fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+                    let call = self.call;
+                    self.call += 1;
+                    // Every third call pretends the socket buffer is full.
+                    if call % 3 == 2 {
+                        return Err(std::io::Error::from(ErrorKind::WouldBlock));
+                    }
+                    let cap = self.caps[call % self.caps.len()].min(buf.len());
+                    self.sunk.extend_from_slice(&buf[..cap]);
+                    Ok(cap)
+                }
+                fn flush(&mut self) -> std::io::Result<()> {
+                    Ok(())
+                }
+            }
+            let mut sink = Dribble { caps, call: 0, sunk: Vec::new() };
+            let mut wb = WriteBuffer::new();
+            let mut expected = Vec::new();
+            for f in &frames {
+                wb.push(f);
+                expected.extend_from_slice(&f.encode());
+            }
+            let mut guard = 0;
+            while wb.flush(&mut sink).unwrap() == FlushStatus::Blocked {
+                guard += 1;
+                prop_assert!(guard < 100_000, "flush must make progress");
+            }
+            prop_assert!(wb.is_empty());
+            prop_assert_eq!(&sink.sunk, &expected);
+        }
+    }
+
+    #[test]
+    fn incremental_decoder_rejects_oversize_before_the_body_arrives() {
+        let mut dec = FrameDecoder::new();
+        let mut prefix = Vec::new();
+        put_u32(&mut prefix, (MAX_FRAME_BYTES + 1) as u32);
+        // Feed the prefix one byte at a time: only once all four bytes
+        // are in can the decoder judge, and it must do so without ever
+        // seeing (or allocating for) a body.
+        for (i, b) in prefix.iter().enumerate() {
+            dec.feed(&[*b]);
+            let res = dec.next_frame();
+            if i < 3 {
+                assert!(matches!(res, Ok(None)), "byte {i}: prefix incomplete");
+            } else {
+                assert!(matches!(res, Err(FrameError::TooLarge { .. })));
+            }
+        }
+    }
+
+    #[test]
+    fn incremental_decoder_reports_truncation_at_eof() {
+        let f = &samples()[0];
+        let wire = f.encode();
+        let mut dec = FrameDecoder::new();
+        dec.feed(&wire[..2]);
+        assert!(matches!(
+            dec.finish(),
+            Err(FrameError::Truncated {
+                field: "length prefix"
+            })
+        ));
+        let mut dec = FrameDecoder::new();
+        dec.feed(&wire[..wire.len() - 1]);
+        assert!(matches!(dec.next_frame(), Ok(None)));
+        assert!(matches!(
+            dec.finish(),
+            Err(FrameError::Truncated { field: "body" })
+        ));
     }
 }
