@@ -15,6 +15,7 @@
 //!   multi-query     N concurrent queries: throughput vs response (§6)
 //!   cache           wrapper result cache cold vs warm (writes BENCH_cache.json)
 //!   failover        kill a replica mid-scan vs clean run (writes BENCH_failover.json)
+//!   morsel          worker-pool scaling on a probe-heavy spec (writes BENCH_morsel.json)
 //!   scrambling      query scrambling baseline + timeout sweep (§1.2)
 //!   ablate-bmt      benefit-materialization threshold sweep (A1)
 //!   ablate-batch    DQP batch-size sweep (A2)
@@ -96,6 +97,16 @@ fn run(cmd: &str) -> bool {
             });
             eprintln!("json written to {path}");
         }
+        "morsel" => {
+            let report = ex::morsel_experiment();
+            print!("{}", ex::render_morsel(&report));
+            let path = csv.unwrap_or_else(|| "BENCH_morsel.json".into());
+            std::fs::write(&path, ex::morsel_json(&report)).unwrap_or_else(|e| {
+                eprintln!("failed to write {path}: {e}");
+                std::process::exit(1);
+            });
+            eprintln!("json written to {path}");
+        }
         "scrambling" => print!("{}", ex::scrambling()),
         "ablate-bmt" => print!("{}", ex::ablate_bmt()),
         "ablate-batch" => print!("{}", ex::ablate_batch()),
@@ -116,6 +127,7 @@ fn run(cmd: &str) -> bool {
                 "multi-query",
                 "cache",
                 "failover",
+                "morsel",
                 "scrambling",
                 "ablate-bmt",
                 "ablate-batch",
@@ -139,7 +151,7 @@ fn main() {
         eprint!(
             "usage: repro <command>\n\
              commands: table1 figure5 headline figure6 figure7 figure6-all figure8\n\
-             \u{20}         delay-taxonomy memory multi-query cache failover scrambling ablate-bmt ablate-batch\n\
+             \u{20}         delay-taxonomy memory multi-query cache failover morsel scrambling ablate-bmt ablate-batch\n\
              \u{20}         ablate-queue\n\
              \u{20}         ablate-dse ablate-rate all\n"
         );

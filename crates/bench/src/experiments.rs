@@ -997,6 +997,173 @@ pub fn failover_json(r: &FailoverReport) -> String {
     )
 }
 
+/// One worker-count row of the morsel scaling repro.
+#[derive(Debug, Clone, Copy)]
+pub struct MorselRow {
+    /// Worker-pool size this row measured.
+    pub workers: usize,
+    /// Median modeled single-query response across the seeds, seconds.
+    pub p50_secs: f64,
+    /// `p50(workers=1) / p50(workers=N)` — the single-query speedup.
+    pub speedup: f64,
+    /// Morsels dispatched in the last seed's run.
+    pub morsels: u64,
+    /// Morsels stolen off another worker's deque in the last seed's run.
+    pub steals: u64,
+}
+
+/// The full morsel scaling report.
+#[derive(Debug, Clone)]
+pub struct MorselReport {
+    /// One row per worker count, in [`MORSEL_WORKERS`] order.
+    pub rows: Vec<MorselRow>,
+    /// Output cardinality of the probe-heavy query (any seed's last run).
+    pub output_tuples: u64,
+    /// Whether every worker count produced the workers=1 answer, seed by
+    /// seed — the determinism contract, re-checked on the bench itself.
+    pub answers_match: bool,
+    /// Batch size the repro carved morsels from.
+    pub batch_size: usize,
+    /// Morsel granularity in tuples.
+    pub morsel_tuples: usize,
+}
+
+/// Worker counts the morsel repro sweeps.
+pub const MORSEL_WORKERS: [usize; 4] = [1, 2, 4, 8];
+
+/// The probe-heavy workload of the morsel repro: two small build sides
+/// and one wide fact stream, wrappers fast enough that the probe chain —
+/// the part morsels parallelize — dominates the modeled response.
+pub const MORSEL_SPEC: &str = r#"{
+    "relations": [
+        {"name": "dim_a", "cardinality": 500, "delay": {"constant_us": 2}},
+        {"name": "dim_b", "cardinality": 500, "delay": {"constant_us": 2}},
+        {"name": "fact",  "cardinality": 40000, "delay": {"constant_us": 1}}
+    ],
+    "joins": [
+        {"left": "fact", "right": "dim_a", "selectivity": 4e-3},
+        {"left": "fact", "right": "dim_b", "selectivity": 4e-3}
+    ]
+}"#;
+
+fn median(xs: &mut [f64]) -> f64 {
+    xs.sort_by(f64::total_cmp);
+    xs[xs.len() / 2]
+}
+
+/// Run the morsel scaling repro: the probe-heavy spec at every worker
+/// count in [`MORSEL_WORKERS`], five seeds each, reporting per-count p50
+/// modeled response and the speedup over serial. Large batches give the
+/// pool enough morsels per batch to spread across eight workers.
+pub fn morsel_experiment() -> MorselReport {
+    const SEEDS: [u64; 5] = [11, 22, 33, 44, 55];
+    let base = {
+        let mut w = dqs_exec::spec::WorkloadSpec::from_json(MORSEL_SPEC)
+            .and_then(dqs_exec::spec::WorkloadSpec::into_workload)
+            .expect("morsel spec valid");
+        w.config.batch_size = 2048;
+        w.config.queue_capacity = 4096;
+        // Bulk transfer: amortize the per-message receive cost so the
+        // probe chain — the part the pool parallelizes — dominates.
+        w.config.params.pages_per_message = 16;
+        w
+    };
+    let mut rows = Vec::new();
+    let mut baseline: Vec<u64> = Vec::new();
+    let mut answers_match = true;
+    let mut output_tuples = 0;
+    let mut p50_serial = 0.0;
+    for &workers in &MORSEL_WORKERS {
+        let mut secs = Vec::new();
+        let (mut morsels, mut steals) = (0, 0);
+        for (i, &seed) in SEEDS.iter().enumerate() {
+            let w = base.clone().with_seed(seed).with_workers(workers);
+            let m = run_once(&w, StrategyKind::Dse);
+            if workers == 1 {
+                baseline.push(m.output_tuples);
+            } else if baseline[i] != m.output_tuples {
+                answers_match = false;
+            }
+            output_tuples = m.output_tuples;
+            morsels = m.morsels;
+            steals = m.steals;
+            secs.push(m.response_secs());
+        }
+        let p50 = median(&mut secs);
+        if workers == 1 {
+            p50_serial = p50;
+        }
+        rows.push(MorselRow {
+            workers,
+            p50_secs: p50,
+            speedup: p50_serial / p50,
+            morsels,
+            steals,
+        });
+    }
+    MorselReport {
+        rows,
+        output_tuples,
+        answers_match,
+        batch_size: base.config.batch_size,
+        morsel_tuples: base.config.morsel_tuples,
+    }
+}
+
+/// Render the morsel repro as a human-readable table.
+pub fn render_morsel(r: &MorselReport) -> String {
+    let mut out =
+        String::from("Morsel scaling: probe-heavy spec, p50 of 5 seeds per worker count\n");
+    let _ = writeln!(
+        out,
+        "(batch {} tuples, morsel {} tuples)",
+        r.batch_size, r.morsel_tuples
+    );
+    let _ = writeln!(
+        out,
+        "{:>7} {:>10} {:>8} {:>8} {:>7}",
+        "workers", "p50[s]", "speedup", "morsels", "steals"
+    );
+    for row in &r.rows {
+        let _ = writeln!(
+            out,
+            "{:>7} {:>10.3} {:>7.2}x {:>8} {:>7}",
+            row.workers, row.p50_secs, row.speedup, row.morsels, row.steals
+        );
+    }
+    let _ = writeln!(
+        out,
+        "output tuples: {}   answers match: {}",
+        r.output_tuples, r.answers_match
+    );
+    out
+}
+
+/// Render the morsel repro as the machine-readable `BENCH_morsel.json`.
+pub fn morsel_json(r: &MorselReport) -> String {
+    let rows: Vec<String> = r
+        .rows
+        .iter()
+        .map(|row| {
+            format!(
+                "{{\"workers\":{},\"p50_secs\":{},\"speedup\":{},\
+                 \"morsels\":{},\"steals\":{}}}",
+                row.workers, row.p50_secs, row.speedup, row.morsels, row.steals
+            )
+        })
+        .collect();
+    format!(
+        "{{\"experiment\":\"morsel_scaling\",\"batch_size\":{},\
+         \"morsel_tuples\":{},\"output_tuples\":{},\"answers_match\":{},\
+         \"rows\":[{}]}}\n",
+        r.batch_size,
+        r.morsel_tuples,
+        r.output_tuples,
+        r.answers_match,
+        rows.join(",")
+    )
+}
+
 /// Metrics snapshot helper used by the memory experiment test.
 pub fn run_dse_with_memory(mb: u64) -> Result<RunMetrics, dqs_exec::RunError> {
     let (mut w, _) = Workload::fig5();

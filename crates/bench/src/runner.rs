@@ -3,7 +3,7 @@
 use dqs_core::DsePolicy;
 use dqs_exec::{
     run_workload, run_workload_observed, EngineEvent, EngineObserver, Interrupt, MaPolicy,
-    RunMetrics, ScramblingPolicy, SeqPolicy, Workload,
+    RunMetrics, ScramblingPolicy, SeqPolicy, TaskCtx, WorkerPool, Workload,
 };
 use dqs_sim::{stats, SimTime};
 
@@ -159,24 +159,21 @@ pub fn run_once_with_phases(
 /// Run `workload` under `strategy` for each seed in [`SEEDS`] and return
 /// `(mean response seconds, std dev, last metrics)`.
 ///
-/// Seeds run on scoped threads — the simulation is a pure function of the
-/// workload, so the results are identical to running them back-to-back
-/// (asserted by `parallel_seeds_match_serial`).
+/// Seeds run as tasks on the process-wide [`WorkerPool`] — the simulation
+/// is a pure function of the workload and the pool gathers results in
+/// submission order, so the results are identical to running them
+/// back-to-back (asserted by `parallel_seeds_match_serial`). Riding the
+/// shared pool instead of ad-hoc scoped threads means bench repetitions
+/// and morsel execution draw from the same bounded worker set.
 pub fn run_repeated(workload: &Workload, strategy: StrategyKind) -> (f64, f64, RunMetrics) {
-    let metrics: Vec<RunMetrics> = std::thread::scope(|scope| {
-        let handles: Vec<_> = SEEDS
-            .iter()
-            .map(|&seed| {
-                let w = workload.clone().with_seed(seed);
-                scope.spawn(move || run_once(&w, strategy))
-            })
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("seed run panicked"))
-            .collect()
-    });
-    summarize(metrics)
+    let tasks: Vec<_> = SEEDS
+        .iter()
+        .map(|&seed| {
+            let w = workload.clone().with_seed(seed);
+            move |_ctx: TaskCtx| run_once(&w, strategy)
+        })
+        .collect();
+    summarize(WorkerPool::global().execute(tasks))
 }
 
 /// Serial reference for [`run_repeated`]; same results, one seed at a time.

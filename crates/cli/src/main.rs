@@ -33,6 +33,7 @@ fn usage() -> ExitCode {
          \u{20} explain   show the optimized plan, pipeline chains and annotations\n\
          \u{20} run       execute (options: --strategy seq|ma|scr|dse, --seed N, --all,\n\
          \u{20}           --real-time: threaded wall-clock execution instead of simulation,\n\
+         \u{20}           --workers N: morsel worker threads (default 1 = serial),\n\
          \u{20}           --trace-json <path>: write structured engine events as JSON lines)\n\
          \u{20} lwb       print the analytic response-time lower bound\n\
          \u{20} validate  parse and plan without executing\n\
@@ -44,7 +45,8 @@ fn usage() -> ExitCode {
          \u{20}           --max-concurrent N, --backlog N, --memory-mb M,\n\
          \u{20}           --cache-mb M: result-cache budget, --cache-ttl-ms T,\n\
          \u{20}           --io-threads N: reactor event-loop threads (default cores-1),\n\
-         \u{20}           --session-shards N: connection-map lock stripes (default 8))\n\
+         \u{20}           --session-shards N: connection-map lock stripes (default 8),\n\
+         \u{20}           --exec-workers N: shared morsel worker pool (default 1))\n\
          \u{20} submit    run a spec on a mediator (--connect ADDR, --strategy X,\n\
          \u{20}           --seed N, --trace, --no-cache, --connect-timeout MS)\n\
          \u{20} invalidate  drop the mediator's cached scans (--connect ADDR,\n\
@@ -160,6 +162,15 @@ fn cmd_serve(args: &[String]) -> ExitCode {
             Ok(n) => opts.session_shards = n,
             Err(_) => {
                 eprintln!("error: --session-shards wants an integer, got {n:?}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    if let Some(n) = flag_value(args, "--exec-workers") {
+        match n.parse() {
+            Ok(n) if n > 0 => opts.exec_workers = n,
+            _ => {
+                eprintln!("error: --exec-workers wants a positive integer, got {n:?}");
                 return ExitCode::from(2);
             }
         }
@@ -442,6 +453,12 @@ fn print_metrics(m: &RunMetrics) {
         "memory peak    {:.2} MB",
         m.memory_high_water as f64 / (1024.0 * 1024.0)
     );
+    if m.morsels > 0 {
+        println!(
+            "morsels        {} dispatched, {} stolen",
+            m.morsels, m.steals
+        );
+    }
     if m.query_responses.len() > 1 {
         for (q, t) in &m.query_responses {
             println!("query {q} done   {:.6} s", t.as_secs_f64());
@@ -506,6 +523,12 @@ fn main() -> ExitCode {
         match args.get(i + 1).and_then(|s| s.parse().ok()) {
             Some(seed) => workload.config.seed = seed,
             None => return usage(),
+        }
+    }
+    if let Some(i) = args.iter().position(|a| a == "--workers") {
+        match args.get(i + 1).and_then(|s| s.parse().ok()) {
+            Some(w) if w >= 1 => workload.config.workers = w,
+            _ => return usage(),
         }
     }
 

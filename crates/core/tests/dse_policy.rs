@@ -9,7 +9,7 @@ use dqs_sim::{SimDuration, SimTime};
 fn fig5_ctx() -> (World, dqs_plan::AnnotatedPlan, FragTable) {
     let (w, _) = Workload::fig5();
     let (world, plan) = World::build(&w);
-    let frags = FragTable::from_plan(&plan);
+    let frags = FragTable::from_plan(&plan, 42);
     (world, plan, frags)
 }
 
@@ -85,7 +85,7 @@ fn memory_gating_excludes_unfundable_builds() {
     // admitted, so the initial plan must not contain p_A or p_D.
     w.config.memory_bytes = 1024 * 1024;
     let (mut world, plan) = World::build(&w);
-    let mut frags = FragTable::from_plan(&plan);
+    let mut frags = FragTable::from_plan(&plan, 42);
     let mut policy = DsePolicy::new();
     let sp = {
         let mut ctx = PlanCtx {

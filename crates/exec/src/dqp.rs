@@ -9,13 +9,25 @@
 //! DQP scans the second queue in the list and so on. After each batch
 //! processing, the DQP returns to the highest priority queue."
 
+use std::sync::Arc;
+
+use dqs_relop::Tuple;
 use dqs_sim::SimTime;
 
 use crate::driver::{Driver, Signal};
 use crate::frag::{FragId, FragSink, FragSource, FragStatus};
 use crate::observe::{EngineEvent, EngineObserver};
 use crate::policy::{Interrupt, Policy};
+use crate::pool::{TaskCtx, WorkerPool};
 use crate::runtime::{Engine, Inflight};
+
+/// Modeled dispatch overhead of one morsel, in instructions: a small base
+/// cost plus jitter drawn deterministically from the morsel's RNG stream
+/// seed `(fragment seed, morsel index)` — reproducible by construction,
+/// whatever the worker count or steal order.
+fn morsel_overhead_instr(frag_seed: u64, index: u64) -> u64 {
+    200 + crate::world::morsel_seed(frag_seed, index) % 101
+}
 
 impl<P: Policy, O: EngineObserver, D: Driver> Engine<P, O, D> {
     /// Scan the scheduling plan for the next runnable batch and start it;
@@ -183,14 +195,30 @@ impl<P: Policy, O: EngineObserver, D: Driver> Engine<P, O, D> {
             },
         );
 
-        let frag = self.frags.get_mut(f);
-        frag.started = true;
-        frag.tuples_in += input.len() as u64;
+        {
+            let frag = self.frags.get_mut(f);
+            frag.started = true;
+            frag.tuples_in += input.len() as u64;
+        }
         let mut out = std::mem::take(&mut self.out_buf);
-        let run_instr =
-            frag.chain
-                .run_batch_into(&input, &mut out, &mut self.world.arena, &self.world.params);
-        let mut instr = run_instr + read_instr;
+        // Chain work: morsel-parallel across the worker pool when configured
+        // and worthwhile, serial otherwise. `chain_instr` is the modeled CPU
+        // cost charged for the chain — the W-lane makespan on the parallel
+        // path, the plain instruction count on the serial one. Either way
+        // the *answer* is bit-identical; only modeled time differs.
+        let chain_instr = match self.run_batch_morsels(f, &input, &mut out, now) {
+            Some(makespan) => makespan,
+            None => {
+                let frag = self.frags.get_mut(f);
+                frag.chain.run_batch_into(
+                    &input,
+                    &mut out,
+                    &mut self.world.arena,
+                    &self.world.params,
+                )
+            }
+        };
+        let mut instr = chain_instr + read_instr;
         let mut sink_wait: Option<SimTime> = None;
         let mut output = 0u64;
 
@@ -242,6 +270,134 @@ impl<P: Policy, O: EngineObserver, D: Driver> Engine<P, O, D> {
         self.driver.schedule(done_at, Signal::BatchDone);
         self.inflight = Some(Inflight { frag: f, output });
         true
+    }
+
+    /// Run one admitted batch morsel-parallel across the worker pool.
+    ///
+    /// Returns the modeled chain cost to charge — the makespan of a greedy
+    /// earliest-finish assignment of per-morsel costs onto `workers` lanes —
+    /// with `out` holding the merged open-end survivors, or `None` when the
+    /// batch should take the serial path instead: parallelism not configured,
+    /// batch too small to split, nothing to do per tuple, or no memory for
+    /// the per-worker scratch slabs (a *silent* fallback — see
+    /// [`Engine::reserve_morsel_slab`]).
+    ///
+    /// Determinism: morsels are carved at fixed offsets, forked
+    /// arithmetically from the master chain state, and merged in morsel-index
+    /// order; the modeled makespan likewise assigns morsels to lanes in index
+    /// order. Neither the answer nor the charged time depends on which
+    /// physical worker ran a morsel or who stole what.
+    pub(crate) fn run_batch_morsels(
+        &mut self,
+        f: FragId,
+        input: &[Tuple],
+        out: &mut Vec<Tuple>,
+        now: SimTime,
+    ) -> Option<u64> {
+        let workers = self.cfg.workers;
+        let morsel = self.cfg.morsel_tuples.max(1);
+        if workers <= 1 || input.len() <= morsel {
+            return None;
+        }
+        if self.frags.get(f).chain.spec().is_empty() {
+            // A pass-through chain is a memcpy; splitting it buys nothing.
+            return None;
+        }
+
+        // Account the workers' scratch slabs against the query's memory
+        // grant: every morsel's input copy plus the estimated output
+        // partitions exist concurrently until the merge.
+        let est = dqs_relop::estimate_chain(self.frags.get(f).chain.spec(), &self.world.params);
+        let est_out = (input.len() as f64 * est.fanout_total).ceil() as u64;
+        let slab_bytes = self
+            .world
+            .params
+            .bytes_for_tuples(input.len() as u64 + est_out);
+        let slab = self.reserve_morsel_slab(slab_bytes)?;
+
+        // Prefer the driver- or builder-attached pool; otherwise latch the
+        // process-global one on first parallel batch.
+        let pool = match &self.pool {
+            Some(p) => Arc::clone(p),
+            None => {
+                let p = Arc::clone(WorkerPool::global());
+                self.pool = Some(Arc::clone(&p));
+                p
+            }
+        };
+
+        let frag_seed = self.frags.get(f).seed;
+        let stats = self.frags.get(f).chain.snapshot_stats(&self.world.arena);
+        let params = self.world.params.clone();
+
+        let mut tasks = Vec::with_capacity(input.len().div_ceil(morsel));
+        for (i, chunk) in input.chunks(morsel).enumerate() {
+            self.emit(
+                now,
+                EngineEvent::MorselDispatched {
+                    frag: f,
+                    index: i as u64,
+                    tuples: chunk.len() as u64,
+                },
+            );
+            let cursor = self
+                .frags
+                .get(f)
+                .chain
+                .fork_morsel((i * morsel) as u64, &stats);
+            let chunk = chunk.to_vec();
+            let stats = stats.clone();
+            let params = params.clone();
+            tasks.push(move |ctx: TaskCtx| {
+                let mut cursor = cursor;
+                let mut part = Vec::new();
+                let instr = cursor.run_into(&chunk, &mut part, &stats, &params);
+                (part, instr, ctx)
+            });
+        }
+        let results = pool.execute(tasks);
+
+        // Merge in morsel-index order: partitions into the build table (or
+        // the open-end output buffer) and per-morsel costs onto the modeled
+        // lanes. Greedy earliest-finish in a fixed order keeps the makespan
+        // a pure function of the morsel costs.
+        out.clear();
+        let build = self.frags.get(f).chain.build_target();
+        let mut lanes = vec![0u64; workers];
+        for (i, (part, instr, ctx)) in results.into_iter().enumerate() {
+            if ctx.stolen {
+                self.emit(
+                    now,
+                    EngineEvent::MorselStolen {
+                        frag: f,
+                        index: i as u64,
+                        worker: ctx.worker as u64,
+                    },
+                );
+            }
+            let lane = (0..workers).min_by_key(|&j| lanes[j]).expect("workers > 1");
+            lanes[lane] += instr + morsel_overhead_instr(frag_seed, i as u64);
+            match build {
+                Some(ht) => self.world.arena.get_mut(ht).absorb_partition(&part),
+                None => out.extend_from_slice(&part),
+            }
+        }
+
+        // Fast-forward the master chain past the batch the morsels executed
+        // on its behalf.
+        let emitted = self
+            .frags
+            .get_mut(f)
+            .chain
+            .advance_source(input.len() as u64, &stats);
+        debug_assert_eq!(
+            emitted,
+            if build.is_some() { 0 } else { out.len() as u64 },
+            "arithmetic fast-forward disagrees with executed morsels"
+        );
+
+        self.world.memory.release(slab);
+        Some(lanes.into_iter().max().unwrap_or(0))
     }
 
     // ------------------------------------------------------------------

@@ -88,6 +88,16 @@ pub trait Driver {
     fn take_replica_event(&mut self) -> Option<Notice> {
         None
     }
+
+    /// The worker pool morsel-parallel batches should execute on, when the
+    /// driver brings its own (a mediator-owned [`RealTimeDriver`] shares one
+    /// pool across every session). The default — and [`SimDriver`]'s
+    /// behavior — is `None`: the engine then resolves
+    /// [`crate::pool::WorkerPool::global`] on first use, and only if its
+    /// config asks for `workers > 1` at all.
+    fn exec_pool(&mut self) -> Option<std::sync::Arc<crate::pool::WorkerPool>> {
+        None
+    }
 }
 
 /// The discrete-event driver: virtual time from the [`EventQueue`].
@@ -155,6 +165,9 @@ pub struct RealTimeDriver {
     fault: Option<(RelId, SourceError)>,
     /// The notice behind the last [`Signal::ReplicaEvent`] delivered.
     replica_note: Option<Notice>,
+    /// Pool handed to the engine for morsel-parallel batches (shared across
+    /// sessions when the mediator owns it).
+    pool: Option<std::sync::Arc<crate::pool::WorkerPool>>,
     fired: u64,
 }
 
@@ -170,8 +183,16 @@ impl RealTimeDriver {
             prebuilt: None,
             fault: None,
             replica_note: None,
+            pool: None,
             fired: 0,
         }
+    }
+
+    /// Attach the worker pool this driver hands to its engine (see
+    /// [`Driver::exec_pool`]).
+    pub fn with_pool(mut self, pool: std::sync::Arc<crate::pool::WorkerPool>) -> Self {
+        self.pool = Some(pool);
+        self
     }
 
     /// A driver whose sources are built by `connect` — which receives the
@@ -310,6 +331,10 @@ impl Driver for RealTimeDriver {
 
     fn take_replica_event(&mut self) -> Option<Notice> {
         self.replica_note.take()
+    }
+
+    fn exec_pool(&mut self) -> Option<std::sync::Arc<crate::pool::WorkerPool>> {
+        self.pool.clone()
     }
 }
 

@@ -105,6 +105,19 @@ pub struct Fragment {
     /// (with their live accumulator state) must be prepended to this
     /// fragment's chain when its source switches to the live queue.
     pub handoff_from: Option<FragId>,
+    /// This fragment's RNG stream seed, derived from the workload's master
+    /// seed and the fragment's position (chain id / MF-CF role) at creation.
+    /// Morsel streams derive from `(seed, morsel index)` — see
+    /// [`Fragment::morsel_seed`] — so per-morsel randomness never depends on
+    /// worker count or steal order.
+    pub seed: u64,
+}
+
+impl Fragment {
+    /// The RNG stream seed of morsel `index` of this fragment's next batch.
+    pub fn morsel_seed(&self, index: u64) -> u64 {
+        crate::world::morsel_seed(self.seed, index)
+    }
 }
 
 /// All fragments of one execution.
@@ -120,7 +133,10 @@ impl FragTable {
     ///
     /// Plan-level `Mat` nodes (inserted by the optimizer or the DQO) map to
     /// runtime temp ids `0..mat_count`, which the engine pre-allocates.
-    pub fn from_plan(plan: &AnnotatedPlan) -> FragTable {
+    ///
+    /// `master_seed` (the workload's config seed) roots every fragment's
+    /// derived RNG stream seed.
+    pub fn from_plan(plan: &AnnotatedPlan, master_seed: u64) -> FragTable {
         let mut t = FragTable {
             frags: Vec::new(),
             by_pc: vec![Vec::new(); plan.chains.len()],
@@ -152,6 +168,7 @@ impl FragTable {
                 tuples_in: 0,
                 sync_mat_io: false,
                 handoff_from: None,
+                seed: crate::world::derive_seed(master_seed, &format!("frag:{}", pc.id.0)),
             });
             t.by_pc[pc.id.0 as usize].push(id);
         }
@@ -246,6 +263,7 @@ impl FragTable {
         let pc = frag.pc;
         let source = frag.source;
         let sink = frag.sink;
+        let parent_seed = frag.seed;
 
         self.get_mut(fid).status = FragStatus::Superseded;
 
@@ -262,6 +280,7 @@ impl FragTable {
             tuples_in: 0,
             sync_mat_io: false,
             handoff_from: None,
+            seed: crate::world::derive_seed(parent_seed, "mf"),
         });
         let tail_id = FragId(self.frags.len() as u32);
         self.frags.push(Fragment {
@@ -280,6 +299,7 @@ impl FragTable {
             tuples_in: 0,
             sync_mat_io: false,
             handoff_from: None,
+            seed: crate::world::derive_seed(parent_seed, "cf"),
         });
         self.by_pc[pc.0 as usize].push(head_id);
         self.by_pc[pc.0 as usize].push(tail_id);
@@ -335,7 +355,7 @@ mod tests {
 
     #[test]
     fn from_plan_creates_whole_fragments() {
-        let t = FragTable::from_plan(&plan());
+        let t = FragTable::from_plan(&plan(), 42);
         assert_eq!(t.len(), 2);
         let f0 = t.get(FragId(0));
         assert_eq!(f0.kind, FragKind::Whole);
@@ -349,7 +369,7 @@ mod tests {
 
     #[test]
     fn degrade_splits_scan_into_mf() {
-        let mut t = FragTable::from_plan(&plan());
+        let mut t = FragTable::from_plan(&plan(), 42);
         let (mf, cf) = t.degrade(PcId(0), true, TempId(0));
         assert_eq!(t.get(FragId(0)).status, FragStatus::Superseded);
         let m = t.get(mf);
@@ -383,7 +403,7 @@ mod tests {
 
     #[test]
     fn degrade_without_scan_spools_raw() {
-        let mut t = FragTable::from_plan(&plan());
+        let mut t = FragTable::from_plan(&plan(), 42);
         let (mf, cf) = t.degrade(PcId(0), false, TempId(0));
         assert_eq!(t.get(mf).chain.spec().len(), 0, "raw spool");
         assert_eq!(t.get(cf).chain.spec().len(), 2, "CF gets scan + build");
@@ -392,7 +412,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "already degraded")]
     fn double_degrade_panics() {
-        let mut t = FragTable::from_plan(&plan());
+        let mut t = FragTable::from_plan(&plan(), 42);
         t.degrade(PcId(0), true, TempId(0));
         t.degrade(PcId(0), true, TempId(1));
     }
@@ -400,14 +420,14 @@ mod tests {
     #[test]
     #[should_panic(expected = "already ran")]
     fn degrade_after_start_panics() {
-        let mut t = FragTable::from_plan(&plan());
+        let mut t = FragTable::from_plan(&plan(), 42);
         t.get_mut(FragId(0)).started = true;
         t.degrade(PcId(0), true, TempId(0));
     }
 
     #[test]
     fn all_done_tracks_statuses() {
-        let mut t = FragTable::from_plan(&plan());
+        let mut t = FragTable::from_plan(&plan(), 42);
         t.get_mut(FragId(0)).status = FragStatus::Done;
         assert!(!t.all_done());
         t.get_mut(FragId(1)).status = FragStatus::Done;

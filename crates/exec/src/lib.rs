@@ -52,6 +52,7 @@ pub mod metrics;
 pub mod multi;
 pub mod observe;
 pub mod policy;
+pub mod pool;
 pub mod replan;
 pub mod runtime;
 pub mod spec;
@@ -68,6 +69,7 @@ pub use observe::{
     EngineEvent, EngineObserver, JsonLinesSink, MetricsObserver, NullObserver, TextTrace,
 };
 pub use policy::{Interrupt, PlanCtx, Policy};
+pub use pool::{PoolStats, TaskCtx, WorkerPool};
 pub use runtime::{
     run_workload, run_workload_observed, run_workload_realtime, run_workload_realtime_observed,
     Engine,

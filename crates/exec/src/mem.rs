@@ -95,6 +95,16 @@ impl<P: Policy, O: EngineObserver, D: Driver> Engine<P, O, D> {
         self.emit(now, EngineEvent::MemoryGranted { ht, bytes: extra });
     }
 
+    /// Reserve scratch-slab memory for one morsel-parallel batch: the input
+    /// copies handed to the workers plus the estimated per-morsel output
+    /// partitions. Unlike [`Engine::reserve_ht`], a refusal here raises no
+    /// `MemoryOverflow` — the batch silently runs serially instead (serial
+    /// execution needs no slabs), so memory pressure degrades parallelism
+    /// without perturbing the planning sequence.
+    pub(crate) fn reserve_morsel_slab(&mut self, bytes: u64) -> Option<dqs_storage::ReservationId> {
+        self.world.memory.reserve(bytes, "morsel-slabs").ok()
+    }
+
     /// Drop the hash tables fragment `f` probed and release their memory —
     /// `f` was their sole consumer.
     pub(crate) fn release_probe_memory(&mut self, f: FragId) {

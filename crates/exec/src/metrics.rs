@@ -55,6 +55,12 @@ pub struct RunMetrics {
     /// Replica endpoints put on cooldown after a failure (each one is a
     /// retry the failover machinery absorbed).
     pub replica_retries: u64,
+    /// Morsels dispatched to the worker pool (zero on the serial path;
+    /// deliberately excluded from the golden fingerprint signature).
+    pub morsels: u64,
+    /// Morsels executed by a worker other than their home worker. Unlike
+    /// `morsels` this is scheduling-dependent — answers never are.
+    pub steals: u64,
     /// Simulation events fired.
     pub events: u64,
     /// Per-query response times (query index, completion time), sorted by

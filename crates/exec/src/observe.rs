@@ -173,6 +173,27 @@ pub enum EngineEvent<'a> {
         /// The failure that degraded it.
         error: &'a dqs_source::SourceError,
     },
+    /// One morsel of an admitted batch was dispatched to the worker pool
+    /// (only emitted on the morsel-parallel path, `workers > 1`).
+    MorselDispatched {
+        /// Fragment whose batch was carved.
+        frag: FragId,
+        /// Zero-based morsel index within the batch (also the merge rank).
+        index: u64,
+        /// Source tuples in the morsel.
+        tuples: u64,
+    },
+    /// A dispatched morsel was executed by a worker other than the one it
+    /// was queued on — a work-stealing event. Steals change *placement*
+    /// only; the deterministic merge order keeps answers bit-identical.
+    MorselStolen {
+        /// Fragment whose morsel moved.
+        frag: FragId,
+        /// Morsel index within the batch.
+        index: u64,
+        /// The worker that stole and ran it.
+        worker: u64,
+    },
     /// The DQP found nothing schedulable with data (§3.2 stall).
     Stalled,
     /// The run aborted; this is the final event of the stream.
@@ -239,6 +260,8 @@ impl EngineObserver for MetricsObserver {
             EngineEvent::CacheMiss { .. } => m.cache_misses += 1,
             EngineEvent::Failover { .. } => m.failovers += 1,
             EngineEvent::ReplicaDegraded { .. } => m.replica_retries += 1,
+            EngineEvent::MorselDispatched { .. } => m.morsels += 1,
+            EngineEvent::MorselStolen { .. } => m.steals += 1,
             EngineEvent::Stalled => self.acc.stall_begin(at),
             EngineEvent::ReplicaPinned { .. }
             | EngineEvent::Arrival { .. }
@@ -376,6 +399,25 @@ impl EngineObserver for TextTrace {
             } => (
                 TraceKind::Other,
                 format!("replica degraded rel {} {endpoint}: {error}", rel.0),
+            ),
+            EngineEvent::MorselDispatched {
+                frag,
+                index,
+                tuples,
+            } => (
+                TraceKind::Batch,
+                format!("morsel {index} of frag {} ({tuples} tuples)", frag.0),
+            ),
+            EngineEvent::MorselStolen {
+                frag,
+                index,
+                worker,
+            } => (
+                TraceKind::Batch,
+                format!(
+                    "morsel {index} of frag {} stolen by worker {worker}",
+                    frag.0
+                ),
             ),
             EngineEvent::Stalled => (TraceKind::Other, "stall".into()),
             EngineEvent::Aborted { reason } => (TraceKind::Other, format!("abort: {reason}")),
@@ -554,6 +596,18 @@ impl<W: Write> EngineObserver for JsonLinesSink<W> {
                 rel.0,
                 json_escape(endpoint),
                 error.kind()
+            ),
+            EngineEvent::MorselDispatched {
+                frag,
+                index,
+                tuples,
+            } => format!(
+                "\"type\":\"morsel\",\"frag\":{},\"index\":{index},\"tuples\":{tuples}",
+                frag.0
+            ),
+            EngineEvent::MorselStolen { frag, index, worker } => format!(
+                "\"type\":\"morsel_stolen\",\"frag\":{},\"index\":{index},\"worker\":{worker}",
+                frag.0
             ),
             EngineEvent::Stalled => "\"type\":\"stall\"".to_string(),
             EngineEvent::Aborted { reason } => format!(

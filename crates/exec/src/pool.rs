@@ -1,0 +1,401 @@
+//! Process-wide worker pool for morsel-driven intra-query parallelism.
+//!
+//! The scheduler (priority order, C-/M-schedulability, critical degree)
+//! stays the *admission* layer: it still decides which fragment runs a batch
+//! next. Once a batch is admitted, [`WorkerPool::execute`] fans its morsels
+//! out across a fixed set of worker threads with per-worker deques and
+//! work-stealing (the Morsel-Driven Parallelism model), and gathers results
+//! back **in submission order** — the merge order never depends on which
+//! worker ran a morsel or when, which is one half of the bit-identical
+//! answer guarantee (the other half is the arithmetic chain forking in
+//! `dqs-relop`).
+//!
+//! One pool is shared by everything in the process: every mediator session,
+//! every bench repetition. Sharing is what keeps the admission layer
+//! meaningful — concurrent queries compete for the same workers instead of
+//! each spawning its own set.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::mpsc;
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Where a task ran, handed to the task closure so callers can record
+/// per-morsel placement (worker id, whether it was stolen from another
+/// worker's deque) without the pool knowing anything about morsels.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TaskCtx {
+    /// Index of the worker thread that executed the task.
+    pub worker: usize,
+    /// True when the task was popped from another worker's deque.
+    pub stolen: bool,
+}
+
+type Task = Box<dyn FnOnce(TaskCtx) + Send + 'static>;
+
+/// A queued task remembers its home deque so the runner can tell a steal
+/// from a local pop.
+struct QueuedTask {
+    home: usize,
+    run: Task,
+}
+
+struct PoolShared {
+    deques: Vec<Mutex<VecDeque<QueuedTask>>>,
+    /// Paired with `cond`; the guarded value counts submitted-not-yet-started
+    /// tasks so sleeping workers know whether a wakeup is worth taking.
+    pending: Mutex<u64>,
+    cond: Condvar,
+    stop: AtomicBool,
+    next_home: AtomicUsize,
+    busy: AtomicU64,
+    dispatched: AtomicU64,
+    stolen: AtomicU64,
+}
+
+/// Point-in-time snapshot of the pool's activity counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PoolStats {
+    /// Number of worker threads.
+    pub workers: u64,
+    /// Workers currently running a task.
+    pub busy_workers: u64,
+    /// Tasks submitted but not yet started.
+    pub queued: u64,
+    /// Total tasks ever submitted.
+    pub dispatched: u64,
+    /// Total tasks executed by a worker other than their home worker.
+    pub stolen: u64,
+}
+
+/// Fixed-size work-stealing thread pool (see module docs).
+///
+/// Entirely safe code: per-worker `Mutex<VecDeque>` deques instead of a
+/// lock-free stealing deque. Morsels are coarse (hundreds of microseconds of
+/// modeled work each), so deque lock traffic is noise; what matters is that
+/// idle workers steal instead of spinning and that results merge in
+/// submission order.
+pub struct WorkerPool {
+    shared: Arc<PoolShared>,
+    threads: Mutex<Vec<JoinHandle<()>>>,
+    workers: usize,
+}
+
+impl std::fmt::Debug for WorkerPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WorkerPool")
+            .field("workers", &self.workers)
+            .field("stats", &self.stats())
+            .finish()
+    }
+}
+
+impl WorkerPool {
+    /// Spawn a pool with `workers` threads (clamped to at least 1).
+    pub fn new(workers: usize) -> Arc<WorkerPool> {
+        let workers = workers.max(1);
+        let shared = Arc::new(PoolShared {
+            deques: (0..workers).map(|_| Mutex::new(VecDeque::new())).collect(),
+            pending: Mutex::new(0),
+            cond: Condvar::new(),
+            stop: AtomicBool::new(false),
+            next_home: AtomicUsize::new(0),
+            busy: AtomicU64::new(0),
+            dispatched: AtomicU64::new(0),
+            stolen: AtomicU64::new(0),
+        });
+        let threads = (0..workers)
+            .map(|i| {
+                let sh = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("dqs-morsel-{i}"))
+                    .spawn(move || worker_loop(i, &sh))
+                    .expect("spawn morsel worker")
+            })
+            .collect();
+        Arc::new(WorkerPool {
+            shared,
+            threads: Mutex::new(threads),
+            workers,
+        })
+    }
+
+    /// The process-global pool, sized to the machine (capped at 8), created
+    /// on first use. Engines configured with `workers > 1` fall back to this
+    /// when no pool was attached explicitly; the mediator attaches its own
+    /// `--exec-workers`-sized pool instead.
+    pub fn global() -> &'static Arc<WorkerPool> {
+        static GLOBAL: OnceLock<Arc<WorkerPool>> = OnceLock::new();
+        GLOBAL.get_or_init(|| {
+            let n = std::thread::available_parallelism().map_or(2, |n| n.get());
+            WorkerPool::new(n.clamp(1, 8))
+        })
+    }
+
+    /// Number of worker threads.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Snapshot the activity counters.
+    pub fn stats(&self) -> PoolStats {
+        let queued: u64 = *self.shared.pending.lock().unwrap();
+        PoolStats {
+            workers: self.workers as u64,
+            busy_workers: self.shared.busy.load(Ordering::Relaxed),
+            queued,
+            dispatched: self.shared.dispatched.load(Ordering::Relaxed),
+            stolen: self.shared.stolen.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Run every task on the pool and return their results **in submission
+    /// order**, blocking the caller until all are done. Tasks are dealt
+    /// round-robin across the worker deques; idle workers steal from busy
+    /// ones, so completion order is scheduling-dependent — but the returned
+    /// `Vec` is not.
+    ///
+    /// Safe to call from many threads at once (concurrent mediator sessions
+    /// share one pool); each call gathers only its own tasks. Also safe to
+    /// call from *inside* a pool task (a bench repetition running on the
+    /// pool whose engine fans out morsels): while waiting, the gatherer
+    /// runs queued tasks inline instead of blocking, so even a one-worker
+    /// pool makes progress.
+    ///
+    /// # Panics
+    /// Panics if a task panicked on its worker (the channel closes early).
+    pub fn execute<T, F>(&self, tasks: Vec<F>) -> Vec<T>
+    where
+        T: Send + 'static,
+        F: FnOnce(TaskCtx) -> T + Send + 'static,
+    {
+        let n = tasks.len();
+        if n == 0 {
+            return Vec::new();
+        }
+        let (tx, rx) = mpsc::channel::<(usize, T)>();
+        {
+            let mut pending = self.shared.pending.lock().unwrap();
+            for (idx, f) in tasks.into_iter().enumerate() {
+                let home = self.shared.next_home.fetch_add(1, Ordering::Relaxed) % self.workers;
+                let tx = tx.clone();
+                let run: Task = Box::new(move |ctx| {
+                    // A dropped receiver just means the gatherer already
+                    // panicked; nothing useful to do with the error.
+                    let _ = tx.send((idx, f(ctx)));
+                });
+                self.shared.deques[home]
+                    .lock()
+                    .unwrap()
+                    .push_back(QueuedTask { home, run });
+                *pending += 1;
+            }
+            self.shared
+                .dispatched
+                .fetch_add(n as u64, Ordering::Relaxed);
+            self.shared.cond.notify_all();
+        }
+        drop(tx);
+
+        let mut slots: Vec<Option<T>> = (0..n).map(|_| None).collect();
+        let mut done = 0;
+        while done < n {
+            match rx.try_recv() {
+                Ok((idx, val)) => {
+                    slots[idx] = Some(val);
+                    done += 1;
+                    continue;
+                }
+                Err(mpsc::TryRecvError::Disconnected) => {
+                    panic!("morsel task panicked on worker")
+                }
+                Err(mpsc::TryRecvError::Empty) => {}
+            }
+            // Help-first gathering: drain queued work (ours or anyone's)
+            // instead of parking. Helper-run tasks report their home worker
+            // unstolen — the caller is not a worker, and steal accounting
+            // only describes real cross-deque pops.
+            if let Some(task) = self.pop_any() {
+                (task.run)(TaskCtx {
+                    worker: task.home,
+                    stolen: false,
+                });
+            } else {
+                match rx.recv_timeout(Duration::from_millis(1)) {
+                    Ok((idx, val)) => {
+                        slots[idx] = Some(val);
+                        done += 1;
+                    }
+                    Err(mpsc::RecvTimeoutError::Timeout) => {}
+                    Err(mpsc::RecvTimeoutError::Disconnected) => {
+                        panic!("morsel task panicked on worker")
+                    }
+                }
+            }
+        }
+        slots.into_iter().map(|s| s.unwrap()).collect()
+    }
+
+    /// Pop one queued task from any deque (front-first, lowest worker
+    /// first), for the gatherer's help loop.
+    fn pop_any(&self) -> Option<QueuedTask> {
+        for d in &self.shared.deques {
+            if let Some(t) = d.lock().unwrap().pop_front() {
+                let mut pending = self.shared.pending.lock().unwrap();
+                *pending = pending.saturating_sub(1);
+                return Some(t);
+            }
+        }
+        None
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        self.shared.stop.store(true, Ordering::SeqCst);
+        self.shared.cond.notify_all();
+        for h in self.threads.lock().unwrap().drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+fn worker_loop(me: usize, sh: &PoolShared) {
+    let n = sh.deques.len();
+    loop {
+        // Own deque first (FIFO), then steal from the others' tails in a
+        // fixed rotation starting after `me` — deterministic victim order,
+        // though which victim has work is of course timing-dependent.
+        let mut found: Option<QueuedTask> = sh.deques[me].lock().unwrap().pop_front();
+        if found.is_none() {
+            for step in 1..n {
+                let victim = (me + step) % n;
+                if let Some(t) = sh.deques[victim].lock().unwrap().pop_back() {
+                    found = Some(t);
+                    break;
+                }
+            }
+        }
+        match found {
+            Some(task) => {
+                {
+                    let mut pending = sh.pending.lock().unwrap();
+                    *pending = pending.saturating_sub(1);
+                }
+                let stolen = task.home != me;
+                if stolen {
+                    sh.stolen.fetch_add(1, Ordering::Relaxed);
+                }
+                sh.busy.fetch_add(1, Ordering::Relaxed);
+                (task.run)(TaskCtx { worker: me, stolen });
+                sh.busy.fetch_sub(1, Ordering::Relaxed);
+            }
+            None => {
+                if sh.stop.load(Ordering::SeqCst) {
+                    return;
+                }
+                let pending = sh.pending.lock().unwrap();
+                if *pending == 0 {
+                    // Timeout bounds the cost of a lost race between the
+                    // emptiness check above and this wait.
+                    let _ = sh
+                        .cond
+                        .wait_timeout(pending, Duration::from_millis(2))
+                        .unwrap();
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_come_back_in_submission_order() {
+        let pool = WorkerPool::new(4);
+        let tasks: Vec<_> = (0..64)
+            .map(|i| {
+                move |_ctx: TaskCtx| {
+                    // Uneven task lengths so completion order scrambles.
+                    std::thread::sleep(Duration::from_micros(((i * 7) % 13) * 50));
+                    i * i
+                }
+            })
+            .collect();
+        let got = pool.execute(tasks);
+        let want: Vec<u64> = (0..64).map(|i| i * i).collect();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn concurrent_callers_each_get_their_own_results() {
+        let pool = WorkerPool::new(3);
+        std::thread::scope(|s| {
+            let handles: Vec<_> = (0..4u64)
+                .map(|caller| {
+                    let pool = Arc::clone(&pool);
+                    s.spawn(move || {
+                        let tasks: Vec<_> = (0..20u64)
+                            .map(|i| move |_ctx: TaskCtx| caller * 1000 + i)
+                            .collect();
+                        pool.execute(tasks)
+                    })
+                })
+                .collect();
+            for (caller, h) in handles.into_iter().enumerate() {
+                let got = h.join().unwrap();
+                let want: Vec<u64> = (0..20).map(|i| caller as u64 * 1000 + i).collect();
+                assert_eq!(got, want);
+            }
+        });
+    }
+
+    #[test]
+    fn stats_count_dispatches() {
+        let pool = WorkerPool::new(2);
+        let _ = pool.execute((0..10).map(|i| move |_ctx: TaskCtx| i).collect::<Vec<_>>());
+        let st = pool.stats();
+        assert_eq!(st.workers, 2);
+        assert_eq!(st.dispatched, 10);
+        assert_eq!(st.queued, 0);
+        assert_eq!(st.busy_workers, 0);
+    }
+
+    #[test]
+    fn empty_task_list_is_a_noop() {
+        let pool = WorkerPool::new(1);
+        let got: Vec<u64> = pool.execute(Vec::<fn(TaskCtx) -> u64>::new());
+        assert!(got.is_empty());
+    }
+
+    #[test]
+    fn nested_execute_from_inside_a_task_cannot_deadlock() {
+        // One worker: the outer task occupies it, so the inner execute can
+        // only finish because the gatherer helps run queued tasks inline.
+        let pool = WorkerPool::new(1);
+        let inner_pool = Arc::clone(&pool);
+        let got = pool.execute(vec![move |_ctx: TaskCtx| {
+            inner_pool.execute(
+                (0..8u64)
+                    .map(|i| move |_ctx: TaskCtx| i * 2)
+                    .collect::<Vec<_>>(),
+            )
+        }]);
+        assert_eq!(got[0], (0..8).map(|i| i * 2).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn single_worker_pool_runs_everything_unstolen() {
+        let pool = WorkerPool::new(1);
+        let ctxs = pool.execute((0..8).map(|_| |ctx: TaskCtx| ctx).collect::<Vec<_>>());
+        for c in ctxs {
+            assert_eq!(c.worker, 0);
+            assert!(!c.stolen);
+        }
+        assert_eq!(pool.stats().stolen, 0);
+    }
+}

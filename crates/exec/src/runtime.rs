@@ -23,6 +23,7 @@
 //! [`EngineEvent`] to the observer stack (see [`crate::observe`]).
 
 use std::collections::HashMap;
+use std::sync::Arc;
 
 use dqs_plan::AnnotatedPlan;
 use dqs_relop::{HtId, RelId, Tuple};
@@ -35,6 +36,7 @@ use crate::frag::{FragId, FragTable};
 use crate::metrics::RunMetrics;
 use crate::observe::{EngineEvent, EngineObserver, NullObserver, Observers, TextTrace};
 use crate::policy::{Interrupt, Policy};
+use crate::pool::WorkerPool;
 use crate::workload::{EngineConfig, Workload};
 use crate::world::World;
 
@@ -87,6 +89,10 @@ pub struct Engine<P: Policy, O: EngineObserver = NullObserver, D: Driver = SimDr
     pub(crate) in_buf: Vec<Tuple>,
     /// Reusable batch-output scratch.
     pub(crate) out_buf: Vec<Tuple>,
+    /// Worker pool for morsel-parallel batches. Resolved on first use when
+    /// `cfg.workers > 1` (driver-provided pool, else the process-global one);
+    /// never touched at workers=1, so serial runs spawn no threads.
+    pub(crate) pool: Option<Arc<WorkerPool>>,
     pub(crate) obs: Observers<O>,
 }
 
@@ -111,7 +117,8 @@ impl<P: Policy, O: EngineObserver, D: Driver> Engine<P, O, D> {
         let sources = driver.sources(workload);
         let queue_capacity = driver.queue_capacity(&workload.config);
         let (world, plan) = World::build_with_sources(workload, sources, queue_capacity);
-        let frags = FragTable::from_plan(&plan);
+        let frags = FragTable::from_plan(&plan, workload.config.seed);
+        let pool = driver.exec_pool();
         let outputs_pending = plan
             .chains
             .chains
@@ -140,7 +147,17 @@ impl<P: Policy, O: EngineObserver, D: Driver> Engine<P, O, D> {
             aborted: None,
             in_buf: Vec::new(),
             out_buf: Vec::new(),
+            pool,
         }
+    }
+
+    /// Attach a specific worker pool for morsel-parallel batches (the
+    /// mediator attaches one shared pool across all sessions). Without this,
+    /// an engine whose config asks for `workers > 1` uses the driver's pool
+    /// or, failing that, [`WorkerPool::global`].
+    pub fn with_exec_pool(mut self, pool: Arc<WorkerPool>) -> Self {
+        self.pool = Some(pool);
+        self
     }
 
     /// Report `ev` to the observer stack.

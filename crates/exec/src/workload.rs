@@ -29,6 +29,13 @@ pub struct EngineConfig {
     pub seed: u64,
     /// Record an execution trace.
     pub trace: bool,
+    /// Intra-query parallelism degree: number of worker lanes an admitted
+    /// batch may be morselized across. `1` (the default, and what every
+    /// golden-fingerprint workload uses) keeps the serial batch path.
+    pub workers: usize,
+    /// Morsel granularity in source tuples. Batches at most this size (or
+    /// chains with no operators) always run serially.
+    pub morsel_tuples: usize,
 }
 
 impl Default for EngineConfig {
@@ -42,6 +49,8 @@ impl Default for EngineConfig {
             rate_change_threshold: None,
             seed: 42,
             trace: false,
+            workers: 1,
+            morsel_tuples: 64,
         }
     }
 }
@@ -105,6 +114,12 @@ impl Workload {
     /// Override the seed.
     pub fn with_seed(mut self, seed: u64) -> Self {
         self.config.seed = seed;
+        self
+    }
+
+    /// Override the intra-query parallelism degree.
+    pub fn with_workers(mut self, workers: usize) -> Self {
+        self.config.workers = workers.max(1);
         self
     }
 

@@ -29,6 +29,35 @@ pub(crate) fn sim_sources(workload: &Workload) -> Vec<BoxSource> {
         .collect()
 }
 
+/// Derive a child seed from a master seed and a context label: FNV-1a over
+/// the label folded into the master, finished with a splitmix64 mix. Used to
+/// give every fragment its own seed stream at construction
+/// ([`crate::frag::FragTable::from_plan`]), so per-morsel randomness is a
+/// pure function of *position* — (fragment seed, morsel index) — and never of
+/// worker count, steal order, or wall-clock timing.
+pub fn derive_seed(master: u64, label: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in label.bytes() {
+        h = (h ^ b as u64).wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    splitmix64(master ^ h)
+}
+
+/// The RNG stream seed of morsel `index` within a fragment whose stream seed
+/// is `frag_seed` (satellite of the morsel-parallelism refactor: dispatch
+/// jitter and any future per-morsel sampling draw from this, reproducibly).
+pub fn morsel_seed(frag_seed: u64, index: u64) -> u64 {
+    splitmix64(frag_seed ^ index.wrapping_mul(0x9e37_79b9_7f4a_7c15))
+}
+
+/// SplitMix64 finalizer — a cheap, well-mixed u64→u64 bijection.
+fn splitmix64(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
 /// All mutable simulated state shared by the engine and the policies.
 #[derive(Debug)]
 pub struct World {

@@ -64,7 +64,7 @@ use dqs_core::DsePolicy;
 use dqs_exec::spec::WorkloadSpec;
 use dqs_exec::{
     Engine, EngineEvent, EngineObserver, JsonLinesSink, MaPolicy, Policy, RealTimeDriver, RunError,
-    RunMetrics, ScramblingPolicy, SeqPolicy, Workload,
+    RunMetrics, ScramblingPolicy, SeqPolicy, WorkerPool, Workload,
 };
 use dqs_reactor::{Events, Interest, Poller, TimerId, TimerWheel, Token, Waker};
 use dqs_relop::RelId;
@@ -122,6 +122,12 @@ pub struct ServeOpts {
     /// Lock stripes in the connection map engine threads use to route
     /// outbound frames. Defaults to 8; 0 is rejected at bind.
     pub session_shards: usize,
+    /// Morsel worker threads in the ONE pool every executing session
+    /// shares (`--exec-workers`). 1 (the default) keeps execution serial
+    /// and spawns no pool; 0 is rejected at bind. Sharing keeps admission
+    /// meaningful: concurrent queries compete for the same workers rather
+    /// than each spawning its own set.
+    pub exec_workers: usize,
 }
 
 impl Default for ServeOpts {
@@ -139,6 +145,7 @@ impl Default for ServeOpts {
                 .unwrap_or(1)
                 .max(1),
             session_shards: 8,
+            exec_workers: 1,
         }
     }
 }
@@ -152,6 +159,10 @@ pub struct ServerMetrics {
     backlog_dequeued: AtomicU64,
     trace_frames_dropped: AtomicU64,
     connections_accepted: AtomicU64,
+    /// The shared morsel pool, when `exec_workers > 1` — lets operators
+    /// read execution-layer gauges from the same sink as the admission
+    /// gauges above. Set once at bind.
+    exec_pool: std::sync::OnceLock<Arc<WorkerPool>>,
 }
 
 impl ServerMetrics {
@@ -179,6 +190,22 @@ impl ServerMetrics {
     /// Client connections accepted since bind.
     pub fn connections_accepted(&self) -> u64 {
         self.connections_accepted.load(Ordering::Relaxed)
+    }
+
+    /// Morsel workers currently running a task (0 when no pool is
+    /// configured — serial execution has no workers to be busy).
+    pub fn exec_busy_workers(&self) -> u64 {
+        self.exec_pool.get().map_or(0, |p| p.stats().busy_workers)
+    }
+
+    /// Morsels submitted to the shared pool but not yet started.
+    pub fn exec_queued_morsels(&self) -> u64 {
+        self.exec_pool.get().map_or(0, |p| p.stats().queued)
+    }
+
+    /// Total morsels a worker stole from another worker's deque.
+    pub fn exec_steals(&self) -> u64 {
+        self.exec_pool.get().map_or(0, |p| p.stats().stolen)
     }
 
     fn queue_push(&self) {
@@ -317,6 +344,9 @@ struct Shared {
     replica_sets: Vec<Arc<ReplicaSet>>,
     conns: ConnMap,
     metrics: Arc<ServerMetrics>,
+    /// The process's ONE morsel worker pool, shared by every executing
+    /// session; `None` when `exec_workers == 1` (serial execution).
+    pool: Option<Arc<WorkerPool>>,
     stop: AtomicBool,
 }
 
@@ -366,6 +396,12 @@ impl MediatorServer {
                 "session_shards must be at least 1",
             ));
         }
+        if opts.exec_workers == 0 {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                "exec_workers must be at least 1",
+            ));
+        }
         let cache = (opts.cache_bytes > 0).then(|| {
             SharedCache::new(CacheConfig {
                 budget_bytes: opts.cache_bytes,
@@ -399,6 +435,14 @@ impl MediatorServer {
             });
             pollers.push(poller);
         }
+        // One pool for the whole service: every session's morsels land on
+        // the same `exec_workers` threads, so intra-query parallelism never
+        // multiplies with `max_concurrent`.
+        let pool = (opts.exec_workers > 1).then(|| WorkerPool::new(opts.exec_workers));
+        let metrics = Arc::new(ServerMetrics::default());
+        if let Some(p) = &pool {
+            let _ = metrics.exec_pool.set(Arc::clone(p));
+        }
         let shared = Arc::new(Shared {
             admission: Mutex::new(Admission {
                 table: SessionTable::new(SessionConfig {
@@ -418,10 +462,11 @@ impl MediatorServer {
                     .collect(),
                 workers: handles.clone(),
             },
-            metrics: Arc::new(ServerMetrics::default()),
+            metrics,
             opts,
             cache,
             replica_sets,
+            pool,
             stop: AtomicBool::new(false),
         });
 
@@ -1049,6 +1094,10 @@ fn run_job(shared: &Shared, mut job: Job) {
     // The session's query plans against its partition, not the global
     // budget.
     job.workload.config.memory_bytes = job.memory_bytes;
+    // Sessions run morsel-parallel on the shared pool when one exists.
+    if let Some(pool) = &shared.pool {
+        job.workload.config.workers = pool.workers();
+    }
 
     let cache = if job.no_cache {
         None
@@ -1057,7 +1106,13 @@ fn run_job(shared: &Shared, mut job: Job) {
     };
     let (driver, outcomes, pins) =
         match build_driver(&job.workload, &shared.opts, &shared.replica_sets, cache) {
-            Ok(built) => built,
+            Ok((driver, outcomes, pins)) => {
+                let driver = match &shared.pool {
+                    Some(p) => driver.with_pool(Arc::clone(p)),
+                    None => driver,
+                };
+                (driver, outcomes, pins)
+            }
             Err(e) => {
                 // Slot released *before* the terminal frame goes out, so a
                 // client that saw the outcome never observes its session
@@ -1369,7 +1424,8 @@ pub fn metrics_json(m: &RunMetrics) -> String {
          \"timeouts\":{},\"memory_overflows\":{},\"degradations\":{},\
          \"memory_high_water\":{},\"events\":{},\"cache_hits\":{},\
          \"cache_misses\":{},\"cache_bytes_served\":{},\"failovers\":{},\
-         \"replica_retries\":{},\"query_responses\":[{}]}}",
+         \"replica_retries\":{},\"morsels\":{},\"steals\":{},\
+         \"query_responses\":[{}]}}",
         m.strategy,
         m.seed,
         m.response_secs(),
@@ -1390,6 +1446,8 @@ pub fn metrics_json(m: &RunMetrics) -> String {
         m.cache_bytes_served,
         m.failovers,
         m.replica_retries,
+        m.morsels,
+        m.steals,
         queries.join(",")
     )
 }

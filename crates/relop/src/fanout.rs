@@ -45,6 +45,23 @@ impl FanoutAccumulator {
         k
     }
 
+    /// Consume `n` inputs at once and return the total outputs they emit.
+    ///
+    /// Because `outputs == floor(inputs · fanout)` always holds, the
+    /// accumulator's state after `n` inputs is a pure arithmetic function of
+    /// the input count: `advance_by(n)` lands on exactly the state (and
+    /// returns exactly the sum) that `n` successive [`FanoutAccumulator::next`]
+    /// calls would produce. Morsel-parallel execution relies on this to fork
+    /// an operator chain at an arbitrary batch offset and to fast-forward the
+    /// master chain past a batch that ran in parallel.
+    pub fn advance_by(&mut self, n: u64) -> u64 {
+        self.inputs += n;
+        let target = (self.inputs as f64 * self.fanout).floor() as u64;
+        let k = target.saturating_sub(self.outputs);
+        self.outputs = target.max(self.outputs);
+        k
+    }
+
     /// Total outputs emitted for `n` inputs without iterating (used by cost
     /// estimation).
     pub fn total_for(n: u64, fanout: f64) -> u64 {
@@ -117,5 +134,33 @@ mod tests {
     #[should_panic(expected = "bad fanout")]
     fn rejects_negative() {
         let _ = FanoutAccumulator::new(-0.1);
+    }
+
+    #[test]
+    fn advance_by_matches_iterated_next() {
+        for &fan in &[0.0, 0.1, 0.33, 0.5, 1.0, 1.3, 2.75, 10.01] {
+            for &(pre, n) in &[(0u64, 1u64), (0, 7), (3, 5), (17, 100), (999, 1)] {
+                let mut a = FanoutAccumulator::new(fan);
+                let mut b = FanoutAccumulator::new(fan);
+                for _ in 0..pre {
+                    a.next();
+                    b.next();
+                }
+                let stepped: u64 = (0..n).map(|_| a.next()).sum();
+                let jumped = b.advance_by(n);
+                assert_eq!(stepped, jumped, "fanout {fan} pre {pre} n {n}");
+                assert_eq!(a.inputs(), b.inputs());
+                assert_eq!(a.outputs(), b.outputs());
+            }
+        }
+    }
+
+    #[test]
+    fn advance_by_zero_is_identity() {
+        let mut a = FanoutAccumulator::new(1.7);
+        a.next();
+        let (i, o) = (a.inputs(), a.outputs());
+        assert_eq!(a.advance_by(0), 0);
+        assert_eq!((a.inputs(), a.outputs()), (i, o));
     }
 }

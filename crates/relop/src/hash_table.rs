@@ -82,6 +82,74 @@ impl SimHashTable {
     pub fn footprint_bytes(&self, tuple_bytes: u32) -> u64 {
         self.len() * tuple_bytes as u64
     }
+
+    /// Cheap copyable view of the table for morsel workers (see [`HtStat`]).
+    pub fn stat(&self) -> HtStat {
+        HtStat {
+            len: self.len(),
+            complete: self.complete,
+        }
+    }
+
+    /// Absorb one partition of build tuples collected by a morsel worker.
+    ///
+    /// Morsel-parallel execution of a build chain never touches the shared
+    /// table from worker threads: each morsel collects its build-destined
+    /// tuples into a private output vector, and the merge step absorbs the
+    /// partitions in morsel-index order. Because morsel order equals batch
+    /// order, the table ends up with exactly the insert sequence serial
+    /// execution would have produced — same `tuples` vec, same `index`
+    /// chains, same `pick` rotation.
+    pub fn absorb_partition(&mut self, part: &[Tuple]) {
+        assert!(!self.complete, "absorb into completed hash table");
+        for t in part {
+            self.insert(*t);
+        }
+    }
+}
+
+/// Copyable snapshot of the probe-relevant state of one hash table.
+///
+/// Synthetic probes never read the matched build tuple ([`SimHashTable::pick`]
+/// results are discarded; the probe re-emits its own input tuple), so a morsel
+/// worker only needs the table's length (drives the `picked` rotation and the
+/// empty-table skip) and completeness flag (asserted before probing). This is
+/// what lets probe morsels run on plain worker threads with no shared arena.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HtStat {
+    /// Number of build tuples.
+    pub len: u64,
+    /// Whether the build finished (probing requires this).
+    pub complete: bool,
+}
+
+/// Snapshot of every table a chain's probes target, taken before a batch is
+/// scattered into morsels. Indexed by [`HtId`].
+#[derive(Debug, Clone, Default)]
+pub struct HtStats {
+    entries: Vec<(HtId, HtStat)>,
+}
+
+impl HtStats {
+    /// Snapshot the given tables out of `arena`.
+    pub fn capture(arena: &HashTableArena, ids: &[HtId]) -> Self {
+        HtStats {
+            entries: ids.iter().map(|&id| (id, arena.get(id).stat())).collect(),
+        }
+    }
+
+    /// Look up the snapshot of `id`.
+    ///
+    /// # Panics
+    /// Panics if `id` was not captured — forking a chain with a probe target
+    /// missing from the snapshot is a logic error, not a runtime condition.
+    pub fn get(&self, id: HtId) -> HtStat {
+        self.entries
+            .iter()
+            .find(|(i, _)| *i == id)
+            .map(|(_, s)| *s)
+            .unwrap_or_else(|| panic!("no snapshot for {id:?}"))
+    }
 }
 
 /// Owner of all hash tables of one query execution.

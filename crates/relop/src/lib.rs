@@ -24,6 +24,6 @@ pub mod ops;
 pub mod tuple;
 
 pub use fanout::FanoutAccumulator;
-pub use hash_table::{HashTableArena, HtId, SimHashTable};
-pub use ops::{estimate_chain, BatchResult, ChainCostEstimate, OpSpec, PhysChain};
+pub use hash_table::{HashTableArena, HtId, HtStat, HtStats, SimHashTable};
+pub use ops::{estimate_chain, BatchResult, ChainCostEstimate, MorselCursor, OpSpec, PhysChain};
 pub use tuple::{synth_key, RelId, Tuple};

@@ -17,7 +17,7 @@
 use dqs_sim::SimParams;
 
 use crate::fanout::FanoutAccumulator;
-use crate::hash_table::{HashTableArena, HtId};
+use crate::hash_table::{HashTableArena, HtId, HtStats};
 use crate::tuple::Tuple;
 
 /// Declarative description of one operator inside a chain, as produced by
@@ -97,7 +97,7 @@ pub fn estimate_chain(ops: &[OpSpec], params: &SimParams) -> ChainCostEstimate {
 }
 
 /// Runtime operator with its deterministic fan-out state.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 enum RunOp {
     Select {
         acc: FanoutAccumulator,
@@ -337,6 +337,44 @@ impl PhysChain {
         instr
     }
 
+    /// Snapshot the probe-target state needed to fork this chain into
+    /// morsel cursors (or to fast-forward it past a morsel-executed batch).
+    pub fn snapshot_stats(&self, arena: &HashTableArena) -> HtStats {
+        HtStats::capture(arena, &self.probe_targets)
+    }
+
+    /// Fork the chain's operator state for one morsel of an incoming batch.
+    ///
+    /// `skip` is the number of batch tuples preceding this morsel: the fork
+    /// starts from the chain's *current* accumulator state and fast-forwards
+    /// arithmetically past `skip` source tuples, landing on exactly the state
+    /// serial execution would reach at that offset (the fan-out invariant
+    /// `outputs == floor(inputs · fanout)` makes the state a pure function of
+    /// the consumed count — see [`FanoutAccumulator::advance_by`]). Forking
+    /// is relative, not absolute, because a chain produced by
+    /// [`PhysChain::concat`] carries front operators whose consumed counts
+    /// differ from the chain's own.
+    ///
+    /// The fork shares no state with the chain or the arena: probes read the
+    /// captured `stats`, builds collect into the morsel's output vector.
+    pub fn fork_morsel(&self, skip: u64, stats: &HtStats) -> MorselCursor {
+        let mut ops = self.ops.clone();
+        let _ = advance_ops(&mut ops, skip, stats);
+        MorselCursor { ops }
+    }
+
+    /// Fast-forward the chain past a batch of `n` source tuples that forked
+    /// morsel cursors executed on its behalf, and return the number of
+    /// open-end output tuples that batch emitted. After this call the chain
+    /// is in exactly the state [`PhysChain::run_batch_into`] would have left
+    /// it in for the same batch.
+    pub fn advance_source(&mut self, n: u64, stats: &HtStats) -> u64 {
+        self.consumed += n;
+        let delta = advance_ops(&mut self.ops, n, stats);
+        self.emitted += delta;
+        delta
+    }
+
     /// Allocating convenience form of [`PhysChain::run_batch_into`].
     pub fn run_batch(
         &mut self,
@@ -347,6 +385,129 @@ impl PhysChain {
         let mut out = Vec::new();
         let instr = self.run_batch_into(input, &mut out, arena, params);
         BatchResult { out, instr }
+    }
+}
+
+/// Fast-forward `ops` past `n` source tuples arithmetically, mirroring the
+/// exact accumulator calls [`PhysChain::run_batch_into`] would have made, and
+/// return the open-end output count. A probe against an empty build side
+/// never touches its accumulator in the serial path (`if ht.is_empty() { 0 }`
+/// short-circuits before `acc.next()`), so the advance skips it too — safe
+/// because probed tables are complete and their emptiness is frozen.
+fn advance_ops(ops: &mut [RunOp], n: u64, stats: &HtStats) -> u64 {
+    let mut delta = n;
+    for op in ops.iter_mut() {
+        match op {
+            RunOp::Select { acc } => delta = acc.advance_by(delta),
+            RunOp::Probe { table, acc, picked } => {
+                let st = stats.get(*table);
+                assert!(
+                    st.complete,
+                    "probe of incomplete hash table {table:?} — C-schedulability violated"
+                );
+                if st.len == 0 {
+                    delta = 0;
+                } else {
+                    delta = acc.advance_by(delta);
+                    *picked += delta;
+                }
+            }
+            RunOp::Build { .. } => delta = 0,
+        }
+    }
+    delta
+}
+
+/// A forked, independently executable copy of a chain's operator state,
+/// positioned at one morsel's offset within a batch (see
+/// [`PhysChain::fork_morsel`]). Cursors own everything they touch, so any
+/// number of them can run concurrently on plain worker threads while the
+/// master chain and the hash-table arena stay untouched.
+#[derive(Debug)]
+pub struct MorselCursor {
+    ops: Vec<RunOp>,
+}
+
+impl MorselCursor {
+    /// Push one morsel through the forked chain, collecting open-end
+    /// survivors — or, for a build-terminated chain, the build-destined
+    /// partition — into `out` (cleared first), and return the instruction
+    /// count. Instruction charges are identical per tuple to
+    /// [`PhysChain::run_batch_into`], so summing morsel counts reproduces the
+    /// serial batch count exactly.
+    ///
+    /// # Panics
+    /// Panics if a probed table's snapshot says the build is incomplete.
+    pub fn run_into(
+        &mut self,
+        input: &[Tuple],
+        out: &mut Vec<Tuple>,
+        stats: &HtStats,
+        params: &SimParams,
+    ) -> u64 {
+        out.clear();
+        let mut instr: u64 = 0;
+        if self.ops.is_empty() {
+            out.extend_from_slice(input);
+            return instr;
+        }
+
+        let mut spare: Vec<Tuple> = Vec::new();
+        for (i, op) in self.ops.iter_mut().enumerate() {
+            match op {
+                RunOp::Select { acc } => {
+                    if i == 0 {
+                        instr += input.len() as u64 * params.instr_move_tuple;
+                        for t in input {
+                            if acc.next() > 0 {
+                                out.push(*t);
+                            }
+                        }
+                    } else {
+                        instr += out.len() as u64 * params.instr_move_tuple;
+                        out.retain(|_| acc.next() > 0);
+                    }
+                }
+                RunOp::Probe { table, acc, picked } => {
+                    let st = stats.get(*table);
+                    assert!(
+                        st.complete,
+                        "probe of incomplete hash table {table:?} — C-schedulability violated"
+                    );
+                    let src: &[Tuple] = if i == 0 {
+                        input
+                    } else {
+                        std::mem::swap(out, &mut spare);
+                        out.clear();
+                        &spare
+                    };
+                    instr += src.len() as u64 * params.instr_hash_search;
+                    for t in src {
+                        let k = if st.len == 0 { 0 } else { acc.next() };
+                        instr += k * params.instr_produce_tuple;
+                        for _ in 0..k {
+                            // Serial probing discards the picked build tuple
+                            // (`let _build = ht.pick(*picked)`), so the
+                            // cursor only advances the rotation counter.
+                            *picked += 1;
+                            out.push(*t);
+                        }
+                    }
+                }
+                RunOp::Build { .. } => {
+                    // Collect the partition instead of inserting: the merge
+                    // step absorbs partitions into the real table in morsel
+                    // order ([`SimHashTable::absorb_partition`]), which
+                    // reproduces the serial insert sequence.
+                    let pending = if i == 0 { input.len() } else { out.len() };
+                    instr += pending as u64 * params.instr_move_tuple;
+                    if i == 0 {
+                        out.extend_from_slice(input);
+                    }
+                }
+            }
+        }
+        instr
     }
 }
 
@@ -512,6 +673,159 @@ mod tests {
         }
         assert_eq!(a.consumed(), b.consumed());
         assert_eq!(a.emitted(), b.emitted());
+    }
+
+    /// Run one batch through `serial`, and the same batch morselized through
+    /// forks of `parallel`, asserting outputs, instructions, and master state
+    /// all match bit-for-bit.
+    fn assert_morsel_batch_matches(
+        serial: &mut PhysChain,
+        parallel: &mut PhysChain,
+        batch: &[Tuple],
+        morsel: usize,
+        arena: &mut HashTableArena,
+        p: &SimParams,
+    ) {
+        let mut want = Vec::new();
+        let want_instr = serial.run_batch_into(batch, &mut want, arena, p);
+
+        let stats = parallel.snapshot_stats(arena);
+        let mut got = Vec::new();
+        let mut got_instr = 0;
+        for (i, chunk) in batch.chunks(morsel).enumerate() {
+            let mut cursor = parallel.fork_morsel((i * morsel) as u64, &stats);
+            let mut part = Vec::new();
+            got_instr += cursor.run_into(chunk, &mut part, &stats, p);
+            got.extend_from_slice(&part);
+        }
+        let emitted = parallel.advance_source(batch.len() as u64, &stats);
+
+        if let Some(ht) = parallel.build_target() {
+            // Serial already inserted its copy; only sanity-check counts here
+            // (the dedicated build test uses two arenas).
+            assert_eq!(emitted, 0);
+            let _ = ht;
+        } else {
+            assert_eq!(got, want, "morsel outputs diverge at morsel={morsel}");
+            assert_eq!(emitted, want.len() as u64);
+        }
+        assert_eq!(got_instr, want_instr, "instruction counts diverge");
+        assert_eq!(serial.consumed(), parallel.consumed());
+        assert_eq!(serial.emitted(), parallel.emitted());
+    }
+
+    #[test]
+    fn morsel_forks_match_serial_at_any_granularity() {
+        let p = SimParams::default();
+        let mut arena = HashTableArena::new();
+        let ht = arena.alloc();
+        for t in tuples(6) {
+            arena.get_mut(ht).insert(t);
+        }
+        arena.get_mut(ht).complete();
+        let empty = arena.alloc();
+        arena.get_mut(empty).complete();
+
+        let specs: Vec<Vec<OpSpec>> = vec![
+            vec![],
+            vec![OpSpec::Select { selectivity: 0.37 }],
+            vec![
+                OpSpec::Select { selectivity: 0.7 },
+                OpSpec::Probe {
+                    table: ht,
+                    fanout: 2.5,
+                },
+                OpSpec::Select { selectivity: 0.9 },
+            ],
+            vec![
+                OpSpec::Probe {
+                    table: ht,
+                    fanout: 1.3,
+                },
+                OpSpec::Probe {
+                    table: empty,
+                    fanout: 4.0,
+                },
+            ],
+        ];
+        for spec in &specs {
+            for &morsel in &[1usize, 7, 32, 64, 1000] {
+                let mut serial = PhysChain::compile(spec);
+                let mut parallel = PhysChain::compile(spec);
+                // Several consecutive batches so forks start from a
+                // mid-stream master state, not just from zero.
+                for batch in tuples(500).chunks(157) {
+                    assert_morsel_batch_matches(
+                        &mut serial,
+                        &mut parallel,
+                        batch,
+                        morsel,
+                        &mut arena,
+                        &p,
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn partitioned_build_matches_serial_build() {
+        let p = SimParams::default();
+        for &morsel in &[1usize, 9, 50] {
+            let mut arena_s = HashTableArena::new();
+            let mut arena_p = HashTableArena::new();
+            let probed_s = arena_s.alloc();
+            let probed_p = arena_p.alloc();
+            for t in tuples(5) {
+                arena_s.get_mut(probed_s).insert(t);
+                arena_p.get_mut(probed_p).insert(t);
+            }
+            arena_s.get_mut(probed_s).complete();
+            arena_p.get_mut(probed_p).complete();
+            let built_s = arena_s.alloc();
+            let built_p = arena_p.alloc();
+
+            let spec = |probed, built| {
+                vec![
+                    OpSpec::Select { selectivity: 0.8 },
+                    OpSpec::Probe {
+                        table: probed,
+                        fanout: 1.7,
+                    },
+                    OpSpec::Build { table: built },
+                ]
+            };
+            let mut serial = PhysChain::compile(&spec(probed_s, built_s));
+            let mut parallel = PhysChain::compile(&spec(probed_p, built_p));
+
+            let input = tuples(300);
+            let want_instr = serial.run_batch(&input, &mut arena_s, &p).instr;
+
+            let stats = parallel.snapshot_stats(&arena_p);
+            let mut got_instr = 0;
+            let mut parts: Vec<Vec<Tuple>> = Vec::new();
+            for (i, chunk) in input.chunks(morsel).enumerate() {
+                let mut cursor = parallel.fork_morsel((i * morsel) as u64, &stats);
+                let mut part = Vec::new();
+                got_instr += cursor.run_into(chunk, &mut part, &stats, &p);
+                parts.push(part);
+            }
+            for part in &parts {
+                arena_p.get_mut(built_p).absorb_partition(part);
+            }
+            let emitted = parallel.advance_source(input.len() as u64, &stats);
+
+            assert_eq!(emitted, 0);
+            assert_eq!(got_instr, want_instr);
+            assert_eq!(serial.emitted(), parallel.emitted());
+            let s = arena_s.get(built_s);
+            let g = arena_p.get(built_p);
+            assert_eq!(s.len(), g.len(), "morsel={morsel}");
+            // Insert order must match exactly: pick() rotation depends on it.
+            for i in 0..s.len() {
+                assert_eq!(s.pick(i).unwrap(), g.pick(i).unwrap());
+            }
+        }
     }
 
     #[test]

@@ -669,6 +669,70 @@ fn cache_budget_is_validated_at_bind_and_deducted_from_partitions() {
     mediator.shutdown();
 }
 
+/// The shared-pool acceptance check: N concurrent sessions on a mediator
+/// with `--exec-workers 4` all draw morsel execution from ONE process-wide
+/// pool, and every one of them returns the same answer a solo session
+/// does — concurrency and work-stealing never leak into results. Each
+/// session's memory high-water must also stay inside the per-session
+/// partition the mediator granted it.
+#[test]
+fn concurrent_sessions_share_one_exec_pool_without_perturbing_answers() {
+    let mediator = MediatorServer::bind(
+        "127.0.0.1:0",
+        ServeOpts {
+            exec_workers: 4,
+            max_concurrent: 3,
+            ..ServeOpts::default()
+        },
+    )
+    .expect("bind mediator");
+    let addr = mediator.local_addr();
+
+    // Solo baseline on the same (pooled) mediator.
+    let solo = submit(addr, &quickstart_json(), &SubmitOpts::default(), |_| {}).expect("solo run");
+    assert!(
+        metric_u64(&solo.raw, "morsels") > 0,
+        "a 4-worker mediator must split quickstart batches into morsels: {}",
+        solo.raw
+    );
+
+    // Three sessions at once, each recording its granted partition.
+    let clients: Vec<_> = (0..3)
+        .map(|_| {
+            std::thread::spawn(move || {
+                let mut granted = None;
+                let m = submit(addr, &quickstart_json(), &SubmitOpts::default(), |p| {
+                    if let Progress::Accepted { memory_bytes, .. } = p {
+                        granted = Some(memory_bytes);
+                    }
+                })
+                .expect("concurrent run");
+                (m, granted.expect("lifecycle passes through Accepted"))
+            })
+        })
+        .collect();
+    for client in clients {
+        let (m, granted) = client.join().expect("client thread");
+        assert_eq!(
+            m.output_tuples, solo.output_tuples,
+            "a session sharing the pool must answer exactly like a solo one"
+        );
+        assert!(metric_u64(&m.raw, "morsels") > 0);
+        assert!(
+            metric_u64(&m.raw, "memory_high_water") <= granted,
+            "morsel slabs must stay inside the granted partition: {}",
+            m.raw
+        );
+    }
+
+    // The pool gauges are wired: all that morsel traffic went through the
+    // one shared pool the metrics endpoint watches.
+    let metrics = mediator.metrics();
+    assert!(metrics.exec_busy_workers() <= 4);
+    let _ = metrics.exec_steals(); // gauge reachable (steals may be zero)
+    mediator.shutdown();
+}
+
 /// Shutdown must sever idle client connections and join their handler
 /// threads instead of waiting out the 60-second read timeout (or leaking
 /// the threads outright).
