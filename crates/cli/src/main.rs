@@ -11,6 +11,8 @@
 //! dqs submit <spec.json> --connect ADDR   run a query on a mediator
 //! dqs invalidate --connect ADDR [--rel N] drop the mediator's cached scans
 //! dqs bench c10k --connect ADDR           open-loop C10K load generator
+//! dqs workload gen --out trace.json       seeded Zipf/Poisson trace generator
+//! dqs workload replay trace.json --connect ADDR   open-loop trace replay
 //! ```
 
 use std::io::Write;
@@ -25,6 +27,7 @@ use dqs_exec::{
 };
 use dqs_mediator::{C10kOpts, MediatorServer, Progress, ServeOpts, SubmitOpts, WrapperServer};
 use dqs_plan::{AnnotatedPlan, ChainSet};
+use dqs_workload::{Arrival, GenOpts, ReplayOpts};
 
 fn usage() -> ExitCode {
     eprint!(
@@ -46,14 +49,24 @@ fn usage() -> ExitCode {
          \u{20}           --cache-mb M: result-cache budget, --cache-ttl-ms T,\n\
          \u{20}           --io-threads N: reactor event-loop threads (default cores-1),\n\
          \u{20}           --session-shards N: connection-map lock stripes (default 8),\n\
-         \u{20}           --exec-workers N: shared morsel worker pool (default 1))\n\
+         \u{20}           --exec-workers N: shared morsel worker pool (default 1),\n\
+         \u{20}           --admission fifo|sjf|fair: backlog promotion policy)\n\
          \u{20} submit    run a spec on a mediator (--connect ADDR, --strategy X,\n\
          \u{20}           --seed N, --trace, --no-cache, --connect-timeout MS)\n\
          \u{20} invalidate  drop the mediator's cached scans (--connect ADDR,\n\
          \u{20}           --rel N: one relation only, --connect-timeout MS)\n\
          \u{20} bench c10k  open-loop load generator (--connect ADDR, --sessions N,\n\
          \u{20}           --batch N: arrival burst size, --strategy X, --spec PATH,\n\
-         \u{20}           --timeout-secs N, --out FILE: default BENCH_c10k.json)\n"
+         \u{20}           --timeout-secs N, --out FILE: default BENCH_c10k.json)\n\
+         \u{20} workload gen  seeded trace generator (--out FILE: default trace.json,\n\
+         \u{20}           --seed N, --specs N: pool size, --events N, --zipf S,\n\
+         \u{20}           --arrival poisson|bursty|diurnal, --rate R: arrivals/sec\n\
+         \u{20}           (diurnal: the peak), --on-ms/--off-ms: bursty windows,\n\
+         \u{20}           --base-rate R, --period-ms T: diurnal curve)\n\
+         \u{20} workload replay  fire a trace at a mediator (TRACE --connect ADDR,\n\
+         \u{20}           --batch N, --timeout-secs N, --out FILE: default\n\
+         \u{20}           BENCH_workload.json; reports queue-wait vs execution\n\
+         \u{20}           percentiles and cache hit rate)\n"
     );
     ExitCode::from(2)
 }
@@ -171,6 +184,15 @@ fn cmd_serve(args: &[String]) -> ExitCode {
             Ok(n) if n > 0 => opts.exec_workers = n,
             _ => {
                 eprintln!("error: --exec-workers wants a positive integer, got {n:?}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    if let Some(p) = flag_value(args, "--admission") {
+        match p.parse() {
+            Ok(policy) => opts.admission = policy,
+            Err(e) => {
+                eprintln!("error: {e}");
                 return ExitCode::from(2);
             }
         }
@@ -383,6 +405,207 @@ fn cmd_bench(args: &[String]) -> ExitCode {
     }
 }
 
+/// `dqs workload gen|replay [...]`: the workload generator and the
+/// open-loop trace replay harness.
+fn cmd_workload(args: &[String]) -> ExitCode {
+    match args.first().map(String::as_str) {
+        Some("gen") => cmd_workload_gen(&args[1..]),
+        Some("replay") => cmd_workload_replay(&args[1..]),
+        _ => {
+            eprintln!("error: workload wants a mode: `workload gen` or `workload replay`");
+            ExitCode::from(2)
+        }
+    }
+}
+
+/// `dqs workload gen --out trace.json [...]`: synthesize a trace.
+fn cmd_workload_gen(args: &[String]) -> ExitCode {
+    let mut opts = GenOpts::default();
+    macro_rules! int_flag {
+        ($flag:literal, $target:expr) => {
+            if let Some(n) = flag_value(args, $flag) {
+                match n.parse() {
+                    Ok(v) => $target = v,
+                    Err(_) => {
+                        eprintln!("error: {} wants an integer, got {n:?}", $flag);
+                        return ExitCode::from(2);
+                    }
+                }
+            }
+        };
+    }
+    int_flag!("--seed", opts.seed);
+    int_flag!("--specs", opts.specs);
+    int_flag!("--events", opts.events);
+    if opts.specs == 0 || opts.events == 0 {
+        eprintln!("error: --specs and --events must be positive");
+        return ExitCode::from(2);
+    }
+    if let Some(s) = flag_value(args, "--zipf") {
+        match s.parse() {
+            Ok(z) => opts.zipf_s = z,
+            Err(_) => {
+                eprintln!("error: --zipf wants a number, got {s:?}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    let rate = match flag_value(args, "--rate") {
+        Some(r) => match r.parse::<f64>() {
+            Ok(r) if r > 0.0 => r,
+            _ => {
+                eprintln!("error: --rate wants a positive number, got {r:?}");
+                return ExitCode::from(2);
+            }
+        },
+        None => 200.0,
+    };
+    let parse_ms = |flag: &str, default: u64| -> Result<u64, ExitCode> {
+        match flag_value(args, flag) {
+            Some(n) => n.parse().map_err(|_| {
+                eprintln!("error: {flag} wants milliseconds, got {n:?}");
+                ExitCode::from(2)
+            }),
+            None => Ok(default),
+        }
+    };
+    opts.arrival = match flag_value(args, "--arrival").unwrap_or("poisson") {
+        "poisson" => Arrival::Poisson { rate_per_sec: rate },
+        "bursty" => {
+            let (on_ms, off_ms) = match (parse_ms("--on-ms", 200), parse_ms("--off-ms", 300)) {
+                (Ok(on), Ok(off)) => (on, off),
+                (Err(code), _) | (_, Err(code)) => return code,
+            };
+            Arrival::Bursty {
+                rate_per_sec: rate,
+                on_ms,
+                off_ms,
+            }
+        }
+        "diurnal" => {
+            let base = match flag_value(args, "--base-rate") {
+                Some(b) => match b.parse::<f64>() {
+                    Ok(b) if b > 0.0 && b <= rate => b,
+                    _ => {
+                        eprintln!("error: --base-rate wants 0 < R ≤ --rate, got {b:?}");
+                        return ExitCode::from(2);
+                    }
+                },
+                None => (rate / 10.0).max(0.1),
+            };
+            let period_ms = match parse_ms("--period-ms", 10_000) {
+                Ok(p) => p,
+                Err(code) => return code,
+            };
+            Arrival::Diurnal {
+                base_per_sec: base,
+                peak_per_sec: rate,
+                period_ms,
+            }
+        }
+        other => {
+            eprintln!("error: unknown arrival {other:?} (poisson|bursty|diurnal)");
+            return ExitCode::from(2);
+        }
+    };
+    let out = flag_value(args, "--out").unwrap_or("trace.json");
+    let trace = dqs_workload::generate(&opts);
+    if let Err(e) = std::fs::write(out, format!("{}\n", trace.to_json())) {
+        eprintln!("error: cannot write {out}: {e}");
+        return ExitCode::FAILURE;
+    }
+    println!(
+        "workload gen: {} events over {} specs, {:.1} s span, seed {} -> {}",
+        trace.events.len(),
+        trace.specs.len(),
+        trace.duration_ms() as f64 / 1e3,
+        trace.seed,
+        out
+    );
+    ExitCode::SUCCESS
+}
+
+/// `dqs workload replay TRACE --connect ADDR [...]`: fire a trace at a
+/// live mediator and report the latency split.
+fn cmd_workload_replay(args: &[String]) -> ExitCode {
+    let Some(path) = args.first().filter(|a| !a.starts_with("--")) else {
+        eprintln!("error: workload replay requires a trace path");
+        return ExitCode::from(2);
+    };
+    let Some(addr) = flag_value(args, "--connect") else {
+        eprintln!("error: workload replay requires --connect ADDR");
+        return ExitCode::from(2);
+    };
+    let trace = match std::fs::read_to_string(path).map_err(|e| e.to_string()) {
+        Ok(text) => match dqs_workload::Trace::from_json(&text) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("error: {e}");
+                return ExitCode::FAILURE;
+            }
+        },
+        Err(e) => {
+            eprintln!("error: cannot read {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut opts = ReplayOpts {
+        addr: addr.to_string(),
+        ..ReplayOpts::default()
+    };
+    if let Some(n) = flag_value(args, "--batch") {
+        match n.parse() {
+            Ok(n) if n > 0 => opts.connect_batch = n,
+            _ => {
+                eprintln!("error: --batch wants a positive integer, got {n:?}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    if let Some(n) = flag_value(args, "--timeout-secs") {
+        match n.parse::<u64>() {
+            Ok(s) => opts.timeout = Duration::from_secs(s),
+            Err(_) => {
+                eprintln!("error: --timeout-secs wants an integer, got {n:?}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    let out = flag_value(args, "--out").unwrap_or("BENCH_workload.json");
+    let report = match dqs_workload::replay(&trace, &opts) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("error: replay failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let json = report.to_json();
+    if let Err(e) = std::fs::write(out, format!("{json}\n")) {
+        eprintln!("error: cannot write {out}: {e}");
+        return ExitCode::FAILURE;
+    }
+    println!("{json}");
+    println!(
+        "workload: {}/{} completed ({} rejected, {} errored), peak {} open, \
+         p99 total {:.2} ms = queue {:.2} + exec {:.2}, cache hit rate {:.1}% -> {}",
+        report.completed,
+        report.sessions,
+        report.rejected,
+        report.errored,
+        report.peak_concurrent,
+        report.total.p99_ms,
+        report.queue_wait.p99_ms,
+        report.exec.p99_ms,
+        report.cache_hit_rate() * 100.0,
+        out
+    );
+    if report.errored > 0 {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
 fn load(path: &str) -> Result<Workload, String> {
     let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
     WorkloadSpec::from_json(&text)
@@ -507,6 +730,7 @@ fn main() -> ExitCode {
         "submit" => return cmd_submit(&args[1..]),
         "invalidate" => return cmd_invalidate(&args[1..]),
         "bench" => return cmd_bench(&args[1..]),
+        "workload" => return cmd_workload(&args[1..]),
         _ => {}
     }
     let Some(path) = args.get(1) else {

@@ -16,7 +16,11 @@
 //!   point;
 //! * [`lwb`](mod@lwb) — the analytic response-time lower bound of §5.1.2;
 //! * [`session`] — admission control for the concurrent mediator: who
-//!   runs, who waits, and under what share of the global memory budget.
+//!   runs, who waits (and under which backlog policy — FIFO, shortest-job
+//!   -first, or fair SJF with aging), and under what share of the global
+//!   memory budget;
+//! * [`hist`] — shared latency statistics: exact percentiles for bench
+//!   reports and a log-bucketed histogram for serving-side gauges.
 //!
 //! # Quick start
 //!
@@ -35,11 +39,13 @@
 
 pub mod dqo;
 pub mod dqs;
+pub mod hist;
 pub mod lwb;
 pub mod metrics;
 pub mod session;
 
 pub use dqs::{DseConfig, DsePolicy};
+pub use hist::LatencyHistogram;
 pub use lwb::{lwb, Lwb};
 pub use metrics::{bmi, critical_degree, is_critical, DEFAULT_BMT};
-pub use session::{Decision, SessionConfig, SessionStats, SessionTable};
+pub use session::{AdmissionPolicy, Decision, SessionConfig, SessionStats, SessionTable};

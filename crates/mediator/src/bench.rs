@@ -1,30 +1,22 @@
 //! The C10K load generator behind `dqs bench c10k`.
 //!
-//! An open-loop driver: it opens sessions against a running mediator as
-//! fast as the kernel accepts them — arrivals do not wait for
-//! completions — and holds every session open until its terminal frame.
-//! Against a mediator whose `--backlog` admits them, tens of thousands
-//! of sessions are concurrently alive (a handful running, the rest
-//! parked in the admission backlog), which is exactly the load shape the
-//! event-driven core exists for: each held session costs the server one
-//! fd and a state machine, not a thread.
-//!
-//! The generator is itself built on the reactor — one thread, one
-//! [`Poller`], ten thousand non-blocking client state machines — so the
-//! measuring side never becomes the bottleneck it is measuring.
+//! Since the workload subsystem landed, this is a thin preset over
+//! [`mod@dqs_workload::replay`]: a flood trace — every arrival due at t = 0,
+//! one tiny spec — fired open-loop at the mediator. The reactor loop,
+//! session state machines, and latency accounting live in
+//! `dqs-workload`; this module keeps the classic options, report shape,
+//! and `BENCH_c10k.json` format byte-compatible with the original
+//! generator.
 //!
 //! Reported latency is submit-to-terminal wall time per session, which
 //! under a saturated mediator is dominated by queueing delay; p50/p99/
 //! p999 therefore characterise the admission queue, and `throughput` the
 //! executor pool's drain rate.
 
-use std::collections::VecDeque;
-use std::io::{self, Read};
-use std::net::TcpStream;
-use std::time::{Duration, Instant};
+use std::io;
+use std::time::Duration;
 
-use dqs_reactor::{Events, Interest, Poller, Token};
-use dqs_source::net::{FlushStatus, Frame, FrameDecoder, WriteBuffer};
+use dqs_workload::{replay, ReplayOpts, Trace};
 
 /// A deliberately tiny workload: two 64-tuple relations and one join,
 /// paced at wrapper-like millisecond delays so a session spends its
@@ -124,223 +116,37 @@ impl C10kReport {
     }
 }
 
-/// One client session's state machine.
-struct Client {
-    stream: TcpStream,
-    dec: FrameDecoder,
-    wb: WriteBuffer,
-    submitted_at: Instant,
-    interest: Interest,
-}
-
-/// Sort-free percentile on a sorted slice: the value at or above
-/// quantile `q` of the distribution.
-fn percentile(sorted_ms: &[f64], q: f64) -> f64 {
-    if sorted_ms.is_empty() {
-        return 0.0;
-    }
-    let rank = ((sorted_ms.len() as f64) * q).ceil() as usize;
-    sorted_ms[rank.clamp(1, sorted_ms.len()) - 1]
-}
-
 /// Drive `opts.sessions` sessions against the mediator at `opts.addr`
 /// and measure the distribution of their completion times.
 pub fn run_c10k(opts: &C10kOpts) -> io::Result<C10kReport> {
-    let mut poller = Poller::new()?;
-    let mut clients: Vec<Option<Client>> = Vec::with_capacity(opts.sessions);
-    let mut latencies_ms: Vec<f64> = Vec::with_capacity(opts.sessions);
-    let mut errored = 0usize;
-    let mut open = 0usize;
-    let mut peak = 0usize;
-    let mut events = Events::new();
-    let started = Instant::now();
-    let submit = Frame::Submit {
-        strategy: opts.strategy.clone(),
-        trace: false,
-        no_cache: false,
-        seed: None,
-        spec_json: opts.spec_json.clone(),
-    };
-
-    // Terminal handling is shared between the event loop and the final
-    // reap, so keep it as a closure-free helper.
-    enum Outcome {
-        Pending,
-        Done,
-        Failed,
-    }
-    fn pump(client: &mut Client) -> Outcome {
-        // Flush any unwritten Submit bytes, then drain replies.
-        if client.wb.flush(&mut client.stream).is_err() {
-            return Outcome::Failed;
-        }
-        let mut buf = [0u8; 4096];
-        let mut eof = false;
-        loop {
-            match client.stream.read(&mut buf) {
-                Ok(0) => {
-                    // The server sends the terminal and closes; the Done
-                    // may already be buffered, so parse before ruling.
-                    eof = true;
-                    break;
-                }
-                Ok(n) => client.dec.feed(&buf[..n]),
-                Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
-                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
-                Err(_) => return Outcome::Failed,
-            }
-        }
-        loop {
-            match client.dec.next_frame() {
-                Ok(Some(Frame::Done { .. })) => return Outcome::Done,
-                Ok(Some(Frame::Rejected { .. } | Frame::Error { .. })) => return Outcome::Failed,
-                Ok(Some(_)) => {} // Queued / Accepted / Trace: progress
-                Ok(None) if eof => return Outcome::Failed, // EOF before terminal
-                Ok(None) => return Outcome::Pending,
-                Err(_) => return Outcome::Failed,
-            }
-        }
-    }
-
-    let mut to_open: VecDeque<usize> = (0..opts.sessions).collect();
-    let finished =
-        |latencies: &Vec<f64>, errored: usize| latencies.len() + errored >= opts.sessions;
-    while !finished(&latencies_ms, errored) && started.elapsed() < opts.timeout {
-        // Arrival burst: open the next batch regardless of completions.
-        for _ in 0..opts.connect_batch {
-            let Some(idx) = to_open.pop_front() else {
-                break;
-            };
-            let stream = match TcpStream::connect(&opts.addr) {
-                Ok(s) => s,
-                Err(_) => {
-                    errored += 1;
-                    clients.push(None);
-                    continue;
-                }
-            };
-            stream.set_nodelay(true).ok();
-            if stream.set_nonblocking(true).is_err() {
-                errored += 1;
-                clients.push(None);
-                continue;
-            }
-            let mut client = Client {
-                stream,
-                dec: FrameDecoder::new(),
-                wb: WriteBuffer::new(),
-                submitted_at: Instant::now(),
-                interest: Interest::READABLE,
-            };
-            client.wb.push(&submit);
-            let blocked = matches!(
-                client.wb.flush(&mut client.stream),
-                Ok(FlushStatus::Blocked)
-            );
-            client.interest = if blocked {
-                Interest::BOTH
-            } else {
-                Interest::READABLE
-            };
-            {
-                use std::os::fd::AsRawFd;
-                if poller
-                    .register(
-                        client.stream.as_raw_fd(),
-                        Token(idx as u64),
-                        client.interest,
-                    )
-                    .is_err()
-                {
-                    errored += 1;
-                    clients.push(None);
-                    continue;
-                }
-            }
-            debug_assert_eq!(clients.len(), idx);
-            clients.push(Some(client));
-            open += 1;
-            peak = peak.max(open);
-        }
-        let timeout = if to_open.is_empty() {
-            Duration::from_millis(100)
-        } else {
-            Duration::from_millis(1)
-        };
-        poller.wait(&mut events, Some(timeout))?;
-        for ev in events.iter().copied() {
-            let idx = ev.token.0 as usize;
-            let Some(slot) = clients.get_mut(idx) else {
-                continue;
-            };
-            let Some(client) = slot.as_mut() else {
-                continue;
-            };
-            let outcome = pump(client);
-            match outcome {
-                Outcome::Pending => {
-                    // Writable interest only while Submit bytes remain.
-                    let want = if client.wb.is_empty() {
-                        Interest::READABLE
-                    } else {
-                        Interest::BOTH
-                    };
-                    if want != client.interest {
-                        client.interest = want;
-                        use std::os::fd::AsRawFd;
-                        poller
-                            .modify(client.stream.as_raw_fd(), Token(idx as u64), want)
-                            .ok();
-                    }
-                }
-                Outcome::Done | Outcome::Failed => {
-                    {
-                        use std::os::fd::AsRawFd;
-                        poller.deregister(client.stream.as_raw_fd()).ok();
-                    }
-                    if matches!(outcome, Outcome::Done) {
-                        latencies_ms.push(client.submitted_at.elapsed().as_secs_f64() * 1e3);
-                    } else {
-                        errored += 1;
-                    }
-                    *slot = None;
-                    open -= 1;
-                }
-            }
-        }
-    }
-    // Deadline hit: everything still open failed.
-    errored += open;
-
-    let duration_secs = started.elapsed().as_secs_f64();
-    latencies_ms.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let trace = Trace::flood(opts.sessions, &opts.spec_json, &opts.strategy);
+    let report = replay(
+        &trace,
+        &ReplayOpts {
+            addr: opts.addr.clone(),
+            connect_batch: opts.connect_batch,
+            timeout: opts.timeout,
+        },
+    )?;
     Ok(C10kReport {
         sessions: opts.sessions,
-        completed: latencies_ms.len(),
-        errored,
-        peak_concurrent: peak,
-        duration_secs,
-        throughput_per_sec: latencies_ms.len() as f64 / duration_secs.max(1e-9),
-        p50_ms: percentile(&latencies_ms, 0.50),
-        p99_ms: percentile(&latencies_ms, 0.99),
-        p999_ms: percentile(&latencies_ms, 0.999),
-        max_ms: latencies_ms.last().copied().unwrap_or(0.0),
+        completed: report.completed,
+        // The classic report folded Rejected into errored (a c10k run is
+        // judged on every session completing).
+        errored: report.errored + report.rejected,
+        peak_concurrent: report.peak_concurrent,
+        duration_secs: report.duration_secs,
+        throughput_per_sec: report.throughput_per_sec,
+        p50_ms: report.total.p50_ms,
+        p99_ms: report.total.p99_ms,
+        p999_ms: report.total.p999_ms,
+        max_ms: report.total.max_ms,
     })
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-
-    #[test]
-    fn percentiles_pick_the_right_ranks() {
-        let ms: Vec<f64> = (1..=1000).map(f64::from).collect();
-        assert_eq!(percentile(&ms, 0.50), 500.0);
-        assert_eq!(percentile(&ms, 0.99), 990.0);
-        assert_eq!(percentile(&ms, 0.999), 999.0);
-        assert_eq!(percentile(&[], 0.99), 0.0);
-        assert_eq!(percentile(&[7.0], 0.999), 7.0);
-    }
 
     #[test]
     fn report_json_is_parseable() {

@@ -59,8 +59,8 @@ use std::thread::{self, JoinHandle};
 use std::time::{Duration, Instant};
 
 use dqs_cache::{payload_bytes, CacheConfig, CacheKey, CacheStats, SharedCache};
-use dqs_core::session::{Decision, SessionConfig, SessionStats, SessionTable};
-use dqs_core::DsePolicy;
+use dqs_core::session::{AdmissionPolicy, Decision, SessionConfig, SessionStats, SessionTable};
+use dqs_core::{DsePolicy, LatencyHistogram};
 use dqs_exec::spec::WorkloadSpec;
 use dqs_exec::{
     Engine, EngineEvent, EngineObserver, JsonLinesSink, MaPolicy, Policy, RealTimeDriver, RunError,
@@ -128,6 +128,10 @@ pub struct ServeOpts {
     /// meaningful: concurrent queries compete for the same workers rather
     /// than each spawning its own set.
     pub exec_workers: usize,
+    /// Backlog promotion policy (`--admission fifo|sjf|fair`). SJF
+    /// promotes by estimated cost (spec cardinality × delay class), fair
+    /// adds per-client aging so long jobs cannot starve.
+    pub admission: AdmissionPolicy,
 }
 
 impl Default for ServeOpts {
@@ -146,6 +150,7 @@ impl Default for ServeOpts {
                 .max(1),
             session_shards: 8,
             exec_workers: 1,
+            admission: AdmissionPolicy::Fifo,
         }
     }
 }
@@ -159,6 +164,10 @@ pub struct ServerMetrics {
     backlog_dequeued: AtomicU64,
     trace_frames_dropped: AtomicU64,
     connections_accepted: AtomicU64,
+    /// Queue wait of the most recently dispatched session, µs (gauge).
+    queue_wait_last_us: AtomicU64,
+    /// Cumulative queue-wait distribution over every dispatched session.
+    queue_wait: Mutex<LatencyHistogram>,
     /// The shared morsel pool, when `exec_workers > 1` — lets operators
     /// read execution-layer gauges from the same sink as the admission
     /// gauges above. Set once at bind.
@@ -206,6 +215,25 @@ impl ServerMetrics {
     /// Total morsels a worker stole from another worker's deque.
     pub fn exec_steals(&self) -> u64 {
         self.exec_pool.get().map_or(0, |p| p.stats().stolen)
+    }
+
+    /// Queue wait of the most recently dispatched session, microseconds
+    /// (zero for direct admits) — a gauge tracking what the admission
+    /// policy is currently costing arrivals.
+    pub fn queue_wait_last_us(&self) -> u64 {
+        self.queue_wait_last_us.load(Ordering::Relaxed)
+    }
+
+    /// Snapshot of the cumulative queue-wait histogram over every
+    /// session dispatched since bind (log-bucketed; see
+    /// [`LatencyHistogram`]).
+    pub fn queue_wait_histogram(&self) -> LatencyHistogram {
+        self.queue_wait.lock().unwrap().clone()
+    }
+
+    fn record_queue_wait(&self, us: u64) {
+        self.queue_wait_last_us.store(us, Ordering::Relaxed);
+        self.queue_wait.lock().unwrap().record_us(us);
     }
 
     fn queue_push(&self) {
@@ -449,6 +477,8 @@ impl MediatorServer {
                     max_concurrent: opts.max_concurrent,
                     backlog: opts.backlog,
                     memory_bytes: opts.memory_bytes - opts.cache_bytes,
+                    policy: opts.admission,
+                    ..SessionConfig::default()
                 }),
                 queued: HashMap::new(),
             }),
@@ -872,8 +902,12 @@ impl IoWorker {
         if let Some(seed) = seed {
             workload.config.seed = seed;
         }
+        // The SJF/fair cost estimate: expected wrapper delivery time over
+        // the whole spec, computable before the query runs. Cheap, so it
+        // happens outside the admission lock even under FIFO.
+        let cost_us = estimated_cost_us(&workload);
         let mut admission = self.shared.admission.lock().unwrap();
-        match admission.table.submit() {
+        match admission.table.submit_with(cost_us, id) {
             Decision::Reject { reason } => {
                 drop(admission);
                 self.queue_terminal(id, Frame::Rejected { reason });
@@ -1059,6 +1093,22 @@ fn listener_fd(listener: &TcpListener) -> std::os::fd::RawFd {
 
 // --- the executor pool ------------------------------------------------------
 
+/// The admission cost estimate for a parsed workload: expected wrapper
+/// delivery time in microseconds, summed over the spec's relations
+/// (cardinality × the delay model's mean inter-tuple gap). Under
+/// `--admission sjf|fair` this is the promotion key; computed from the
+/// spec alone, before the query ever runs.
+fn estimated_cost_us(w: &Workload) -> u64 {
+    w.catalog
+        .iter()
+        .map(|(rel, _)| {
+            w.delays[rel.0 as usize]
+                .expected_total(w.actual_cardinality(rel))
+                .as_micros_f64() as u64
+        })
+        .sum()
+}
+
 /// Release `session`'s slot and dispatch whatever the table promotes.
 /// Runs under the admission lock so promotion and queued-client
 /// disconnect cannot race.
@@ -1076,6 +1126,20 @@ fn finish_and_promote(shared: &Shared, session: u64) {
 /// Execute one admitted session on this executor thread, streaming
 /// progress frames through the connection map.
 fn run_job(shared: &Shared, mut job: Job) {
+    // How long admission held this session before a slot freed (zero for
+    // direct admits) — read before anything can finish the session, fed
+    // to the server gauges and stamped onto the Done payload below.
+    let queue_wait_secs = {
+        let admission = shared.admission.lock().unwrap();
+        admission
+            .table
+            .queue_wait(job.session)
+            .unwrap_or_default()
+            .as_secs_f64()
+    };
+    shared
+        .metrics
+        .record_queue_wait((queue_wait_secs * 1e6) as u64);
     // The client may have left while the job sat in the exec queue (or
     // the backlog); don't burn an engine run on a dead connection.
     if !shared.conns.send(
@@ -1174,7 +1238,7 @@ fn run_job(shared: &Shared, mut job: Job) {
                 }
             }
             Frame::Done {
-                metrics_json: metrics_json(&m),
+                metrics_json: with_queue_wait(metrics_json(&m), queue_wait_secs),
             }
         }
         Err(e) => Frame::Error {
@@ -1410,6 +1474,16 @@ impl Write for TraceFrames<'_> {
     }
 }
 
+/// Stamp the serving-side queue wait onto an engine metrics object.
+/// `RunMetrics` is pinned by the golden-fingerprint suite, so the field
+/// is spliced into the JSON at the server layer rather than grown on the
+/// struct: the `Done` payload leads with `queue_wait_secs`, then carries
+/// the engine metrics unchanged.
+pub fn with_queue_wait(metrics: String, wait_secs: f64) -> String {
+    debug_assert!(metrics.starts_with('{'));
+    format!("{{\"queue_wait_secs\":{wait_secs:.6},{}", &metrics[1..])
+}
+
 /// Flat JSON rendering of a finished run's metrics (the `Done` payload).
 pub fn metrics_json(m: &RunMetrics) -> String {
     let queries: Vec<String> = m
@@ -1455,6 +1529,7 @@ pub fn metrics_json(m: &RunMetrics) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::bench;
 
     #[test]
     fn metrics_json_is_parseable_and_carries_the_cardinality() {
@@ -1474,6 +1549,44 @@ mod tests {
             Some("dse"),
             "{text}"
         );
+    }
+
+    #[test]
+    fn queue_wait_splice_leads_the_done_payload_and_stays_parseable() {
+        let m = RunMetrics {
+            strategy: "dse",
+            seed: 1,
+            ..RunMetrics::default()
+        };
+        let text = with_queue_wait(metrics_json(&m), 0.125);
+        assert!(text.starts_with("{\"queue_wait_secs\":0.125000,"), "{text}");
+        let v = dqs_exec::json::parse(&text).expect("valid JSON");
+        let obj = v.as_object().unwrap();
+        let get = |k: &str| obj.iter().find(|(n, _)| n == k).map(|(_, v)| v);
+        assert_eq!(get("queue_wait_secs").and_then(|v| v.as_f64()), Some(0.125));
+        assert_eq!(
+            get("strategy").and_then(|v| v.as_str()),
+            Some("dse"),
+            "engine metrics ride along unchanged"
+        );
+    }
+
+    #[test]
+    fn estimated_cost_orders_specs_by_expected_wrapper_time() {
+        let slow = WorkloadSpec::from_json(bench::TINY_SPEC)
+            .and_then(WorkloadSpec::into_workload)
+            .expect("tiny spec builds");
+        let fast_spec = bench::TINY_SPEC.replace("3000", "100");
+        let fast = WorkloadSpec::from_json(&fast_spec)
+            .and_then(WorkloadSpec::into_workload)
+            .expect("fast spec builds");
+        let (slow_us, fast_us) = (estimated_cost_us(&slow), estimated_cost_us(&fast));
+        assert!(
+            slow_us > 10 * fast_us,
+            "3000us/tuple ({slow_us}) must dominate 100us/tuple ({fast_us})"
+        );
+        // 2 relations × 64 tuples × 3000 µs.
+        assert_eq!(slow_us, 2 * 64 * 3000);
     }
 
     #[test]
