@@ -16,6 +16,7 @@
 //!   cache           wrapper result cache cold vs warm (writes BENCH_cache.json)
 //!   failover        kill a replica mid-scan vs clean run (writes BENCH_failover.json)
 //!   morsel          worker-pool scaling on a probe-heavy spec (writes BENCH_morsel.json)
+//!   refresh         budgeted refresh under a write burst (writes BENCH_refresh.json)
 //!   workload        Zipf/Poisson replay + fifo-vs-sjf A/B (writes BENCH_workload.json)
 //!   scrambling      query scrambling baseline + timeout sweep (§1.2)
 //!   ablate-bmt      benefit-materialization threshold sweep (A1)
@@ -108,6 +109,16 @@ fn run(cmd: &str) -> bool {
             });
             eprintln!("json written to {path}");
         }
+        "refresh" => {
+            let report = ex::refresh_experiment();
+            print!("{}", ex::render_refresh(&report));
+            let path = csv.unwrap_or_else(|| "BENCH_refresh.json".into());
+            std::fs::write(&path, ex::refresh_json(&report)).unwrap_or_else(|e| {
+                eprintln!("failed to write {path}: {e}");
+                std::process::exit(1);
+            });
+            eprintln!("json written to {path}");
+        }
         "workload" => {
             let report = ex::workload_experiment();
             print!("{}", ex::render_workload(&report));
@@ -139,6 +150,7 @@ fn run(cmd: &str) -> bool {
                 "cache",
                 "failover",
                 "morsel",
+                "refresh",
                 "workload",
                 "scrambling",
                 "ablate-bmt",
@@ -163,7 +175,7 @@ fn main() {
         eprint!(
             "usage: repro <command>\n\
              commands: table1 figure5 headline figure6 figure7 figure6-all figure8\n\
-             \u{20}         delay-taxonomy memory multi-query cache failover morsel workload scrambling ablate-bmt\n\
+             \u{20}         delay-taxonomy memory multi-query cache failover morsel refresh workload scrambling ablate-bmt\n\
              \u{20}         ablate-batch\n\
              \u{20}         ablate-queue\n\
              \u{20}         ablate-dse ablate-rate all\n"

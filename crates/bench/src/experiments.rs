@@ -1360,6 +1360,169 @@ pub fn workload_json(r: &WorkloadReport) -> String {
     )
 }
 
+/// The measurements of the freshness repro: warm hit rates with and
+/// without a live write stream, and what the refresher spent keeping the
+/// cache current.
+#[derive(Debug, Clone)]
+pub struct RefreshReport {
+    /// Warm hit rate (hits / lookups) with no writes at all.
+    pub baseline_warm_hit_rate: f64,
+    /// Warm hit rate after appends landed and the refresher caught up.
+    pub refreshed_warm_hit_rate: f64,
+    /// In-place refreshes the background scheduler applied.
+    pub refreshes: u64,
+    /// Payload bytes fetched as tail deltas.
+    pub refresh_delta_bytes: u64,
+    /// What the same catch-up would have cost as full re-scans.
+    pub full_equivalent_bytes: u64,
+    /// Hits served from entries marked behind the wrapper.
+    pub stale_served: u64,
+    /// Output cardinality of the refreshed warm run.
+    pub output_tuples: u64,
+    /// Whether the refreshed warm answer matched a no-cache truth run at
+    /// the same wrapper version.
+    pub answers_match: bool,
+}
+
+/// The workload the freshness repro submits: quickstart-sized relations
+/// with fast delays, so refresh fetches finish well inside one cycle.
+pub const REFRESH_SPEC: &str = r#"{
+    "relations": [
+        {"name": "orders",    "cardinality": 2000, "delay": {"uniform_us": 5}},
+        {"name": "customers", "cardinality": 3000, "delay": {"constant_us": 4}}
+    ],
+    "joins": [{"left": "orders", "right": "customers", "selectivity": 1e-4}],
+    "config": {"seed": 42}
+}"#;
+
+/// Tuples appended to each relation by the repro's write burst.
+const REFRESH_APPEND: u64 = 64;
+
+/// Run the freshness repro: a wrapper-server under a refreshing mediator,
+/// cold + warm baseline, then a write burst, the refresher's catch-up,
+/// and a refreshed warm run checked bit-for-bit against a no-cache truth
+/// run at the same wrapper version.
+pub fn refresh_experiment() -> RefreshReport {
+    use dqs_mediator::{submit, MediatorServer, ServeOpts, SubmitOpts, WrapperServer};
+    use std::time::{Duration, Instant};
+
+    let wrapper = WrapperServer::bind("127.0.0.1:0").expect("bind wrapper");
+    let mediator = MediatorServer::bind(
+        "127.0.0.1:0",
+        ServeOpts {
+            wrappers: vec![format!("w0={}", wrapper.local_addr())],
+            cache_bytes: 8 << 20,
+            refresh_interval: Some(Duration::from_millis(100)),
+            refresh_budget_kbps: 0,
+            ..ServeOpts::default()
+        },
+    )
+    .expect("bind mediator");
+    let addr = mediator.local_addr();
+
+    let run = |label: &str, no_cache: bool| {
+        submit(
+            addr,
+            REFRESH_SPEC,
+            &SubmitOpts {
+                no_cache,
+                ..SubmitOpts::default()
+            },
+            |_| {},
+        )
+        .unwrap_or_else(|e| panic!("{label} run failed: {e}"))
+    };
+    let hit_rate = |raw: &str| {
+        let hits = json_counter(raw, "cache_hits") as f64;
+        let misses = json_counter(raw, "cache_misses") as f64;
+        if hits + misses > 0.0 {
+            hits / (hits + misses)
+        } else {
+            0.0
+        }
+    };
+
+    // Baseline: cold populate, then an undisturbed warm run.
+    run("cold", false);
+    let baseline = run("baseline warm", false);
+
+    // The write burst, and the refresher's catch-up.
+    assert!(wrapper.mutate_append(dqs_relop::RelId(0), REFRESH_APPEND));
+    assert!(wrapper.mutate_append(dqs_relop::RelId(1), REFRESH_APPEND));
+    let deadline = Instant::now() + Duration::from_secs(30);
+    let stats = loop {
+        let s = mediator.cache_stats().expect("cache configured");
+        if s.refresh_delta_bytes >= 2 * REFRESH_APPEND * 8 {
+            break s;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "refresher never caught up: {s:?}"
+        );
+        std::thread::sleep(Duration::from_millis(50));
+    };
+
+    let refreshed = run("refreshed warm", false);
+    let truth = run("truth", true);
+    mediator.shutdown();
+    wrapper.shutdown();
+
+    // What catching up would have cost re-scanning both relations whole.
+    let full_equivalent_bytes = (2000 + 3000 + 2 * REFRESH_APPEND) * 8;
+    RefreshReport {
+        baseline_warm_hit_rate: hit_rate(&baseline.raw),
+        refreshed_warm_hit_rate: hit_rate(&refreshed.raw),
+        refreshes: stats.refreshes,
+        refresh_delta_bytes: stats.refresh_delta_bytes,
+        full_equivalent_bytes,
+        stale_served: json_counter(&refreshed.raw, "stale_served"),
+        output_tuples: refreshed.output_tuples,
+        answers_match: refreshed.output_tuples == truth.output_tuples,
+    }
+}
+
+/// Render the freshness repro as a human-readable table.
+pub fn render_refresh(r: &RefreshReport) -> String {
+    let mut out = String::from("Freshness: budgeted refresh under a write burst, warm vs truth\n");
+    let _ = writeln!(out, "{:>22} {:>10}", "baseline warm hit rate", "refreshed");
+    let _ = writeln!(
+        out,
+        "{:>22.3} {:>10.3}",
+        r.baseline_warm_hit_rate, r.refreshed_warm_hit_rate
+    );
+    let _ = writeln!(
+        out,
+        "refreshes: {}   delta bytes: {}   full-equivalent bytes: {}   stale served: {}",
+        r.refreshes, r.refresh_delta_bytes, r.full_equivalent_bytes, r.stale_served
+    );
+    let _ = writeln!(
+        out,
+        "output tuples: {}   answers match truth: {}",
+        r.output_tuples, r.answers_match
+    );
+    out
+}
+
+/// Render the freshness repro as the machine-readable
+/// `BENCH_refresh.json`.
+pub fn refresh_json(r: &RefreshReport) -> String {
+    format!(
+        "{{\"experiment\":\"freshness_refresh\",\
+         \"baseline_warm_hit_rate\":{},\"refreshed_warm_hit_rate\":{},\
+         \"refreshes\":{},\"refresh_delta_bytes\":{},\
+         \"full_equivalent_bytes\":{},\"stale_served\":{},\
+         \"output_tuples\":{},\"answers_match\":{}}}\n",
+        r.baseline_warm_hit_rate,
+        r.refreshed_warm_hit_rate,
+        r.refreshes,
+        r.refresh_delta_bytes,
+        r.full_equivalent_bytes,
+        r.stale_served,
+        r.output_tuples,
+        r.answers_match
+    )
+}
+
 /// Metrics snapshot helper used by the memory experiment test.
 pub fn run_dse_with_memory(mb: u64) -> Result<RunMetrics, dqs_exec::RunError> {
     let (mut w, _) = Workload::fig5();

@@ -21,6 +21,15 @@
 //!   (insert time + the cache-wide TTL); an expired entry is removed at
 //!   lookup instead of served. Explicit [`ScanCache::invalidate`] drops
 //!   entries immediately — the wire-level `Invalidate` frame lands here.
+//! * **Entries refresh in place.** Each entry records the wrapper
+//!   change-counter (`version`) it was captured at. When the refresh
+//!   scheduler observes a newer version it either appends the insert-only
+//!   tail ([`ScanCache::refresh_extend`] — the wrapper re-opened at
+//!   `resume_from = cached_len`) or swaps in a full re-scan
+//!   ([`ScanCache::refresh_replace`]); either way the entry keeps its hit
+//!   history and later sessions replay with zero wrapper traffic. An
+//!   entry the refresh budget could not cover is marked stale
+//!   ([`ScanCache::mark_stale`]) and hits on it count `stale_served`.
 //! * **Sans-io core.** [`ScanCache`] takes `now_ms` explicitly so TTL
 //!   semantics are property-testable without a wall clock; [`SharedCache`]
 //!   is the thread-safe front the mediator actually holds, stamping real
@@ -115,6 +124,16 @@ pub struct CacheStats {
     pub resident_bytes: u64,
     /// Entries currently resident.
     pub entries: u64,
+    /// Entries brought up to date in place by the refresh scheduler
+    /// (tail-delta extends and full replacements alike).
+    pub refreshes: u64,
+    /// Payload bytes fetched as insert-only tail deltas during refresh.
+    pub refresh_delta_bytes: u64,
+    /// Payload bytes fetched as full re-scans during refresh.
+    pub refresh_full_bytes: u64,
+    /// Hits served from an entry known to be behind the wrapper (marked
+    /// stale by the refresher because the budget could not cover it).
+    pub stale_served: u64,
 }
 
 #[derive(Debug)]
@@ -126,6 +145,33 @@ struct Entry {
     /// LRU tick of the last touch (insert or hit); smallest is evicted
     /// first.
     last_used: u64,
+    /// Wrapper change-counter the payload was captured at (0 = unknown).
+    version: u64,
+    /// Hits served from this entry; survives in-place refreshes so the
+    /// planner ranks by observed popularity, not time since last swap.
+    hits: u64,
+    /// When the payload was captured or last confirmed/refreshed.
+    captured_at_ms: u64,
+    /// The refresher saw a newer wrapper version but could not afford
+    /// this entry; hits count as `stale_served` until a refresh lands.
+    stale: bool,
+}
+
+/// Read-only view of one resident entry, for the refresh planner.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EntrySnapshot {
+    /// The entry's identity.
+    pub key: CacheKey,
+    /// Cached tuple count.
+    pub len: u64,
+    /// Wrapper change-counter the payload was captured at.
+    pub version: u64,
+    /// Hits served from this entry so far.
+    pub hits: u64,
+    /// Milliseconds since the payload was captured or last refreshed.
+    pub age_ms: u64,
+    /// Whether the refresher has marked this entry behind the wrapper.
+    pub stale: bool,
 }
 
 /// The sans-io cache core: all time is an explicit `now_ms` argument.
@@ -185,8 +231,13 @@ impl ScanCache {
                 let tick = self.bump();
                 let e = self.entries.get_mut(key).expect("present above");
                 e.last_used = tick;
+                e.hits += 1;
+                let stale = e.stale;
                 let keys = Arc::clone(&e.keys);
                 self.stats.hits += 1;
+                if stale {
+                    self.stats.stale_served += 1;
+                }
                 self.stats.tuples_served += keys.len() as u64;
                 self.stats.bytes_served += payload_bytes(keys.len());
                 Some(keys)
@@ -198,11 +249,19 @@ impl ScanCache {
         }
     }
 
-    /// Admit a completed scan, evicting least-recently-used entries until
-    /// it fits. Returns `false` (and stores nothing) when the entry alone
-    /// exceeds the whole budget. Re-inserting an existing key replaces the
-    /// old recording.
-    pub fn insert(&mut self, key: CacheKey, keys: Vec<u64>, now_ms: u64) -> bool {
+    /// Shared admission path for inserts and refreshes: evict LRU entries
+    /// until the payload fits and store it as fresh-at-`now_ms`,
+    /// preserving `hits` across an in-place refresh. Returns `false`
+    /// (storing nothing, leaving any prior recording resident) when the
+    /// entry alone exceeds the whole budget.
+    fn admit(
+        &mut self,
+        key: CacheKey,
+        keys: Vec<u64>,
+        version: u64,
+        now_ms: u64,
+        hits: u64,
+    ) -> bool {
         let bytes = entry_bytes(keys.len());
         if bytes > self.cfg.budget_bytes {
             self.stats.oversize_rejections += 1;
@@ -231,21 +290,146 @@ impl ScanCache {
                 bytes,
                 expires_at_ms,
                 last_used,
+                version,
+                hits,
+                captured_at_ms: now_ms,
+                stale: false,
             },
         );
         self.stats.resident_bytes += bytes;
         self.stats.entries += 1;
-        self.stats.insertions += 1;
         true
     }
 
-    /// Drop every entry for `rel`, or every entry when `rel` is `None`.
-    /// Returns `(entries_removed, bytes_released)`.
-    pub fn invalidate(&mut self, rel: Option<RelId>) -> (u64, u64) {
+    /// Admit a completed scan, evicting least-recently-used entries until
+    /// it fits. Returns `false` (and stores nothing) when the entry alone
+    /// exceeds the whole budget. Re-inserting an existing key replaces the
+    /// old recording.
+    pub fn insert(&mut self, key: CacheKey, keys: Vec<u64>, now_ms: u64) -> bool {
+        self.insert_versioned(key, keys, 0, now_ms)
+    }
+
+    /// [`ScanCache::insert`], recording the wrapper change-counter the
+    /// scan was captured at so the refresh scheduler can tell fresh
+    /// entries from stale ones.
+    pub fn insert_versioned(
+        &mut self,
+        key: CacheKey,
+        keys: Vec<u64>,
+        version: u64,
+        now_ms: u64,
+    ) -> bool {
+        if self.admit(key, keys, version, now_ms, 0) {
+            self.stats.insertions += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Refresh a resident entry insert-only: append `tail` (the tuples
+    /// the wrapper delivered from `resume_from = cached_len`) and advance
+    /// the entry to `version`. The entry's hit history survives, its age
+    /// and TTL restart, and any stale mark clears. Returns `false` when
+    /// the key is not resident or the grown entry exceeds the budget (the
+    /// old recording then stays as-is).
+    pub fn refresh_extend(
+        &mut self,
+        key: &CacheKey,
+        tail: &[u64],
+        version: u64,
+        now_ms: u64,
+    ) -> bool {
+        let Some(e) = self.entries.get(key) else {
+            return false;
+        };
+        let mut keys = (*e.keys).clone();
+        keys.extend_from_slice(tail);
+        let hits = e.hits;
+        if !self.admit(key.clone(), keys, version, now_ms, hits) {
+            return false;
+        }
+        self.stats.refreshes += 1;
+        self.stats.refresh_delta_bytes += payload_bytes(tail.len());
+        true
+    }
+
+    /// Refresh a resident entry by full replacement (the wrapper's data
+    /// was rewritten or shrank, so the cached prefix cannot be trusted).
+    /// Same lifecycle as [`ScanCache::refresh_extend`].
+    pub fn refresh_replace(
+        &mut self,
+        key: &CacheKey,
+        keys: Vec<u64>,
+        version: u64,
+        now_ms: u64,
+    ) -> bool {
+        let Some(e) = self.entries.get(key) else {
+            return false;
+        };
+        let hits = e.hits;
+        let n = keys.len();
+        if !self.admit(key.clone(), keys, version, now_ms, hits) {
+            return false;
+        }
+        self.stats.refreshes += 1;
+        self.stats.refresh_full_bytes += payload_bytes(n);
+        true
+    }
+
+    /// Confirm a resident entry is current at `version` without moving
+    /// data (the wrapper's counter advanced but its total did not, or the
+    /// entry was captured before versions were known). Resets age and
+    /// clears any stale mark.
+    pub fn confirm_version(&mut self, key: &CacheKey, version: u64, now_ms: u64) -> bool {
+        let Some(e) = self.entries.get_mut(key) else {
+            return false;
+        };
+        e.version = version;
+        e.captured_at_ms = now_ms;
+        e.stale = false;
+        true
+    }
+
+    /// Mark a resident entry as known-behind the wrapper (the refresh
+    /// budget could not cover it this cycle). Hits on it count
+    /// `stale_served` until a refresh or confirmation lands.
+    pub fn mark_stale(&mut self, key: &CacheKey) -> bool {
+        match self.entries.get_mut(key) {
+            Some(e) => {
+                e.stale = true;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Snapshot every unexpired resident entry for the refresh planner.
+    pub fn entries_snapshot(&self, now_ms: u64) -> Vec<EntrySnapshot> {
+        self.entries
+            .iter()
+            .filter(|(_, e)| now_ms < e.expires_at_ms)
+            .map(|(k, e)| EntrySnapshot {
+                key: k.clone(),
+                len: e.keys.len() as u64,
+                version: e.version,
+                hits: e.hits,
+                age_ms: now_ms.saturating_sub(e.captured_at_ms),
+                stale: e.stale,
+            })
+            .collect()
+    }
+
+    /// Drop entries matching both filters: only `rel`'s entries (every
+    /// relation when `None`) recorded under logical wrapper id `wrapper`
+    /// (every wrapper when `None`). Returns
+    /// `(entries_removed, bytes_released)`.
+    pub fn invalidate(&mut self, rel: Option<RelId>, wrapper: Option<&str>) -> (u64, u64) {
         let victims: Vec<CacheKey> = self
             .entries
             .keys()
             .filter(|k| rel.map_or(true, |r| k.rel == r))
+            .filter(|k| wrapper.map_or(true, |w| k.wrapper == w))
             .cloned()
             .collect();
         let mut bytes = 0;
@@ -312,9 +496,61 @@ impl SharedCache {
         self.inner.lock().unwrap().insert(key, keys, now)
     }
 
+    /// See [`ScanCache::insert_versioned`].
+    pub fn insert_versioned(&self, key: CacheKey, keys: Vec<u64>, version: u64) -> bool {
+        let now = self.now_ms();
+        self.inner
+            .lock()
+            .unwrap()
+            .insert_versioned(key, keys, version, now)
+    }
+
+    /// See [`ScanCache::refresh_extend`].
+    pub fn refresh_extend(&self, key: &CacheKey, tail: &[u64], version: u64) -> bool {
+        let now = self.now_ms();
+        self.inner
+            .lock()
+            .unwrap()
+            .refresh_extend(key, tail, version, now)
+    }
+
+    /// See [`ScanCache::refresh_replace`].
+    pub fn refresh_replace(&self, key: &CacheKey, keys: Vec<u64>, version: u64) -> bool {
+        let now = self.now_ms();
+        self.inner
+            .lock()
+            .unwrap()
+            .refresh_replace(key, keys, version, now)
+    }
+
+    /// See [`ScanCache::confirm_version`].
+    pub fn confirm_version(&self, key: &CacheKey, version: u64) -> bool {
+        let now = self.now_ms();
+        self.inner
+            .lock()
+            .unwrap()
+            .confirm_version(key, version, now)
+    }
+
+    /// See [`ScanCache::mark_stale`].
+    pub fn mark_stale(&self, key: &CacheKey) -> bool {
+        self.inner.lock().unwrap().mark_stale(key)
+    }
+
+    /// See [`ScanCache::entries_snapshot`].
+    pub fn entries_snapshot(&self) -> Vec<EntrySnapshot> {
+        let now = self.now_ms();
+        self.inner.lock().unwrap().entries_snapshot(now)
+    }
+
+    /// See [`ScanCache::contains`].
+    pub fn contains(&self, key: &CacheKey) -> bool {
+        self.inner.lock().unwrap().contains(key)
+    }
+
     /// See [`ScanCache::invalidate`].
-    pub fn invalidate(&self, rel: Option<RelId>) -> (u64, u64) {
-        self.inner.lock().unwrap().invalidate(rel)
+    pub fn invalidate(&self, rel: Option<RelId>, wrapper: Option<&str>) -> (u64, u64) {
+        self.inner.lock().unwrap().invalidate(rel, wrapper)
     }
 
     /// See [`ScanCache::stats`].
@@ -414,14 +650,102 @@ mod tests {
             vec![3],
             0,
         );
-        let (n, bytes) = c.invalidate(Some(RelId(1)));
+        let (n, bytes) = c.invalidate(Some(RelId(1)), None);
         assert_eq!(n, 2, "both rel-1 entries, across wrappers");
         assert_eq!(bytes, 2 * (8 + ENTRY_OVERHEAD_BYTES));
         assert!(c.lookup(&key(1), 0).is_none());
         assert!(c.lookup(&key(2), 0).is_some(), "rel 2 untouched");
-        let (n, _) = c.invalidate(None);
+        let (n, _) = c.invalidate(None, None);
         assert_eq!(n, 1);
         assert_eq!(c.resident_bytes(), 0);
+    }
+
+    #[test]
+    fn invalidate_scoped_to_logical_wrapper_id() {
+        let mut c = cache(10_000, None);
+        // Same relation cached under two logical wrappers; the scoped
+        // clear must key on the logical id, not touch the other group.
+        c.insert(
+            CacheKey::for_scan("w0", RelId(1), 100, 42, "wrapper:a"),
+            vec![1],
+            0,
+        );
+        c.insert(
+            CacheKey::for_scan("w1", RelId(1), 100, 42, "wrapper:a"),
+            vec![2],
+            0,
+        );
+        let (n, _) = c.invalidate(None, Some("127.0.0.1:7401"));
+        assert_eq!(n, 0, "an endpoint address matches no logical id");
+        let (n, _) = c.invalidate(None, Some("w0"));
+        assert_eq!(n, 1);
+        assert!(!c.contains(&CacheKey::for_scan("w0", RelId(1), 100, 42, "wrapper:a")));
+        assert!(c.contains(&CacheKey::for_scan("w1", RelId(1), 100, 42, "wrapper:a")));
+        // rel + wrapper compose conjunctively.
+        let (n, _) = c.invalidate(Some(RelId(9)), Some("w1"));
+        assert_eq!(n, 0);
+        let (n, _) = c.invalidate(Some(RelId(1)), Some("w1"));
+        assert_eq!(n, 1);
+    }
+
+    #[test]
+    fn refresh_extend_appends_tail_and_clears_stale() {
+        let mut c = cache(10_000, Some(100));
+        assert!(c.insert_versioned(key(1), vec![1, 2, 3], 4, 0));
+        c.lookup(&key(1), 10).unwrap();
+        assert!(c.mark_stale(&key(1)));
+        c.lookup(&key(1), 20).unwrap();
+        assert_eq!(c.stats().stale_served, 1, "stale hit counted");
+        assert!(c.refresh_extend(&key(1), &[4, 5], 6, 90));
+        let got = c.lookup(&key(1), 120).expect("TTL restarted at refresh");
+        assert_eq!(*got, vec![1, 2, 3, 4, 5]);
+        let s = c.stats();
+        assert_eq!(s.refreshes, 1);
+        assert_eq!(s.refresh_delta_bytes, 16);
+        assert_eq!(s.stale_served, 1, "post-refresh hit is not stale");
+        let snap = &c.entries_snapshot(120)[0];
+        assert_eq!((snap.version, snap.len, snap.stale), (6, 5, false));
+        assert_eq!(snap.hits, 3, "hit history survives the refresh");
+    }
+
+    #[test]
+    fn refresh_replace_swaps_payload_and_counts_full_bytes() {
+        let mut c = cache(10_000, None);
+        assert!(c.insert_versioned(key(1), vec![1, 2, 3], 1, 0));
+        assert!(c.refresh_replace(&key(1), vec![9, 8], 5, 10));
+        assert_eq!(*c.lookup(&key(1), 10).unwrap(), vec![9, 8]);
+        let s = c.stats();
+        assert_eq!((s.refreshes, s.refresh_full_bytes), (1, 16));
+        assert_eq!(s.insertions, 1, "a refresh is not a new insertion");
+    }
+
+    #[test]
+    fn refresh_of_absent_key_is_refused() {
+        let mut c = cache(10_000, None);
+        assert!(!c.refresh_extend(&key(1), &[1], 1, 0));
+        assert!(!c.refresh_replace(&key(1), vec![1], 1, 0));
+        assert!(!c.confirm_version(&key(1), 1, 0));
+        assert!(!c.mark_stale(&key(1)));
+        assert_eq!(c.stats().refreshes, 0);
+    }
+
+    #[test]
+    fn oversize_refresh_keeps_the_old_recording() {
+        let mut c = cache(100, None);
+        assert!(c.insert(key(1), vec![1, 2], 0));
+        assert!(!c.refresh_extend(&key(1), &vec![0; 50], 2, 0));
+        assert_eq!(*c.lookup(&key(1), 0).unwrap(), vec![1, 2]);
+        assert_eq!(c.stats().oversize_rejections, 1);
+    }
+
+    #[test]
+    fn confirm_version_resets_age_without_moving_data() {
+        let mut c = cache(10_000, None);
+        assert!(c.insert_versioned(key(1), vec![1], 3, 0));
+        assert!(c.mark_stale(&key(1)));
+        assert!(c.confirm_version(&key(1), 7, 50));
+        let snap = &c.entries_snapshot(60)[0];
+        assert_eq!((snap.version, snap.age_ms, snap.stale), (7, 10, false));
     }
 
     #[test]
@@ -445,5 +769,42 @@ mod tests {
         assert_eq!(*c.lookup(&key(9)).unwrap(), vec![5, 6]);
         assert_eq!(c.stats().hits, 1);
         assert_eq!(c.budget_bytes(), 1 << 20);
+        assert!(c.refresh_extend(&key(9), &[7], 2));
+        assert_eq!(*c.lookup(&key(9)).unwrap(), vec![5, 6, 7]);
+        assert_eq!(c.entries_snapshot()[0].version, 2);
+    }
+
+    mod props {
+        use super::*;
+        use proptest::collection::vec as pvec;
+        use proptest::prelude::*;
+
+        proptest! {
+            /// Insert-only refresh is exact: extending a cached prefix
+            /// with the tail delta yields an entry byte-identical to a
+            /// full re-scan captured at the same version.
+            #[test]
+            fn tail_delta_refresh_equals_full_rescan(
+                base in pvec(any::<u64>(), 0..64),
+                tail in pvec(any::<u64>(), 0..64),
+                version in 1u64..1000,
+            ) {
+                let mut delta = cache(1 << 20, None);
+                let mut full = cache(1 << 20, None);
+                prop_assert!(delta.insert_versioned(key(1), base.clone(), version, 0));
+                prop_assert!(delta.refresh_extend(&key(1), &tail, version + 1, 10));
+                let mut whole = base.clone();
+                whole.extend_from_slice(&tail);
+                prop_assert!(full.insert_versioned(key(1), whole, version + 1, 10));
+                let a = delta.lookup(&key(1), 20).unwrap();
+                let b = full.lookup(&key(1), 20).unwrap();
+                prop_assert_eq!(&*a, &*b, "payloads must be byte-identical");
+                let sa = delta.entries_snapshot(20).remove(0);
+                let sb = full.entries_snapshot(20).remove(0);
+                prop_assert_eq!(sa.version, sb.version);
+                prop_assert_eq!(sa.len, sb.len);
+                prop_assert_eq!(delta.resident_bytes(), full.resident_bytes());
+            }
+        }
     }
 }

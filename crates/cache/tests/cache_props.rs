@@ -123,11 +123,11 @@ fn run_script(budget: u64, ttl: Option<u64>, ops: &[Op]) -> Result<(), TestCaseE
             }
             Op::Invalidate { rel } => {
                 if rel == 0 {
-                    c.invalidate(None);
+                    c.invalidate(None, None);
                     model.clear();
                 } else {
                     let r = RelId(rel % 3);
-                    c.invalidate(Some(r));
+                    c.invalidate(Some(r), None);
                     model.retain(|&k, _| key(k).rel != r);
                 }
             }

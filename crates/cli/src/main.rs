@@ -25,7 +25,9 @@ use dqs_exec::{
     run_workload, run_workload_observed, run_workload_realtime, run_workload_realtime_observed,
     JsonLinesSink, MaPolicy, Policy, RunMetrics, ScramblingPolicy, SeqPolicy, Workload,
 };
-use dqs_mediator::{C10kOpts, MediatorServer, Progress, ServeOpts, SubmitOpts, WrapperServer};
+use dqs_mediator::{
+    C10kOpts, ChurnOpts, MediatorServer, Progress, ServeOpts, SubmitOpts, WrapperServer,
+};
 use dqs_plan::{AnnotatedPlan, ChainSet};
 use dqs_workload::{Arrival, GenOpts, ReplayOpts};
 
@@ -40,7 +42,10 @@ fn usage() -> ExitCode {
          \u{20}           --trace-json <path>: write structured engine events as JSON lines)\n\
          \u{20} lwb       print the analytic response-time lower bound\n\
          \u{20} validate  parse and plan without executing\n\
-         \u{20} wrapper   serve simulated relations over TCP (--listen ADDR)\n\
+         \u{20} wrapper   serve simulated relations over TCP (--listen ADDR,\n\
+         \u{20}           --churn-ms T: append tuples to every served relation each T ms,\n\
+         \u{20}           --churn-tuples N: appended per round (default 64),\n\
+         \u{20}           --churn-count N: stop after N rounds, 0 = forever)\n\
          \u{20} serve     run the mediator service (--listen ADDR,\n\
          \u{20}           --wrappers 'id=A,B;id2=C': replica groups — a scan opens on\n\
          \u{20}           the fastest live replica and fails over mid-scan; bare A,B\n\
@@ -50,11 +55,16 @@ fn usage() -> ExitCode {
          \u{20}           --io-threads N: reactor event-loop threads (default cores-1),\n\
          \u{20}           --session-shards N: connection-map lock stripes (default 8),\n\
          \u{20}           --exec-workers N: shared morsel worker pool (default 1),\n\
-         \u{20}           --admission fifo|sjf|fair: backlog promotion policy)\n\
+         \u{20}           --admission fifo|sjf|fair: backlog promotion policy,\n\
+         \u{20}           --refresh-interval-ms T: background cache refresh cycle\n\
+         \u{20}           (needs --cache-mb and --wrappers),\n\
+         \u{20}           --refresh-budget-kbps K: refresh traffic cap, 0 = unlimited)\n\
          \u{20} submit    run a spec on a mediator (--connect ADDR, --strategy X,\n\
-         \u{20}           --seed N, --trace, --no-cache, --connect-timeout MS)\n\
+         \u{20}           --seed N, --trace, --no-cache, --json: print raw metrics JSON,\n\
+         \u{20}           --connect-timeout MS)\n\
          \u{20} invalidate  drop the mediator's cached scans (--connect ADDR,\n\
-         \u{20}           --rel N: one relation only, --connect-timeout MS)\n\
+         \u{20}           --rel N: one relation only, --wrapper ID: one logical\n\
+         \u{20}           wrapper's entries only, --connect-timeout MS)\n\
          \u{20} bench c10k  open-loop load generator (--connect ADDR, --sessions N,\n\
          \u{20}           --batch N: arrival burst size, --strategy X, --spec PATH,\n\
          \u{20}           --timeout-secs N, --out FILE: default BENCH_c10k.json)\n\
@@ -79,13 +89,49 @@ fn flag_value<'a>(args: &'a [String], flag: &str) -> Option<&'a str> {
         .map(String::as_str)
 }
 
-/// `dqs wrapper --listen ADDR`: a foreground wrapper-server process.
+/// `dqs wrapper --listen ADDR [--churn-ms T]`: a foreground
+/// wrapper-server process, optionally with a background write stream.
 fn cmd_wrapper(args: &[String]) -> ExitCode {
     let Some(listen) = flag_value(args, "--listen") else {
         eprintln!("error: wrapper requires --listen ADDR (e.g. 127.0.0.1:7401)");
         return ExitCode::from(2);
     };
-    match WrapperServer::bind(listen) {
+    let mut churn = None;
+    if let Some(ms) = flag_value(args, "--churn-ms") {
+        let interval = match ms.parse::<u64>() {
+            Ok(ms) if ms > 0 => Duration::from_millis(ms),
+            _ => {
+                eprintln!("error: --churn-ms wants positive milliseconds, got {ms:?}");
+                return ExitCode::from(2);
+            }
+        };
+        let tuples = match flag_value(args, "--churn-tuples") {
+            Some(n) => match n.parse::<u64>() {
+                Ok(n) if n > 0 => n,
+                _ => {
+                    eprintln!("error: --churn-tuples wants a positive integer, got {n:?}");
+                    return ExitCode::from(2);
+                }
+            },
+            None => 64,
+        };
+        let rounds = match flag_value(args, "--churn-count") {
+            Some(n) => match n.parse::<u64>() {
+                Ok(n) => n,
+                Err(_) => {
+                    eprintln!("error: --churn-count wants an integer, got {n:?}");
+                    return ExitCode::from(2);
+                }
+            },
+            None => 0,
+        };
+        churn = Some(ChurnOpts {
+            interval,
+            tuples,
+            rounds,
+        });
+    }
+    match WrapperServer::bind_with(listen, Duration::ZERO, churn) {
         Ok(server) => {
             // Printed on its own line so scripts can scrape the port —
             // flushed explicitly because piped stdout is block-buffered,
@@ -197,6 +243,24 @@ fn cmd_serve(args: &[String]) -> ExitCode {
             }
         }
     }
+    if let Some(n) = flag_value(args, "--refresh-interval-ms") {
+        match n.parse::<u64>() {
+            Ok(ms) if ms > 0 => opts.refresh_interval = Some(Duration::from_millis(ms)),
+            _ => {
+                eprintln!("error: --refresh-interval-ms wants positive milliseconds, got {n:?}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    if let Some(n) = flag_value(args, "--refresh-budget-kbps") {
+        match n.parse::<u64>() {
+            Ok(k) => opts.refresh_budget_kbps = k,
+            Err(_) => {
+                eprintln!("error: --refresh-budget-kbps wants an integer, got {n:?}");
+                return ExitCode::from(2);
+            }
+        }
+    }
     match MediatorServer::bind(listen, opts) {
         Ok(server) => {
             // Flushed for the same reason as the wrapper: ephemeral-port
@@ -270,9 +334,16 @@ fn cmd_submit(args: &[String]) -> ExitCode {
     });
     match result {
         Ok(m) => {
-            println!("strategy       {}", m.strategy);
-            println!("response       {:.6} s", m.response_secs);
-            println!("output tuples  {}", m.output_tuples);
+            // `--json` dumps the raw Done payload so scripts can grep
+            // serving-side counters (stale_served, refreshes, ...) that
+            // the human rendering below does not lift into fields.
+            if args.iter().any(|a| a == "--json") {
+                println!("{}", m.raw);
+            } else {
+                println!("strategy       {}", m.strategy);
+                println!("response       {:.6} s", m.response_secs);
+                println!("output tuples  {}", m.output_tuples);
+            }
             ExitCode::SUCCESS
         }
         Err(e) => {
@@ -282,8 +353,10 @@ fn cmd_submit(args: &[String]) -> ExitCode {
     }
 }
 
-/// `dqs invalidate --connect ADDR [--rel N]`: refresh the mediator's
-/// result cache by dropping entries (one relation's, or all of them).
+/// `dqs invalidate --connect ADDR [--rel N] [--wrapper ID]`: refresh the
+/// mediator's result cache by dropping entries — one relation's, one
+/// logical wrapper's (the replica-group id scans were recorded under),
+/// their conjunction, or all of them.
 fn cmd_invalidate(args: &[String]) -> ExitCode {
     let Some(addr) = flag_value(args, "--connect") else {
         eprintln!("error: invalidate requires --connect ADDR");
@@ -309,7 +382,8 @@ fn cmd_invalidate(args: &[String]) -> ExitCode {
         },
         None => Duration::from_millis(10_000),
     };
-    match dqs_mediator::invalidate(addr, rel, timeout) {
+    let wrapper = flag_value(args, "--wrapper").map(str::to_string);
+    match dqs_mediator::invalidate(addr, rel, wrapper, timeout) {
         Ok((entries, bytes)) => {
             println!("invalidated {entries} cached scans ({bytes} bytes released)");
             ExitCode::SUCCESS

@@ -180,17 +180,21 @@ pub fn submit(
     }
 }
 
-/// Ask the mediator at `addr` to drop cached scans — all of them, or one
-/// relation's. Returns `(entries_removed, bytes_released)`; a mediator
-/// with no cache configured reports `(0, 0)`.
+/// Ask the mediator at `addr` to drop cached scans — all of them, one
+/// relation's, one logical wrapper's (the replica-group id, which is
+/// what cache keys carry — not a pinned endpoint address), or the
+/// conjunction of both filters. Returns `(entries_removed,
+/// bytes_released)`; a mediator with no cache configured reports
+/// `(0, 0)`.
 pub fn invalidate(
     addr: impl ToSocketAddrs,
     rel: Option<RelId>,
+    wrapper: Option<String>,
     connect_timeout: Duration,
 ) -> Result<(u64, u64), ClientError> {
     let mut conn = connect_with_retry(addr, connect_timeout)?;
     conn.set_nodelay(true).ok();
-    write_frame(&mut conn, &Frame::Invalidate { rel })
+    write_frame(&mut conn, &Frame::Invalidate { rel, wrapper })
         .map_err(|e| ClientError::Io(e.to_string()))?;
     match read_frame(&mut conn) {
         Ok(Some(Frame::Invalidated { entries, bytes })) => Ok((entries, bytes)),

@@ -67,6 +67,7 @@ use dqs_exec::{
     RunMetrics, ScramblingPolicy, SeqPolicy, WorkerPool, Workload,
 };
 use dqs_reactor::{Events, Interest, Poller, TimerId, TimerWheel, Token, Waker};
+use dqs_refresh::{RefreshPlanner, ScanProvenance};
 use dqs_relop::RelId;
 use dqs_replica::{parse_groups, HealthConfig, ReplicaSet};
 use dqs_sim::{SeedSplitter, SimTime};
@@ -75,6 +76,8 @@ use dqs_source::{
     BoxSource, FailoverOpts, FailoverSource, RecordingSource, RemoteOpen, RemoteWrapper,
     ReplaySource, SourceError, ThreadedWrapper,
 };
+
+use crate::refresher::{self, RefreshState, RefresherCtx};
 
 /// How often the background prober re-checks replica endpoint liveness.
 const PROBE_INTERVAL: Duration = Duration::from_millis(500);
@@ -132,6 +135,13 @@ pub struct ServeOpts {
     /// promotes by estimated cost (spec cardinality × delay class), fair
     /// adds per-client aging so long jobs cannot starve.
     pub admission: AdmissionPolicy,
+    /// Refresh cycle period (`--refresh-interval-ms`); `None` disables
+    /// the background refresher. Requires a cache and remote wrappers —
+    /// rejected at bind otherwise.
+    pub refresh_interval: Option<Duration>,
+    /// Refresh traffic allowance in KiB/s (`--refresh-budget-kbps`),
+    /// amortized per cycle; 0 = unlimited.
+    pub refresh_budget_kbps: u64,
 }
 
 impl Default for ServeOpts {
@@ -151,6 +161,8 @@ impl Default for ServeOpts {
             session_shards: 8,
             exec_workers: 1,
             admission: AdmissionPolicy::Fifo,
+            refresh_interval: None,
+            refresh_budget_kbps: 0,
         }
     }
 }
@@ -370,6 +382,9 @@ struct Shared {
     /// One health-tracked replica set per parsed wrapper group; empty when
     /// the mediator runs in-process wrappers.
     replica_sets: Vec<Arc<ReplicaSet>>,
+    /// Scan provenance + wrapper stats shared between session builds and
+    /// the refresher thread; `None` when refresh is disabled.
+    refresh: Option<Arc<RefreshState>>,
     conns: ConnMap,
     metrics: Arc<ServerMetrics>,
     /// The process's ONE morsel worker pool, shared by every executing
@@ -392,6 +407,7 @@ pub struct MediatorServer {
     io_workers: Vec<JoinHandle<()>>,
     exec_workers: Vec<JoinHandle<()>>,
     prober: Option<JoinHandle<()>>,
+    refresher: Option<JoinHandle<()>>,
 }
 
 impl MediatorServer {
@@ -428,6 +444,14 @@ impl MediatorServer {
             return Err(io::Error::new(
                 io::ErrorKind::InvalidInput,
                 "exec_workers must be at least 1",
+            ));
+        }
+        // The refresher keeps *cached* scans current against *remote*
+        // wrappers; without both it has nothing to poll or refresh.
+        if opts.refresh_interval.is_some() && (opts.cache_bytes == 0 || opts.wrappers.is_empty()) {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                "refresh requires a result cache (--cache-mb > 0) and remote wrappers",
             ));
         }
         let cache = (opts.cache_bytes > 0).then(|| {
@@ -467,6 +491,9 @@ impl MediatorServer {
         // the same `exec_workers` threads, so intra-query parallelism never
         // multiplies with `max_concurrent`.
         let pool = (opts.exec_workers > 1).then(|| WorkerPool::new(opts.exec_workers));
+        let refresh = opts
+            .refresh_interval
+            .map(|_| Arc::new(RefreshState::default()));
         let metrics = Arc::new(ServerMetrics::default());
         if let Some(p) = &pool {
             let _ = metrics.exec_pool.set(Arc::clone(p));
@@ -496,6 +523,7 @@ impl MediatorServer {
             opts,
             cache,
             replica_sets,
+            refresh,
             pool,
             stop: AtomicBool::new(false),
         });
@@ -538,12 +566,30 @@ impl MediatorServer {
             let probe_shared = Arc::clone(&shared);
             thread::spawn(move || probe_replicas(&probe_shared))
         });
+        let refresher = match (shared.opts.refresh_interval, &shared.cache, &shared.refresh) {
+            (Some(interval), Some(cache), Some(state)) => {
+                let ctx = RefresherCtx {
+                    cache: Arc::clone(cache),
+                    sets: shared.replica_sets.clone(),
+                    state: Arc::clone(state),
+                    planner: RefreshPlanner::from_rate(shared.opts.refresh_budget_kbps, interval),
+                    interval,
+                    read_timeout: shared.opts.read_timeout,
+                };
+                let refresh_shared = Arc::clone(&shared);
+                Some(thread::spawn(move || {
+                    refresher::run_refresher(&ctx, &refresh_shared.stop)
+                }))
+            }
+            _ => None,
+        };
         Ok(MediatorServer {
             addr,
             shared,
             io_workers,
             exec_workers,
             prober,
+            refresher,
         })
     }
 
@@ -579,8 +625,8 @@ impl MediatorServer {
     }
 
     /// Stop accepting, sever live client connections, and join every
-    /// service thread — I/O workers, the executor pool, and the replica
-    /// prober — so tests and CI shut the mediator down without leaking
+    /// service thread — I/O workers, the executor pool, the replica
+    /// prober, and the refresher — so tests and CI shut the mediator down without leaking
     /// threads or relying on process exit. Executors finish their current
     /// query first (an engine run cannot be interrupted mid-flight).
     pub fn shutdown(mut self) {
@@ -596,6 +642,9 @@ impl MediatorServer {
             h.join().ok();
         }
         if let Some(t) = self.prober.take() {
+            t.join().ok();
+        }
+        if let Some(t) = self.refresher.take() {
             t.join().ok();
         }
     }
@@ -849,9 +898,9 @@ impl IoWorker {
                     // A refresh request is a complete conversation of its
                     // own: drop the named scans (or everything) and report
                     // what was freed.
-                    Frame::Invalidate { rel } => {
+                    Frame::Invalidate { rel, wrapper } => {
                         let (entries, bytes) = match &self.shared.cache {
-                            Some(cache) => cache.invalidate(rel),
+                            Some(cache) => cache.invalidate(rel, wrapper.as_deref()),
                             None => (0, 0),
                         };
                         self.queue_terminal(id, Frame::Invalidated { entries, bytes });
@@ -1168,33 +1217,38 @@ fn run_job(shared: &Shared, mut job: Job) {
     } else {
         shared.cache.as_ref()
     };
-    let (driver, outcomes, pins) =
-        match build_driver(&job.workload, &shared.opts, &shared.replica_sets, cache) {
-            Ok((driver, outcomes, pins)) => {
-                let driver = match &shared.pool {
-                    Some(p) => driver.with_pool(Arc::clone(p)),
-                    None => driver,
-                };
-                (driver, outcomes, pins)
-            }
-            Err(e) => {
-                // Slot released *before* the terminal frame goes out, so a
-                // client that saw the outcome never observes its session
-                // still counted as running.
-                finish_and_promote(shared, job.session);
-                shared.conns.send(
+    let (driver, outcomes, pins) = match build_driver(
+        &job.workload,
+        &shared.opts,
+        &shared.replica_sets,
+        cache,
+        shared.refresh.as_deref(),
+    ) {
+        Ok((driver, outcomes, pins)) => {
+            let driver = match &shared.pool {
+                Some(p) => driver.with_pool(Arc::clone(p)),
+                None => driver,
+            };
+            (driver, outcomes, pins)
+        }
+        Err(e) => {
+            // Slot released *before* the terminal frame goes out, so a
+            // client that saw the outcome never observes its session
+            // still counted as running.
+            finish_and_promote(shared, job.session);
+            shared.conns.send(
+                job.conn_id,
+                Msg::Terminal(
                     job.conn_id,
-                    Msg::Terminal(
-                        job.conn_id,
-                        Frame::Error {
-                            code: 2,
-                            message: format!("wrapper connect failed: {e}"),
-                        },
-                    ),
-                );
-                return;
-            }
-        };
+                    Frame::Error {
+                        code: 2,
+                        message: format!("wrapper connect failed: {e}"),
+                    },
+                ),
+            );
+            return;
+        }
+    };
     // Remember which endpoint each scan opened on, so operators can ask
     // the admission table where a session's load actually landed.
     if !pins.is_empty() {
@@ -1237,8 +1291,12 @@ fn run_job(shared: &Shared, mut job: Job) {
                     None => m.cache_misses += 1,
                 }
             }
+            let mut payload = with_queue_wait(metrics_json(&m), queue_wait_secs);
+            if let Some(cache) = &shared.cache {
+                payload = with_cache_gauges(payload, &cache.stats());
+            }
             Frame::Done {
-                metrics_json: with_queue_wait(metrics_json(&m), queue_wait_secs),
+                metrics_json: payload,
             }
         }
         Err(e) => Frame::Error {
@@ -1313,12 +1371,22 @@ struct CacheOutcome {
 /// not the endpoint, so a scan recorded off one replica replays for its
 /// peers. Returns the driver, the per-relation cache outcomes, and the
 /// replica pins (which endpoint each live scan opened on).
+///
+/// With the refresher live (`refresh` is `Some`), remote scans consult
+/// its stat table: a live open asks for the wrapper's *current* total
+/// (so a session sees appended tuples the spec predates) and recordings
+/// are stamped with the wrapper's current version. This applies to
+/// `no_cache` sessions too — a cold truth run and a refreshed warm one
+/// must answer bit-identically. The cache key keeps using the *spec*
+/// total: it names the logical scan, whose entry then drifts forward in
+/// place as the refresher appends deltas.
 #[allow(clippy::type_complexity)]
 fn build_driver(
     workload: &Workload,
     opts: &ServeOpts,
     sets: &[Arc<ReplicaSet>],
     cache: Option<&Arc<SharedCache>>,
+    refresh: Option<&RefreshState>,
 ) -> Result<(RealTimeDriver, Vec<CacheOutcome>, Vec<(RelId, String)>), SourceError> {
     let catalog: Vec<_> = workload
         .catalog
@@ -1335,9 +1403,30 @@ fn build_driver(
             let stream = format!("wrapper:{name}");
             let group = (!sets.is_empty()).then(|| &sets[rel.0 as usize % sets.len()]);
             let wrapper_id = group.map_or("local", |g| g.id());
+            let stat = match (refresh, group) {
+                (Some(state), Some(g)) => state.stat_for(g.id(), *rel),
+                _ => None,
+            };
+            let effective_total = stat.map_or(total, |s| s.total.max(total));
+            let version = stat.map_or(0, |s| s.version);
             let key = cache.map(|_| {
                 CacheKey::for_scan(wrapper_id, *rel, total, workload.config.seed, &stream)
             });
+            if let (Some(state), Some(key)) = (refresh, &key) {
+                if group.is_some() {
+                    state.record(
+                        key.clone(),
+                        ScanProvenance {
+                            group: rel.0 as usize % sets.len(),
+                            rel: *rel,
+                            window: workload.config.queue_capacity as u32,
+                            seed: workload.config.seed,
+                            stream: stream.clone(),
+                            delay: workload.delays[rel.0 as usize].clone(),
+                        },
+                    );
+                }
+            }
             if let (Some(cache), Some(key)) = (cache, &key) {
                 if let Some(keys) = cache.lookup(key) {
                     let tuples = keys.len() as u64;
@@ -1366,7 +1455,7 @@ fn build_driver(
                 Some(set) => {
                     let open = RemoteOpen {
                         rel: *rel,
-                        total,
+                        total: effective_total,
                         window: workload.config.queue_capacity as u32,
                         seed: workload.config.seed,
                         stream: stream.clone(),
@@ -1398,9 +1487,12 @@ fn build_driver(
                 }
             };
             let source = match (cache, key) {
-                (Some(cache), Some(key)) => {
-                    Box::new(RecordingSource::new(live, Arc::clone(cache), key)) as BoxSource
-                }
+                (Some(cache), Some(key)) => Box::new(RecordingSource::versioned(
+                    live,
+                    Arc::clone(cache),
+                    key,
+                    version,
+                )) as BoxSource,
                 _ => live,
             };
             sources.push(source);
@@ -1482,6 +1574,27 @@ impl Write for TraceFrames<'_> {
 pub fn with_queue_wait(metrics: String, wait_secs: f64) -> String {
     debug_assert!(metrics.starts_with('{'));
     format!("{{\"queue_wait_secs\":{wait_secs:.6},{}", &metrics[1..])
+}
+
+/// Splice the live cache gauges and freshness counters into a metrics
+/// payload, same pattern as [`with_queue_wait`]: the engine's
+/// `RunMetrics` is pinned by the golden-fingerprint suite, so serving-
+/// side counters ride in front of it rather than growing the struct.
+pub fn with_cache_gauges(metrics: String, s: &CacheStats) -> String {
+    debug_assert!(metrics.starts_with('{'));
+    format!(
+        "{{\"cache_resident_bytes\":{},\"cache_evictions\":{},\"cache_expired\":{},\
+         \"refreshes\":{},\"refresh_delta_bytes\":{},\"refresh_full_bytes\":{},\
+         \"stale_served\":{},{}",
+        s.resident_bytes,
+        s.evictions,
+        s.expirations,
+        s.refreshes,
+        s.refresh_delta_bytes,
+        s.refresh_full_bytes,
+        s.stale_served,
+        &metrics[1..]
+    )
 }
 
 /// Flat JSON rendering of a finished run's metrics (the `Done` payload).
@@ -1587,6 +1700,69 @@ mod tests {
         );
         // 2 relations × 64 tuples × 3000 µs.
         assert_eq!(slow_us, 2 * 64 * 3000);
+    }
+
+    #[test]
+    fn cache_gauge_splice_leads_the_payload_and_stays_parseable() {
+        let m = RunMetrics {
+            strategy: "dse",
+            seed: 1,
+            ..RunMetrics::default()
+        };
+        let stats = CacheStats {
+            resident_bytes: 4096,
+            evictions: 2,
+            expirations: 1,
+            refreshes: 3,
+            refresh_delta_bytes: 64,
+            refresh_full_bytes: 512,
+            stale_served: 5,
+            ..CacheStats::default()
+        };
+        let text = with_cache_gauges(with_queue_wait(metrics_json(&m), 0.0), &stats);
+        assert!(
+            text.starts_with("{\"cache_resident_bytes\":4096,"),
+            "{text}"
+        );
+        let v = dqs_exec::json::parse(&text).expect("valid JSON");
+        let obj = v.as_object().unwrap();
+        let get = |k: &str| obj.iter().find(|(n, _)| n == k).map(|(_, v)| v);
+        for (key, want) in [
+            ("cache_evictions", 2),
+            ("cache_expired", 1),
+            ("refreshes", 3),
+            ("refresh_delta_bytes", 64),
+            ("refresh_full_bytes", 512),
+            ("stale_served", 5),
+        ] {
+            assert_eq!(get(key).and_then(|v| v.as_u64()), Some(want), "{key}");
+        }
+        assert_eq!(
+            get("strategy").and_then(|v| v.as_str()),
+            Some("dse"),
+            "engine metrics ride along unchanged"
+        );
+    }
+
+    #[test]
+    fn refresh_without_cache_or_wrappers_is_a_bind_error() {
+        for opts in [
+            ServeOpts {
+                refresh_interval: Some(Duration::from_millis(100)),
+                cache_bytes: 1 << 20,
+                wrappers: vec![],
+                ..ServeOpts::default()
+            },
+            ServeOpts {
+                refresh_interval: Some(Duration::from_millis(100)),
+                cache_bytes: 0,
+                wrappers: vec!["127.0.0.1:9".into()],
+                ..ServeOpts::default()
+            },
+        ] {
+            let err = MediatorServer::bind("127.0.0.1:0", opts).unwrap_err();
+            assert_eq!(err.kind(), io::ErrorKind::InvalidInput);
+        }
     }
 
     #[test]

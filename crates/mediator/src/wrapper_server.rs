@@ -21,6 +21,22 @@
 //! [`WrapperServer::drop_connections`], and [`WrapperServer::shutdown`]
 //! joins every handler and producer thread — no process kill, no leaked
 //! listeners.
+//!
+//! ## Change tracking
+//!
+//! The server also keeps a per-relation change registry for the
+//! mediator's freshness subsystem. Every relation it has served carries
+//! a monotonic `version` counter, bumped by the mutation hooks
+//! [`WrapperServer::mutate_append`] (insert-only growth: the advertised
+//! total grows by `n`) and [`WrapperServer::mutate_rewrite`] (in-place
+//! change: the total is unchanged but any cached prefix is now suspect).
+//! A `StatRequest` frame answers with one `RelStat` per registered
+//! relation — `(version, total, rewrite_version)` — which is everything
+//! the mediator's refresh planner needs to choose between a tail-delta
+//! re-open at `resume_from = cached_len` and a full re-scan. The
+//! `--churn` test knob (see [`ChurnOpts`]) drives `mutate_append` from a
+//! background thread so smokes and benches can exercise refresh against
+//! a live write stream.
 
 use std::collections::HashMap;
 use std::io;
@@ -32,7 +48,7 @@ use std::time::Duration;
 
 use dqs_relop::{synth_key, RelId};
 use dqs_sim::SeedSplitter;
-use dqs_source::net::{read_frame, FlushStatus, Frame, WriteBuffer};
+use dqs_source::net::{read_frame, FlushStatus, Frame, RelStat, WriteBuffer};
 use dqs_source::DelayModel;
 
 /// Sleep in slices no longer than this, so a stopping server never waits
@@ -45,6 +61,55 @@ const SLEEP_SLICE: Duration = Duration::from_millis(50);
 struct Credits {
     by_rel: HashMap<RelId, u64>,
     dead: bool,
+}
+
+/// Per-relation change-tracking state. The wrapper is otherwise
+/// stateless about sizes (the mediator's `Open` names the total), so the
+/// base cardinality is *learned* from the largest fresh total a scan has
+/// asked for, and appends grow on top of it.
+#[derive(Debug, Default, Clone, Copy)]
+struct RelState {
+    /// Monotonic change counter; bumped by every mutation.
+    version: u64,
+    /// Base cardinality learned from `Open` totals (net of appends).
+    base: u64,
+    /// Tuples appended by mutation hooks since the base was learned.
+    extra: u64,
+    /// `version` at the last non-append mutation (0 = insert-only).
+    rewrite_version: u64,
+}
+
+impl RelState {
+    fn total(&self) -> u64 {
+        self.base + self.extra
+    }
+
+    fn stat(&self, rel: RelId) -> RelStat {
+        RelStat {
+            rel,
+            version: self.version,
+            total: self.total(),
+            rewrite_version: self.rewrite_version,
+        }
+    }
+}
+
+/// The shared change registry: every relation this server has served.
+type ChangeRegistry = Arc<Mutex<HashMap<RelId, RelState>>>;
+
+/// Configuration of the `--churn` test knob: a background write stream
+/// appending tuples to every *registered* relation on an interval, so
+/// refresh machinery can be exercised without an external writer. A
+/// round in which nothing is registered yet is skipped, not consumed —
+/// `rounds` counts effective mutations.
+#[derive(Debug, Clone)]
+pub struct ChurnOpts {
+    /// Gap between mutation rounds.
+    pub interval: Duration,
+    /// Tuples appended to each registered relation per round.
+    pub tuples: u64,
+    /// Stop after this many effective rounds; 0 = churn forever.
+    pub rounds: u64,
 }
 
 /// The connection's shared outbound channel: producers stage whole
@@ -77,14 +142,16 @@ pub struct WrapperServer {
     stop: Arc<AtomicBool>,
     conns: Arc<Mutex<HashMap<u64, TcpStream>>>,
     handlers: Arc<Mutex<Vec<JoinHandle<()>>>>,
+    registry: ChangeRegistry,
     accept_thread: Option<JoinHandle<()>>,
+    churn_thread: Option<JoinHandle<()>>,
 }
 
 impl WrapperServer {
     /// Bind and start accepting. `addr` may use port 0 for an ephemeral
     /// port; [`WrapperServer::local_addr`] reports what was bound.
     pub fn bind(addr: impl ToSocketAddrs) -> io::Result<WrapperServer> {
-        Self::bind_throttled(addr, Duration::ZERO)
+        Self::bind_with(addr, Duration::ZERO, None)
     }
 
     /// Like [`WrapperServer::bind`], but every tuple costs an extra
@@ -95,14 +162,26 @@ impl WrapperServer {
         addr: impl ToSocketAddrs,
         per_tuple: Duration,
     ) -> io::Result<WrapperServer> {
+        Self::bind_with(addr, per_tuple, None)
+    }
+
+    /// Full-control bind: per-tuple throttle plus the optional `--churn`
+    /// background write stream.
+    pub fn bind_with(
+        addr: impl ToSocketAddrs,
+        per_tuple: Duration,
+        churn: Option<ChurnOpts>,
+    ) -> io::Result<WrapperServer> {
         let listener = TcpListener::bind(addr)?;
         let addr = listener.local_addr()?;
         let stop = Arc::new(AtomicBool::new(false));
         let conns: Arc<Mutex<HashMap<u64, TcpStream>>> = Arc::new(Mutex::new(HashMap::new()));
         let handlers: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
+        let registry: ChangeRegistry = Arc::new(Mutex::new(HashMap::new()));
         let accept_stop = Arc::clone(&stop);
         let accept_conns = Arc::clone(&conns);
         let accept_handlers = Arc::clone(&handlers);
+        let accept_registry = Arc::clone(&registry);
         let accept_thread = thread::spawn(move || {
             let mut next_id: u64 = 0;
             for conn in listener.incoming() {
@@ -118,8 +197,9 @@ impl WrapperServer {
                 }
                 let conn_stop = Arc::clone(&accept_stop);
                 let conn_registry = Arc::clone(&accept_conns);
+                let conn_changes = Arc::clone(&accept_registry);
                 let handle = thread::spawn(move || {
-                    serve_connection(conn, conn_stop, per_tuple);
+                    serve_connection(conn, conn_stop, per_tuple, conn_changes);
                     // Self-removal keeps the registry bounded across many
                     // short-lived connections (e.g. liveness probes).
                     conn_registry.lock().unwrap().remove(&id);
@@ -129,13 +209,63 @@ impl WrapperServer {
                 hs.push(handle);
             }
         });
+        let churn_thread = churn.map(|opts| {
+            let churn_stop = Arc::clone(&stop);
+            let churn_registry = Arc::clone(&registry);
+            thread::spawn(move || churn_loop(opts, churn_stop, churn_registry))
+        });
         Ok(WrapperServer {
             addr,
             stop,
             conns,
             handlers,
+            registry,
             accept_thread: Some(accept_thread),
+            churn_thread,
         })
+    }
+
+    /// Append `n` tuples to `rel`: the advertised total grows, the
+    /// version bumps, and — because tuple payloads are a pure function of
+    /// `(rel, index, seed)` — every previously served prefix stays valid,
+    /// so a cached scan refreshes by re-opening at its cached length.
+    /// Returns `false` for a relation this server has never served (there
+    /// is nothing to append to yet).
+    pub fn mutate_append(&self, rel: RelId, n: u64) -> bool {
+        let mut reg = self.registry.lock().unwrap();
+        match reg.get_mut(&rel) {
+            Some(s) => {
+                s.version += 1;
+                s.extra += n;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Rewrite `rel` in place: the total is unchanged but the version
+    /// bumps and `rewrite_version` advances to it, telling the mediator
+    /// any cached prefix is suspect and only a full re-scan refreshes it.
+    /// Returns `false` for an unregistered relation.
+    pub fn mutate_rewrite(&self, rel: RelId) -> bool {
+        let mut reg = self.registry.lock().unwrap();
+        match reg.get_mut(&rel) {
+            Some(s) => {
+                s.version += 1;
+                s.rewrite_version = s.version;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Current change-tracking state, one row per registered relation in
+    /// ascending relation order (what a `StatRequest { rel: None }` gets).
+    pub fn rel_stats(&self) -> Vec<RelStat> {
+        let reg = self.registry.lock().unwrap();
+        let mut stats: Vec<RelStat> = reg.iter().map(|(r, s)| s.stat(*r)).collect();
+        stats.sort_by_key(|s| s.rel.0);
+        stats
     }
 
     /// The address actually bound (resolves `--port 0`).
@@ -154,13 +284,17 @@ impl WrapperServer {
     }
 
     /// Stop accepting, sever connections, and join every thread the
-    /// server spawned (accept loop, connection handlers, producers).
+    /// server spawned (accept loop, connection handlers, producers, the
+    /// churn writer).
     pub fn shutdown(mut self) {
         self.stop.store(true, Ordering::SeqCst);
         // Self-connect to unblock the accept loop.
         TcpStream::connect(self.addr).ok();
         self.drop_connections();
         if let Some(t) = self.accept_thread.take() {
+            t.join().ok();
+        }
+        if let Some(t) = self.churn_thread.take() {
             t.join().ok();
         }
         let handlers = std::mem::take(&mut *self.handlers.lock().unwrap());
@@ -178,10 +312,51 @@ impl WrapperServer {
     }
 }
 
-/// One mediator connection: route `Open`s to producers and `WindowGrant`s
-/// to their credit pools until the peer goes away. Joins its producers
-/// before returning, so a finished handler means no stray threads.
-fn serve_connection(conn: TcpStream, stop: Arc<AtomicBool>, per_tuple: Duration) {
+/// The `--churn` write stream: every `interval`, append `tuples` to each
+/// registered relation. A round before any relation is registered is
+/// skipped without consuming the round budget, so a one-shot churn
+/// (`rounds: 1`) always lands *after* the first scan no matter how the
+/// processes were started.
+fn churn_loop(opts: ChurnOpts, stop: Arc<AtomicBool>, registry: ChangeRegistry) {
+    let mut done: u64 = 0;
+    loop {
+        let mut left = opts.interval;
+        while !left.is_zero() {
+            if stop.load(Ordering::SeqCst) {
+                return;
+            }
+            let slice = left.min(SLEEP_SLICE);
+            thread::sleep(slice);
+            left -= slice;
+        }
+        let mut mutated = false;
+        {
+            let mut reg = registry.lock().unwrap();
+            for s in reg.values_mut() {
+                s.version += 1;
+                s.extra += opts.tuples;
+                mutated = true;
+            }
+        }
+        if mutated {
+            done += 1;
+            if opts.rounds != 0 && done >= opts.rounds {
+                return;
+            }
+        }
+    }
+}
+
+/// One mediator connection: route `Open`s to producers, `WindowGrant`s
+/// to their credit pools and `StatRequest`s to the change registry until
+/// the peer goes away. Joins its producers before returning, so a
+/// finished handler means no stray threads.
+fn serve_connection(
+    conn: TcpStream,
+    stop: Arc<AtomicBool>,
+    per_tuple: Duration,
+    registry: ChangeRegistry,
+) {
     let credits = Arc::new((Mutex::new(Credits::default()), Condvar::new()));
     let writer = Arc::new(Mutex::new(OutChannel {
         stream: match conn.try_clone() {
@@ -206,6 +381,16 @@ fn serve_connection(conn: TcpStream, stop: Arc<AtomicBool>, per_tuple: Duration)
                 delay,
                 resume_from,
             } => {
+                {
+                    // Register the relation and learn its base size. The
+                    // open total already includes any appends the peer
+                    // knew about, so the base is the total net of them —
+                    // never shrinking, since concurrent scans may open at
+                    // older (smaller) totals.
+                    let mut reg = registry.lock().unwrap();
+                    let s = reg.entry(rel).or_default();
+                    s.base = s.base.max(total.saturating_sub(s.extra));
+                }
                 {
                     let (lock, _) = &*credits;
                     lock.lock().unwrap().by_rel.insert(rel, u64::from(window));
@@ -233,6 +418,21 @@ fn serve_connection(conn: TcpStream, stop: Arc<AtomicBool>, per_tuple: Duration)
                 let mut pool = lock.lock().unwrap();
                 *pool.by_rel.entry(rel).or_insert(0) += u64::from(c);
                 cond.notify_all();
+            }
+            Frame::StatRequest { rel } => {
+                let stats = {
+                    let reg = registry.lock().unwrap();
+                    let mut stats: Vec<RelStat> = reg
+                        .iter()
+                        .filter(|(r, _)| rel.map_or(true, |want| **r == want))
+                        .map(|(r, s)| s.stat(*r))
+                        .collect();
+                    stats.sort_by_key(|s| s.rel.0);
+                    stats
+                };
+                if !writer.lock().unwrap().send(&Frame::StatReply { stats }) {
+                    break;
+                }
             }
             // Anything else is a protocol error from the peer; drop it.
             _ => break,
@@ -447,6 +647,127 @@ mod tests {
                 other => panic!("unexpected notice: {other:?}"),
             }
         }
+        server.shutdown();
+    }
+
+    #[test]
+    fn stat_request_reports_versions_and_totals() {
+        let server = WrapperServer::bind("127.0.0.1:0").unwrap();
+        // Serve rel 8 end to end so it registers with base 20.
+        let (ntx, nrx) = channel();
+        let mut w = RemoteWrapper::connect(
+            server.local_addr(),
+            open(8, 20, 8),
+            ntx,
+            Duration::from_secs(10),
+        )
+        .unwrap();
+        w.start();
+        drain(w, nrx);
+        assert!(
+            !server.mutate_append(RelId(99), 1),
+            "never-served relation refused"
+        );
+        assert!(server.mutate_append(RelId(8), 5));
+        assert!(server.mutate_append(RelId(8), 2));
+        // Raw stat round-trip over TCP.
+        let mut conn = TcpStream::connect(server.local_addr()).unwrap();
+        dqs_source::write_frame(&mut conn, &Frame::StatRequest { rel: None }).unwrap();
+        match read_frame(&mut conn).unwrap().unwrap() {
+            Frame::StatReply { stats } => assert_eq!(
+                stats,
+                vec![RelStat {
+                    rel: RelId(8),
+                    version: 2,
+                    total: 27,
+                    rewrite_version: 0,
+                }]
+            ),
+            other => panic!("expected StatReply, got {other:?}"),
+        }
+        // A filtered request for an unknown relation is an empty reply.
+        dqs_source::write_frame(
+            &mut conn,
+            &Frame::StatRequest {
+                rel: Some(RelId(3)),
+            },
+        )
+        .unwrap();
+        assert_eq!(
+            read_frame(&mut conn).unwrap().unwrap(),
+            Frame::StatReply { stats: vec![] }
+        );
+        // A rewrite bumps both counters; the total is unchanged.
+        assert!(server.mutate_rewrite(RelId(8)));
+        assert_eq!(
+            server.rel_stats(),
+            vec![RelStat {
+                rel: RelId(8),
+                version: 3,
+                total: 27,
+                rewrite_version: 3,
+            }]
+        );
+        // An Open at the stat total must not inflate the learned base.
+        let (ntx, nrx) = channel();
+        let mut w = RemoteWrapper::connect(
+            server.local_addr(),
+            open(8, 27, 8),
+            ntx,
+            Duration::from_secs(10),
+        )
+        .unwrap();
+        w.start();
+        drain(w, nrx);
+        assert_eq!(server.rel_stats()[0].total, 27);
+        server.shutdown();
+    }
+
+    #[test]
+    fn churn_appends_only_to_registered_relations_and_honors_rounds() {
+        let server = WrapperServer::bind_with(
+            "127.0.0.1:0",
+            Duration::ZERO,
+            Some(ChurnOpts {
+                interval: Duration::from_millis(30),
+                tuples: 3,
+                rounds: 2,
+            }),
+        )
+        .unwrap();
+        // Nothing registered yet: rounds must be skipped, not consumed.
+        thread::sleep(Duration::from_millis(120));
+        assert!(server.rel_stats().is_empty());
+        let (ntx, nrx) = channel();
+        let mut w = RemoteWrapper::connect(
+            server.local_addr(),
+            open(2, 10, 8),
+            ntx,
+            Duration::from_secs(10),
+        )
+        .unwrap();
+        w.start();
+        drain(w, nrx);
+        let deadline = std::time::Instant::now() + Duration::from_secs(10);
+        loop {
+            let stats = server.rel_stats();
+            if stats.first().is_some_and(|s| s.version >= 2) {
+                break;
+            }
+            assert!(
+                std::time::Instant::now() < deadline,
+                "churn rounds never landed: {stats:?}"
+            );
+            thread::sleep(Duration::from_millis(10));
+        }
+        // The round budget is spent: no further mutations.
+        thread::sleep(Duration::from_millis(150));
+        let s = server.rel_stats()[0];
+        assert_eq!(
+            (s.version, s.total, s.rewrite_version),
+            (2, 16, 0),
+            "exactly two rounds of 3 appended tuples"
+        );
         server.shutdown();
     }
 

@@ -101,17 +101,31 @@ pub struct RecordingSource {
     inner: BoxSource,
     cache: Arc<SharedCache>,
     key: CacheKey,
+    version: u64,
     recorded: Vec<u64>,
 }
 
 impl RecordingSource {
     /// Record `inner`'s stream under `key` in `cache` once it completes.
     pub fn new(inner: BoxSource, cache: Arc<SharedCache>, key: CacheKey) -> RecordingSource {
+        RecordingSource::versioned(inner, cache, key, 0)
+    }
+
+    /// [`RecordingSource::new`], stamping the completed recording with
+    /// the wrapper change-counter it was captured at (0 = unknown) so
+    /// the refresh scheduler can judge its freshness later.
+    pub fn versioned(
+        inner: BoxSource,
+        cache: Arc<SharedCache>,
+        key: CacheKey,
+        version: u64,
+    ) -> RecordingSource {
         let capacity = inner.total() as usize;
         RecordingSource {
             inner,
             cache,
             key,
+            version,
             recorded: Vec::with_capacity(capacity),
         }
     }
@@ -157,7 +171,8 @@ impl TupleSource for RecordingSource {
             // Complete scan: publish it. Insertion can still be refused
             // (oversize) — that only means the next session goes cold too.
             let keys = std::mem::take(&mut self.recorded);
-            self.cache.insert(self.key.clone(), keys);
+            self.cache
+                .insert_versioned(self.key.clone(), keys, self.version);
         }
         t
     }
@@ -271,6 +286,19 @@ mod tests {
         assert!(rec.is_suspended());
         rec.resume();
         assert!(!rec.is_suspended());
+    }
+
+    #[test]
+    fn versioned_recording_stamps_the_entry() {
+        let cache = shared(1 << 20);
+        let key = scan_key(RelId(6), 3);
+        let mut rec =
+            RecordingSource::versioned(live(RelId(6), 3), Arc::clone(&cache), key.clone(), 9);
+        for _ in 0..3 {
+            let _ = rec.emit();
+        }
+        assert!(cache.contains(&key));
+        assert_eq!(cache.entries_snapshot()[0].version, 9);
     }
 
     #[test]

@@ -56,7 +56,7 @@ pub use comm::{
 };
 pub use delay::DelayModel;
 pub use failover::{FailoverOpts, FailoverSource};
-pub use net::{read_frame, write_frame, Frame, FrameError, MAX_FRAME_BYTES};
+pub use net::{read_frame, write_frame, Frame, FrameError, RelStat, MAX_FRAME_BYTES};
 pub use queue::TupleQueue;
 pub use remote::{RemoteOpen, RemoteWrapper};
 pub use source::{BoxSource, Notice, SourceError, TupleSource};

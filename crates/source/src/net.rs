@@ -29,6 +29,13 @@
 //! | [`Frame::Done`]     | mediator → client  | final metrics, session over      |
 //! | [`Frame::Invalidate`] | client → mediator | drop cached scans (refresh)     |
 //! | [`Frame::Invalidated`] | mediator → client | how much the invalidate freed  |
+//!
+//! Freshness frames (change tracking for the refresh scheduler):
+//!
+//! | frame                  | direction          | meaning                       |
+//! |------------------------|--------------------|-------------------------------|
+//! | [`Frame::StatRequest`] | mediator → wrapper | report relation change state  |
+//! | [`Frame::StatReply`]   | wrapper → mediator | one [`RelStat`] per relation  |
 
 use std::fmt;
 use std::io::{ErrorKind, Read, Write};
@@ -141,8 +148,12 @@ pub enum Frame {
     /// Client → mediator: drop cached scans so the next session re-fetches
     /// fresh data (the refresh lever of the cache subsystem).
     Invalidate {
-        /// Only this relation's entries, or every entry when `None`.
+        /// Only this relation's entries, or every relation when `None`.
         rel: Option<RelId>,
+        /// Only entries recorded under this *logical* wrapper id (the
+        /// replica-group id, not a pinned endpoint address), or every
+        /// wrapper when `None`.
+        wrapper: Option<String>,
     },
     /// Mediator → client: what an [`Frame::Invalidate`] removed.
     Invalidated {
@@ -151,6 +162,40 @@ pub enum Frame {
         /// Bytes released (payload + accounting overhead).
         bytes: u64,
     },
+    /// Mediator → wrapper: report change-tracking state for one relation
+    /// (or every registered relation when `rel` is `None`).
+    StatRequest {
+        /// Restrict the reply to this relation.
+        rel: Option<RelId>,
+    },
+    /// Wrapper → mediator: one [`RelStat`] per registered relation. A
+    /// relation the wrapper has never served (or been asked about) is
+    /// simply absent.
+    StatReply {
+        /// Change-tracking state, in ascending relation order.
+        stats: Vec<RelStat>,
+    },
+}
+
+/// Per-relation change-tracking state, as reported by a wrapper in
+/// [`Frame::StatReply`].
+///
+/// `version` is a monotonic change counter bumped by every mutation.
+/// `rewrite_version` is the version of the *last non-append* mutation: a
+/// cached scan captured at version `v` still has a valid prefix iff
+/// `rewrite_version <= v`, in which case a refresh only needs the tail
+/// `[cached_len, total)`; otherwise the prefix itself may have changed
+/// and a full re-scan is required.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RelStat {
+    /// The relation this row describes.
+    pub rel: RelId,
+    /// Monotonic change counter (0 = never mutated since registration).
+    pub version: u64,
+    /// Current total tuple count.
+    pub total: u64,
+    /// Version of the last rewrite/shrink (0 = insert-only history).
+    pub rewrite_version: u64,
 }
 
 /// Why a frame could not be decoded (or read).
@@ -244,6 +289,11 @@ const TAG_TRACE: u8 = 10;
 const TAG_DONE: u8 = 11;
 const TAG_INVALIDATE: u8 = 12;
 const TAG_INVALIDATED: u8 = 13;
+const TAG_STAT_REQUEST: u8 = 14;
+const TAG_STAT_REPLY: u8 = 15;
+
+/// Encoded size of one [`RelStat`] row (u16 rel + three u64s).
+const REL_STAT_BYTES: usize = 2 + 8 + 8 + 8;
 
 // --- encoding ---------------------------------------------------------------
 
@@ -381,7 +431,7 @@ impl Frame {
                 b.push(TAG_DONE);
                 put_str(&mut b, metrics_json);
             }
-            Frame::Invalidate { rel } => {
+            Frame::Invalidate { rel, wrapper } => {
                 b.push(TAG_INVALIDATE);
                 match rel {
                     Some(r) => {
@@ -390,11 +440,38 @@ impl Frame {
                     }
                     None => b.push(0),
                 }
+                match wrapper {
+                    Some(w) => {
+                        b.push(1);
+                        put_str(&mut b, w);
+                    }
+                    None => b.push(0),
+                }
             }
             Frame::Invalidated { entries, bytes } => {
                 b.push(TAG_INVALIDATED);
                 put_u64(&mut b, *entries);
                 put_u64(&mut b, *bytes);
+            }
+            Frame::StatRequest { rel } => {
+                b.push(TAG_STAT_REQUEST);
+                match rel {
+                    Some(r) => {
+                        b.push(1);
+                        put_u16(&mut b, r.0);
+                    }
+                    None => b.push(0),
+                }
+            }
+            Frame::StatReply { stats } => {
+                b.push(TAG_STAT_REPLY);
+                put_u32(&mut b, stats.len() as u32);
+                for s in stats {
+                    put_u16(&mut b, s.rel.0);
+                    put_u64(&mut b, s.version);
+                    put_u64(&mut b, s.total);
+                    put_u64(&mut b, s.rewrite_version);
+                }
             }
         }
         b
@@ -496,11 +573,54 @@ impl Frame {
                         })
                     }
                 },
+                wrapper: match c.take_u8("invalidate.wrapper_tag")? {
+                    0 => None,
+                    1 => Some(c.take_str("invalidate.wrapper")?),
+                    t => {
+                        return Err(FrameError::Malformed {
+                            detail: format!("invalidate.wrapper_tag must be 0|1, got {t}"),
+                        })
+                    }
+                },
             },
             TAG_INVALIDATED => Frame::Invalidated {
                 entries: c.take_u64("invalidated.entries")?,
                 bytes: c.take_u64("invalidated.bytes")?,
             },
+            TAG_STAT_REQUEST => Frame::StatRequest {
+                rel: match c.take_u8("stat_request.rel_tag")? {
+                    0 => None,
+                    1 => Some(RelId(c.take_u16("stat_request.rel")?)),
+                    t => {
+                        return Err(FrameError::Malformed {
+                            detail: format!("stat_request.rel_tag must be 0|1, got {t}"),
+                        })
+                    }
+                },
+            },
+            TAG_STAT_REPLY => {
+                let n = c.take_u32("stat_reply.count")? as usize;
+                // As with TupleBatch: the count must match the bytes
+                // actually present before any allocation happens.
+                if c.remaining() != n * REL_STAT_BYTES {
+                    return Err(FrameError::Malformed {
+                        detail: format!(
+                            "stat reply claims {n} rows but carries {} bytes",
+                            c.remaining()
+                        ),
+                    });
+                }
+                let mut stats = Vec::with_capacity(n);
+                for _ in 0..n {
+                    stats.push(RelStat {
+                        rel: RelId(c.take_u16("stat_reply.rel")?),
+                        version: c.take_u64("stat_reply.version")?,
+                        total: c.take_u64("stat_reply.total")?,
+                        rewrite_version: c.take_u64("stat_reply.rewrite_version")?,
+                    });
+                }
+                Frame::StatReply { stats }
+            }
             other => return Err(FrameError::UnknownTag(other)),
         };
         if c.remaining() != 0 {
@@ -847,13 +967,38 @@ mod tests {
             Frame::Done {
                 metrics_json: "{\"output_tuples\":90000}".into(),
             },
-            Frame::Invalidate { rel: None },
+            Frame::Invalidate {
+                rel: None,
+                wrapper: None,
+            },
             Frame::Invalidate {
                 rel: Some(RelId(4)),
+                wrapper: Some("w0".into()),
             },
             Frame::Invalidated {
                 entries: 3,
                 bytes: 8_392,
+            },
+            Frame::StatRequest { rel: None },
+            Frame::StatRequest {
+                rel: Some(RelId(2)),
+            },
+            Frame::StatReply { stats: vec![] },
+            Frame::StatReply {
+                stats: vec![
+                    RelStat {
+                        rel: RelId(0),
+                        version: 12,
+                        total: 8_064,
+                        rewrite_version: 0,
+                    },
+                    RelStat {
+                        rel: RelId(1),
+                        version: u64::MAX,
+                        total: 0,
+                        rewrite_version: u64::MAX,
+                    },
+                ],
             },
         ]
     }
@@ -873,16 +1018,17 @@ mod tests {
     }
 
     /// Every wire tag — including the cache frames `Invalidate` /
-    /// `Invalidated` and the resume-capable `Open` — appears in
-    /// `samples()`, so the roundtrip and truncation tests above exercise
-    /// the full protocol, and a newly added tag without a sample fails
-    /// here instead of silently going untested.
+    /// `Invalidated`, the freshness frames `StatRequest` / `StatReply`
+    /// and the resume-capable `Open` — appears in `samples()`, so the
+    /// roundtrip and truncation tests above exercise the full protocol,
+    /// and a newly added tag without a sample fails here instead of
+    /// silently going untested.
     #[test]
     fn samples_exercise_every_tag() {
         let mut seen: Vec<u8> = samples().iter().map(|f| f.encode_body()[0]).collect();
         seen.sort_unstable();
         seen.dedup();
-        let all: Vec<u8> = (TAG_OPEN..=TAG_INVALIDATED).collect();
+        let all: Vec<u8> = (TAG_OPEN..=TAG_STAT_REPLY).collect();
         assert_eq!(seen, all, "samples() must cover every frame tag");
         // The resume offset is wire-visible: a resumed Open and a fresh
         // Open must not encode identically.
@@ -961,6 +1107,17 @@ mod tests {
         put_u16(&mut body, 0);
         put_u32(&mut body, 1000);
         put_u64(&mut body, 99);
+        assert!(matches!(
+            Frame::decode_body(&body),
+            Err(FrameError::Malformed { .. })
+        ));
+    }
+
+    #[test]
+    fn stat_reply_count_must_match_payload() {
+        // Claims 1000 rows, carries none.
+        let mut body = vec![TAG_STAT_REPLY];
+        put_u32(&mut body, 1000);
         assert!(matches!(
             Frame::decode_body(&body),
             Err(FrameError::Malformed { .. })
@@ -1054,11 +1211,29 @@ mod tests {
             arb_string().prop_map(|reason| Frame::Rejected { reason }),
             arb_string().prop_map(|line| Frame::Trace { line }),
             arb_string().prop_map(|metrics_json| Frame::Done { metrics_json }),
-            (any::<bool>(), any::<u16>()).prop_map(|(some, r)| Frame::Invalidate {
-                rel: some.then_some(RelId(r)),
-            }),
+            (any::<bool>(), any::<u16>(), any::<bool>(), arb_string()).prop_map(
+                |(some_rel, r, some_wrapper, w)| Frame::Invalidate {
+                    rel: some_rel.then_some(RelId(r)),
+                    wrapper: some_wrapper.then_some(w),
+                }
+            ),
             (any::<u64>(), any::<u64>())
                 .prop_map(|(entries, bytes)| Frame::Invalidated { entries, bytes }),
+            (any::<bool>(), any::<u16>()).prop_map(|(some, r)| Frame::StatRequest {
+                rel: some.then_some(RelId(r)),
+            }),
+            vec(
+                (any::<u16>(), any::<u64>(), any::<u64>(), any::<u64>()).prop_map(
+                    |(r, version, total, rewrite_version)| RelStat {
+                        rel: RelId(r),
+                        version,
+                        total,
+                        rewrite_version,
+                    }
+                ),
+                0..8
+            )
+            .prop_map(|stats| Frame::StatReply { stats }),
         ]
     }
 

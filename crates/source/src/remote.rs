@@ -390,6 +390,10 @@ mod tests {
                 credits -= 1;
             }
             write_frame(&mut conn, &Frame::Eof { rel }).unwrap();
+            // Drain until the client closes: dropping the socket with
+            // unread grants in flight raises an RST that can discard the
+            // buffered Eof on the client side.
+            while let Ok(Some(_)) = read_frame(&mut conn) {}
         });
 
         let (ntx, nrx) = channel();

@@ -204,7 +204,8 @@ fn invalidation_forces_the_next_submission_to_miss() {
     let warm = submit(addr, &quickstart_json(), &SubmitOpts::default(), |_| {}).expect("warm run");
     assert!(metric_u64(&warm.raw, "cache_hits") >= 1);
 
-    let (entries, bytes) = invalidate(addr, None, Duration::ZERO).expect("invalidate round-trip");
+    let (entries, bytes) =
+        invalidate(addr, None, None, Duration::ZERO).expect("invalidate round-trip");
     assert!(entries >= 1, "a populated cache reports what it dropped");
     assert!(bytes > 0);
 
@@ -214,6 +215,53 @@ fn invalidation_forces_the_next_submission_to_miss() {
     assert!(metric_u64(&recold.raw, "cache_misses") >= 1);
     assert_eq!(recold.output_tuples, cold.output_tuples);
     mediator.shutdown();
+}
+
+/// Invalidation scoped to a *logical* wrapper id — the replica-group id
+/// cache keys actually carry — must clear that wrapper's entries. This
+/// is the regression test for the blind spot where keys recorded the
+/// group id but `--wrapper` was matched against endpoint addresses, so
+/// scoped invalidation silently dropped nothing.
+#[test]
+fn invalidation_by_logical_wrapper_id_clears_that_wrappers_entries() {
+    let wrapper = WrapperServer::bind("127.0.0.1:0").expect("bind wrapper");
+    let endpoint = wrapper.local_addr().to_string();
+    let mediator = MediatorServer::bind(
+        "127.0.0.1:0",
+        ServeOpts {
+            wrappers: vec![format!("w0={endpoint}")],
+            cache_bytes: 8 << 20,
+            ..ServeOpts::default()
+        },
+    )
+    .expect("bind mediator");
+    let addr = mediator.local_addr();
+
+    submit(addr, &quickstart_json(), &SubmitOpts::default(), |_| {}).expect("cold run");
+    let warm = submit(addr, &quickstart_json(), &SubmitOpts::default(), |_| {}).expect("warm run");
+    assert!(metric_u64(&warm.raw, "cache_hits") >= 1);
+
+    // A wrapper id nothing is keyed under drops nothing...
+    let (entries, bytes) = invalidate(addr, None, Some("w9".into()), Duration::ZERO)
+        .expect("no-match invalidate round-trip");
+    assert_eq!((entries, bytes), (0, 0), "no entries are keyed under w9");
+
+    // ...while the logical id the keys really carry clears the cache,
+    // even though it is not an endpoint address.
+    let (entries, bytes) = invalidate(addr, None, Some("w0".into()), Duration::ZERO)
+        .expect("scoped invalidate round-trip");
+    assert!(
+        entries >= 1 && bytes > 0,
+        "scoped invalidation must drop the group's entries, got ({entries}, {bytes})"
+    );
+
+    let recold =
+        submit(addr, &quickstart_json(), &SubmitOpts::default(), |_| {}).expect("re-cold run");
+    assert_eq!(metric_u64(&recold.raw, "cache_hits"), 0);
+    assert!(metric_u64(&recold.raw, "cache_misses") >= 1);
+    assert_eq!(recold.output_tuples, warm.output_tuples);
+    mediator.shutdown();
+    wrapper.shutdown();
 }
 
 /// `connect_timeout` retries the dial with backoff: a submit launched
