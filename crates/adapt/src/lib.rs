@@ -1,0 +1,654 @@
+//! # dqs-adapt — the adaptive-scheduling observatory
+//!
+//! Online source-permutation scheduling (SPM, after "Online Query
+//! Scheduling on Source Permutation for Big Data Integration", arXiv
+//! 1503.08400) reorders *which source to drain next* from delivery rates
+//! observed while the query runs. This crate holds the two sans-io pieces
+//! the `SpmPolicy` strategy composes:
+//!
+//! * [`RateObserver`] — per-logical-source EWMA delivery rate plus a
+//!   burstiness (coefficient-of-variation) estimate, fed from cumulative
+//!   batch-arrival samples. Samples carry explicit timestamps, so the
+//!   observer runs identically under the discrete-event simulator and the
+//!   wall-clock driver — it never touches a clock.
+//! * [`PermutationPlanner`] — maintains a drain-order permutation over the
+//!   not-yet-exhausted sources and re-permutes only when an observed rate
+//!   crosses a hysteresis threshold: greedy fastest-first, with the SPM
+//!   paper's optimistic lower bound on remaining retrieval time as the
+//!   tie-break while rates are still unmeasured.
+//!
+//! Neither type knows about relations, fragments, or engines; sources are
+//! dense `usize` indices and time is nanoseconds on any monotonic origin.
+//! Every decision is a pure function of the fed samples, which is what
+//! makes the policy's behaviour unit-testable (convergence, no-thrash)
+//! and bit-reproducible across drivers.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+/// Default EWMA weight for folding instantaneous rate samples. Planner
+/// samples are coarser than per-tuple arrivals (one per planning phase),
+/// so the weight is heavier than a per-arrival alpha would be. This is
+/// the weight of a sample spanning exactly [`RATE_WINDOW_TAU_NANOS`];
+/// see [`RateObserver::observe`] for how other window lengths scale.
+pub const DEFAULT_RATE_OBSERVER_ALPHA: f64 = 0.3;
+
+/// Reference window length for rate folding, nanoseconds (10 ms).
+///
+/// Observation windows are whatever the planning cadence makes them —
+/// 100 µs between back-to-back replans, over a second when flow control
+/// silences every interrupt source. Folding each window with a fixed
+/// per-sample weight would let whichever windows are *most frequent*
+/// dominate, and replans cluster around arrivals: a bursty source would
+/// be sampled almost exclusively inside its bursts and scored at its
+/// within-burst rate forever. Scaling the weight by window length makes
+/// the EWMA approximate a *time-weighted* mean instead — one
+/// pause-spanning window outweighs the dozens of tiny burst windows it
+/// contains, which is exactly what lets a pause drag the estimate down.
+pub const RATE_WINDOW_TAU_NANOS: f64 = 10_000_000.0;
+
+/// Default hysteresis: a source must be observed at least this much
+/// (relative) faster than the one ahead of it before the permutation
+/// swaps them. 25% keeps oscillating estimates from thrashing the drain
+/// order while still reacting to genuine rate crossings within a few
+/// samples.
+pub const DEFAULT_HYSTERESIS: f64 = 0.25;
+
+/// How many tuples a silent window must have been *expected* to carry (at
+/// the current rate estimate) before the silence is folded as a zero-rate
+/// sample. Below this, zero progress is indistinguishable from sampling
+/// between two arrivals and is ignored; above it, the source has genuinely
+/// gone quiet (a burst pause, a stall) and the estimate must decay.
+pub const SILENCE_TUPLES: f64 = 4.0;
+
+/// One cumulative delivery observation for a source.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RateSample {
+    /// Observation time in nanoseconds (any monotonic origin).
+    pub at_nanos: u64,
+    /// Tuples delivered by the source so far (cumulative, monotone).
+    pub tuples: u64,
+    /// A finer-grained inter-arrival gap estimate in nanoseconds, when the
+    /// caller has one (the CM's per-arrival EWMA). Used as the
+    /// instantaneous rate when the sample window shows no progress to
+    /// divide and the silence is too short to be significant.
+    pub gap_hint_nanos: Option<f64>,
+    /// True while flow control (the window protocol) has the source
+    /// suspended: a silent window then measures our consumption, not the
+    /// source's speed, so the delta must not be folded as a rate.
+    pub flow_controlled: bool,
+}
+
+/// A source's current rate estimate.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RateEstimate {
+    /// EWMA delivery rate in tuples/second.
+    pub rate: f64,
+    /// Burstiness: the coefficient of variation (EWMA stddev over mean)
+    /// of the instantaneous rate samples. ~0 for a steady source; grows
+    /// past ~0.5 when delivery alternates bursts and silences.
+    pub burstiness: f64,
+}
+
+#[derive(Debug, Clone, Copy, Default)]
+struct SourceState {
+    /// Last accepted sample (time, cumulative tuples).
+    last: Option<(u64, u64)>,
+    /// EWMA rate in tuples/sec.
+    rate: Option<f64>,
+    /// EWMA variance of the instantaneous samples (RiskMetrics form).
+    var: f64,
+    /// Instantaneous samples folded so far.
+    samples: u64,
+}
+
+/// Per-source EWMA delivery rate and burstiness, fed from cumulative
+/// batch-arrival samples.
+#[derive(Debug)]
+pub struct RateObserver {
+    alpha: f64,
+    sources: Vec<SourceState>,
+}
+
+impl RateObserver {
+    /// An observer over `n` sources with the default smoothing weight.
+    pub fn new(n: usize) -> RateObserver {
+        RateObserver::with_alpha(n, DEFAULT_RATE_OBSERVER_ALPHA)
+    }
+
+    /// An observer over `n` sources with EWMA weight `alpha` (0..=1).
+    ///
+    /// # Panics
+    /// Panics unless `0.0 < alpha <= 1.0`.
+    pub fn with_alpha(n: usize, alpha: f64) -> RateObserver {
+        assert!(alpha > 0.0 && alpha <= 1.0, "alpha must be in (0, 1]");
+        RateObserver {
+            alpha,
+            sources: vec![SourceState::default(); n],
+        }
+    }
+
+    /// Number of tracked sources.
+    pub fn len(&self) -> usize {
+        self.sources.len()
+    }
+
+    /// True when no sources are tracked.
+    pub fn is_empty(&self) -> bool {
+        self.sources.is_empty()
+    }
+
+    /// Fold one sample for source `src`. Returns the updated estimate when
+    /// the sample yielded an instantaneous rate (progress over a positive
+    /// window, or a usable gap hint), `None` when it only advanced the
+    /// bookkeeping.
+    pub fn observe(&mut self, src: usize, s: RateSample) -> Option<RateEstimate> {
+        let state = &mut self.sources[src];
+        let prev = state.last;
+        // A flow-controlled window still advances the cursor: the next
+        // delta must span only post-resume delivery.
+        state.last = Some((s.at_nanos, s.tuples));
+        let inst = match prev {
+            Some((t0, n0)) if s.at_nanos > t0 && s.tuples > n0 && !s.flow_controlled => {
+                Some((s.tuples - n0) as f64 * 1e9 / (s.at_nanos - t0) as f64)
+            }
+            // Zero progress over a window long enough that the current
+            // estimate predicted several tuples: the source has genuinely
+            // gone quiet (a burst pause), so the estimate must decay. A
+            // shorter silent window is just sampling between two arrivals.
+            Some((t0, n0)) if s.at_nanos > t0 && s.tuples == n0 && !s.flow_controlled => {
+                let expected = state.rate.unwrap_or(0.0) * (s.at_nanos - t0) as f64 / 1e9;
+                if expected >= SILENCE_TUPLES {
+                    Some(0.0)
+                } else {
+                    gap_to_rate(s.gap_hint_nanos)
+                }
+            }
+            // Flow-controlled (or a non-advancing clock): fall back to the
+            // caller's fine-grained gap.
+            Some(_) => gap_to_rate(s.gap_hint_nanos),
+            // Very first sample: only a gap hint can seed the estimate.
+            None => gap_to_rate(s.gap_hint_nanos),
+        }?;
+        // Weight the mean by window length (see RATE_WINDOW_TAU_NANOS):
+        // a = (α·dt/τ) / (α·dt/τ + (1-α)) — equals α at dt = τ, → 1 for
+        // long windows, → 0 for tiny ones; pure arithmetic so it folds
+        // bit-identically everywhere. The variance keeps the per-sample
+        // α: burstiness is about the *dispersion* of instantaneous
+        // samples, not their time shares.
+        let a_mean = match prev {
+            Some((t0, _)) if s.at_nanos > t0 => {
+                let x = self.alpha * (s.at_nanos - t0) as f64 / RATE_WINDOW_TAU_NANOS;
+                x / (x + (1.0 - self.alpha))
+            }
+            _ => self.alpha,
+        };
+        match state.rate {
+            None => {
+                state.rate = Some(inst);
+                state.var = 0.0;
+            }
+            Some(mean) => {
+                let dev = inst - mean;
+                state.rate = Some(mean + a_mean * dev);
+                state.var = (1.0 - self.alpha) * (state.var + self.alpha * dev * dev);
+            }
+        }
+        state.samples += 1;
+        Some(RateEstimate {
+            rate: state.rate.expect("just set"),
+            burstiness: self.burstiness(src).unwrap_or(0.0),
+        })
+    }
+
+    /// The source's EWMA rate in tuples/sec, if anything was observed.
+    pub fn rate(&self, src: usize) -> Option<f64> {
+        self.sources[src].rate
+    }
+
+    /// The source's burstiness (coefficient of variation), once at least
+    /// two instantaneous samples were folded.
+    pub fn burstiness(&self, src: usize) -> Option<f64> {
+        let s = &self.sources[src];
+        match s.rate {
+            Some(mean) if s.samples >= 2 && mean > 0.0 => Some(s.var.sqrt() / mean),
+            _ => None,
+        }
+    }
+
+    /// Instantaneous samples folded for `src` so far.
+    pub fn samples(&self, src: usize) -> u64 {
+        self.sources[src].samples
+    }
+}
+
+fn gap_to_rate(gap_nanos: Option<f64>) -> Option<f64> {
+    match gap_nanos {
+        Some(g) if g > 0.0 => Some(1e9 / g),
+        _ => None,
+    }
+}
+
+/// One not-yet-exhausted source presented to the planner.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SourceScore {
+    /// Dense source index (the observer's index space).
+    pub src: usize,
+    /// Observed delivery rate in tuples/sec; `None` until measured.
+    pub rate: Option<f64>,
+    /// Optimistic lower bound on the source's remaining retrieval time in
+    /// nanoseconds (remaining tuples × the platform's minimum per-tuple
+    /// gap) — the SPM paper's tie-break while rates are unmeasured.
+    pub lower_bound_nanos: u64,
+}
+
+/// What a [`PermutationPlanner::replan`] call did to the drain order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Replan {
+    /// First call: the initial permutation was established (not counted
+    /// as a re-permutation).
+    Initial,
+    /// The relative order of surviving sources changed — a mid-query
+    /// re-permutation.
+    Permuted,
+    /// Order unchanged (exhausted sources dropping off does not count).
+    Unchanged,
+}
+
+/// Maintains the drain-order permutation over live sources.
+///
+/// Greedy fastest-first: a source moves ahead of its predecessor only
+/// when its observed rate exceeds the predecessor's by the hysteresis
+/// margin; while both are unmeasured, the smaller optimistic lower bound
+/// wins (by the same margin, so a drifting bound cannot thrash either).
+/// Reordering is a bubble pass to fixpoint, so each `replan` is
+/// deterministic in its inputs and terminates in at most n passes.
+#[derive(Debug)]
+pub struct PermutationPlanner {
+    hysteresis: f64,
+    order: Vec<usize>,
+    planned: bool,
+    permutations: u64,
+}
+
+impl PermutationPlanner {
+    /// A planner with the default hysteresis.
+    pub fn new() -> PermutationPlanner {
+        PermutationPlanner::with_hysteresis(DEFAULT_HYSTERESIS)
+    }
+
+    /// A planner that re-permutes when a rate advantage exceeds
+    /// `hysteresis` (relative, must be non-negative).
+    pub fn with_hysteresis(hysteresis: f64) -> PermutationPlanner {
+        assert!(hysteresis >= 0.0, "hysteresis must be non-negative");
+        PermutationPlanner {
+            hysteresis,
+            order: Vec::new(),
+            planned: false,
+            permutations: 0,
+        }
+    }
+
+    /// Recompute the permutation over `live` (the not-yet-exhausted
+    /// sources, in any order). Exhausted sources fall out; new sources
+    /// join at the back before sorting.
+    pub fn replan(&mut self, live: &[SourceScore]) -> Replan {
+        let find = |src: usize| live.iter().find(|s| s.src == src);
+        let mut order: Vec<usize> = self
+            .order
+            .iter()
+            .copied()
+            .filter(|&s| find(s).is_some())
+            .collect();
+        for s in live {
+            if !order.contains(&s.src) {
+                order.push(s.src);
+            }
+        }
+        let baseline = order.clone();
+        // Bubble to fixpoint: only margin-crossing advantages swap.
+        loop {
+            let mut swapped = false;
+            for i in 0..order.len().saturating_sub(1) {
+                let ahead = find(order[i]).expect("filtered to live");
+                let behind = find(order[i + 1]).expect("filtered to live");
+                if self.beats(behind, ahead) {
+                    order.swap(i, i + 1);
+                    swapped = true;
+                }
+            }
+            if !swapped {
+                break;
+            }
+        }
+        let changed = order != baseline;
+        self.order = order;
+        if !self.planned {
+            self.planned = true;
+            return Replan::Initial;
+        }
+        if changed {
+            self.permutations += 1;
+            Replan::Permuted
+        } else {
+            Replan::Unchanged
+        }
+    }
+
+    /// True when `b` should be drained before `a`.
+    fn beats(&self, b: &SourceScore, a: &SourceScore) -> bool {
+        let h = 1.0 + self.hysteresis;
+        match (b.rate, a.rate) {
+            (Some(rb), Some(ra)) => rb > ra * h,
+            // A measured source outranks an unmeasured one: drain what is
+            // provably flowing.
+            (Some(rb), None) => rb > 0.0,
+            (None, Some(_)) => false,
+            // Both unmeasured: the optimistic lower bound decides, with
+            // the same margin so shrinking bounds cannot thrash.
+            (None, None) => (b.lower_bound_nanos as f64) * h < a.lower_bound_nanos as f64,
+        }
+    }
+
+    /// The current drain order, fastest first.
+    pub fn order(&self) -> &[usize] {
+        &self.order
+    }
+
+    /// Mid-query re-permutations performed (initial ordering excluded).
+    pub fn permutations(&self) -> u64 {
+        self.permutations
+    }
+}
+
+impl Default for PermutationPlanner {
+    fn default() -> Self {
+        PermutationPlanner::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SEC: u64 = 1_000_000_000;
+
+    fn steady(obs: &mut RateObserver, src: usize, tps: u64, secs: u64) {
+        for t in 1..=secs {
+            obs.observe(
+                src,
+                RateSample {
+                    at_nanos: t * SEC,
+                    tuples: t * tps,
+                    gap_hint_nanos: None,
+                    flow_controlled: false,
+                },
+            );
+        }
+    }
+
+    #[test]
+    fn observer_converges_to_a_steady_rate() {
+        let mut obs = RateObserver::new(1);
+        steady(&mut obs, 0, 5_000, 20);
+        let rate = obs.rate(0).unwrap();
+        assert!(
+            (rate - 5_000.0).abs() < 1.0,
+            "steady 5000 t/s must converge, got {rate}"
+        );
+        let cv = obs.burstiness(0).unwrap();
+        assert!(cv < 0.01, "steady delivery has ~zero burstiness, got {cv}");
+    }
+
+    #[test]
+    fn observer_tracks_a_rate_crossing() {
+        let mut obs = RateObserver::new(1);
+        steady(&mut obs, 0, 1_000, 10);
+        // Source speeds up 10x: the EWMA must cross within a few samples.
+        let mut tuples = 10 * 1_000;
+        for t in 11..=18 {
+            tuples += 10_000;
+            obs.observe(
+                0,
+                RateSample {
+                    at_nanos: t * SEC,
+                    tuples,
+                    gap_hint_nanos: None,
+                    flow_controlled: false,
+                },
+            );
+        }
+        let rate = obs.rate(0).unwrap();
+        assert!(rate > 9_000.0, "EWMA must follow the speedup, got {rate}");
+    }
+
+    #[test]
+    fn bursty_delivery_scores_high_burstiness() {
+        let mut obs = RateObserver::new(2);
+        steady(&mut obs, 0, 2_000, 30);
+        // Source 1 alternates 100 t/s and 10_000 t/s windows around a
+        // similar mean.
+        let mut tuples = 0;
+        for t in 1..=30 {
+            tuples += if t % 2 == 0 { 100 } else { 10_000 };
+            obs.observe(
+                1,
+                RateSample {
+                    at_nanos: t * SEC,
+                    tuples,
+                    gap_hint_nanos: None,
+                    flow_controlled: false,
+                },
+            );
+        }
+        let steady_cv = obs.burstiness(0).unwrap();
+        let bursty_cv = obs.burstiness(1).unwrap();
+        assert!(
+            bursty_cv > 0.5 && bursty_cv > 10.0 * steady_cv,
+            "alternating delivery must dominate: steady {steady_cv}, bursty {bursty_cv}"
+        );
+    }
+
+    #[test]
+    fn flow_controlled_windows_do_not_poison_the_rate() {
+        let mut obs = RateObserver::new(1);
+        steady(&mut obs, 0, 8_000, 10);
+        // The window protocol suspends the source for 5 silent windows;
+        // the observer must keep its 8000 t/s estimate.
+        for t in 11..=15 {
+            let out = obs.observe(
+                0,
+                RateSample {
+                    at_nanos: t * SEC,
+                    tuples: 10 * 8_000,
+                    gap_hint_nanos: None,
+                    flow_controlled: true,
+                },
+            );
+            assert!(out.is_none(), "suspended windows yield no sample");
+        }
+        let rate = obs.rate(0).unwrap();
+        assert!(
+            (rate - 8_000.0).abs() < 1.0,
+            "suspension must not drag the rate down, got {rate}"
+        );
+    }
+
+    #[test]
+    fn significant_silence_decays_the_estimate() {
+        let mut obs = RateObserver::new(1);
+        steady(&mut obs, 0, 8_000, 10);
+        // The source pauses (not flow-controlled): whole seconds of
+        // silence against an 8000 t/s estimate are overwhelming evidence
+        // of a stop, and the estimate must decay toward zero.
+        let mut zero_folds = 0;
+        for t in 11..=15 {
+            let out = obs.observe(
+                0,
+                RateSample {
+                    at_nanos: t * SEC,
+                    tuples: 10 * 8_000,
+                    gap_hint_nanos: None,
+                    flow_controlled: false,
+                },
+            );
+            // Once the estimate has decayed to ~0, further silence stops
+            // being "significant" — that is the threshold working, not a
+            // missed sample.
+            zero_folds += out.is_some() as u32;
+        }
+        assert!(zero_folds >= 1, "significant silence must fold");
+        let rate = obs.rate(0).unwrap();
+        assert!(
+            rate < 2_000.0,
+            "a paused source's estimate must decay, got {rate}"
+        );
+    }
+
+    #[test]
+    fn brief_silence_between_arrivals_is_ignored() {
+        let mut obs = RateObserver::new(1);
+        steady(&mut obs, 0, 8_000, 10);
+        // A 100 µs silent window at 8000 t/s expects < 1 tuple: that is
+        // sampling between two arrivals, not a pause.
+        let out = obs.observe(
+            0,
+            RateSample {
+                at_nanos: 10 * SEC + 100_000,
+                tuples: 10 * 8_000,
+                gap_hint_nanos: None,
+                flow_controlled: false,
+            },
+        );
+        assert!(out.is_none(), "sub-threshold silence yields no sample");
+        let rate = obs.rate(0).unwrap();
+        assert!(
+            (rate - 8_000.0).abs() < 1.0,
+            "estimate must hold, got {rate}"
+        );
+    }
+
+    #[test]
+    fn gap_hint_seeds_an_unmeasured_source() {
+        let mut obs = RateObserver::new(1);
+        let est = obs
+            .observe(
+                0,
+                RateSample {
+                    at_nanos: SEC,
+                    tuples: 0,
+                    gap_hint_nanos: Some(200_000.0), // 200 µs gap = 5000 t/s
+                    flow_controlled: false,
+                },
+            )
+            .expect("gap hint yields an estimate");
+        assert!((est.rate - 5_000.0).abs() < 1.0, "got {}", est.rate);
+    }
+
+    #[test]
+    fn zero_window_and_zero_gap_are_ignored() {
+        let mut obs = RateObserver::new(1);
+        let s = RateSample {
+            at_nanos: SEC,
+            tuples: 10,
+            gap_hint_nanos: Some(0.0),
+            flow_controlled: false,
+        };
+        assert!(obs.observe(0, s).is_none());
+        // Same timestamp again: no window to divide.
+        assert!(obs.observe(0, s).is_none());
+        assert_eq!(obs.rate(0), None);
+    }
+
+    fn score(src: usize, rate: Option<f64>, lb: u64) -> SourceScore {
+        SourceScore {
+            src,
+            rate,
+            lower_bound_nanos: lb,
+        }
+    }
+
+    #[test]
+    fn initial_permutation_orders_by_lower_bound() {
+        let mut p = PermutationPlanner::new();
+        let r = p.replan(&[
+            score(0, None, 9 * SEC),
+            score(1, None, SEC),
+            score(2, None, 4 * SEC),
+        ]);
+        assert_eq!(r, Replan::Initial);
+        assert_eq!(p.order(), &[1, 2, 0], "cheapest remaining work first");
+        assert_eq!(p.permutations(), 0, "the initial ordering is not counted");
+    }
+
+    #[test]
+    fn rate_crossing_permutes_exactly_once() {
+        let mut p = PermutationPlanner::new();
+        p.replan(&[score(0, Some(1_000.0), SEC), score(1, Some(500.0), SEC)]);
+        assert_eq!(p.order(), &[0, 1]);
+        // Source 1 becomes decisively faster.
+        let r = p.replan(&[score(0, Some(1_000.0), SEC), score(1, Some(2_000.0), SEC)]);
+        assert_eq!(r, Replan::Permuted);
+        assert_eq!(p.order(), &[1, 0]);
+        // Same rates again: stable.
+        let r = p.replan(&[score(0, Some(1_000.0), SEC), score(1, Some(2_000.0), SEC)]);
+        assert_eq!(r, Replan::Unchanged);
+        assert_eq!(p.permutations(), 1);
+    }
+
+    #[test]
+    fn oscillation_inside_the_hysteresis_band_never_thrashes() {
+        let mut p = PermutationPlanner::with_hysteresis(0.25);
+        p.replan(&[score(0, Some(1_000.0), SEC), score(1, Some(990.0), SEC)]);
+        let initial = p.order().to_vec();
+        // Rates wobble ±10% — inside the 25% band — for many rounds.
+        for round in 0..50 {
+            let (a, b) = if round % 2 == 0 {
+                (1_100.0, 900.0)
+            } else {
+                (900.0, 1_100.0)
+            };
+            let r = p.replan(&[score(0, Some(a), SEC), score(1, Some(b), SEC)]);
+            assert_eq!(r, Replan::Unchanged, "round {round} must not permute");
+        }
+        assert_eq!(p.order(), initial.as_slice());
+        assert_eq!(p.permutations(), 0);
+    }
+
+    #[test]
+    fn measured_sources_outrank_unmeasured_ones() {
+        let mut p = PermutationPlanner::new();
+        p.replan(&[score(0, None, SEC), score(1, None, 2 * SEC)]);
+        assert_eq!(p.order(), &[0, 1]);
+        let r = p.replan(&[score(0, None, SEC), score(1, Some(100.0), 2 * SEC)]);
+        assert_eq!(r, Replan::Permuted);
+        assert_eq!(p.order(), &[1, 0], "provably flowing data drains first");
+    }
+
+    #[test]
+    fn exhausted_sources_drop_without_counting_as_permutation() {
+        let mut p = PermutationPlanner::new();
+        p.replan(&[
+            score(0, Some(3_000.0), SEC),
+            score(1, Some(2_000.0), SEC),
+            score(2, Some(1_000.0), SEC),
+        ]);
+        assert_eq!(p.order(), &[0, 1, 2]);
+        let r = p.replan(&[score(0, Some(3_000.0), SEC), score(2, Some(1_000.0), SEC)]);
+        assert_eq!(r, Replan::Unchanged, "a drop is exhaustion, not reordering");
+        assert_eq!(p.order(), &[0, 2]);
+    }
+
+    #[test]
+    fn many_sources_sort_fully_in_one_replan() {
+        let mut p = PermutationPlanner::with_hysteresis(0.1);
+        // Geometric spacing keeps every adjacent pair outside the band
+        // (1.5x apart vs a 1.1x threshold), so the sort completes fully.
+        let live: Vec<SourceScore> = (0..16)
+            .map(|i| score(i, Some(100.0 * 1.5_f64.powi(i as i32)), SEC))
+            .collect();
+        p.replan(&live);
+        let want: Vec<usize> = (0..16).rev().collect();
+        assert_eq!(p.order(), want.as_slice(), "fastest first, fully sorted");
+    }
+}

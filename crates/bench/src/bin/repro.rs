@@ -16,6 +16,7 @@
 //!   cache           wrapper result cache cold vs warm (writes BENCH_cache.json)
 //!   failover        kill a replica mid-scan vs clean run (writes BENCH_failover.json)
 //!   morsel          worker-pool scaling on a probe-heavy spec (writes BENCH_morsel.json)
+//!   spm             online source permutation vs baselines (writes BENCH_spm.json)
 //!   refresh         budgeted refresh under a write burst (writes BENCH_refresh.json)
 //!   workload        Zipf/Poisson replay + fifo-vs-sjf A/B (writes BENCH_workload.json)
 //!   scrambling      query scrambling baseline + timeout sweep (§1.2)
@@ -109,6 +110,16 @@ fn run(cmd: &str) -> bool {
             });
             eprintln!("json written to {path}");
         }
+        "spm" => {
+            let report = ex::spm_experiment();
+            print!("{}", ex::render_spm(&report));
+            let path = csv.unwrap_or_else(|| "BENCH_spm.json".into());
+            std::fs::write(&path, ex::spm_json(&report)).unwrap_or_else(|e| {
+                eprintln!("failed to write {path}: {e}");
+                std::process::exit(1);
+            });
+            eprintln!("json written to {path}");
+        }
         "refresh" => {
             let report = ex::refresh_experiment();
             print!("{}", ex::render_refresh(&report));
@@ -150,6 +161,7 @@ fn run(cmd: &str) -> bool {
                 "cache",
                 "failover",
                 "morsel",
+                "spm",
                 "refresh",
                 "workload",
                 "scrambling",
@@ -175,7 +187,7 @@ fn main() {
         eprint!(
             "usage: repro <command>\n\
              commands: table1 figure5 headline figure6 figure7 figure6-all figure8\n\
-             \u{20}         delay-taxonomy memory multi-query cache failover morsel refresh workload scrambling ablate-bmt\n\
+             \u{20}         delay-taxonomy memory multi-query cache failover morsel spm refresh workload scrambling ablate-bmt\n\
              \u{20}         ablate-batch\n\
              \u{20}         ablate-queue\n\
              \u{20}         ablate-dse ablate-rate all\n"

@@ -497,13 +497,22 @@ pub fn delay_taxonomy() -> String {
         ("slow 4x", DelayModel::Uniform { mean: w_min * 4 }),
     ];
     let mut out = String::from("Delay taxonomy (§1.2) on relation A — response time [s]\n");
-    let _ = writeln!(out, "{:>14} {:>8} {:>8} {:>8}", "delay", "SEQ", "MA", "DSE");
+    let _ = writeln!(
+        out,
+        "{:>14} {:>8} {:>8} {:>8} {:>8}",
+        "delay", "SEQ", "MA", "DSE", "SPM"
+    );
     for (name, model) in cases {
         let w = base.clone().with_delay(a, model);
         let (seq, _, _) = run_repeated(&w, StrategyKind::Seq);
         let (ma, _, _) = run_repeated(&w, StrategyKind::Ma);
         let (dse, _, _) = run_repeated(&w, StrategyKind::Dse);
-        let _ = writeln!(out, "{:>14} {:>8.3} {:>8.3} {:>8.3}", name, seq, ma, dse);
+        let (spm, _, _) = run_repeated(&w, StrategyKind::Spm);
+        let _ = writeln!(
+            out,
+            "{:>14} {:>8.3} {:>8.3} {:>8.3} {:>8.3}",
+            name, seq, ma, dse, spm
+        );
     }
     out
 }
@@ -1155,6 +1164,218 @@ pub fn morsel_json(r: &MorselReport) -> String {
         r.morsel_tuples,
         r.output_tuples,
         r.answers_match,
+        rows.join(",")
+    )
+}
+
+/// One delay-taxonomy scenario of the SPM repro: mean response of every
+/// strategy plus the analytic lower bound and SPM's adaptivity counters.
+#[derive(Debug, Clone)]
+pub struct SpmRow {
+    /// Scenario label (delay class applied to the figure-5 workload).
+    pub scenario: &'static str,
+    /// SEQ mean response, seconds.
+    pub seq: f64,
+    /// MA mean response, seconds.
+    pub ma: f64,
+    /// SCR mean response, seconds.
+    pub scr: f64,
+    /// DSE mean response, seconds.
+    pub dse: f64,
+    /// SPM mean response, seconds.
+    pub spm: f64,
+    /// The analytic lower bound, seconds.
+    pub lwb: f64,
+    /// Mid-query drain-order permutations in SPM's last-seed run
+    /// (the initial ordering is not counted).
+    pub permutations: u64,
+    /// Rate-observatory samples folded in SPM's last-seed run.
+    pub rate_samples: u64,
+    /// Whether every strategy produced SEQ's answer cardinality on
+    /// every seed.
+    pub answers_match: bool,
+}
+
+/// The full SPM-vs-baselines report across the delay taxonomy.
+#[derive(Debug, Clone)]
+pub struct SpmReport {
+    /// One row per delay scenario.
+    pub rows: Vec<SpmRow>,
+    /// AND of every row's `answers_match` — the determinism contract.
+    pub answers_match: bool,
+    /// Total mid-query permutations across all scenarios (acceptance
+    /// wants at least one visible).
+    pub permutations_total: u64,
+}
+
+/// The SPM repro: SEQ/MA/SCR/DSE/SPM/LWB on the figure-5 workload under
+/// the §1.2 delay taxonomy plus two rate-skew scenarios tailored to the
+/// permutation scheduler — heterogeneous per-source rates and a bursty
+/// source whose rate collapses mid-query (forcing a re-permutation).
+pub fn spm_experiment() -> SpmReport {
+    let (base, f5) = Workload::fig5();
+    let a = f5.rels.a;
+    let n = base.catalog.cardinality(a);
+    let w_min = base.config.params.w_min();
+    let scenarios: Vec<(&'static str, Workload)> = vec![
+        (
+            "none (w_min)",
+            base.clone()
+                .with_delay(a, DelayModel::Constant { w: w_min }),
+        ),
+        (
+            "initial 3s",
+            base.clone().with_delay(
+                a,
+                DelayModel::Initial {
+                    initial: SimDuration::from_secs(3),
+                    mean: w_min,
+                },
+            ),
+        ),
+        (
+            "bursty",
+            base.clone().with_delay(
+                a,
+                DelayModel::Bursty {
+                    burst: n / 10,
+                    within: w_min,
+                    pause: SimDuration::from_millis(300),
+                },
+            ),
+        ),
+        (
+            "hetero 4x",
+            base.clone()
+                .with_delay(a, DelayModel::Uniform { mean: w_min * 4 }),
+        ),
+        (
+            // Two skewed sources at once: A slow, C bursty — the drain
+            // order that is right at start is wrong once C pauses.
+            "skew A+C",
+            base.clone()
+                .with_delay(a, DelayModel::Uniform { mean: w_min * 3 })
+                .with_delay(
+                    f5.rels.c,
+                    DelayModel::Bursty {
+                        burst: base.catalog.cardinality(f5.rels.c) / 8,
+                        within: w_min,
+                        pause: SimDuration::from_millis(250),
+                    },
+                ),
+        ),
+    ];
+    let mut rows = Vec::new();
+    let mut all_match = true;
+    let mut permutations_total = 0;
+    for (name, w) in scenarios {
+        let bound = lwb(&w).bound().as_secs_f64();
+        let mut means = [0.0f64; 5];
+        let mut seq_outputs: Vec<u64> = Vec::new();
+        let mut answers_match = true;
+        let (mut permutations, mut rate_samples) = (0, 0);
+        for (si, s) in StrategyKind::WITH_SPM.iter().enumerate() {
+            let mut secs = Vec::new();
+            for (i, &seed) in crate::runner::SEEDS.iter().enumerate() {
+                let m = run_once(&w.clone().with_seed(seed), *s);
+                if *s == StrategyKind::Seq {
+                    seq_outputs.push(m.output_tuples);
+                } else if seq_outputs[i] != m.output_tuples {
+                    answers_match = false;
+                }
+                if *s == StrategyKind::Spm {
+                    permutations = m.permutations;
+                    rate_samples = m.rate_samples;
+                }
+                secs.push(m.response_secs());
+            }
+            means[si] = stats::mean(&secs);
+        }
+        all_match &= answers_match;
+        permutations_total += permutations;
+        rows.push(SpmRow {
+            scenario: name,
+            seq: means[0],
+            ma: means[1],
+            scr: means[2],
+            dse: means[3],
+            spm: means[4],
+            lwb: bound,
+            permutations,
+            rate_samples,
+            answers_match,
+        });
+    }
+    SpmReport {
+        rows,
+        answers_match: all_match,
+        permutations_total,
+    }
+}
+
+/// Render the SPM repro as a human-readable table.
+pub fn render_spm(r: &SpmReport) -> String {
+    let mut out = String::from(
+        "SPM (online source permutation) vs baselines — figure-5 workload,\n\
+         delay taxonomy + rate skew, mean of 3 seeds [s]\n",
+    );
+    let _ = writeln!(
+        out,
+        "{:>14} {:>8} {:>8} {:>8} {:>8} {:>8} {:>8} {:>7} {:>8}",
+        "scenario", "SEQ", "MA", "SCR", "DSE", "SPM", "LWB", "perms", "samples"
+    );
+    for row in &r.rows {
+        let _ = writeln!(
+            out,
+            "{:>14} {:>8.3} {:>8.3} {:>8.3} {:>8.3} {:>8.3} {:>8.3} {:>7} {:>8}",
+            row.scenario,
+            row.seq,
+            row.ma,
+            row.scr,
+            row.dse,
+            row.spm,
+            row.lwb,
+            row.permutations,
+            row.rate_samples
+        );
+    }
+    let _ = writeln!(
+        out,
+        "answers match: {}   mid-query permutations: {}",
+        r.answers_match, r.permutations_total
+    );
+    out
+}
+
+/// Render the SPM repro as the machine-readable `BENCH_spm.json`.
+pub fn spm_json(r: &SpmReport) -> String {
+    let rows: Vec<String> = r
+        .rows
+        .iter()
+        .map(|row| {
+            format!(
+                "{{\"scenario\":\"{}\",\"seq_secs\":{},\"ma_secs\":{},\
+                 \"scr_secs\":{},\"dse_secs\":{},\"spm_secs\":{},\
+                 \"lwb_secs\":{},\"permutations\":{},\"rate_samples\":{},\
+                 \"answers_match\":{}}}",
+                row.scenario,
+                row.seq,
+                row.ma,
+                row.scr,
+                row.dse,
+                row.spm,
+                row.lwb,
+                row.permutations,
+                row.rate_samples,
+                row.answers_match
+            )
+        })
+        .collect();
+    format!(
+        "{{\"experiment\":\"spm_delay_taxonomy\",\"answers_match\":{},\
+         \"permutations_total\":{},\"rows\":[{}]}}\n",
+        r.answers_match,
+        r.permutations_total,
         rows.join(",")
     )
 }

@@ -16,7 +16,7 @@ use std::io::Write;
 use dqs_core::{lwb, DsePolicy};
 use dqs_exec::{
     combine, run_workload_observed, JsonLinesSink, MaPolicy, RunMetrics, ScramblingPolicy,
-    SeqPolicy, SingleQuery, Workload,
+    SeqPolicy, SingleQuery, SpmPolicy, Workload,
 };
 use dqs_plan::{Catalog, QepBuilder};
 use dqs_sim::SimDuration;
@@ -109,6 +109,7 @@ pub fn fingerprint_run(workload: &Workload, strategy: StrategyKind) -> (String, 
         StrategyKind::Ma => run_workload_observed(workload, MaPolicy::default(), &mut sink),
         StrategyKind::Scr => run_workload_observed(workload, ScramblingPolicy::new(), &mut sink),
         StrategyKind::Dse => run_workload_observed(workload, DsePolicy::new(), &mut sink),
+        StrategyKind::Spm => run_workload_observed(workload, SpmPolicy::new(), &mut sink),
     };
     let hash = sink.finish().expect("hashing sink cannot fail").hash();
     (metrics_signature(&m), hash)

@@ -3,7 +3,7 @@
 use dqs_core::DsePolicy;
 use dqs_exec::{
     run_workload, run_workload_observed, EngineEvent, EngineObserver, Interrupt, MaPolicy,
-    RunMetrics, ScramblingPolicy, SeqPolicy, TaskCtx, WorkerPool, Workload,
+    RunMetrics, ScramblingPolicy, SeqPolicy, SpmPolicy, TaskCtx, WorkerPool, Workload,
 };
 use dqs_sim::{stats, SimTime};
 
@@ -23,6 +23,9 @@ pub enum StrategyKind {
     Scr,
     /// The paper's Dynamic Scheduling Execution.
     Dse,
+    /// Online source-permutation scheduling (arXiv 1503.08400): drain
+    /// order re-permuted from live observed delivery rates.
+    Spm,
 }
 
 impl StrategyKind {
@@ -37,6 +40,16 @@ impl StrategyKind {
         StrategyKind::Dse,
     ];
 
+    /// The full modern comparison set: the paper's strategies plus the
+    /// adaptive SPM extension.
+    pub const WITH_SPM: [StrategyKind; 5] = [
+        StrategyKind::Seq,
+        StrategyKind::Ma,
+        StrategyKind::Scr,
+        StrategyKind::Dse,
+        StrategyKind::Spm,
+    ];
+
     /// Display name.
     pub fn name(&self) -> &'static str {
         match self {
@@ -44,6 +57,7 @@ impl StrategyKind {
             StrategyKind::Ma => "MA",
             StrategyKind::Scr => "SCR",
             StrategyKind::Dse => "DSE",
+            StrategyKind::Spm => "SPM",
         }
     }
 }
@@ -131,6 +145,7 @@ fn dispatch<O: EngineObserver>(workload: &Workload, strategy: StrategyKind, obs:
         StrategyKind::Ma => run_workload_observed(workload, MaPolicy::default(), obs),
         StrategyKind::Scr => run_workload_observed(workload, ScramblingPolicy::new(), obs),
         StrategyKind::Dse => run_workload_observed(workload, DsePolicy::new(), obs),
+        StrategyKind::Spm => run_workload_observed(workload, SpmPolicy::new(), obs),
     }
 }
 
@@ -141,6 +156,7 @@ pub fn run_once(workload: &Workload, strategy: StrategyKind) -> RunMetrics {
         StrategyKind::Ma => run_workload(workload, MaPolicy::default()),
         StrategyKind::Scr => run_workload(workload, ScramblingPolicy::new()),
         StrategyKind::Dse => run_workload(workload, DsePolicy::new()),
+        StrategyKind::Spm => run_workload(workload, SpmPolicy::new()),
     }
 }
 

@@ -23,7 +23,7 @@ use dqs_cli::spec::WorkloadSpec;
 use dqs_core::{lwb, DsePolicy};
 use dqs_exec::{
     run_workload, run_workload_observed, run_workload_realtime, run_workload_realtime_observed,
-    JsonLinesSink, MaPolicy, Policy, RunMetrics, ScramblingPolicy, SeqPolicy, Workload,
+    JsonLinesSink, MaPolicy, Policy, RunMetrics, ScramblingPolicy, SeqPolicy, SpmPolicy, Workload,
 };
 use dqs_mediator::{
     C10kOpts, ChurnOpts, MediatorServer, Progress, ServeOpts, SubmitOpts, WrapperServer,
@@ -36,7 +36,7 @@ fn usage() -> ExitCode {
         "usage: dqs <command> [<spec.json>] [options]\n\
          commands:\n\
          \u{20} explain   show the optimized plan, pipeline chains and annotations\n\
-         \u{20} run       execute (options: --strategy seq|ma|scr|dse, --seed N, --all,\n\
+         \u{20} run       execute (options: --strategy seq|ma|scr|dse|spm, --seed N, --all,\n\
          \u{20}           --real-time: threaded wall-clock execution instead of simulation,\n\
          \u{20}           --workers N: morsel worker threads (default 1 = serial),\n\
          \u{20}           --trace-json <path>: write structured engine events as JSON lines)\n\
@@ -727,7 +727,8 @@ fn run_strategy(
         "ma" => dispatch(w, MaPolicy::default(), trace_json, real_time),
         "scr" => dispatch(w, ScramblingPolicy::new(), trace_json, real_time),
         "dse" => dispatch(w, DsePolicy::new(), trace_json, real_time),
-        other => Err(format!("unknown strategy {other:?} (seq|ma|scr|dse)")),
+        "spm" => dispatch(w, SpmPolicy::new(), trace_json, real_time),
+        other => Err(format!("unknown strategy {other:?} (seq|ma|scr|dse|spm)")),
     }
 }
 
@@ -867,7 +868,7 @@ fn main() -> ExitCode {
             }
             let real_time = args.iter().any(|a| a == "--real-time");
             if args.iter().any(|a| a == "--all") {
-                for s in ["seq", "ma", "scr", "dse"] {
+                for s in ["seq", "ma", "scr", "dse", "spm"] {
                     // One trace file per strategy: `<path>.<strategy>`.
                     let per_strategy = trace_json.as_ref().map(|p| format!("{p}.{s}"));
                     match run_strategy(&workload, s, per_strategy.as_deref(), real_time) {

@@ -3,7 +3,7 @@
 
 use dqs_cli::spec::WorkloadSpec;
 use dqs_core::DsePolicy;
-use dqs_exec::{run_workload, SeqPolicy};
+use dqs_exec::{run_workload, SeqPolicy, SpmPolicy};
 
 fn load(name: &str) -> WorkloadSpec {
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../examples/specs/");
@@ -48,6 +48,24 @@ fn concurrent_spec_runs_and_fits_its_declared_memory() {
     let m = run_workload(&w, DsePolicy::new());
     assert!(m.output_tuples > 0);
     assert_eq!(m.memory_overflows, 0, "sized to fit its declared budget");
+}
+
+#[test]
+fn skewed_sources_spec_triggers_mid_query_repermutation() {
+    // Heterogeneous rates plus a bursty feed whose rate collapses during
+    // its pauses: the drain order that is right at the start is wrong
+    // mid-query, so SPM must re-permute at least once — and still deliver
+    // SEQ's answer.
+    let w = load("skewed_sources.json").into_workload().unwrap();
+    let seq = run_workload(&w, SeqPolicy);
+    let spm = run_workload(&w, SpmPolicy::new());
+    assert_eq!(seq.output_tuples, spm.output_tuples);
+    assert!(spm.rate_samples > 0, "observatory fed from arrivals");
+    assert!(
+        spm.permutations >= 1,
+        "flaky_feed's pauses must flip the drain order (got {})",
+        spm.permutations
+    );
 }
 
 #[test]

@@ -18,8 +18,9 @@
 //!   [`EngineObserver`] trait, with text-trace, metrics and JSON-lines sinks;
 //! * [`policy::Policy`] — the DQS interface: scheduling plans recomputed at
 //!   every interruption;
-//! * [`strategies`] — the SEQ / MA / scrambling baselines. The paper's DSE
-//!   strategy is `dqs_core::DsePolicy`.
+//! * [`strategies`] — the SEQ / MA / scrambling baselines and the adaptive
+//!   SPM strategy (online source permutation over `dqs-adapt`'s rate
+//!   observatory). The paper's DSE strategy is `dqs_core::DsePolicy`.
 //!
 //! ```
 //! use dqs_exec::{run_workload, SeqPolicy, Workload};
@@ -75,6 +76,6 @@ pub use runtime::{
     Engine,
 };
 pub use spec::{ConfigSpec, DelaySpec, JoinSpec, RelationSpec, SpecError, WorkloadSpec};
-pub use strategies::{MaPolicy, ScramblingPolicy, SeqPolicy};
+pub use strategies::{MaPolicy, ScramblingPolicy, SeqPolicy, SpmPolicy};
 pub use workload::{EngineConfig, Workload};
 pub use world::World;

@@ -61,6 +61,12 @@ pub struct RunMetrics {
     /// Morsels executed by a worker other than their home worker. Unlike
     /// `morsels` this is scheduling-dependent — answers never are.
     pub steals: u64,
+    /// SPM rate-observatory samples folded (zero outside `SpmPolicy` runs;
+    /// excluded from the golden fingerprint signature like `morsels`).
+    pub rate_samples: u64,
+    /// SPM mid-query drain-order re-permutations (zero outside `SpmPolicy`
+    /// runs; excluded from the golden fingerprint signature).
+    pub permutations: u64,
     /// Simulation events fired.
     pub events: u64,
     /// Per-query response times (query index, completion time), sorted by

@@ -194,6 +194,24 @@ pub enum EngineEvent<'a> {
         /// The worker that stole and ran it.
         worker: u64,
     },
+    /// The SPM rate observatory folded a delivery-rate sample for wrapper
+    /// `rel` (only emitted under `SpmPolicy`; excluded from the golden
+    /// fingerprint, which never runs SPM).
+    RateSample {
+        /// The observed wrapper.
+        rel: RelId,
+        /// EWMA delivery rate in tuples/second.
+        rate_tps: f64,
+        /// Burstiness (coefficient of variation of the rate samples).
+        burstiness: f64,
+    },
+    /// The SPM planner re-permuted the drain order mid-query: observed
+    /// rates crossed the hysteresis threshold (only emitted under
+    /// `SpmPolicy`).
+    RatePermuted {
+        /// The new drain order over live wrappers, fastest first.
+        order: &'a [RelId],
+    },
     /// The DQP found nothing schedulable with data (§3.2 stall).
     Stalled,
     /// The run aborted; this is the final event of the stream.
@@ -262,6 +280,8 @@ impl EngineObserver for MetricsObserver {
             EngineEvent::ReplicaDegraded { .. } => m.replica_retries += 1,
             EngineEvent::MorselDispatched { .. } => m.morsels += 1,
             EngineEvent::MorselStolen { .. } => m.steals += 1,
+            EngineEvent::RateSample { .. } => m.rate_samples += 1,
+            EngineEvent::RatePermuted { .. } => m.permutations += 1,
             EngineEvent::Stalled => self.acc.stall_begin(at),
             EngineEvent::ReplicaPinned { .. }
             | EngineEvent::Arrival { .. }
@@ -417,6 +437,24 @@ impl EngineObserver for TextTrace {
                 format!(
                     "morsel {index} of frag {} stolen by worker {worker}",
                     frag.0
+                ),
+            ),
+            EngineEvent::RateSample {
+                rel,
+                rate_tps,
+                burstiness,
+            } => (
+                TraceKind::Other,
+                format!(
+                    "rate sample rel {} ({rate_tps:.0} t/s, cv {burstiness:.2})",
+                    rel.0
+                ),
+            ),
+            EngineEvent::RatePermuted { order } => (
+                TraceKind::Plan,
+                format!(
+                    "permute drain order {:?}",
+                    order.iter().map(|r| r.0).collect::<Vec<_>>()
                 ),
             ),
             EngineEvent::Stalled => (TraceKind::Other, "stall".into()),
@@ -609,6 +647,18 @@ impl<W: Write> EngineObserver for JsonLinesSink<W> {
                 "\"type\":\"morsel_stolen\",\"frag\":{},\"index\":{index},\"worker\":{worker}",
                 frag.0
             ),
+            EngineEvent::RateSample {
+                rel,
+                rate_tps,
+                burstiness,
+            } => format!(
+                "\"type\":\"rate_sample\",\"rel\":{},\"tps\":{rate_tps:.3},\"cv\":{burstiness:.4}",
+                rel.0
+            ),
+            EngineEvent::RatePermuted { order } => {
+                let ids: Vec<String> = order.iter().map(|r| r.0.to_string()).collect();
+                format!("\"type\":\"rate_permuted\",\"order\":[{}]", ids.join(","))
+            }
             EngineEvent::Stalled => "\"type\":\"stall\"".to_string(),
             EngineEvent::Aborted { reason } => format!(
                 "\"type\":\"abort\",\"kind\":\"{}\",\"reason\":\"{}\"",

@@ -1,10 +1,12 @@
-//! Baseline execution strategies (the paper's §5.1.2 comparison set minus
-//! DSE, which lives in `dqs-core`).
+//! Execution strategies: the paper's §5.1.2 comparison set minus DSE
+//! (which lives in `dqs-core`), plus the adaptive SPM extension.
 
 pub mod ma;
 pub mod scrambling;
 pub mod seq;
+pub mod spm;
 
 pub use ma::MaPolicy;
 pub use scrambling::ScramblingPolicy;
 pub use seq::SeqPolicy;
+pub use spm::SpmPolicy;

@@ -1,0 +1,293 @@
+//! SPM: online source-permutation scheduling.
+//!
+//! Where the paper's DSE reacts to delays by switching *plans*
+//! (degradations, splits), SPM — after "Online Query Scheduling on Source
+//! Permutation for Big Data Integration" (arXiv 1503.08400) — reorders
+//! *which source to drain next* from delivery rates observed while the
+//! query runs. The scheduling plan is the full set of live chains in a
+//! drain-order permutation, fastest wrapper first, so the DQP's
+//! priority-ordered batch picking (§3.2) realizes the permutation
+//! directly: whichever source is flowing fastest gets its queue drained
+//! first, slower sources overlap during its silences, and the hash-join
+//! C-schedulability guard keeps probe-side chains waiting until their
+//! build tables complete.
+//!
+//! The signal path is sans-io end to end. At every planning phase the
+//! policy feeds the [`RateObserver`] one cumulative sample per wrapper —
+//! virtual `now`, tuples received, the CM's fine-grained inter-arrival
+//! EWMA as a hint, and the window-protocol suspension flag so
+//! flow-controlled silences never read as slowness. Planning phases are
+//! themselves arrival-driven (the CM raises `RateChange` when its
+//! estimate drifts past the threshold, §3.1), so samples track batch
+//! arrivals under both the discrete-event and the wall-clock driver. The
+//! [`PermutationPlanner`] then re-permutes only when a rate advantage
+//! crosses its hysteresis band — oscillating estimates cannot thrash the
+//! drain order — with the SPM paper's optimistic lower bound on remaining
+//! retrieval time breaking ties among unmeasured sources.
+//!
+//! SPM never degrades or splits: like SEQ it changes *order* only, which
+//! is what makes `answers are bit-identical to SEQ/DSE` a testable
+//! invariant (see `tests/spm_parity.rs`). Every folded sample and every
+//! re-permutation is emitted as a typed event (`RateSample`,
+//! `RatePermuted`) so the adaptation is visible in the JSON trace.
+
+use dqs_adapt::{PermutationPlanner, RateObserver, RateSample, Replan, SourceScore};
+use dqs_plan::ChainSource;
+use dqs_relop::RelId;
+use dqs_sim::SimTime;
+
+use crate::frag::FragId;
+use crate::observe::EngineEvent;
+use crate::policy::{Interrupt, PlanCtx, Policy};
+
+/// The online source-permutation strategy.
+#[derive(Debug)]
+pub struct SpmPolicy {
+    /// Lazily sized on the first planning phase (the policy is built
+    /// before the world exists).
+    obs: Option<RateObserver>,
+    planner: PermutationPlanner,
+}
+
+impl SpmPolicy {
+    /// SPM with the default hysteresis.
+    pub fn new() -> SpmPolicy {
+        SpmPolicy {
+            obs: None,
+            planner: PermutationPlanner::new(),
+        }
+    }
+
+    /// SPM re-permuting only past `hysteresis` relative rate advantage.
+    pub fn with_hysteresis(hysteresis: f64) -> SpmPolicy {
+        SpmPolicy {
+            obs: None,
+            planner: PermutationPlanner::with_hysteresis(hysteresis),
+        }
+    }
+
+    /// Mid-query re-permutations performed so far.
+    pub fn permutations(&self) -> u64 {
+        self.planner.permutations()
+    }
+}
+
+impl Default for SpmPolicy {
+    fn default() -> Self {
+        SpmPolicy::new()
+    }
+}
+
+impl Policy for SpmPolicy {
+    fn name(&self) -> &'static str {
+        "SPM"
+    }
+
+    fn plan(&mut self, ctx: &mut PlanCtx<'_>, _why: Interrupt) -> Vec<FragId> {
+        let n = ctx.world.cm.len();
+        let obs = self.obs.get_or_insert_with(|| RateObserver::new(n));
+        let now_nanos = ctx.now.saturating_since(SimTime::ZERO).as_nanos();
+
+        // Wrapper-fed chains in QEP activation order; each wrapper feeds
+        // at most one chain, so rel index doubles as the source index.
+        let chains = ctx.plan.chains.sequential_order();
+        let mut wrappers: Vec<(dqs_plan::PcId, RelId)> = Vec::new();
+        for &pc in &chains {
+            if let ChainSource::Wrapper(rel) = ctx.plan.chains.chain(pc).source {
+                wrappers.push((pc, rel));
+            }
+        }
+
+        // Feed this phase's cumulative arrival sample per wrapper.
+        for &(_, rel) in &wrappers {
+            let sample = RateSample {
+                at_nanos: now_nanos,
+                tuples: ctx.world.cm.received(rel),
+                gap_hint_nanos: ctx.world.cm.estimated_gap(rel).map(|g| g.as_nanos() as f64),
+                flow_controlled: ctx.world.cm.is_suspended(rel),
+            };
+            if let Some(est) = obs.observe(rel.0 as usize, sample) {
+                ctx.obs.on_event(
+                    ctx.now,
+                    &EngineEvent::RateSample {
+                        rel,
+                        rate_tps: est.rate,
+                        burstiness: est.burstiness,
+                    },
+                );
+            }
+        }
+
+        // Score the not-yet-exhausted wrappers and re-permute.
+        let w_min = ctx.world.params.w_min().as_nanos();
+        let mut live: Vec<SourceScore> = Vec::new();
+        for &(pc, rel) in &wrappers {
+            if ctx.frags.live_body(pc).is_none() || ctx.world.cm.drained(rel) {
+                continue;
+            }
+            live.push(SourceScore {
+                src: rel.0 as usize,
+                rate: obs.rate(rel.0 as usize),
+                lower_bound_nanos: ctx.remaining_tuples(pc).saturating_mul(w_min),
+            });
+        }
+        if self.planner.replan(&live) == Replan::Permuted {
+            let order: Vec<RelId> = self
+                .planner
+                .order()
+                .iter()
+                .map(|&s| RelId(s as u16))
+                .collect();
+            ctx.obs
+                .on_event(ctx.now, &EngineEvent::RatePermuted { order: &order });
+        }
+
+        // Assemble the scheduling plan: permuted wrapper chains first,
+        // then any remaining live chains (temp-fed, local-disk speed) in
+        // activation order. The DQP skips fragments whose probe tables
+        // are incomplete, so listing everything is safe.
+        let mut sp: Vec<FragId> = Vec::new();
+        for &src in self.planner.order() {
+            let rel = RelId(src as u16);
+            if let Some(&(pc, _)) = wrappers.iter().find(|&&(_, r)| r == rel) {
+                if let Some(f) = ctx.frags.live_body(pc) {
+                    sp.push(f);
+                }
+            }
+        }
+        for &pc in &chains {
+            if let Some(f) = ctx.frags.live_body(pc) {
+                if !sp.contains(&f) {
+                    sp.push(f);
+                }
+            }
+        }
+        sp
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::run_workload;
+    use crate::strategies::seq::SeqPolicy;
+    use crate::workload::Workload;
+    use dqs_plan::{Catalog, QepBuilder};
+    use dqs_sim::SimDuration;
+    use dqs_source::DelayModel;
+
+    /// Three-way join; relation A builds, B probes+builds, C outputs.
+    fn three_way(card: u64) -> Workload {
+        let mut cat = Catalog::new();
+        let a = cat.add("A", card);
+        let b = cat.add("B", card);
+        let c = cat.add("C", card);
+        let mut qb = QepBuilder::new();
+        let sa = qb.scan(a, 1.0);
+        let sb = qb.scan(b, 1.0);
+        let j1 = qb.hash_join(sa, sb, 1.0);
+        let sc = qb.scan(c, 1.0);
+        let j2 = qb.hash_join(j1, sc, 1.0);
+        Workload::new(cat, qb.finish(j2).unwrap())
+    }
+
+    #[test]
+    fn spm_answers_match_seq() {
+        let w = three_way(3_000);
+        let seq = run_workload(&w, SeqPolicy);
+        let spm = run_workload(&w, SpmPolicy::new());
+        assert_eq!(spm.strategy, "SPM");
+        assert_eq!(
+            spm.output_tuples, seq.output_tuples,
+            "drain order must never change the answer"
+        );
+    }
+
+    #[test]
+    fn spm_beats_seq_on_a_slow_source() {
+        // Fig. 5 workload with wrapper A at a quarter of everyone else's
+        // pace. Drain order only matters while the CPU has a choice, so
+        // the win shows up on a workload whose probe work keeps every
+        // queue busy — not on an idle-CPU trickle, where work-conserving
+        // dispatch makes SEQ just as overlapped as any permutation.
+        let (base, f5) = Workload::fig5();
+        let w_min = base.config.params.w_min();
+        let w = base.with_delay(f5.rels.a, DelayModel::Uniform { mean: w_min * 4 });
+        let seq = run_workload(&w, SeqPolicy);
+        let spm = run_workload(&w, SpmPolicy::new());
+        assert_eq!(spm.output_tuples, seq.output_tuples);
+        assert!(
+            spm.response_time < seq.response_time,
+            "SPM {} must beat SEQ {} when a source is slow",
+            spm.response_time,
+            seq.response_time
+        );
+    }
+
+    #[test]
+    fn spm_emits_rate_samples() {
+        let w = three_way(3_000).with_delay(
+            dqs_relop::RelId(0),
+            DelayModel::Uniform {
+                mean: SimDuration::from_micros(400),
+            },
+        );
+        let m = run_workload(&w, SpmPolicy::new());
+        assert!(
+            m.rate_samples > 0,
+            "planning phases must feed the observatory"
+        );
+    }
+
+    #[test]
+    fn spm_repermutes_when_rates_cross() {
+        // Relation A starts fast then collapses into long pauses; C is
+        // steadily slow-ish. The crossing must trigger at least one
+        // mid-query re-permutation.
+        let w = three_way(6_000)
+            .with_delay(
+                dqs_relop::RelId(0),
+                DelayModel::Bursty {
+                    burst: 500,
+                    within: SimDuration::from_micros(5),
+                    pause: SimDuration::from_millis(80),
+                },
+            )
+            .with_delay(
+                dqs_relop::RelId(2),
+                DelayModel::Uniform {
+                    mean: SimDuration::from_micros(60),
+                },
+            );
+        let m = run_workload(&w, SpmPolicy::new());
+        assert!(
+            m.permutations >= 1,
+            "a rate crossing must re-permute the drain order (got {})",
+            m.permutations
+        );
+    }
+
+    #[test]
+    fn spm_is_deterministic_per_seed() {
+        let w = three_way(2_000).with_delay(
+            dqs_relop::RelId(1),
+            DelayModel::Bursty {
+                burst: 300,
+                within: SimDuration::from_micros(10),
+                pause: SimDuration::from_millis(20),
+            },
+        );
+        let m1 = run_workload(&w.clone().with_seed(7), SpmPolicy::new());
+        let m2 = run_workload(&w.with_seed(7), SpmPolicy::new());
+        assert_eq!(m1.response_time, m2.response_time);
+        assert_eq!(m1.permutations, m2.permutations);
+        assert_eq!(m1.events, m2.events);
+    }
+
+    #[test]
+    fn zero_cardinality_relations_complete() {
+        let w = three_way(0);
+        let m = run_workload(&w, SpmPolicy::new());
+        assert_eq!(m.output_tuples, 0);
+    }
+}

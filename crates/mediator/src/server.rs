@@ -64,7 +64,7 @@ use dqs_core::{DsePolicy, LatencyHistogram};
 use dqs_exec::spec::WorkloadSpec;
 use dqs_exec::{
     Engine, EngineEvent, EngineObserver, JsonLinesSink, MaPolicy, Policy, RealTimeDriver, RunError,
-    RunMetrics, ScramblingPolicy, SeqPolicy, WorkerPool, Workload,
+    RunMetrics, ScramblingPolicy, SeqPolicy, SpmPolicy, WorkerPool, Workload,
 };
 use dqs_reactor::{Events, Interest, Poller, TimerId, TimerWheel, Token, Waker};
 use dqs_refresh::{RefreshPlanner, ScanProvenance};
@@ -926,11 +926,11 @@ impl IoWorker {
         spec_json: String,
     ) {
         // Validate before admission: a bad spec must not consume a slot.
-        if !matches!(strategy.as_str(), "seq" | "ma" | "scr" | "dse") {
+        if !matches!(strategy.as_str(), "seq" | "ma" | "scr" | "dse" | "spm") {
             self.queue_terminal(
                 id,
                 Frame::Rejected {
-                    reason: format!("unknown strategy {strategy:?} (seq|ma|scr|dse)"),
+                    reason: format!("unknown strategy {strategy:?} (seq|ma|scr|dse|spm)"),
                 },
             );
             return;
@@ -1295,6 +1295,14 @@ fn run_job(shared: &Shared, mut job: Job) {
             if let Some(cache) = &shared.cache {
                 payload = with_cache_gauges(payload, &cache.stats());
             }
+            if !shared.replica_sets.is_empty() {
+                let health: Vec<(String, Vec<dqs_replica::EndpointSnapshot>)> = shared
+                    .replica_sets
+                    .iter()
+                    .map(|s| (s.id().to_string(), s.snapshot()))
+                    .collect();
+                payload = with_replica_health(payload, &health);
+            }
             Frame::Done {
                 metrics_json: payload,
             }
@@ -1522,6 +1530,7 @@ fn run_with_strategy<O: EngineObserver>(
         "seq" => go(workload, SeqPolicy, observer, driver),
         "ma" => go(workload, MaPolicy::default(), observer, driver),
         "scr" => go(workload, ScramblingPolicy::new(), observer, driver),
+        "spm" => go(workload, SpmPolicy::new(), observer, driver),
         // Validated at submission; default cannot be reached with other
         // names.
         _ => go(workload, DsePolicy::new(), observer, driver),
@@ -1597,6 +1606,68 @@ pub fn with_cache_gauges(metrics: String, s: &CacheStats) -> String {
     )
 }
 
+/// Splice per-endpoint replica health — the EWMA delivery rates and
+/// Live/Degraded states `dqs-replica`'s `HealthTable` maintains — into a
+/// metrics payload, same pattern as [`with_queue_wait`]. Until now these
+/// gauges were invisible to operators: selection and failover consulted
+/// them internally but nothing exported them. Rates are tuples/second;
+/// `rate` is `null` for endpoints that never delivered a batch.
+pub fn with_replica_health(
+    metrics: String,
+    health: &[(String, Vec<dqs_replica::EndpointSnapshot>)],
+) -> String {
+    use dqs_replica::EndpointState;
+    debug_assert!(metrics.starts_with('{'));
+    let groups: Vec<String> = health
+        .iter()
+        .map(|(id, endpoints)| {
+            let eps: Vec<String> = endpoints
+                .iter()
+                .map(|e| {
+                    let state = match e.state {
+                        EndpointState::Live => "\"live\"".to_string(),
+                        EndpointState::Degraded { until_nanos } => {
+                            format!("{{\"degraded_until_nanos\":{until_nanos}}}")
+                        }
+                    };
+                    let rate = e.rate.map_or("null".to_string(), |r| format!("{r:.3}"));
+                    format!(
+                        "{{\"addr\":\"{}\",\"state\":{state},\"rate_tps\":{rate},\
+                         \"opens\":{},\"failures\":{}}}",
+                        json_escape_str(&e.addr),
+                        e.opens,
+                        e.failures_total
+                    )
+                })
+                .collect();
+            format!(
+                "{{\"group\":\"{}\",\"endpoints\":[{}]}}",
+                json_escape_str(id),
+                eps.join(",")
+            )
+        })
+        .collect();
+    format!(
+        "{{\"replica_health\":[{}],{}",
+        groups.join(","),
+        &metrics[1..]
+    )
+}
+
+/// Minimal JSON string escaping for spliced payload fields.
+fn json_escape_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
 /// Flat JSON rendering of a finished run's metrics (the `Done` payload).
 pub fn metrics_json(m: &RunMetrics) -> String {
     let queries: Vec<String> = m
@@ -1612,6 +1683,7 @@ pub fn metrics_json(m: &RunMetrics) -> String {
          \"memory_high_water\":{},\"events\":{},\"cache_hits\":{},\
          \"cache_misses\":{},\"cache_bytes_served\":{},\"failovers\":{},\
          \"replica_retries\":{},\"morsels\":{},\"steals\":{},\
+         \"rate_samples\":{},\"permutations\":{},\
          \"query_responses\":[{}]}}",
         m.strategy,
         m.seed,
@@ -1635,6 +1707,8 @@ pub fn metrics_json(m: &RunMetrics) -> String {
         m.replica_retries,
         m.morsels,
         m.steals,
+        m.rate_samples,
+        m.permutations,
         queries.join(",")
     )
 }
@@ -1740,6 +1814,53 @@ mod tests {
         assert_eq!(
             get("strategy").and_then(|v| v.as_str()),
             Some("dse"),
+            "engine metrics ride along unchanged"
+        );
+    }
+
+    #[test]
+    fn replica_health_splice_exports_rates_and_states() {
+        use dqs_replica::{EndpointSnapshot, EndpointState};
+        let m = RunMetrics {
+            strategy: "spm",
+            seed: 1,
+            ..RunMetrics::default()
+        };
+        let health = vec![(
+            "g0".to_string(),
+            vec![
+                EndpointSnapshot {
+                    addr: "127.0.0.1:7001".into(),
+                    state: EndpointState::Live,
+                    rate: Some(1234.5),
+                    opens: 3,
+                    failures_total: 0,
+                },
+                EndpointSnapshot {
+                    addr: "127.0.0.1:7002".into(),
+                    state: EndpointState::Degraded { until_nanos: 99 },
+                    rate: None,
+                    opens: 1,
+                    failures_total: 2,
+                },
+            ],
+        )];
+        let text = with_replica_health(metrics_json(&m), &health);
+        assert!(text.starts_with("{\"replica_health\":["), "{text}");
+        let v = dqs_exec::json::parse(&text).expect("valid JSON: {text}");
+        let obj = v.as_object().unwrap();
+        let get = |k: &str| obj.iter().find(|(n, _)| n == k).map(|(_, v)| v);
+        assert!(get("replica_health").is_some());
+        assert!(text.contains("\"rate_tps\":1234.500"), "{text}");
+        assert!(text.contains("\"state\":\"live\""), "{text}");
+        assert!(
+            text.contains("\"state\":{\"degraded_until_nanos\":99}"),
+            "{text}"
+        );
+        assert!(text.contains("\"rate_tps\":null"), "{text}");
+        assert_eq!(
+            get("strategy").and_then(|v| v.as_str()),
+            Some("spm"),
             "engine metrics ride along unchanged"
         );
     }

@@ -87,6 +87,29 @@ fn sim_driver_is_bit_identical_to_pre_refactor_engine() {
     }
 }
 
+/// SPM has no pre-refactor golden (the strategy postdates the refactor),
+/// so its parity contract is stated directly: on every golden workload it
+/// reproduces SEQ's answer cardinality, and two runs fingerprint
+/// bit-identically — metrics line and full event-stream hash.
+#[test]
+fn spm_matches_seq_answers_and_fingerprints_deterministically() {
+    for (name, w) in &parity_workloads() {
+        let (seq_sig, _) = fingerprint_run(w, StrategyKind::Seq);
+        let (a_sig, a_hash) = fingerprint_run(w, StrategyKind::Spm);
+        let (b_sig, b_hash) = fingerprint_run(w, StrategyKind::Spm);
+        assert_eq!(a_sig, b_sig, "{name}: SPM metrics not deterministic");
+        assert_eq!(a_hash, b_hash, "{name}: SPM event stream not deterministic");
+        let out = |sig: &str| {
+            sig.split(" out=")
+                .nth(1)
+                .and_then(|s| s.split(' ').next())
+                .map(str::to_owned)
+                .expect("signature carries out=")
+        };
+        assert_eq!(out(&a_sig), out(&seq_sig), "{name}: SPM answer diverged");
+    }
+}
+
 /// A small join workload with microsecond inter-tuple gaps, for the
 /// wall-clock smoke test (finishes in tens of milliseconds of real time).
 fn smoke_workload() -> Workload {

@@ -34,7 +34,7 @@ fn answer_of(m: &dqs_exec::RunMetrics) -> (u64, Vec<u32>) {
 #[test]
 fn morsel_parallel_answers_match_serial_on_the_parity_matrix() {
     for (name, workload) in parity_workloads() {
-        for strategy in StrategyKind::WITH_SCR {
+        for strategy in StrategyKind::WITH_SPM {
             let serial = run_once(&workload, strategy);
             for &workers in &WORKER_COUNTS {
                 let w = workload.clone().with_workers(workers);
